@@ -1,0 +1,26 @@
+//! Compile-time benchmarks: full C-to-netlist pipeline per Table 1 kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use roccc_synth::VirtexII;
+use std::hint::black_box;
+
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile");
+    group.sample_size(10);
+    for b in roccc_ipcores::benchmarks() {
+        // The LUT sources embed 1024-entry tables; keep them but note the
+        // parse cost dominates there.
+        group.bench_function(b.name, |bench| {
+            let model = VirtexII::with_mult_style(b.mult_style);
+            bench.iter(|| {
+                let hw = roccc::compile_with_model(black_box(&b.source), b.func, &b.opts, &model)
+                    .expect("benchmark kernels compile");
+                black_box(hw.netlist.cells.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! The paper's §2 claim via [13]: compile-time area estimation "in less
+//! than one millisecond and within 5% accuracy". Benchmarks the fast
+//! estimator against the full technology mapper on every kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use roccc_synth::{fast_estimate, map_netlist, VirtexII};
+use std::hint::black_box;
+
+fn bench_estimation(c: &mut Criterion) {
+    let compiled: Vec<_> = roccc_ipcores::benchmarks()
+        .iter()
+        .map(|b| {
+            let hw = roccc_ipcores::table::compile_benchmark(b).expect("compiles");
+            (b.name, hw, VirtexII::with_mult_style(b.mult_style))
+        })
+        .collect();
+
+    let mut fast = c.benchmark_group("fast_estimate");
+    for (name, hw, model) in &compiled {
+        fast.bench_function(*name, |bench| {
+            bench.iter(|| black_box(fast_estimate(&hw.datapath, model)).slices)
+        });
+    }
+    fast.finish();
+
+    let mut full = c.benchmark_group("full_map");
+    for (name, hw, model) in &compiled {
+        full.bench_function(*name, |bench| {
+            bench.iter(|| black_box(map_netlist(&hw.netlist, model)).slices)
+        });
+    }
+    full.finish();
+}
+
+criterion_group!(benches, bench_estimation);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Cycle-accurate simulation throughput: netlist cycles per second for the
+//! FIR data path, and the full system run (BRAM + smart buffer + data
+//! path) for the streaming kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use roccc::CompileOptions;
+use roccc_netlist::NetlistSim;
+use std::collections::HashMap;
+use std::hint::black_box;
+
+fn bench_simulation(c: &mut Criterion) {
+    // Data-path-only cycles.
+    let src = "void fir_dp(int16 A0,int16 A1,int16 A2,int16 A3,int16 A4,int16* T) {
+       *T = 3*A0 + 5*A1 + 7*A2 + 9*A3 - A4; }";
+    let hw = roccc::compile(src, "fir_dp", &CompileOptions::default()).expect("compiles");
+    let mut group = c.benchmark_group("netlist_sim");
+    let cycles = 1024u64;
+    group.throughput(Throughput::Elements(cycles));
+    group.bench_function("fir_dp_cycles", |b| {
+        b.iter(|| {
+            let mut sim = NetlistSim::new(&hw.netlist);
+            let mut acc = 0i64;
+            for i in 0..cycles {
+                let x = i as i64 % 100;
+                let r = sim.step(&[x, x + 1, x + 2, x + 3, x + 4], true).unwrap();
+                acc ^= r.outputs[0];
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+
+    // Whole-system run.
+    let fir = roccc_ipcores::kernels::fir_source();
+    let hw = roccc::compile(&fir, "fir", &CompileOptions::default()).expect("compiles");
+    let mut group = c.benchmark_group("system_sim");
+    group.sample_size(20);
+    group.bench_function("fir_128_samples", |b| {
+        b.iter(|| {
+            let mut arrays = HashMap::new();
+            arrays.insert("A".to_string(), (0..128).collect::<Vec<i64>>());
+            let run = hw.run(&arrays, &HashMap::new()).unwrap();
+            black_box(run.cycles)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

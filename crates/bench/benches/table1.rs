@@ -1,0 +1,27 @@
+//! Benchmarks regenerating each Table 1 row (compile + map both sides).
+//! `cargo bench -p roccc-bench --bench table1` times every row;
+//! `cargo run -p roccc-bench --bin table1` prints the comparison itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use roccc_synth::{map_netlist, VirtexII};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_row");
+    group.sample_size(10);
+    for b in roccc_ipcores::benchmarks() {
+        group.bench_function(b.name, |bench| {
+            let model = VirtexII::with_mult_style(b.mult_style);
+            bench.iter(|| {
+                let ip = map_netlist(&(b.baseline)(), &model);
+                let hw = roccc_ipcores::table::compile_benchmark(&b).expect("compiles");
+                let rc = map_netlist(&hw.netlist, &model);
+                black_box((ip.slices, rc.slices))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! # roccc-bench — benchmark harness for the Table 1 reproduction
+//!
+//! Criterion benchmarks (`cargo bench -p roccc-bench`) cover compile time,
+//! the sub-millisecond area-estimation claim, and simulation throughput;
+//! the binaries regenerate the paper's evaluation artifacts:
+//!
+//! * `cargo run -p roccc-bench --bin table1` — the full Table 1
+//!   comparison with paper numbers alongside;
+//! * `cargo run -p roccc-bench --bin ablations` — the design-choice
+//!   ablations from DESIGN.md (D1–D5).
+
+#![warn(missing_docs)]
+
+use roccc_synth::ResourceReport;
+
+/// Formats a resource report on one line.
+pub fn fmt_report(r: &ResourceReport) -> String {
+    format!(
+        "{:>6} LUT {:>6} FF {:>5} slices {:>7.1} MHz",
+        r.luts, r.ffs, r.slices, r.fmax_mhz
+    )
+}
+
+/// The ratio `a / b` guarding against division by zero.
+pub fn ratio(a: f64, b: f64) -> f64 {
+    if b == 0.0 {
+        f64::NAN
+    } else {
+        a / b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_handles_zero() {
+        assert!(ratio(1.0, 0.0).is_nan());
+        assert_eq!(ratio(6.0, 3.0), 2.0);
+    }
+}

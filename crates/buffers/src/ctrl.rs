@@ -1,0 +1,354 @@
+//! The higher-level controller (§4.1).
+//!
+//! "The controllers include address generators … and a higher-level
+//! controller, which controls the address generators. They are all
+//! implemented as pre-existing parameterized FSMs in a VHDL library."
+//!
+//! [`LoopController`] is that parameterized FSM: each clock cycle it is
+//! stepped with the status signals it would see in hardware (window valid
+//! from the smart buffer, output valid from the data path) and produces
+//! the control outputs (read-address issue, data-path fire, write-address
+//! issue, done).
+
+use crate::addr::OutputAddressGen;
+
+/// Controller FSM states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CtrlState {
+    /// Waiting for `start`.
+    Idle,
+    /// Streaming input, firing the data path as windows become valid.
+    Running,
+    /// All iterations fired; waiting for the pipeline to drain.
+    Draining,
+    /// All outputs written.
+    Done,
+}
+
+/// One cycle's control outputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CtrlOutputs {
+    /// Address to read from the input BRAM this cycle.
+    pub read_addr: Option<i64>,
+    /// Assert the data path's input-valid (fire one iteration).
+    pub fire: bool,
+    /// Address to write the data path's current output to.
+    pub write_addr: Option<i64>,
+    /// The whole scan is complete.
+    pub done: bool,
+}
+
+/// The higher-level loop controller.
+#[derive(Debug, Clone)]
+pub struct LoopController {
+    state: CtrlState,
+    /// Input addresses remaining, supplied by an address generator.
+    input_addrs: std::collections::VecDeque<i64>,
+    /// Reads issued per cycle (bus width ÷ data width).
+    bus_elems: usize,
+    /// Iterations to fire in total.
+    total_iters: u64,
+    fired: u64,
+    /// Data-path pipeline latency in cycles.
+    dp_latency: u32,
+    /// Output address generator.
+    out_gen: OutputAddressGen,
+    outputs_written: u64,
+    total_outputs: u64,
+    cycles: u64,
+}
+
+impl LoopController {
+    /// Creates a controller for a scan with the given input address stream,
+    /// iteration count, data-path latency, and output address generator.
+    pub fn new(
+        input_addrs: impl IntoIterator<Item = i64>,
+        bus_elems: usize,
+        total_iters: u64,
+        dp_latency: u32,
+        out_gen: OutputAddressGen,
+    ) -> Self {
+        let total_outputs = out_gen.total();
+        LoopController {
+            state: CtrlState::Idle,
+            input_addrs: input_addrs.into_iter().collect(),
+            bus_elems: bus_elems.max(1),
+            total_iters,
+            fired: 0,
+            dp_latency,
+            out_gen,
+            outputs_written: 0,
+            total_outputs,
+            cycles: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> CtrlState {
+        self.state
+    }
+
+    /// Cycles elapsed since `start`.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Iterations fired so far.
+    pub fn fired(&self) -> u64 {
+        self.fired
+    }
+
+    /// Starts the scan.
+    pub fn start(&mut self) {
+        if self.state == CtrlState::Idle {
+            self.state = CtrlState::Running;
+        }
+    }
+
+    /// Advances one clock cycle.
+    ///
+    /// `window_valid` is the smart buffer's window-ready flag this cycle;
+    /// `output_valid` is the data path's output-valid flag (its input-valid
+    /// delayed by the pipeline latency — the caller models that delay, or
+    /// uses [`crate::ctrl::ValidChain`]).
+    pub fn step(&mut self, window_valid: bool, output_valid: bool) -> CtrlOutputs {
+        let mut out = CtrlOutputs::default();
+        if self.state == CtrlState::Idle {
+            return out;
+        }
+        self.cycles += 1;
+
+        // Issue the next input read (one port: one address per cycle; the
+        // bus then delivers `bus_elems` packed words).
+        if self.state == CtrlState::Running {
+            if let Some(a) = self.input_addrs.pop_front() {
+                // Consume up to bus_elems−1 further sequential addresses —
+                // they arrive on the same bus beat.
+                for _ in 1..self.bus_elems {
+                    let _ = self.input_addrs.pop_front();
+                }
+                out.read_addr = Some(a);
+            }
+        }
+
+        // Fire the data path when a window is ready.
+        if window_valid && self.fired < self.total_iters {
+            out.fire = true;
+            self.fired += 1;
+        }
+
+        // Retire outputs.
+        if output_valid && self.outputs_written < self.total_outputs {
+            out.write_addr = self.out_gen.next();
+            self.outputs_written += 1;
+        }
+
+        // State transitions.
+        match self.state {
+            CtrlState::Running if self.fired >= self.total_iters && self.input_addrs.is_empty() => {
+                self.state = CtrlState::Draining;
+            }
+            CtrlState::Draining if self.outputs_written >= self.total_outputs => {
+                self.state = CtrlState::Done;
+            }
+            _ => {}
+        }
+        if self.state == CtrlState::Done {
+            out.done = true;
+        }
+        let _ = self.dp_latency;
+        out
+    }
+}
+
+/// A shift register modelling the data path's valid chain: input-valid
+/// delayed by the pipeline latency becomes output-valid.
+#[derive(Debug, Clone)]
+pub struct ValidChain {
+    bits: std::collections::VecDeque<bool>,
+}
+
+impl ValidChain {
+    /// Creates a chain of `latency` stages (0 = combinational passthrough).
+    pub fn new(latency: u32) -> Self {
+        ValidChain {
+            bits: std::iter::repeat_n(false, latency as usize).collect(),
+        }
+    }
+
+    /// Clocks the chain: shifts `input_valid` in, returns the delayed
+    /// output-valid.
+    pub fn clock(&mut self, input_valid: bool) -> bool {
+        self.bits.push_back(input_valid);
+        self.bits.pop_front().unwrap_or(input_valid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{AddressGen1d, DimScan, OutputAddressGen};
+
+    #[test]
+    fn valid_chain_delays_by_latency() {
+        let mut vc = ValidChain::new(3);
+        let seq = [true, false, true, true, false, false, false];
+        let mut out = Vec::new();
+        for v in seq {
+            out.push(vc.clock(v));
+        }
+        assert_eq!(out, vec![false, false, false, true, false, true, true]);
+    }
+
+    #[test]
+    fn zero_latency_chain_is_passthrough() {
+        let mut vc = ValidChain::new(0);
+        assert!(vc.clock(true));
+        assert!(!vc.clock(false));
+    }
+
+    /// Full mini-system: controller + BRAM + smart buffer + a fake 2-cycle
+    /// data path computing the window sum.
+    #[test]
+    fn controller_runs_fir_style_scan_to_done() {
+        let scan = DimScan {
+            start: 0,
+            bound: 17,
+            step: 1,
+            extent: 5,
+        };
+        let data: Vec<i64> = (0..21).map(|x| 2 * x + 1).collect();
+        let mut bram = crate::bram::BramModel::new(data.clone());
+        let mut out_bram = crate::bram::BramModel::zeroed(17);
+        let mut sb = crate::smart::SmartBuffer1d::new(5, 1, 0);
+        let latency = 2u32;
+        let mut ctrl = LoopController::new(
+            AddressGen1d::new(scan),
+            1,
+            17,
+            latency,
+            OutputAddressGen::new(vec![scan], 0, 1),
+        );
+        let mut vc = ValidChain::new(latency);
+        // The fake pipelined data path: a delay line of computed sums.
+        let mut dp_pipe: std::collections::VecDeque<i64> =
+            std::iter::repeat(0).take(latency as usize).collect();
+
+        ctrl.start();
+        let mut pending_window: Option<Vec<i64>> = None;
+        for _cycle in 0..200 {
+            if ctrl.state() == CtrlState::Done {
+                break;
+            }
+            // Memory data from last cycle's read lands in the smart buffer.
+            if let Some((addr, v)) = bram.clock() {
+                sb.push(addr as i64, v);
+            }
+            if pending_window.is_none() {
+                pending_window = sb.pop_window();
+            }
+            let window_valid = pending_window.is_some();
+
+            // Data-path pipeline advance.
+            let fired_value = pending_window
+                .as_ref()
+                .map(|w| w.iter().sum::<i64>())
+                .unwrap_or(0);
+
+            let out_valid = vc.clock(window_valid);
+            dp_pipe.push_back(fired_value);
+            let dp_out = dp_pipe.pop_front().unwrap();
+
+            let outs = ctrl.step(window_valid, out_valid);
+            if outs.fire {
+                pending_window = None;
+            }
+            if let Some(a) = outs.read_addr {
+                bram.issue_read(a as usize);
+            }
+            if let Some(a) = outs.write_addr {
+                out_bram.write(a as usize, dp_out);
+            }
+        }
+        assert_eq!(ctrl.state(), CtrlState::Done);
+        // Verify results: out[i] = sum of 5 consecutive inputs.
+        for i in 0..17usize {
+            let expect: i64 = data[i..i + 5].iter().sum();
+            assert_eq!(out_bram.peek(i), expect, "output {i}");
+        }
+        // Cycle count: fill (≈5 reads + BRAM latency) + 17 iterations + drain.
+        assert!(ctrl.cycles() < 60, "took {} cycles", ctrl.cycles());
+        assert_eq!(ctrl.fired(), 17);
+    }
+
+    #[test]
+    fn controller_states_progress() {
+        let scan = DimScan {
+            start: 0,
+            bound: 2,
+            step: 1,
+            extent: 1,
+        };
+        let mut ctrl = LoopController::new(
+            AddressGen1d::new(scan),
+            1,
+            2,
+            0,
+            OutputAddressGen::new(vec![scan], 0, 1),
+        );
+        assert_eq!(ctrl.state(), CtrlState::Idle);
+        // Stepping while idle does nothing.
+        let o = ctrl.step(true, true);
+        assert_eq!(o, CtrlOutputs::default());
+        ctrl.start();
+        assert_eq!(ctrl.state(), CtrlState::Running);
+        // Fire both iterations with immediate validity.
+        ctrl.step(true, true);
+        ctrl.step(true, true);
+        let o = ctrl.step(false, false);
+        assert!(
+            matches!(ctrl.state(), CtrlState::Draining | CtrlState::Done),
+            "{o:?}"
+        );
+    }
+
+    #[test]
+    fn wide_bus_consumes_packed_addresses() {
+        // 16-bit bus with 8-bit data: two elements per beat (the paper's
+        // FIR configuration) — the address stream drains twice as fast.
+        let scan = DimScan {
+            start: 0,
+            bound: 8,
+            step: 1,
+            extent: 1,
+        };
+        let mut narrow = LoopController::new(
+            AddressGen1d::new(scan),
+            1,
+            8,
+            0,
+            OutputAddressGen::new(vec![scan], 0, 1),
+        );
+        let mut wide = LoopController::new(
+            AddressGen1d::new(scan),
+            2,
+            8,
+            0,
+            OutputAddressGen::new(vec![scan], 0, 1),
+        );
+        narrow.start();
+        wide.start();
+        let mut narrow_reads = 0;
+        let mut wide_reads = 0;
+        for _ in 0..20 {
+            if narrow.step(false, false).read_addr.is_some() {
+                narrow_reads += 1;
+            }
+            if wide.step(false, false).read_addr.is_some() {
+                wide_reads += 1;
+            }
+        }
+        assert_eq!(narrow_reads, 8);
+        assert_eq!(wide_reads, 4);
+    }
+}

@@ -1,0 +1,657 @@
+//! Abstract syntax tree for the ROCCC C subset.
+//!
+//! The tree is deliberately small: scalar integer types, static arrays,
+//! `for`/`while`/`if` control flow, and calls (which the front end either
+//! inlines or recognizes as ROCCC intrinsics such as `ROCCC_load_prev`).
+//! A pretty printer ([`Program::to_c`]) regenerates compilable C text, which
+//! the test-suite uses to round-trip the paper's Figure 3/4 examples.
+
+use crate::span::Span;
+use crate::types::CType;
+use std::fmt;
+
+/// A whole translation unit.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Top-level items in source order.
+    pub items: Vec<Item>,
+}
+
+/// A top-level item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// A function definition.
+    Function(Function),
+    /// A global (usually `const` table) declaration.
+    Global(GlobalDecl),
+}
+
+/// A global declaration, e.g. a `const` lookup table:
+/// `const int cos_table[1024] = { … };`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalDecl {
+    /// Declared name.
+    pub name: String,
+    /// Declared type (scalar or array).
+    pub ty: CType,
+    /// Flattened initializer values (empty means zero-initialized).
+    pub init: Vec<i64>,
+    /// Whether declared `const` — const arrays become ROM lookup tables.
+    pub is_const: bool,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// Return type.
+    pub ret: CType,
+    /// Parameters in order.
+    pub params: Vec<Param>,
+    /// Body.
+    pub body: Block,
+    /// Source location of the signature.
+    pub span: Span,
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Parameter type; [`CType::Ptr`] marks an out-parameter.
+    pub ty: CType,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A `{ … }` block.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Block {
+    /// Statements in order.
+    pub stmts: Vec<Stmt>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A statement with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    /// What the statement does.
+    pub kind: StmtKind,
+    /// Source location.
+    pub span: Span,
+}
+
+/// Statement kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// Local declaration `ty name = init;`.
+    Decl {
+        /// Declared name.
+        name: String,
+        /// Declared type.
+        ty: CType,
+        /// Optional initializer.
+        init: Option<Expr>,
+    },
+    /// Assignment `target op= value;` (`op` is `None` for plain `=`).
+    Assign {
+        /// Assignment destination.
+        target: LValue,
+        /// Compound operator, if any (`+=` carries [`BinOp::Add`]).
+        op: Option<BinOp>,
+        /// Right-hand side.
+        value: Expr,
+    },
+    /// `if (cond) { … } else { … }`.
+    If {
+        /// Branch condition.
+        cond: Expr,
+        /// Taken when `cond != 0`.
+        then_blk: Block,
+        /// Taken when `cond == 0`.
+        else_blk: Option<Block>,
+    },
+    /// `for (init; cond; step) body`.
+    For {
+        /// Loop initialization (declaration or assignment).
+        init: Option<Box<Stmt>>,
+        /// Continuation condition (absent means infinite — rejected later).
+        cond: Option<Expr>,
+        /// Per-iteration step.
+        step: Option<Box<Stmt>>,
+        /// Loop body.
+        body: Block,
+    },
+    /// `while (cond) body`.
+    While {
+        /// Continuation condition.
+        cond: Expr,
+        /// Loop body.
+        body: Block,
+    },
+    /// `return expr;`.
+    Return(Option<Expr>),
+    /// A nested block.
+    Block(Block),
+    /// Expression statement (intrinsic calls with side effects).
+    Expr(Expr),
+}
+
+/// Assignment destinations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// A scalar variable.
+    Var(String),
+    /// An array element `name[i]…[k]`.
+    ArrayElem {
+        /// Array name.
+        name: String,
+        /// One expression per dimension.
+        indices: Vec<Expr>,
+    },
+    /// `*name` — write through an out-parameter.
+    Deref(String),
+}
+
+/// An expression with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// The computed value.
+    pub kind: ExprKind,
+    /// Source location.
+    pub span: Span,
+}
+
+impl Expr {
+    /// Convenience constructor for an integer literal.
+    pub fn int(value: i64, span: Span) -> Self {
+        Expr {
+            kind: ExprKind::IntLit(value),
+            span,
+        }
+    }
+
+    /// Convenience constructor for a variable reference.
+    pub fn var(name: impl Into<String>, span: Span) -> Self {
+        Expr {
+            kind: ExprKind::Var(name.into()),
+            span,
+        }
+    }
+
+    /// Returns the literal value if this is a constant expression leaf.
+    pub fn as_const(&self) -> Option<i64> {
+        match &self.kind {
+            ExprKind::IntLit(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+/// Expression kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Integer literal.
+    IntLit(i64),
+    /// Variable reference.
+    Var(String),
+    /// Array element read `name[i]…[k]`.
+    ArrayIndex {
+        /// Array name.
+        name: String,
+        /// One expression per dimension.
+        indices: Vec<Expr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        operand: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Ternary conditional `cond ? a : b`.
+    Cond {
+        /// Selector.
+        cond: Box<Expr>,
+        /// Value when true.
+        then_e: Box<Expr>,
+        /// Value when false.
+        else_e: Box<Expr>,
+    },
+    /// Function or intrinsic call.
+    Call {
+        /// Callee name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation `-x`.
+    Neg,
+    /// Bitwise complement `~x`.
+    BitNot,
+    /// Logical not `!x`.
+    LogicalNot,
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            UnOp::Neg => "-",
+            UnOp::BitNot => "~",
+            UnOp::LogicalNot => "!",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `&`
+    BitAnd,
+    /// `^`
+    BitXor,
+    /// `|`
+    BitOr,
+    /// `&&`
+    LogicalAnd,
+    /// `||`
+    LogicalOr,
+}
+
+impl BinOp {
+    /// True for `< <= > >= == != && ||`, whose result is a 1-bit value.
+    pub fn is_boolean(&self) -> bool {
+        use BinOp::*;
+        matches!(self, Lt | Le | Gt | Ge | Eq | Ne | LogicalAnd | LogicalOr)
+    }
+
+    /// True for operators that commute.
+    pub fn is_commutative(&self) -> bool {
+        use BinOp::*;
+        matches!(
+            self,
+            Add | Mul | Eq | Ne | BitAnd | BitXor | BitOr | LogicalAnd | LogicalOr
+        )
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+            BinOp::Shl => "<<",
+            BinOp::Shr => ">>",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::BitAnd => "&",
+            BinOp::BitXor => "^",
+            BinOp::BitOr => "|",
+            BinOp::LogicalAnd => "&&",
+            BinOp::LogicalOr => "||",
+        };
+        write!(f, "{s}")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pretty printing back to C.
+// ---------------------------------------------------------------------------
+
+impl Program {
+    /// Regenerates C source text for the whole program.
+    pub fn to_c(&self) -> String {
+        let mut out = String::new();
+        for item in &self.items {
+            match item {
+                Item::Function(f) => out.push_str(&f.to_c()),
+                Item::Global(g) => out.push_str(&g.to_c()),
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Finds a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.items.iter().find_map(|i| match i {
+            Item::Function(f) if f.name == name => Some(f),
+            _ => None,
+        })
+    }
+
+    /// Finds a global by name.
+    pub fn global(&self, name: &str) -> Option<&GlobalDecl> {
+        self.items.iter().find_map(|i| match i {
+            Item::Global(g) if g.name == name => Some(g),
+            _ => None,
+        })
+    }
+}
+
+impl GlobalDecl {
+    fn to_c(&self) -> String {
+        let mut s = String::new();
+        if self.is_const {
+            s.push_str("const ");
+        }
+        match &self.ty {
+            CType::Array(t, dims) => {
+                s.push_str(&format!("{t} {}", self.name));
+                for d in dims {
+                    s.push_str(&format!("[{d}]"));
+                }
+            }
+            other => s.push_str(&format!("{other} {}", self.name)),
+        }
+        if !self.init.is_empty() {
+            s.push_str(" = { ");
+            let vals: Vec<String> = self.init.iter().map(|v| v.to_string()).collect();
+            s.push_str(&vals.join(", "));
+            s.push_str(" }");
+        }
+        s.push_str(";\n");
+        s
+    }
+}
+
+impl Function {
+    /// Regenerates C source for this function.
+    pub fn to_c(&self) -> String {
+        let params: Vec<String> = self
+            .params
+            .iter()
+            .map(|p| match &p.ty {
+                CType::Ptr(t) => format!("{t}* {}", p.name),
+                other => format!("{other} {}", p.name),
+            })
+            .collect();
+        format!(
+            "{} {}({}) {}",
+            self.ret,
+            self.name,
+            params.join(", "),
+            self.body.to_c(0)
+        )
+    }
+}
+
+impl Block {
+    fn to_c(&self, indent: usize) -> String {
+        let pad = "  ".repeat(indent);
+        let mut s = String::from("{\n");
+        for stmt in &self.stmts {
+            s.push_str(&stmt.to_c(indent + 1));
+        }
+        s.push_str(&pad);
+        s.push_str("}\n");
+        s
+    }
+}
+
+impl Stmt {
+    fn to_c(&self, indent: usize) -> String {
+        let pad = "  ".repeat(indent);
+        match &self.kind {
+            StmtKind::Decl { name, ty, init } => {
+                let init_s = init
+                    .as_ref()
+                    .map(|e| format!(" = {}", e.to_c()))
+                    .unwrap_or_default();
+                match ty {
+                    CType::Array(t, dims) => {
+                        let dims_s: String = dims.iter().map(|d| format!("[{d}]")).collect();
+                        format!("{pad}{t} {name}{dims_s}{init_s};\n")
+                    }
+                    other => format!("{pad}{other} {name}{init_s};\n"),
+                }
+            }
+            StmtKind::Assign { target, op, value } => {
+                let op_s = op.map(|o| o.to_string()).unwrap_or_default();
+                format!("{pad}{} {}= {};\n", target.to_c(), op_s, value.to_c())
+            }
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                let mut s = format!("{pad}if ({}) {}", cond.to_c(), then_blk.to_c(indent));
+                if let Some(e) = else_blk {
+                    // Re-attach else on the same structural level.
+                    s.pop(); // newline after then-block
+                    s.push_str(&format!(" else {}", e.to_c(indent)));
+                }
+                s
+            }
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                let init_s = init
+                    .as_ref()
+                    .map(|s| s.to_c(0).trim().trim_end_matches(';').to_string())
+                    .unwrap_or_default();
+                let cond_s = cond.as_ref().map(|e| e.to_c()).unwrap_or_default();
+                let step_s = step
+                    .as_ref()
+                    .map(|s| s.to_c(0).trim().trim_end_matches(';').to_string())
+                    .unwrap_or_default();
+                format!(
+                    "{pad}for ({init_s}; {cond_s}; {step_s}) {}",
+                    body.to_c(indent)
+                )
+            }
+            StmtKind::While { cond, body } => {
+                format!("{pad}while ({}) {}", cond.to_c(), body.to_c(indent))
+            }
+            StmtKind::Return(e) => match e {
+                Some(e) => format!("{pad}return {};\n", e.to_c()),
+                None => format!("{pad}return;\n"),
+            },
+            StmtKind::Block(b) => format!("{pad}{}", b.to_c(indent)),
+            StmtKind::Expr(e) => format!("{pad}{};\n", e.to_c()),
+        }
+    }
+}
+
+impl LValue {
+    /// Regenerates C source for this lvalue.
+    pub fn to_c(&self) -> String {
+        match self {
+            LValue::Var(n) => n.clone(),
+            LValue::ArrayElem { name, indices } => {
+                let idx: String = indices.iter().map(|e| format!("[{}]", e.to_c())).collect();
+                format!("{name}{idx}")
+            }
+            LValue::Deref(n) => format!("*{n}"),
+        }
+    }
+
+    /// The variable or array name being written.
+    pub fn base_name(&self) -> &str {
+        match self {
+            LValue::Var(n) | LValue::Deref(n) => n,
+            LValue::ArrayElem { name, .. } => name,
+        }
+    }
+}
+
+impl Expr {
+    /// Regenerates C source for this expression (fully parenthesized for
+    /// binary/conditional nodes so precedence never needs reconstruction).
+    pub fn to_c(&self) -> String {
+        match &self.kind {
+            ExprKind::IntLit(v) => v.to_string(),
+            ExprKind::Var(n) => n.clone(),
+            ExprKind::ArrayIndex { name, indices } => {
+                let idx: String = indices.iter().map(|e| format!("[{}]", e.to_c())).collect();
+                format!("{name}{idx}")
+            }
+            ExprKind::Unary { op, operand } => format!("{op}({})", operand.to_c()),
+            ExprKind::Binary { op, lhs, rhs } => {
+                format!("({} {op} {})", lhs.to_c(), rhs.to_c())
+            }
+            ExprKind::Cond {
+                cond,
+                then_e,
+                else_e,
+            } => format!("({} ? {} : {})", cond.to_c(), then_e.to_c(), else_e.to_c()),
+            ExprKind::Call { name, args } => {
+                let args_s: Vec<String> = args.iter().map(|a| a.to_c()).collect();
+                format!("{name}({})", args_s.join(", "))
+            }
+        }
+    }
+}
+
+/// Names of the ROCCC intrinsics recognized by the front end.
+pub mod intrinsics {
+    /// Reads the previous iteration's value of a feedback variable
+    /// (compiled to the `LPR` opcode).
+    pub const LOAD_PREV: &str = "ROCCC_load_prev";
+    /// Stores this iteration's value of a feedback variable for the next
+    /// iteration (compiled to the `SNX` opcode).
+    pub const STORE_NEXT: &str = "ROCCC_store2next";
+    /// Looks a value up in a named constant table (compiled to the `LUT`
+    /// opcode; also produced implicitly by indexing a `const` global array).
+    pub const LUT: &str = "ROCCC_lut";
+    /// Extracts a bit field: `ROCCC_bits(x, hi, lo)` yields bits
+    /// `hi..=lo` of `x` as an unsigned value — the "bit manipulation
+    /// macros" the paper names as work in progress (§4.2.1). In hardware
+    /// this is pure wiring.
+    pub const BITS: &str = "ROCCC_bits";
+    /// Concatenates bit fields: `ROCCC_cat(hi_part, lo_part, lo_width)`
+    /// yields `(hi_part << lo_width) | lo_part` — again free wiring.
+    pub const CAT: &str = "ROCCC_cat";
+
+    /// Whether `name` is one of the recognized intrinsics.
+    pub fn is_intrinsic(name: &str) -> bool {
+        matches!(name, LOAD_PREV | STORE_NEXT | LUT | BITS | CAT)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::IntType;
+
+    fn sp() -> Span {
+        Span::dummy()
+    }
+
+    #[test]
+    fn expr_to_c_parenthesizes() {
+        let e = Expr {
+            kind: ExprKind::Binary {
+                op: BinOp::Add,
+                lhs: Box::new(Expr::int(1, sp())),
+                rhs: Box::new(Expr {
+                    kind: ExprKind::Binary {
+                        op: BinOp::Mul,
+                        lhs: Box::new(Expr::var("x", sp())),
+                        rhs: Box::new(Expr::int(3, sp())),
+                    },
+                    span: sp(),
+                }),
+            },
+            span: sp(),
+        };
+        assert_eq!(e.to_c(), "(1 + (x * 3))");
+    }
+
+    #[test]
+    fn boolean_ops_classified() {
+        assert!(BinOp::Lt.is_boolean());
+        assert!(BinOp::LogicalAnd.is_boolean());
+        assert!(!BinOp::Add.is_boolean());
+        assert!(BinOp::Add.is_commutative());
+        assert!(!BinOp::Sub.is_commutative());
+        assert!(!BinOp::Shl.is_commutative());
+    }
+
+    #[test]
+    fn global_decl_prints_initializer() {
+        let g = GlobalDecl {
+            name: "tbl".into(),
+            ty: CType::Array(IntType::int(), vec![4]),
+            init: vec![1, 2, 3, 4],
+            is_const: true,
+            span: sp(),
+        };
+        assert_eq!(g.to_c(), "const int32 tbl[4] = { 1, 2, 3, 4 };\n");
+    }
+
+    #[test]
+    fn intrinsics_recognized() {
+        assert!(intrinsics::is_intrinsic("ROCCC_load_prev"));
+        assert!(intrinsics::is_intrinsic("ROCCC_store2next"));
+        assert!(intrinsics::is_intrinsic("ROCCC_lut"));
+        assert!(!intrinsics::is_intrinsic("printf"));
+    }
+
+    #[test]
+    fn lvalue_base_name() {
+        let lv = LValue::ArrayElem {
+            name: "C".into(),
+            indices: vec![Expr::var("i", sp())],
+        };
+        assert_eq!(lv.base_name(), "C");
+        assert_eq!(lv.to_c(), "C[i]");
+        assert_eq!(LValue::Deref("out".into()).to_c(), "*out");
+    }
+}

@@ -1,0 +1,98 @@
+//! Diagnostics shared by the lexer, parser and semantic analysis.
+
+use crate::span::Span;
+use std::error::Error;
+use std::fmt;
+
+/// Which stage of the front end produced a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Tokenization.
+    Lex,
+    /// Syntactic analysis.
+    Parse,
+    /// Type checking and subset-restriction checking.
+    Sema,
+    /// Execution by the golden-model interpreter.
+    Interp,
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Stage::Lex => "lex",
+            Stage::Parse => "parse",
+            Stage::Sema => "sema",
+            Stage::Interp => "interp",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A diagnostic pointing at a source location.
+///
+/// ```
+/// use roccc_cparse::error::{CError, Stage};
+/// use roccc_cparse::span::Span;
+///
+/// let err = CError::new(Stage::Parse, Span::new(3, 4), "expected `;`");
+/// assert!(err.to_string().contains("expected `;`"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CError {
+    /// Producing stage.
+    pub stage: Stage,
+    /// Source location of the problem.
+    pub span: Span,
+    /// Human-readable message (lowercase, no trailing period).
+    pub message: String,
+}
+
+impl CError {
+    /// Creates a diagnostic.
+    pub fn new(stage: Stage, span: Span, message: impl Into<String>) -> Self {
+        CError {
+            stage,
+            span,
+            message: message.into(),
+        }
+    }
+
+    /// Renders the diagnostic with line/column information from `source`.
+    pub fn render(&self, source: &str) -> String {
+        let (line, col) = self.span.line_col(source);
+        format!("{}:{}: [{}] {}", line, col, self.stage, self.message)
+    }
+}
+
+impl fmt::Display for CError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {} at {}", self.stage, self.message, self.span)
+    }
+}
+
+impl Error for CError {}
+
+/// Convenient result alias for front-end operations.
+pub type CResult<T> = Result<T, CError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_points_at_line_and_column() {
+        let src = "int main() {\n  retur 0;\n}\n";
+        let err = CError::new(Stage::Parse, Span::new(15, 20), "unknown statement");
+        let rendered = err.render(src);
+        assert!(rendered.starts_with("2:3:"), "got {rendered}");
+        assert!(rendered.contains("unknown statement"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let err = CError::new(Stage::Lex, Span::dummy(), "bad char");
+        let boxed: Box<dyn Error> = Box::new(err);
+        assert!(boxed.to_string().contains("bad char"));
+    }
+}

@@ -1,0 +1,336 @@
+//! Hand-written lexer for the ROCCC C subset.
+//!
+//! Supports decimal, hexadecimal (`0x…`), octal (`0…`) and character
+//! (`'a'`) literals, line (`//`) and block (`/* … */`) comments, and the
+//! operator set listed in [`crate::token::TokenKind`].
+
+use crate::error::{CError, CResult, Stage};
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Tokenizes `source` into a vector terminated by an [`TokenKind::Eof`] token.
+///
+/// # Errors
+///
+/// Returns a [`CError`] on unknown characters, unterminated comments or
+/// malformed literals.
+///
+/// ```
+/// use roccc_cparse::lexer::lex;
+/// use roccc_cparse::token::TokenKind;
+///
+/// # fn main() -> Result<(), roccc_cparse::error::CError> {
+/// let tokens = lex("x += 0x1F; // comment")?;
+/// assert_eq!(tokens[1].kind, TokenKind::PlusAssign);
+/// assert_eq!(tokens[2].kind, TokenKind::IntLit(31));
+/// # Ok(())
+/// # }
+/// ```
+pub fn lex(source: &str) -> CResult<Vec<Token>> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Lexer {
+            src: source.as_bytes(),
+            pos: 0,
+            tokens: Vec::new(),
+        }
+    }
+
+    fn run(mut self) -> CResult<Vec<Token>> {
+        while self.pos < self.src.len() {
+            self.skip_trivia()?;
+            if self.pos >= self.src.len() {
+                break;
+            }
+            let start = self.pos;
+            let c = self.src[self.pos];
+            let kind = match c {
+                b'0'..=b'9' => self.number()?,
+                b'\'' => self.char_literal()?,
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.ident(),
+                _ => self.operator()?,
+            };
+            self.tokens
+                .push(Token::new(kind, Span::new(start, self.pos)));
+        }
+        self.tokens
+            .push(Token::new(TokenKind::Eof, Span::new(self.pos, self.pos)));
+        Ok(self.tokens)
+    }
+
+    fn peek(&self, off: usize) -> u8 {
+        *self.src.get(self.pos + off).unwrap_or(&0)
+    }
+
+    fn skip_trivia(&mut self) -> CResult<()> {
+        loop {
+            match self.peek(0) {
+                b' ' | b'\t' | b'\r' | b'\n' => self.pos += 1,
+                b'#' => {
+                    // Preprocessor-style lines (e.g. `#pragma`) are skipped
+                    // wholesale; the subset needs no preprocessor.
+                    while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+                        self.pos += 1;
+                    }
+                }
+                b'/' if self.peek(1) == b'/' => {
+                    while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+                        self.pos += 1;
+                    }
+                }
+                b'/' if self.peek(1) == b'*' => {
+                    let start = self.pos;
+                    self.pos += 2;
+                    loop {
+                        if self.pos + 1 >= self.src.len() {
+                            return Err(CError::new(
+                                Stage::Lex,
+                                Span::new(start, self.src.len()),
+                                "unterminated block comment",
+                            ));
+                        }
+                        if self.src[self.pos] == b'*' && self.src[self.pos + 1] == b'/' {
+                            self.pos += 2;
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> CResult<TokenKind> {
+        let start = self.pos;
+        let (radix, digits_start) = if self.peek(0) == b'0' && matches!(self.peek(1), b'x' | b'X') {
+            self.pos += 2;
+            (16, self.pos)
+        } else if self.peek(0) == b'0' && self.peek(1).is_ascii_digit() {
+            self.pos += 1;
+            (8, self.pos)
+        } else {
+            (10, self.pos)
+        };
+        while self.peek(0).is_ascii_alphanumeric() {
+            self.pos += 1;
+        }
+        let mut text = std::str::from_utf8(&self.src[digits_start..self.pos])
+            .expect("source was a &str")
+            .to_string();
+        // Strip integer suffixes (u, U, l, L combinations).
+        while text.ends_with(['u', 'U', 'l', 'L']) {
+            text.pop();
+        }
+        let value = i64::from_str_radix(&text, radix).map_err(|_| {
+            CError::new(
+                Stage::Lex,
+                Span::new(start, self.pos),
+                format!("invalid integer literal `{text}`"),
+            )
+        })?;
+        Ok(TokenKind::IntLit(value))
+    }
+
+    fn char_literal(&mut self) -> CResult<TokenKind> {
+        let start = self.pos;
+        self.pos += 1; // opening quote
+        let value = match self.peek(0) {
+            b'\\' => {
+                self.pos += 1;
+                let esc = self.peek(0);
+                self.pos += 1;
+                match esc {
+                    b'n' => b'\n' as i64,
+                    b't' => b'\t' as i64,
+                    b'r' => b'\r' as i64,
+                    b'0' => 0,
+                    b'\\' => b'\\' as i64,
+                    b'\'' => b'\'' as i64,
+                    other => {
+                        return Err(CError::new(
+                            Stage::Lex,
+                            Span::new(start, self.pos),
+                            format!("unknown escape `\\{}`", other as char),
+                        ))
+                    }
+                }
+            }
+            0 => {
+                return Err(CError::new(
+                    Stage::Lex,
+                    Span::new(start, self.pos),
+                    "unterminated character literal",
+                ))
+            }
+            c => {
+                self.pos += 1;
+                c as i64
+            }
+        };
+        if self.peek(0) != b'\'' {
+            return Err(CError::new(
+                Stage::Lex,
+                Span::new(start, self.pos),
+                "unterminated character literal",
+            ));
+        }
+        self.pos += 1;
+        Ok(TokenKind::IntLit(value))
+    }
+
+    fn ident(&mut self) -> TokenKind {
+        let start = self.pos;
+        while matches!(self.peek(0), b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_') {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("source was a &str");
+        TokenKind::keyword(text).unwrap_or_else(|| TokenKind::Ident(text.to_string()))
+    }
+
+    fn operator(&mut self) -> CResult<TokenKind> {
+        use TokenKind::*;
+        let c = self.peek(0);
+        let c1 = self.peek(1);
+        let c2 = self.peek(2);
+        let (kind, len) = match (c, c1, c2) {
+            (b'<', b'<', b'=') => (ShlAssign, 3),
+            (b'>', b'>', b'=') => (ShrAssign, 3),
+            (b'<', b'<', _) => (Shl, 2),
+            (b'>', b'>', _) => (Shr, 2),
+            (b'<', b'=', _) => (Le, 2),
+            (b'>', b'=', _) => (Ge, 2),
+            (b'=', b'=', _) => (EqEq, 2),
+            (b'!', b'=', _) => (Ne, 2),
+            (b'&', b'&', _) => (AmpAmp, 2),
+            (b'|', b'|', _) => (PipePipe, 2),
+            (b'+', b'+', _) => (PlusPlus, 2),
+            (b'-', b'-', _) => (MinusMinus, 2),
+            (b'+', b'=', _) => (PlusAssign, 2),
+            (b'-', b'=', _) => (MinusAssign, 2),
+            (b'*', b'=', _) => (StarAssign, 2),
+            (b'&', b'=', _) => (AndAssign, 2),
+            (b'|', b'=', _) => (OrAssign, 2),
+            (b'^', b'=', _) => (XorAssign, 2),
+            (b'(', ..) => (LParen, 1),
+            (b')', ..) => (RParen, 1),
+            (b'{', ..) => (LBrace, 1),
+            (b'}', ..) => (RBrace, 1),
+            (b'[', ..) => (LBracket, 1),
+            (b']', ..) => (RBracket, 1),
+            (b';', ..) => (Semi, 1),
+            (b',', ..) => (Comma, 1),
+            (b'=', ..) => (Assign, 1),
+            (b'+', ..) => (Plus, 1),
+            (b'-', ..) => (Minus, 1),
+            (b'*', ..) => (Star, 1),
+            (b'/', ..) => (Slash, 1),
+            (b'%', ..) => (Percent, 1),
+            (b'<', ..) => (Lt, 1),
+            (b'>', ..) => (Gt, 1),
+            (b'&', ..) => (Amp, 1),
+            (b'|', ..) => (Pipe, 1),
+            (b'^', ..) => (Caret, 1),
+            (b'~', ..) => (Tilde, 1),
+            (b'!', ..) => (Bang, 1),
+            (b'?', ..) => (Question, 1),
+            (b':', ..) => (Colon, 1),
+            _ => {
+                return Err(CError::new(
+                    Stage::Lex,
+                    Span::new(self.pos, self.pos + 1),
+                    format!("unexpected character `{}`", c as char),
+                ))
+            }
+        };
+        self.pos += len;
+        Ok(kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::TokenKind as T;
+
+    fn kinds(src: &str) -> Vec<T> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_simple_declaration() {
+        assert_eq!(
+            kinds("int x = 42;"),
+            vec![
+                T::KwInt,
+                T::Ident("x".into()),
+                T::Assign,
+                T::IntLit(42),
+                T::Semi,
+                T::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_hex_octal_char() {
+        assert_eq!(
+            kinds("0xff 017 'A' '\\n'"),
+            vec![
+                T::IntLit(255),
+                T::IntLit(15),
+                T::IntLit(65),
+                T::IntLit(10),
+                T::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_comments_and_pragmas() {
+        let src = "// line\n/* block\nstill */ #pragma unroll 4\nx";
+        assert_eq!(kinds(src), vec![T::Ident("x".into()), T::Eof]);
+    }
+
+    #[test]
+    fn three_char_operators_win_over_two() {
+        assert_eq!(kinds("a <<= 1;")[1], T::ShlAssign);
+        assert_eq!(kinds("a >>= 1;")[1], T::ShrAssign);
+    }
+
+    #[test]
+    fn error_on_unknown_character() {
+        let err = lex("int $x;").unwrap_err();
+        assert!(err.message.contains('$'));
+    }
+
+    #[test]
+    fn error_on_unterminated_block_comment() {
+        assert!(lex("/* never ends").is_err());
+    }
+
+    #[test]
+    fn spans_cover_lexemes() {
+        let toks = lex("ab + 12").unwrap();
+        assert_eq!(toks[0].span, Span::new(0, 2));
+        assert_eq!(toks[1].span, Span::new(3, 4));
+        assert_eq!(toks[2].span, Span::new(5, 7));
+    }
+
+    #[test]
+    fn integer_suffixes_are_ignored() {
+        assert_eq!(
+            kinds("10u 10UL 3L"),
+            vec![T::IntLit(10), T::IntLit(10), T::IntLit(3), T::Eof]
+        );
+    }
+}

@@ -1,0 +1,1025 @@
+//! Recursive-descent parser for the ROCCC C subset.
+//!
+//! Grammar (informal):
+//!
+//! ```text
+//! program     := (global | function)*
+//! global      := "const"? type ident ("[" int "]")* ("=" "{" int,* "}")? ";"
+//! function    := type ident "(" params? ")" block
+//! params      := param ("," param)*
+//! param       := type "*"? ident
+//! block       := "{" stmt* "}"
+//! stmt        := decl | if | for | while | return | block | exprstmt
+//! ```
+//!
+//! Expressions use precedence climbing with standard C precedence.
+
+use crate::ast::*;
+use crate::error::{CError, CResult, Stage};
+use crate::lexer::lex;
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+use crate::types::{parse_sized_type_name, CType, IntType};
+
+/// Parses a full translation unit.
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error encountered.
+///
+/// ```
+/// use roccc_cparse::parser::parse;
+///
+/// # fn main() -> Result<(), roccc_cparse::error::CError> {
+/// let prog = parse("int add(int a, int b) { return a + b; }")?;
+/// assert!(prog.function("add").is_some());
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse(source: &str) -> CResult<Program> {
+    let tokens = lex(source)?;
+    Parser::new(tokens).program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Self {
+        Parser { tokens, pos: 0 }
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek2(&self) -> &Token {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)]
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn check(&self, kind: &TokenKind) -> bool {
+        &self.peek().kind == kind
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.check(kind) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> CResult<Token> {
+        if self.check(&kind) {
+            Ok(self.advance())
+        } else {
+            Err(self.err(format!(
+                "expected {}, found {}",
+                kind.describe(),
+                self.peek().kind.describe()
+            )))
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> CError {
+        CError::new(Stage::Parse, self.peek().span, msg)
+    }
+
+    // -- types ------------------------------------------------------------
+
+    /// Whether the current token starts a type.
+    fn at_type(&self) -> bool {
+        match &self.peek().kind {
+            TokenKind::KwInt
+            | TokenKind::KwChar
+            | TokenKind::KwShort
+            | TokenKind::KwLong
+            | TokenKind::KwUnsigned
+            | TokenKind::KwSigned
+            | TokenKind::KwVoid
+            | TokenKind::KwConst => true,
+            TokenKind::Ident(name) => parse_sized_type_name(name).is_some(),
+            _ => false,
+        }
+    }
+
+    /// Parses a base type (no pointer/array derivation). Returns `None` in
+    /// the `CType` for `void`.
+    fn base_type(&mut self) -> CResult<CType> {
+        let mut signedness: Option<bool> = None;
+        loop {
+            match &self.peek().kind {
+                TokenKind::KwUnsigned => {
+                    self.advance();
+                    signedness = Some(false);
+                }
+                TokenKind::KwSigned => {
+                    self.advance();
+                    signedness = Some(true);
+                }
+                _ => break,
+            }
+        }
+        let t = match self.peek().kind.clone() {
+            TokenKind::KwVoid => {
+                self.advance();
+                if signedness.is_some() {
+                    return Err(self.err("`void` cannot be signed or unsigned"));
+                }
+                return Ok(CType::Void);
+            }
+            TokenKind::KwInt => {
+                self.advance();
+                IntType {
+                    signed: signedness.unwrap_or(true),
+                    bits: 32,
+                }
+            }
+            TokenKind::KwChar => {
+                self.advance();
+                IntType {
+                    signed: signedness.unwrap_or(true),
+                    bits: 8,
+                }
+            }
+            TokenKind::KwShort => {
+                self.advance();
+                self.eat(&TokenKind::KwInt);
+                IntType {
+                    signed: signedness.unwrap_or(true),
+                    bits: 16,
+                }
+            }
+            TokenKind::KwLong => {
+                self.advance();
+                self.eat(&TokenKind::KwInt);
+                IntType {
+                    signed: signedness.unwrap_or(true),
+                    bits: 32,
+                }
+            }
+            TokenKind::Ident(name) => {
+                if let Some(mut it) = parse_sized_type_name(&name) {
+                    self.advance();
+                    if let Some(s) = signedness {
+                        it.signed = s;
+                    }
+                    it
+                } else if signedness.is_some() {
+                    // `unsigned x` means `unsigned int x`.
+                    IntType {
+                        signed: signedness.unwrap_or(true),
+                        bits: 32,
+                    }
+                } else {
+                    return Err(self.err(format!("expected type, found identifier `{name}`")));
+                }
+            }
+            _ if signedness.is_some() => IntType {
+                signed: signedness.unwrap_or(true),
+                bits: 32,
+            },
+            other => return Err(self.err(format!("expected type, found {}", other.describe()))),
+        };
+        Ok(CType::Int(t))
+    }
+
+    // -- items ------------------------------------------------------------
+
+    fn program(&mut self) -> CResult<Program> {
+        let mut items = Vec::new();
+        while !self.check(&TokenKind::Eof) {
+            items.push(self.item()?);
+        }
+        Ok(Program { items })
+    }
+
+    fn item(&mut self) -> CResult<Item> {
+        let start = self.peek().span;
+        let is_const = self.eat(&TokenKind::KwConst);
+        let base = self.base_type()?;
+        let name = self.ident()?;
+        if self.check(&TokenKind::LParen) {
+            if is_const {
+                return Err(self.err("functions cannot be declared `const`"));
+            }
+            let f = self.function_rest(base, name, start)?;
+            Ok(Item::Function(f))
+        } else {
+            let g = self.global_rest(base, name, is_const, start)?;
+            Ok(Item::Global(g))
+        }
+    }
+
+    fn ident(&mut self) -> CResult<String> {
+        match self.peek().kind.clone() {
+            TokenKind::Ident(name) => {
+                self.advance();
+                Ok(name)
+            }
+            other => Err(self.err(format!("expected identifier, found {}", other.describe()))),
+        }
+    }
+
+    fn global_rest(
+        &mut self,
+        base: CType,
+        name: String,
+        is_const: bool,
+        start: Span,
+    ) -> CResult<GlobalDecl> {
+        let scalar = base
+            .scalar()
+            .ok_or_else(|| self.err("global declaration must have integer type"))?;
+        let mut dims = Vec::new();
+        while self.eat(&TokenKind::LBracket) {
+            let dim = self.const_int()?;
+            if dim <= 0 {
+                return Err(self.err("array dimension must be positive"));
+            }
+            dims.push(dim as usize);
+            self.expect(TokenKind::RBracket)?;
+        }
+        let ty = if dims.is_empty() {
+            CType::Int(scalar)
+        } else {
+            CType::Array(scalar, dims)
+        };
+        let mut init = Vec::new();
+        if self.eat(&TokenKind::Assign) {
+            if self.eat(&TokenKind::LBrace) {
+                if !self.check(&TokenKind::RBrace) {
+                    loop {
+                        init.push(self.const_int()?);
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                        // Allow trailing comma before `}`.
+                        if self.check(&TokenKind::RBrace) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(TokenKind::RBrace)?;
+            } else {
+                init.push(self.const_int()?);
+            }
+        }
+        if ty.element_count() > 0 && init.len() > ty.element_count() {
+            return Err(self.err(format!(
+                "initializer has {} values but `{name}` holds {}",
+                init.len(),
+                ty.element_count()
+            )));
+        }
+        let end = self.expect(TokenKind::Semi)?.span;
+        Ok(GlobalDecl {
+            name,
+            ty,
+            init,
+            is_const,
+            span: start.merge(end),
+        })
+    }
+
+    /// Parses a possibly-negated integer constant (initializer element or
+    /// array dimension).
+    fn const_int(&mut self) -> CResult<i64> {
+        let neg = self.eat(&TokenKind::Minus);
+        match self.peek().kind.clone() {
+            TokenKind::IntLit(v) => {
+                self.advance();
+                Ok(if neg { -v } else { v })
+            }
+            other => Err(self.err(format!(
+                "expected integer constant, found {}",
+                other.describe()
+            ))),
+        }
+    }
+
+    fn function_rest(&mut self, ret: CType, name: String, start: Span) -> CResult<Function> {
+        self.expect(TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if !self.check(&TokenKind::RParen) {
+            // `void` parameter list.
+            if self.check(&TokenKind::KwVoid) && self.peek2().kind == TokenKind::RParen {
+                self.advance();
+            } else {
+                loop {
+                    params.push(self.param()?);
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+            }
+        }
+        self.expect(TokenKind::RParen)?;
+        let sig_end = self.peek().span;
+        let body = self.block()?;
+        Ok(Function {
+            name,
+            ret,
+            params,
+            body,
+            span: start.merge(sig_end),
+        })
+    }
+
+    fn param(&mut self) -> CResult<Param> {
+        let start = self.peek().span;
+        let base = self.base_type()?;
+        let scalar = base
+            .scalar()
+            .ok_or_else(|| self.err("parameters must have integer type"))?;
+        let is_ptr = self.eat(&TokenKind::Star);
+        let name = self.ident()?;
+        let mut dims = Vec::new();
+        while self.eat(&TokenKind::LBracket) {
+            if self.check(&TokenKind::RBracket) {
+                // Unsized leading dimension: `int A[]`.
+                dims.push(0);
+            } else {
+                dims.push(self.const_int()?.max(0) as usize);
+            }
+            self.expect(TokenKind::RBracket)?;
+        }
+        let ty = if is_ptr {
+            if !dims.is_empty() {
+                return Err(self.err("pointer parameters cannot also be arrays"));
+            }
+            CType::Ptr(scalar)
+        } else if dims.is_empty() {
+            CType::Int(scalar)
+        } else {
+            CType::Array(scalar, dims)
+        };
+        let end = self.peek().span;
+        Ok(Param {
+            name,
+            ty,
+            span: start.merge(end),
+        })
+    }
+
+    // -- statements ---------------------------------------------------------
+
+    fn block(&mut self) -> CResult<Block> {
+        let start = self.expect(TokenKind::LBrace)?.span;
+        let mut stmts = Vec::new();
+        while !self.check(&TokenKind::RBrace) {
+            if self.check(&TokenKind::Eof) {
+                return Err(self.err("unterminated block, expected `}`"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        let end = self.expect(TokenKind::RBrace)?.span;
+        Ok(Block {
+            stmts,
+            span: start.merge(end),
+        })
+    }
+
+    fn stmt(&mut self) -> CResult<Stmt> {
+        let start = self.peek().span;
+        match self.peek().kind.clone() {
+            TokenKind::KwIf => self.if_stmt(),
+            TokenKind::KwFor => self.for_stmt(),
+            TokenKind::KwWhile => self.while_stmt(),
+            TokenKind::KwReturn => {
+                self.advance();
+                let value = if self.check(&TokenKind::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                let end = self.expect(TokenKind::Semi)?.span;
+                Ok(Stmt {
+                    kind: StmtKind::Return(value),
+                    span: start.merge(end),
+                })
+            }
+            TokenKind::LBrace => {
+                let b = self.block()?;
+                let span = b.span;
+                Ok(Stmt {
+                    kind: StmtKind::Block(b),
+                    span,
+                })
+            }
+            _ if self.at_type() => self.decl_stmt(),
+            _ => self.expr_or_assign_stmt(),
+        }
+    }
+
+    fn decl_stmt(&mut self) -> CResult<Stmt> {
+        let start = self.peek().span;
+        // Local `const` is accepted and ignored (locals are SSA-renamed anyway).
+        self.eat(&TokenKind::KwConst);
+        let base = self.base_type()?;
+        let scalar = base
+            .scalar()
+            .ok_or_else(|| self.err("local declaration must have integer type"))?;
+        let name = self.ident()?;
+        let mut dims = Vec::new();
+        while self.eat(&TokenKind::LBracket) {
+            let d = self.const_int()?;
+            if d <= 0 {
+                return Err(self.err("array dimension must be positive"));
+            }
+            dims.push(d as usize);
+            self.expect(TokenKind::RBracket)?;
+        }
+        let ty = if dims.is_empty() {
+            CType::Int(scalar)
+        } else {
+            CType::Array(scalar, dims)
+        };
+        let init = if self.eat(&TokenKind::Assign) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let end = self.expect(TokenKind::Semi)?.span;
+        Ok(Stmt {
+            kind: StmtKind::Decl { name, ty, init },
+            span: start.merge(end),
+        })
+    }
+
+    fn if_stmt(&mut self) -> CResult<Stmt> {
+        let start = self.expect(TokenKind::KwIf)?.span;
+        self.expect(TokenKind::LParen)?;
+        let cond = self.expr()?;
+        self.expect(TokenKind::RParen)?;
+        let then_blk = self.stmt_as_block()?;
+        let else_blk = if self.eat(&TokenKind::KwElse) {
+            Some(self.stmt_as_block()?)
+        } else {
+            None
+        };
+        let end = else_blk.as_ref().map(|b| b.span).unwrap_or(then_blk.span);
+        Ok(Stmt {
+            kind: StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            },
+            span: start.merge(end),
+        })
+    }
+
+    /// Wraps a single statement in a block so `if (c) x = 1;` and
+    /// `if (c) { x = 1; }` produce identical trees.
+    fn stmt_as_block(&mut self) -> CResult<Block> {
+        if self.check(&TokenKind::LBrace) {
+            self.block()
+        } else {
+            let s = self.stmt()?;
+            let span = s.span;
+            Ok(Block {
+                stmts: vec![s],
+                span,
+            })
+        }
+    }
+
+    fn for_stmt(&mut self) -> CResult<Stmt> {
+        let start = self.expect(TokenKind::KwFor)?.span;
+        self.expect(TokenKind::LParen)?;
+        let init = if self.check(&TokenKind::Semi) {
+            self.advance();
+            None
+        } else if self.at_type() {
+            Some(Box::new(self.decl_stmt()?))
+        } else {
+            let s = self.assign_no_semi()?;
+            self.expect(TokenKind::Semi)?;
+            Some(Box::new(s))
+        };
+        let cond = if self.check(&TokenKind::Semi) {
+            None
+        } else {
+            Some(self.expr()?)
+        };
+        self.expect(TokenKind::Semi)?;
+        let step = if self.check(&TokenKind::RParen) {
+            None
+        } else {
+            Some(Box::new(self.assign_no_semi()?))
+        };
+        self.expect(TokenKind::RParen)?;
+        let body = self.stmt_as_block()?;
+        let end = body.span;
+        Ok(Stmt {
+            kind: StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            },
+            span: start.merge(end),
+        })
+    }
+
+    fn while_stmt(&mut self) -> CResult<Stmt> {
+        let start = self.expect(TokenKind::KwWhile)?.span;
+        self.expect(TokenKind::LParen)?;
+        let cond = self.expr()?;
+        self.expect(TokenKind::RParen)?;
+        let body = self.stmt_as_block()?;
+        let end = body.span;
+        Ok(Stmt {
+            kind: StmtKind::While { cond, body },
+            span: start.merge(end),
+        })
+    }
+
+    fn expr_or_assign_stmt(&mut self) -> CResult<Stmt> {
+        let s = self.assign_no_semi()?;
+        let start = s.span;
+        let end = self.expect(TokenKind::Semi)?.span;
+        Ok(Stmt {
+            kind: s.kind,
+            span: start.merge(end),
+        })
+    }
+
+    /// Parses an assignment / increment / expression statement without
+    /// consuming the trailing `;` (shared by statement and `for`-header
+    /// positions).
+    fn assign_no_semi(&mut self) -> CResult<Stmt> {
+        let start = self.peek().span;
+        // `*out = expr` — write through an out-pointer.
+        if self.check(&TokenKind::Star) {
+            if let TokenKind::Ident(name) = self.peek2().kind.clone() {
+                self.advance();
+                self.advance();
+                self.expect(TokenKind::Assign)?;
+                let value = self.expr()?;
+                let span = start.merge(value.span);
+                return Ok(Stmt {
+                    kind: StmtKind::Assign {
+                        target: LValue::Deref(name),
+                        op: None,
+                        value,
+                    },
+                    span,
+                });
+            }
+        }
+        let e = self.expr()?;
+        // Postfix ++/--.
+        if self.check(&TokenKind::PlusPlus) || self.check(&TokenKind::MinusMinus) {
+            let op = if self.eat(&TokenKind::PlusPlus) {
+                BinOp::Add
+            } else {
+                self.advance();
+                BinOp::Sub
+            };
+            let target = self.expr_to_lvalue(&e)?;
+            let span = start.merge(self.peek().span);
+            return Ok(Stmt {
+                kind: StmtKind::Assign {
+                    target,
+                    op: Some(op),
+                    value: Expr::int(1, span),
+                },
+                span,
+            });
+        }
+        let compound = match self.peek().kind {
+            TokenKind::Assign => Some(None),
+            TokenKind::PlusAssign => Some(Some(BinOp::Add)),
+            TokenKind::MinusAssign => Some(Some(BinOp::Sub)),
+            TokenKind::StarAssign => Some(Some(BinOp::Mul)),
+            TokenKind::ShlAssign => Some(Some(BinOp::Shl)),
+            TokenKind::ShrAssign => Some(Some(BinOp::Shr)),
+            TokenKind::AndAssign => Some(Some(BinOp::BitAnd)),
+            TokenKind::OrAssign => Some(Some(BinOp::BitOr)),
+            TokenKind::XorAssign => Some(Some(BinOp::BitXor)),
+            _ => None,
+        };
+        if let Some(op) = compound {
+            self.advance();
+            let target = self.expr_to_lvalue(&e)?;
+            let value = self.expr()?;
+            let span = start.merge(value.span);
+            return Ok(Stmt {
+                kind: StmtKind::Assign { target, op, value },
+                span,
+            });
+        }
+        let span = e.span;
+        Ok(Stmt {
+            kind: StmtKind::Expr(e),
+            span,
+        })
+    }
+
+    fn expr_to_lvalue(&self, e: &Expr) -> CResult<LValue> {
+        match &e.kind {
+            ExprKind::Var(n) => Ok(LValue::Var(n.clone())),
+            ExprKind::ArrayIndex { name, indices } => Ok(LValue::ArrayElem {
+                name: name.clone(),
+                indices: indices.clone(),
+            }),
+            ExprKind::Unary {
+                op: UnOp::Neg | UnOp::BitNot | UnOp::LogicalNot,
+                ..
+            } => Err(CError::new(
+                Stage::Parse,
+                e.span,
+                "cannot assign to a unary expression",
+            )),
+            _ => Err(CError::new(
+                Stage::Parse,
+                e.span,
+                "expression is not assignable",
+            )),
+        }
+    }
+
+    // -- expressions ----------------------------------------------------------
+
+    fn expr(&mut self) -> CResult<Expr> {
+        self.ternary()
+    }
+
+    fn ternary(&mut self) -> CResult<Expr> {
+        let cond = self.binary(0)?;
+        if self.eat(&TokenKind::Question) {
+            let then_e = self.expr()?;
+            self.expect(TokenKind::Colon)?;
+            let else_e = self.ternary()?;
+            let span = cond.span.merge(else_e.span);
+            Ok(Expr {
+                kind: ExprKind::Cond {
+                    cond: Box::new(cond),
+                    then_e: Box::new(then_e),
+                    else_e: Box::new(else_e),
+                },
+                span,
+            })
+        } else {
+            Ok(cond)
+        }
+    }
+
+    /// Binding power table (higher binds tighter), mirroring C.
+    fn bin_op(&self) -> Option<(BinOp, u8)> {
+        let op = match self.peek().kind {
+            TokenKind::Star => (BinOp::Mul, 10),
+            TokenKind::Slash => (BinOp::Div, 10),
+            TokenKind::Percent => (BinOp::Rem, 10),
+            TokenKind::Plus => (BinOp::Add, 9),
+            TokenKind::Minus => (BinOp::Sub, 9),
+            TokenKind::Shl => (BinOp::Shl, 8),
+            TokenKind::Shr => (BinOp::Shr, 8),
+            TokenKind::Lt => (BinOp::Lt, 7),
+            TokenKind::Le => (BinOp::Le, 7),
+            TokenKind::Gt => (BinOp::Gt, 7),
+            TokenKind::Ge => (BinOp::Ge, 7),
+            TokenKind::EqEq => (BinOp::Eq, 6),
+            TokenKind::Ne => (BinOp::Ne, 6),
+            TokenKind::Amp => (BinOp::BitAnd, 5),
+            TokenKind::Caret => (BinOp::BitXor, 4),
+            TokenKind::Pipe => (BinOp::BitOr, 3),
+            TokenKind::AmpAmp => (BinOp::LogicalAnd, 2),
+            TokenKind::PipePipe => (BinOp::LogicalOr, 1),
+            _ => return None,
+        };
+        Some(op)
+    }
+
+    fn binary(&mut self, min_bp: u8) -> CResult<Expr> {
+        let mut lhs = self.unary()?;
+        while let Some((op, bp)) = self.bin_op() {
+            if bp < min_bp {
+                break;
+            }
+            self.advance();
+            let rhs = self.binary(bp + 1)?;
+            let span = lhs.span.merge(rhs.span);
+            lhs = Expr {
+                kind: ExprKind::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> CResult<Expr> {
+        let start = self.peek().span;
+        let op = match self.peek().kind {
+            TokenKind::Minus => Some(UnOp::Neg),
+            TokenKind::Tilde => Some(UnOp::BitNot),
+            TokenKind::Bang => Some(UnOp::LogicalNot),
+            TokenKind::Plus => {
+                self.advance();
+                return self.unary();
+            }
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.advance();
+            let operand = self.unary()?;
+            let span = start.merge(operand.span);
+            return Ok(Expr {
+                kind: ExprKind::Unary {
+                    op,
+                    operand: Box::new(operand),
+                },
+                span,
+            });
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> CResult<Expr> {
+        let mut e = self.primary()?;
+        loop {
+            if self.check(&TokenKind::LBracket) {
+                let name = match &e.kind {
+                    ExprKind::Var(n) => n.clone(),
+                    ExprKind::ArrayIndex { .. } => {
+                        // Accumulate another dimension below.
+                        String::new()
+                    }
+                    _ => return Err(self.err("only named arrays can be indexed")),
+                };
+                let mut indices = Vec::new();
+                let mut base = name;
+                if let ExprKind::ArrayIndex {
+                    name: n,
+                    indices: idx,
+                } = &e.kind
+                {
+                    base = n.clone();
+                    indices = idx.clone();
+                }
+                self.expect(TokenKind::LBracket)?;
+                let idx = self.expr()?;
+                let end = self.expect(TokenKind::RBracket)?.span;
+                indices.push(idx);
+                let span = e.span.merge(end);
+                e = Expr {
+                    kind: ExprKind::ArrayIndex {
+                        name: base,
+                        indices,
+                    },
+                    span,
+                };
+            } else {
+                break;
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> CResult<Expr> {
+        let tok = self.peek().clone();
+        match tok.kind {
+            TokenKind::IntLit(v) => {
+                self.advance();
+                Ok(Expr::int(v, tok.span))
+            }
+            TokenKind::Ident(name) => {
+                self.advance();
+                if self.check(&TokenKind::LParen) {
+                    self.advance();
+                    let mut args = Vec::new();
+                    if !self.check(&TokenKind::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(&TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    let end = self.expect(TokenKind::RParen)?.span;
+                    Ok(Expr {
+                        kind: ExprKind::Call { name, args },
+                        span: tok.span.merge(end),
+                    })
+                } else {
+                    Ok(Expr::var(name, tok.span))
+                }
+            }
+            TokenKind::LParen => {
+                self.advance();
+                let e = self.expr()?;
+                let end = self.expect(TokenKind::RParen)?.span;
+                Ok(Expr {
+                    kind: e.kind,
+                    span: tok.span.merge(end),
+                })
+            }
+            other => Err(self.err(format!("expected expression, found {}", other.describe()))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{BinOp, ExprKind, StmtKind};
+
+    #[test]
+    fn parses_fir_from_figure3() {
+        let src = "
+void fir(int A[], int C[]) {
+  int i;
+  for (i = 0; i < 17; i = i + 1) {
+    C[i] = 3*A[i] + 5*A[i+1] + 7*A[i+2] + 9*A[i+3] - A[i+4];
+  }
+}";
+        let prog = parse(src).unwrap();
+        let f = prog.function("fir").unwrap();
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.body.stmts.len(), 2);
+        match &f.body.stmts[1].kind {
+            StmtKind::For { cond, .. } => assert!(cond.is_some()),
+            other => panic!("expected for, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_accumulator_from_figure4() {
+        let src = "
+void acc(int A[], int* out) {
+  int sum = 0;
+  int i;
+  for (i = 0; i < 32; i++) {
+    sum = sum + A[i];
+  }
+  *out = sum;
+}";
+        let prog = parse(src).unwrap();
+        let f = prog.function("acc").unwrap();
+        // Last statement writes through the out pointer.
+        match &f.body.stmts[3].kind {
+            StmtKind::Assign { target, .. } => {
+                assert_eq!(target.to_c(), "*out");
+            }
+            other => panic!("expected deref assign, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_if_else_from_figure5() {
+        let src = "
+void if_else(int x1, int x2, int* x3, int* x4) {
+  int a;
+  int c;
+  c = x1 - x2;
+  if (c < x2)
+    a = x1 * x1;
+  else
+    a = x1 * x2 + 3;
+  c = c - a;
+  *x3 = c;
+  *x4 = a;
+  return;
+}";
+        let prog = parse(src).unwrap();
+        let f = prog.function("if_else").unwrap();
+        let has_if = f
+            .body
+            .stmts
+            .iter()
+            .any(|s| matches!(s.kind, StmtKind::If { .. }));
+        assert!(has_if);
+    }
+
+    #[test]
+    fn precedence_mul_before_add() {
+        let prog = parse("int f(int a, int b, int c) { return a + b * c; }").unwrap();
+        let f = prog.function("f").unwrap();
+        match &f.body.stmts[0].kind {
+            StmtKind::Return(Some(e)) => match &e.kind {
+                ExprKind::Binary {
+                    op: BinOp::Add,
+                    rhs,
+                    ..
+                } => {
+                    assert!(matches!(rhs.kind, ExprKind::Binary { op: BinOp::Mul, .. }));
+                }
+                other => panic!("expected add at top, got {other:?}"),
+            },
+            other => panic!("expected return, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_const_global_table() {
+        let prog = parse("const uint16 cos_table[4] = { 0, 100, 200, 300 };").unwrap();
+        let g = prog.global("cos_table").unwrap();
+        assert!(g.is_const);
+        assert_eq!(g.init, vec![0, 100, 200, 300]);
+    }
+
+    #[test]
+    fn parses_sized_types_and_pointers() {
+        let prog = parse("void f(uint12 a, int19* out) { *out = a; }").unwrap();
+        let f = prog.function("f").unwrap();
+        assert_eq!(f.params[0].ty.to_string(), "uint12");
+        assert_eq!(f.params[1].ty.to_string(), "int19*");
+    }
+
+    #[test]
+    fn parses_compound_assign_and_increment() {
+        let src = "void f(int* o) { int x = 0; x += 3; x <<= 1; x++; *o = x; }";
+        let prog = parse(src).unwrap();
+        let f = prog.function("f").unwrap();
+        assert_eq!(f.body.stmts.len(), 5);
+    }
+
+    #[test]
+    fn parses_ternary_and_logical() {
+        let src = "int f(int a, int b) { return a > 0 && b > 0 ? a : b; }";
+        assert!(parse(src).is_ok());
+    }
+
+    #[test]
+    fn parses_two_dimensional_arrays() {
+        let src = "void f(int A[8][8], int B[8][8]) { int i; int j;
+          for (i=0;i<8;i++) { for (j=0;j<8;j++) { B[i][j] = A[i][j] * 2; } } }";
+        let prog = parse(src).unwrap();
+        let f = prog.function("f").unwrap();
+        assert_eq!(f.params[0].ty.to_string(), "int32[8][8]");
+    }
+
+    #[test]
+    fn parses_roccc_intrinsics() {
+        let src = "void acc_dp(int t0, int* t1) {
+          int sum;
+          int tmp;
+          tmp = ROCCC_load_prev(sum) + t0;
+          ROCCC_store2next(sum, tmp);
+          *t1 = tmp;
+        }";
+        let prog = parse(src).unwrap();
+        assert!(prog.function("acc_dp").is_some());
+    }
+
+    #[test]
+    fn error_on_missing_semicolon() {
+        let err = parse("int f() { return 1 }").unwrap_err();
+        assert!(err.message.contains("expected"));
+    }
+
+    #[test]
+    fn error_on_bad_lvalue() {
+        assert!(parse("void f() { 3 = 4; }").is_err());
+        assert!(parse("void f(int a) { (a+1) = 4; }").is_err());
+    }
+
+    #[test]
+    fn while_loop_parses() {
+        let src = "int f(int n) { int s = 0; while (n > 0) { s = s + n; n = n - 1; } return s; }";
+        assert!(parse(src).is_ok());
+    }
+
+    #[test]
+    fn pretty_print_round_trips() {
+        let src = "void f(int a, int* o) { int x = a * 2; if (x > 4) { x = x - 1; } *o = x; }";
+        let prog = parse(src).unwrap();
+        let printed = prog.to_c();
+        let reparsed = parse(&printed).unwrap();
+        let orig_tys: Vec<_> = prog
+            .function("f")
+            .unwrap()
+            .params
+            .iter()
+            .map(|p| p.ty.clone())
+            .collect();
+        let rep_tys: Vec<_> = reparsed
+            .function("f")
+            .unwrap()
+            .params
+            .iter()
+            .map(|p| p.ty.clone())
+            .collect();
+        assert_eq!(orig_tys, rep_tys);
+        assert_eq!(
+            prog.function("f").unwrap().body.stmts.len(),
+            reparsed.function("f").unwrap().body.stmts.len()
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! Source locations and spans.
+//!
+//! Every token and AST node carries a [`Span`] so that diagnostics from any
+//! later stage of the compiler (semantic analysis, hardware-subset checks in
+//! `roccc-hlir`, …) can point back into the original C source.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into the original source text.
+///
+/// ```
+/// use roccc_cparse::span::Span;
+///
+/// let span = Span::new(4, 9);
+/// assert_eq!(span.len(), 5);
+/// assert!(Span::new(4, 4).is_empty());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a span covering `[start, end)`.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// A zero-length span used for synthesized nodes.
+    pub fn dummy() -> Self {
+        Span { start: 0, end: 0 }
+    }
+
+    /// Number of bytes covered.
+    pub fn len(&self) -> usize {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// Whether the span covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Smallest span covering both `self` and `other`.
+    ///
+    /// ```
+    /// use roccc_cparse::span::Span;
+    /// assert_eq!(Span::new(2, 4).merge(Span::new(7, 9)), Span::new(2, 9));
+    /// ```
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Computes 1-based line and column of the span start within `source`.
+    pub fn line_col(&self, source: &str) -> (usize, usize) {
+        let mut line = 1;
+        let mut col = 1;
+        for (i, ch) in source.char_indices() {
+            if i >= self.start {
+                break;
+            }
+            if ch == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        (line, col)
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_is_commutative() {
+        let a = Span::new(1, 5);
+        let b = Span::new(3, 10);
+        assert_eq!(a.merge(b), b.merge(a));
+        assert_eq!(a.merge(b), Span::new(1, 10));
+    }
+
+    #[test]
+    fn line_col_counts_newlines() {
+        let src = "int x;\nint y;\n";
+        let span = Span::new(11, 12); // the 'y'
+        assert_eq!(span.line_col(src), (2, 5));
+    }
+
+    #[test]
+    fn dummy_is_empty() {
+        assert!(Span::dummy().is_empty());
+        assert_eq!(Span::dummy().len(), 0);
+    }
+
+    #[test]
+    fn display_formats_range() {
+        assert_eq!(Span::new(3, 8).to_string(), "3..8");
+    }
+}

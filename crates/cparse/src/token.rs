@@ -1,0 +1,217 @@
+//! Token definitions for the ROCCC C subset.
+
+use crate::span::Span;
+use std::fmt;
+
+/// The kind of a lexed token.
+///
+/// Keyword and punctuation variants carry no payload and mirror their
+/// lexemes one-to-one (see [`TokenKind::lexeme`]).
+#[allow(missing_docs)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Integer literal, already decoded to its numeric value.
+    IntLit(i64),
+    /// Identifier or keyword candidate that is not a reserved word.
+    Ident(String),
+
+    // Keywords.
+    KwInt,
+    KwChar,
+    KwShort,
+    KwLong,
+    KwUnsigned,
+    KwSigned,
+    KwVoid,
+    KwConst,
+    KwIf,
+    KwElse,
+    KwFor,
+    KwWhile,
+    KwReturn,
+
+    // Punctuation and operators.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Assign,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    ShlAssign,
+    ShrAssign,
+    AndAssign,
+    OrAssign,
+    XorAssign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    PlusPlus,
+    MinusMinus,
+    Shl,
+    Shr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqEq,
+    Ne,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Bang,
+    AmpAmp,
+    PipePipe,
+    Question,
+    Colon,
+
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Keyword lookup for an identifier-shaped lexeme.
+    pub fn keyword(s: &str) -> Option<TokenKind> {
+        Some(match s {
+            "int" => TokenKind::KwInt,
+            "char" => TokenKind::KwChar,
+            "short" => TokenKind::KwShort,
+            "long" => TokenKind::KwLong,
+            "unsigned" => TokenKind::KwUnsigned,
+            "signed" => TokenKind::KwSigned,
+            "void" => TokenKind::KwVoid,
+            "const" => TokenKind::KwConst,
+            "if" => TokenKind::KwIf,
+            "else" => TokenKind::KwElse,
+            "for" => TokenKind::KwFor,
+            "while" => TokenKind::KwWhile,
+            "return" => TokenKind::KwReturn,
+            _ => return None,
+        })
+    }
+
+    /// Human-readable name used in "expected X, found Y" diagnostics.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::IntLit(v) => format!("integer literal `{v}`"),
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Eof => "end of input".to_string(),
+            other => format!("`{}`", other.lexeme()),
+        }
+    }
+
+    /// Canonical source text for fixed tokens (empty for literals/idents).
+    pub fn lexeme(&self) -> &'static str {
+        match self {
+            TokenKind::KwInt => "int",
+            TokenKind::KwChar => "char",
+            TokenKind::KwShort => "short",
+            TokenKind::KwLong => "long",
+            TokenKind::KwUnsigned => "unsigned",
+            TokenKind::KwSigned => "signed",
+            TokenKind::KwVoid => "void",
+            TokenKind::KwConst => "const",
+            TokenKind::KwIf => "if",
+            TokenKind::KwElse => "else",
+            TokenKind::KwFor => "for",
+            TokenKind::KwWhile => "while",
+            TokenKind::KwReturn => "return",
+            TokenKind::LParen => "(",
+            TokenKind::RParen => ")",
+            TokenKind::LBrace => "{",
+            TokenKind::RBrace => "}",
+            TokenKind::LBracket => "[",
+            TokenKind::RBracket => "]",
+            TokenKind::Semi => ";",
+            TokenKind::Comma => ",",
+            TokenKind::Assign => "=",
+            TokenKind::PlusAssign => "+=",
+            TokenKind::MinusAssign => "-=",
+            TokenKind::StarAssign => "*=",
+            TokenKind::ShlAssign => "<<=",
+            TokenKind::ShrAssign => ">>=",
+            TokenKind::AndAssign => "&=",
+            TokenKind::OrAssign => "|=",
+            TokenKind::XorAssign => "^=",
+            TokenKind::Plus => "+",
+            TokenKind::Minus => "-",
+            TokenKind::Star => "*",
+            TokenKind::Slash => "/",
+            TokenKind::Percent => "%",
+            TokenKind::PlusPlus => "++",
+            TokenKind::MinusMinus => "--",
+            TokenKind::Shl => "<<",
+            TokenKind::Shr => ">>",
+            TokenKind::Lt => "<",
+            TokenKind::Le => "<=",
+            TokenKind::Gt => ">",
+            TokenKind::Ge => ">=",
+            TokenKind::EqEq => "==",
+            TokenKind::Ne => "!=",
+            TokenKind::Amp => "&",
+            TokenKind::Pipe => "|",
+            TokenKind::Caret => "^",
+            TokenKind::Tilde => "~",
+            TokenKind::Bang => "!",
+            TokenKind::AmpAmp => "&&",
+            TokenKind::PipePipe => "||",
+            TokenKind::Question => "?",
+            TokenKind::Colon => ":",
+            TokenKind::IntLit(_) | TokenKind::Ident(_) | TokenKind::Eof => "",
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.describe())
+    }
+}
+
+/// A token paired with the source span it was lexed from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Where in the source it came from.
+    pub span: Span,
+}
+
+impl Token {
+    /// Creates a token.
+    pub fn new(kind: TokenKind, span: Span) -> Self {
+        Token { kind, span }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_lookup_finds_all_keywords() {
+        for kw in [
+            "int", "char", "short", "long", "unsigned", "signed", "void", "const", "if", "else",
+            "for", "while", "return",
+        ] {
+            let tok = TokenKind::keyword(kw).expect("keyword must resolve");
+            assert_eq!(tok.lexeme(), kw);
+        }
+        assert_eq!(TokenKind::keyword("sum"), None);
+    }
+
+    #[test]
+    fn describe_quotes_fixed_tokens() {
+        assert_eq!(TokenKind::PlusAssign.describe(), "`+=`");
+        assert_eq!(TokenKind::IntLit(7).describe(), "integer literal `7`");
+        assert_eq!(TokenKind::Ident("x".into()).describe(), "identifier `x`");
+    }
+}

@@ -1,0 +1,312 @@
+//! The ROCCC type universe: signed/unsigned integers of 1–32 bits.
+//!
+//! The paper states ROCCC "supports any signed and unsigned integer type up
+//! to 32 bit" and infers inner signal bit sizes automatically. [`IntType`]
+//! is the single scalar type; arrays and out-pointers wrap it.
+
+use std::fmt;
+
+/// A fixed-width integer type.
+///
+/// ```
+/// use roccc_cparse::types::IntType;
+///
+/// let t = IntType::unsigned(12);
+/// assert_eq!(t.max_value(), 4095);
+/// assert_eq!(t.wrap(4096), 0);
+/// assert_eq!(IntType::signed(8).wrap(200), -56);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IntType {
+    /// True for two's-complement signed interpretation.
+    pub signed: bool,
+    /// Bit width, `1..=64` (widths above 32 only appear as inferred
+    /// intermediate widths, never as C source types).
+    pub bits: u8,
+}
+
+impl IntType {
+    /// Maximum width supported for intermediate signals.
+    pub const MAX_BITS: u8 = 64;
+
+    /// Creates a signed type of `bits` width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero or above [`IntType::MAX_BITS`].
+    pub fn signed(bits: u8) -> Self {
+        assert!((1..=Self::MAX_BITS).contains(&bits), "bad width {bits}");
+        IntType { signed: true, bits }
+    }
+
+    /// Creates an unsigned type of `bits` width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero or above [`IntType::MAX_BITS`].
+    pub fn unsigned(bits: u8) -> Self {
+        assert!((1..=Self::MAX_BITS).contains(&bits), "bad width {bits}");
+        IntType {
+            signed: false,
+            bits,
+        }
+    }
+
+    /// The C `int` type (signed 32-bit).
+    pub fn int() -> Self {
+        IntType::signed(32)
+    }
+
+    /// The C `char` type (signed 8-bit, as on the paper's toolchain).
+    pub fn char() -> Self {
+        IntType::signed(8)
+    }
+
+    /// The C `short` type (signed 16-bit).
+    pub fn short() -> Self {
+        IntType::signed(16)
+    }
+
+    /// A 1-bit unsigned type (hardware Boolean).
+    pub fn bit() -> Self {
+        IntType::unsigned(1)
+    }
+
+    /// Smallest representable value.
+    pub fn min_value(&self) -> i64 {
+        if self.signed {
+            if self.bits == 64 {
+                i64::MIN
+            } else {
+                -(1i64 << (self.bits - 1))
+            }
+        } else {
+            0
+        }
+    }
+
+    /// Largest representable value.
+    pub fn max_value(&self) -> i64 {
+        if self.signed {
+            if self.bits == 64 {
+                i64::MAX
+            } else {
+                (1i64 << (self.bits - 1)) - 1
+            }
+        } else if self.bits >= 63 {
+            i64::MAX
+        } else {
+            (1i64 << self.bits) - 1
+        }
+    }
+
+    /// Wraps `value` into this type using two's-complement truncation —
+    /// exactly what a hardware register of this width would hold.
+    pub fn wrap(&self, value: i64) -> i64 {
+        if self.bits >= 64 {
+            return value;
+        }
+        let mask = (1u64 << self.bits) - 1;
+        let truncated = (value as u64) & mask;
+        if self.signed && (truncated >> (self.bits - 1)) & 1 == 1 {
+            (truncated | !mask) as i64
+        } else {
+            truncated as i64
+        }
+    }
+
+    /// Whether `value` is representable without wrapping.
+    pub fn contains(&self, value: i64) -> bool {
+        value >= self.min_value() && value <= self.max_value()
+    }
+
+    /// Smallest width (of the given signedness) that represents `value`.
+    pub fn width_for(value: i64, signed: bool) -> u8 {
+        for bits in 1..=Self::MAX_BITS {
+            let t = IntType { signed, bits };
+            if t.contains(value) {
+                return bits;
+            }
+        }
+        Self::MAX_BITS
+    }
+
+    /// The usual arithmetic conversion for a binary operation: the wider
+    /// width wins; the result is signed if either operand is signed (a
+    /// hardware-friendly simplification of C's rules that is exact for the
+    /// subset because widening never loses values).
+    pub fn unify(self, other: IntType) -> IntType {
+        IntType {
+            signed: self.signed || other.signed,
+            bits: self.bits.max(other.bits),
+        }
+    }
+}
+
+impl fmt::Display for IntType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}",
+            if self.signed { "int" } else { "uint" },
+            self.bits
+        )
+    }
+}
+
+/// A full C type in the subset.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum CType {
+    /// `void` — only valid as a function return type.
+    Void,
+    /// A scalar integer.
+    Int(IntType),
+    /// An N-dimensional array of integers with static dimensions.
+    Array(IntType, Vec<usize>),
+    /// An out-parameter pointer (`int*`); the paper uses these "only to
+    /// indicate multiple return values".
+    Ptr(IntType),
+}
+
+impl CType {
+    /// The scalar element type, if any.
+    pub fn scalar(&self) -> Option<IntType> {
+        match self {
+            CType::Int(t) | CType::Array(t, _) | CType::Ptr(t) => Some(*t),
+            CType::Void => None,
+        }
+    }
+
+    /// Total number of scalar elements (1 for scalars, product of dims for
+    /// arrays).
+    pub fn element_count(&self) -> usize {
+        match self {
+            CType::Array(_, dims) => dims.iter().product(),
+            CType::Void => 0,
+            _ => 1,
+        }
+    }
+
+    /// Whether this is an integer scalar.
+    pub fn is_int(&self) -> bool {
+        matches!(self, CType::Int(_))
+    }
+}
+
+impl fmt::Display for CType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CType::Void => write!(f, "void"),
+            CType::Int(t) => write!(f, "{t}"),
+            CType::Array(t, dims) => {
+                write!(f, "{t}")?;
+                for d in dims {
+                    write!(f, "[{d}]")?;
+                }
+                Ok(())
+            }
+            CType::Ptr(t) => write!(f, "{t}*"),
+        }
+    }
+}
+
+/// Parses a ROCCC width-suffixed type name such as `int12` or `uint19`.
+///
+/// Returns `None` when `name` is not of that shape. These names give C
+/// sources access to the arbitrary 1–32-bit port widths used throughout the
+/// paper's Table 1 (12-bit `mul_acc` inputs, 19-bit DCT outputs, …).
+///
+/// ```
+/// use roccc_cparse::types::{parse_sized_type_name, IntType};
+/// assert_eq!(parse_sized_type_name("uint19"), Some(IntType::unsigned(19)));
+/// assert_eq!(parse_sized_type_name("int12"), Some(IntType::signed(12)));
+/// assert_eq!(parse_sized_type_name("integer"), None);
+/// ```
+pub fn parse_sized_type_name(name: &str) -> Option<IntType> {
+    let (signed, digits) = if let Some(rest) = name.strip_prefix("uint") {
+        (false, rest)
+    } else if let Some(rest) = name.strip_prefix("int") {
+        (true, rest)
+    } else {
+        return None;
+    };
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    let bits: u8 = digits.parse().ok()?;
+    if (1..=32).contains(&bits) {
+        Some(IntType { signed, bits })
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrap_matches_two_complement() {
+        let t = IntType::signed(8);
+        assert_eq!(t.wrap(127), 127);
+        assert_eq!(t.wrap(128), -128);
+        assert_eq!(t.wrap(-129), 127);
+        assert_eq!(t.wrap(256), 0);
+        let u = IntType::unsigned(8);
+        assert_eq!(u.wrap(-1), 255);
+        assert_eq!(u.wrap(257), 1);
+    }
+
+    #[test]
+    fn ranges_are_correct() {
+        assert_eq!(IntType::signed(8).min_value(), -128);
+        assert_eq!(IntType::signed(8).max_value(), 127);
+        assert_eq!(IntType::unsigned(1).max_value(), 1);
+        assert_eq!(IntType::unsigned(32).max_value(), u32::MAX as i64);
+        assert_eq!(IntType::signed(64).min_value(), i64::MIN);
+    }
+
+    #[test]
+    fn width_for_finds_minimum() {
+        assert_eq!(IntType::width_for(0, false), 1);
+        assert_eq!(IntType::width_for(1, false), 1);
+        assert_eq!(IntType::width_for(2, false), 2);
+        assert_eq!(IntType::width_for(255, false), 8);
+        assert_eq!(IntType::width_for(-1, true), 1);
+        assert_eq!(IntType::width_for(-128, true), 8);
+        assert_eq!(IntType::width_for(127, true), 8);
+    }
+
+    #[test]
+    fn unify_prefers_wider_and_signed() {
+        let a = IntType::unsigned(8);
+        let b = IntType::signed(12);
+        assert_eq!(a.unify(b), IntType::signed(12));
+        assert_eq!(b.unify(a), IntType::signed(12));
+    }
+
+    #[test]
+    fn sized_type_names() {
+        assert_eq!(parse_sized_type_name("uint1"), Some(IntType::unsigned(1)));
+        assert_eq!(parse_sized_type_name("int32"), Some(IntType::signed(32)));
+        assert_eq!(parse_sized_type_name("int0"), None);
+        assert_eq!(parse_sized_type_name("uint33"), None);
+        assert_eq!(parse_sized_type_name("int12x"), None);
+    }
+
+    #[test]
+    fn display_round_trips_via_parse() {
+        let t = IntType::unsigned(19);
+        assert_eq!(parse_sized_type_name(&t.to_string()), Some(t));
+    }
+
+    #[test]
+    fn ctype_helpers() {
+        let arr = CType::Array(IntType::int(), vec![4, 8]);
+        assert_eq!(arr.element_count(), 32);
+        assert_eq!(arr.scalar(), Some(IntType::int()));
+        assert!(!arr.is_int());
+        assert!(CType::Int(IntType::int()).is_int());
+        assert_eq!(CType::Void.element_count(), 0);
+    }
+}

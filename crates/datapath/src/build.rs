@@ -1,0 +1,406 @@
+//! Data-path building (§4.2.2).
+//!
+//! Converts an SSA-form CFG into a flat dataflow graph by if-conversion:
+//!
+//! * each non-empty basic block becomes a **soft node** (nodes 1–4 in
+//!   Figure 6) whose instructions become hardware operations;
+//! * to "parallelize alternative branches, the compiler adds a new mux node
+//!   between alternative branch nodes and their common successor node"
+//!   (node 7) — every phi at a join becomes a `MUX` selected by the fork's
+//!   branch condition;
+//! * "a new pipe node is added to copy live variables from alternative
+//!   branches' parent node to their common successor node" (node 6) —
+//!   values defined before the fork and consumed after the join get an
+//!   explicit copy in a **pipe node**.
+//!
+//! Both arms of every branch execute unconditionally in hardware; the
+//! data path is branch-free ("maximize instruction level parallelism").
+
+use crate::graph::*;
+use roccc_suifvm::dataflow::liveness;
+use roccc_suifvm::dom::DomInfo;
+use roccc_suifvm::ir::{BlockId, FunctionIr, Opcode, Terminator, VReg};
+use std::collections::HashMap;
+
+/// Builds the (un-pipelined, un-narrowed) data path from SSA IR.
+///
+/// The result has every op in stage 0; run
+/// [`crate::pipeline::pipeline_datapath`] and [`crate::narrow::narrow_widths`]
+/// afterwards. Fails on IR that is not in SSA form or whose joins merge
+/// more than two ways (the C subset only produces two-way joins).
+pub fn build_datapath(ir: &FunctionIr) -> Result<Datapath, String> {
+    if !ir.is_ssa {
+        return Err("data-path building requires SSA form".to_string());
+    }
+    let dom = DomInfo::compute(ir);
+    let live = liveness(ir);
+    let preds = ir.predecessors();
+    let rpo = ir.reverse_postorder();
+
+    let mut dp = Datapath {
+        name: ir.name.clone(),
+        inputs: ir.inputs.clone(),
+        outputs: Vec::new(),
+        ops: Vec::new(),
+        nodes: Vec::new(),
+        luts: ir.luts.clone(),
+        feedback: Vec::new(),
+        num_stages: 1,
+        target_period_ns: 0.0,
+        achieved_period_ns: 0.0,
+    };
+
+    // SNX sources resolved at the end (slot → value).
+    let mut snx_src: HashMap<i64, Value> = HashMap::new();
+
+    let mut map: HashMap<VReg, Value> = HashMap::new();
+    let mut def_block: HashMap<VReg, BlockId> = HashMap::new();
+    let mut soft_count = 0usize;
+
+    // The branch condition register of each fork block.
+    let mut fork_cond: HashMap<BlockId, VReg> = HashMap::new();
+    let mut fork_then: HashMap<BlockId, BlockId> = HashMap::new();
+    for b in &ir.blocks {
+        if let Terminator::Branch {
+            cond,
+            then_b,
+            else_b: _,
+        } = &b.term
+        {
+            fork_cond.insert(b.id, *cond);
+            fork_then.insert(b.id, *then_b);
+        }
+    }
+
+    for &bid in &rpo {
+        let block = ir.block(bid);
+
+        // --- pipe + mux nodes for joins -----------------------------------
+        if preds[bid.0 as usize].len() >= 2 {
+            let fork = dom.idom[bid.0 as usize];
+            let cond_reg = *fork_cond
+                .get(&fork)
+                .ok_or_else(|| format!("join {bid} not dominated by a branch"))?;
+            let cond_val = *map
+                .get(&cond_reg)
+                .ok_or_else(|| format!("branch condition {cond_reg} unmapped"))?;
+            let then_head = fork_then[&fork];
+
+            // Pipe node: live-through values defined at or above the fork.
+            let mut pipe_regs: Vec<VReg> = live.live_in[bid.0 as usize]
+                .iter()
+                .copied()
+                .filter(|r| {
+                    def_block
+                        .get(r)
+                        .is_some_and(|db| dom.dominates(*db, fork))
+                        // Constants are tied to VCC/GND: no copy needed.
+                        && !matches!(map.get(r), Some(Value::Const(_)))
+                })
+                .collect();
+            pipe_regs.sort();
+            if !pipe_regs.is_empty() {
+                let node = NodeId(dp.nodes.len() as u32);
+                dp.nodes.push(DpNode {
+                    id: node,
+                    kind: NodeKind::Pipe,
+                    label: format!("pipe {}", dp.nodes.len() + 1),
+                });
+                for r in pipe_regs {
+                    let src = map[&r];
+                    let ty = ir.ty(r);
+                    let id = OpId(dp.ops.len() as u32);
+                    dp.ops.push(DpOp {
+                        op: Opcode::Mov,
+                        srcs: vec![src],
+                        ty,
+                        hw_bits: ty.bits,
+                        imm: 0,
+                        node,
+                        stage: 0,
+                    });
+                    map.insert(r, Value::Op(id));
+                    // The copy now "lives" at the join.
+                    def_block.insert(r, bid);
+                }
+            }
+
+            // Mux node for the phis.
+            if !block.phis.is_empty() {
+                let node = NodeId(dp.nodes.len() as u32);
+                dp.nodes.push(DpNode {
+                    id: node,
+                    kind: NodeKind::Mux,
+                    label: format!("mux {}", dp.nodes.len() + 1),
+                });
+                for phi in &block.phis {
+                    if phi.args.len() != 2 {
+                        return Err(format!(
+                            "phi with {} incoming edges; the subset produces two-way joins",
+                            phi.args.len()
+                        ));
+                    }
+                    // Identify the then-side argument: its predecessor is
+                    // dominated by (or is) the branch's then head.
+                    let (then_val, else_val) = {
+                        let (p0, a0) = phi.args[0];
+                        let (_p1, a1) = phi.args[1];
+                        let p0_then = p0 == then_head || dom.dominates(then_head, p0);
+                        let v0 = *map
+                            .get(&a0)
+                            .ok_or_else(|| format!("phi arg {a0} unmapped"))?;
+                        let v1 = *map
+                            .get(&a1)
+                            .ok_or_else(|| format!("phi arg {a1} unmapped"))?;
+                        if p0_then {
+                            (v0, v1)
+                        } else {
+                            (v1, v0)
+                        }
+                    };
+                    let id = OpId(dp.ops.len() as u32);
+                    dp.ops.push(DpOp {
+                        op: Opcode::Mux,
+                        srcs: vec![cond_val, then_val, else_val],
+                        ty: phi.ty,
+                        hw_bits: phi.ty.bits,
+                        imm: 0,
+                        node,
+                        stage: 0,
+                    });
+                    map.insert(phi.dst, Value::Op(id));
+                    def_block.insert(phi.dst, bid);
+                }
+            }
+        }
+
+        // --- soft node for the block's instructions -----------------------
+        let real_instrs = block
+            .instrs
+            .iter()
+            .filter(|i| !matches!(i.op, Opcode::Arg | Opcode::Ldc | Opcode::Mov))
+            .count();
+        let node = if real_instrs > 0 {
+            soft_count += 1;
+            let node = NodeId(dp.nodes.len() as u32);
+            dp.nodes.push(DpNode {
+                id: node,
+                kind: NodeKind::Soft,
+                label: format!("node {soft_count}"),
+            });
+            Some(node)
+        } else {
+            None
+        };
+
+        for i in &block.instrs {
+            let Some(dst) = i.dst else {
+                // SNX: record the latched value.
+                debug_assert_eq!(i.op, Opcode::Snx);
+                let v = *map
+                    .get(&i.srcs[0])
+                    .ok_or_else(|| format!("SNX source {} unmapped", i.srcs[0]))?;
+                snx_src.insert(i.imm, v);
+                continue;
+            };
+            match i.op {
+                Opcode::Arg => {
+                    map.insert(dst, Value::Input(i.imm as usize));
+                    def_block.insert(dst, bid);
+                }
+                Opcode::Ldc => {
+                    map.insert(dst, Value::Const(i.imm));
+                    def_block.insert(dst, bid);
+                }
+                Opcode::Mov => {
+                    let v = *map
+                        .get(&i.srcs[0])
+                        .ok_or_else(|| format!("MOV source {} unmapped", i.srcs[0]))?;
+                    map.insert(dst, v);
+                    def_block.insert(dst, bid);
+                }
+                _ => {
+                    let srcs: Vec<Value> = i
+                        .srcs
+                        .iter()
+                        .map(|s| {
+                            map.get(s)
+                                .copied()
+                                .ok_or_else(|| format!("source {s} unmapped"))
+                        })
+                        .collect::<Result<_, _>>()?;
+                    let id = OpId(dp.ops.len() as u32);
+                    dp.ops.push(DpOp {
+                        op: i.op,
+                        srcs,
+                        ty: i.ty,
+                        hw_bits: i.ty.bits,
+                        imm: i.imm,
+                        node: node.expect("block with real instrs has a node"),
+                        stage: 0,
+                    });
+                    map.insert(dst, Value::Op(id));
+                    def_block.insert(dst, bid);
+                }
+            }
+        }
+    }
+
+    // Outputs.
+    for ((name, ty), reg) in ir.outputs.iter().zip(&ir.output_srcs) {
+        let value = *map
+            .get(reg)
+            .ok_or_else(|| format!("output register {reg} unmapped"))?;
+        dp.outputs.push(OutputPort {
+            name: name.clone(),
+            ty: *ty,
+            value,
+        });
+    }
+
+    // Feedback.
+    for (slot_idx, slot) in ir.feedback.iter().enumerate() {
+        let v = snx_src
+            .get(&(slot_idx as i64))
+            .copied()
+            .ok_or_else(|| format!("feedback slot `{}` has no SNX store", slot.name))?;
+        dp.feedback.push((slot.clone(), v));
+    }
+
+    dp.verify()?;
+    Ok(dp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roccc_cparse::parser::parse;
+    use roccc_suifvm::{lower_function, optimize, to_ssa};
+
+    pub(crate) fn dp_of(src: &str, func: &str) -> Datapath {
+        let prog = parse(src).unwrap();
+        roccc_cparse::sema::check(&prog).unwrap();
+        let f = prog.function(func).unwrap();
+        let mut ir = lower_function(&prog, f, &[]).unwrap();
+        to_ssa(&mut ir);
+        optimize(&mut ir);
+        build_datapath(&ir).unwrap()
+    }
+
+    #[test]
+    fn fir_is_one_soft_node() {
+        let dp = dp_of(
+            "void fir_dp(int A0, int A1, int A2, int A3, int A4, int* Tmp0) {
+               *Tmp0 = 3*A0 + 5*A1 + 7*A2 + 9*A3 - A4; }",
+            "fir_dp",
+        );
+        let (soft, hard) = dp.node_census();
+        assert_eq!(soft, 1);
+        assert_eq!(hard, 0);
+        assert_eq!(dp.outputs.len(), 1);
+        // 3 muls (3,5,7,9 → one may strength-reduce), adds and a sub.
+        assert!(dp.ops.len() >= 6);
+    }
+
+    #[test]
+    fn figure6_if_else_has_mux_and_pipe_nodes() {
+        let dp = dp_of(
+            "void if_else(int x1, int x2, int* x3, int* x4) {
+               int a; int c;
+               c = x1 - x2;
+               if (c < x2) { a = x1 * x1; } else { a = x1 * x2 + 3; }
+               c = c - a;
+               *x3 = c; *x4 = a; }",
+            "if_else",
+        );
+        let kinds: Vec<NodeKind> = dp.nodes.iter().map(|n| n.kind).collect();
+        assert!(kinds.contains(&NodeKind::Mux), "mux node expected (node 7)");
+        assert!(
+            kinds.contains(&NodeKind::Pipe),
+            "pipe node expected (node 6)"
+        );
+        let (soft, hard) = dp.node_census();
+        assert!(soft >= 3, "fork, two arms, join: {soft} soft nodes");
+        assert!(hard >= 2);
+        // Exactly one MUX op: merging `a`.
+        let muxes = dp.ops.iter().filter(|o| o.op == Opcode::Mux).count();
+        assert_eq!(muxes, 1, "{}", dp.to_dot());
+    }
+
+    #[test]
+    fn mux_selects_on_branch_condition() {
+        let dp = dp_of(
+            "void f(int a, int* o) { int x; if (a > 5) { x = 1; } else { x = 2; } *o = x; }",
+            "f",
+        );
+        let mux = dp.ops.iter().find(|o| o.op == Opcode::Mux).unwrap();
+        // Selector is the comparison result.
+        match mux.srcs[0] {
+            Value::Op(sel) => {
+                assert!(dp.ops[sel.0 as usize].op.is_comparison());
+            }
+            other => panic!("selector should be an op, got {other:?}"),
+        }
+        // then/else order: then value is 1, else 2.
+        assert_eq!(mux.srcs[1], Value::Const(1));
+        assert_eq!(mux.srcs[2], Value::Const(2));
+    }
+
+    #[test]
+    fn feedback_snx_recorded() {
+        let prog = parse(
+            "void acc_dp(int t0, int* t1) {
+               int s; int c = ROCCC_load_prev(s) + t0;
+               ROCCC_store2next(s, c);
+               *t1 = c; }",
+        )
+        .unwrap();
+        let f = prog.function("acc_dp").unwrap();
+        let fb = vec![roccc_hlir::kernel::FeedbackVar {
+            name: "s".into(),
+            ty: roccc_cparse::types::IntType::int(),
+            init: 0,
+        }];
+        let mut ir = lower_function(&prog, f, &fb).unwrap();
+        to_ssa(&mut ir);
+        optimize(&mut ir);
+        let dp = build_datapath(&ir).unwrap();
+        assert_eq!(dp.feedback.len(), 1);
+        let has_lpr = dp.ops.iter().any(|o| o.op == Opcode::Lpr);
+        assert!(has_lpr);
+        // The SNX source is the accumulate chain (adder, possibly wrapped
+        // to the slot width by a CVT).
+        match dp.feedback[0].1 {
+            Value::Op(id) => {
+                let op = dp.ops[id.0 as usize].op;
+                assert!(
+                    matches!(op, Opcode::Add | Opcode::Cvt),
+                    "unexpected snx source op {op:?}"
+                );
+            }
+            other => panic!("unexpected snx source {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_diamonds_build() {
+        let dp = dp_of(
+            "void f(int a, int b, int* o) {
+               int x = 0;
+               if (a > 0) { if (b > 0) { x = a + b; } else { x = a - b; } x = x * 2; }
+               *o = x; }",
+            "f",
+        );
+        let muxes = dp.ops.iter().filter(|o| o.op == Opcode::Mux).count();
+        assert_eq!(muxes, 2, "{}", dp.to_dot());
+        dp.verify().unwrap();
+    }
+
+    #[test]
+    fn non_ssa_is_rejected() {
+        let prog = parse("void f(int a, int* o) { *o = a; }").unwrap();
+        let f = prog.function("f").unwrap();
+        let ir = lower_function(&prog, f, &[]).unwrap();
+        assert!(build_datapath(&ir).is_err());
+    }
+}

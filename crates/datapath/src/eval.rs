@@ -1,0 +1,321 @@
+//! Word-level evaluation of a data path.
+//!
+//! Models exactly what the generated hardware computes: every wire holds
+//! `hw_bits` bits, so this evaluator wraps each operation's result to its
+//! narrowed hardware width. Differential tests against the golden-model C
+//! interpreter validate that narrowing and if-conversion preserve the
+//! observable outputs. Feedback latches persist across [`DpMachine::step`]
+//! calls, one call per pipeline *iteration* (the simulator in
+//! `roccc-netlist` additionally models per-cycle pipeline fill).
+
+use crate::graph::*;
+use roccc_cparse::types::IntType;
+use roccc_suifvm::ir::Opcode;
+
+/// Evaluates a data path iteration by iteration.
+#[derive(Debug, Clone)]
+pub struct DpMachine<'d> {
+    dp: &'d Datapath,
+    feedback: Vec<i64>,
+}
+
+/// An evaluation error (division by zero or negative dynamic shift).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalError(pub String);
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "data-path evaluation error: {}", self.0)
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl<'d> DpMachine<'d> {
+    /// Creates a machine with feedback latches at their initial values.
+    pub fn new(dp: &'d Datapath) -> Self {
+        DpMachine {
+            feedback: dp.feedback.iter().map(|(s, _)| s.ty.wrap(s.init)).collect(),
+            dp,
+        }
+    }
+
+    /// Current value of feedback latch `i`.
+    pub fn feedback_value(&self, i: usize) -> Option<i64> {
+        self.feedback.get(i).copied()
+    }
+
+    /// Evaluates one iteration: feeds `args` (parallel to the input ports),
+    /// returns the output-port values, and advances the feedback latches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError`] on division by zero or a negative dynamic
+    /// shift amount.
+    pub fn step(&mut self, args: &[i64]) -> Result<Vec<i64>, EvalError> {
+        assert_eq!(
+            args.len(),
+            self.dp.inputs.len(),
+            "argument count must match input ports"
+        );
+        let wrapped_args: Vec<i64> = self
+            .dp
+            .inputs
+            .iter()
+            .zip(args)
+            .map(|((_, t), v)| t.wrap(*v))
+            .collect();
+
+        let mut vals: Vec<i64> = Vec::with_capacity(self.dp.ops.len());
+        let read = |vals: &[i64], v: Value| -> i64 {
+            match v {
+                Value::Op(o) => vals[o.0 as usize],
+                Value::Input(k) => wrapped_args[k],
+                Value::Const(c) => c,
+            }
+        };
+
+        for op in &self.dp.ops {
+            let s = |k: usize| read(&vals, op.srcs[k]);
+            let raw = match op.op {
+                Opcode::Add => s(0).wrapping_add(s(1)),
+                Opcode::Sub => s(0).wrapping_sub(s(1)),
+                Opcode::Mul => s(0).wrapping_mul(s(1)),
+                Opcode::Div => {
+                    let d = s(1);
+                    if d == 0 {
+                        return Err(EvalError("division by zero".into()));
+                    }
+                    s(0).wrapping_div(d)
+                }
+                Opcode::Rem => {
+                    let d = s(1);
+                    if d == 0 {
+                        return Err(EvalError("remainder by zero".into()));
+                    }
+                    s(0).wrapping_rem(d)
+                }
+                Opcode::Neg => s(0).wrapping_neg(),
+                Opcode::Not => !s(0),
+                Opcode::Shl => {
+                    let amt = s(1);
+                    if amt < 0 {
+                        return Err(EvalError("negative shift amount".into()));
+                    }
+                    s(0).wrapping_shl(amt.min(63) as u32)
+                }
+                Opcode::Shr => {
+                    let amt = s(1);
+                    if amt < 0 {
+                        return Err(EvalError("negative shift amount".into()));
+                    }
+                    s(0).wrapping_shr(amt.min(63) as u32)
+                }
+                Opcode::And => s(0) & s(1),
+                Opcode::Or => s(0) | s(1),
+                Opcode::Xor => s(0) ^ s(1),
+                Opcode::Slt => (s(0) < s(1)) as i64,
+                Opcode::Sle => (s(0) <= s(1)) as i64,
+                Opcode::Seq => (s(0) == s(1)) as i64,
+                Opcode::Sne => (s(0) != s(1)) as i64,
+                Opcode::Bool => (s(0) != 0) as i64,
+                Opcode::Mux => {
+                    if s(0) != 0 {
+                        s(1)
+                    } else {
+                        s(2)
+                    }
+                }
+                Opcode::Mov | Opcode::Cvt => s(0),
+                Opcode::Lpr => self.feedback[op.imm as usize],
+                Opcode::Lut => {
+                    let idx = s(0);
+                    let t = &self.dp.luts[op.imm as usize];
+                    if idx < 0 {
+                        return Err(EvalError("negative LUT index".into()));
+                    }
+                    t.elem.wrap(t.data.get(idx as usize).copied().unwrap_or(0))
+                }
+                Opcode::Arg | Opcode::Ldc | Opcode::Snx => {
+                    unreachable!("{} never appears as a data-path op", op.op)
+                }
+            };
+            // The wire is hw_bits wide: wrap to the narrowed hardware width.
+            let wire_ty = IntType {
+                signed: op.ty.signed,
+                bits: op.hw_bits.max(1),
+            };
+            vals.push(wire_ty.wrap(raw));
+        }
+
+        // Latch feedback for the next iteration.
+        let next: Vec<i64> = self
+            .dp
+            .feedback
+            .iter()
+            .map(|(slot, v)| slot.ty.wrap(read(&vals, *v)))
+            .collect();
+        self.feedback = next;
+
+        Ok(self
+            .dp
+            .outputs
+            .iter()
+            .map(|o| o.ty.wrap(read(&vals, o.value)))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_datapath;
+    use crate::narrow::narrow_widths;
+    use crate::pipeline::{pipeline_datapath, DefaultDelayModel};
+    use roccc_cparse::interp::Interpreter;
+    use roccc_cparse::parser::parse;
+    use roccc_suifvm::{lower_function, optimize, to_ssa};
+    use std::collections::HashMap;
+
+    fn full_dp(src: &str, func: &str) -> Datapath {
+        let prog = parse(src).unwrap();
+        roccc_cparse::sema::check(&prog).unwrap();
+        let f = prog.function(func).unwrap();
+        let mut ir = lower_function(&prog, f, &[]).unwrap();
+        to_ssa(&mut ir);
+        optimize(&mut ir);
+        let mut dp = build_datapath(&ir).unwrap();
+        pipeline_datapath(&mut dp, 8.0, &DefaultDelayModel);
+        narrow_widths(&mut dp);
+        dp.verify().unwrap();
+        dp
+    }
+
+    /// Differential check: data path vs golden-model interpreter over many
+    /// argument vectors.
+    fn assert_matches_golden(src: &str, func: &str, arg_sets: &[Vec<i64>]) {
+        let prog = parse(src).unwrap();
+        roccc_cparse::sema::check(&prog).unwrap();
+        let dp = full_dp(src, func);
+        for args in arg_sets {
+            let mut interp = Interpreter::new(&prog);
+            let golden = interp.call(func, args, &mut HashMap::new()).unwrap();
+            let mut m = DpMachine::new(&dp);
+            let hw = m.step(args).unwrap();
+            for (k, out) in dp.outputs.iter().enumerate() {
+                let expect = golden.outputs[&out.name];
+                assert_eq!(
+                    hw[k],
+                    expect,
+                    "output {} for args {args:?}\n{}",
+                    out.name,
+                    dp.to_dot()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fir_matches_golden() {
+        assert_matches_golden(
+            "void fir_dp(int A0, int A1, int A2, int A3, int A4, int* Tmp0) {
+               *Tmp0 = 3*A0 + 5*A1 + 7*A2 + 9*A3 - A4; }",
+            "fir_dp",
+            &[
+                vec![1, 2, 3, 4, 5],
+                vec![-10, 20, -30, 40, -50],
+                vec![0, 0, 0, 0, 0],
+                vec![1000000, -1000000, 7, 9, 11],
+            ],
+        );
+    }
+
+    #[test]
+    fn if_else_matches_golden_on_both_arms() {
+        assert_matches_golden(
+            "void if_else(int x1, int x2, int* x3, int* x4) {
+               int a; int c;
+               c = x1 - x2;
+               if (c < x2) { a = x1 * x1; } else { a = x1 * x2 + 3; }
+               c = c - a;
+               *x3 = c; *x4 = a; }",
+            "if_else",
+            &[
+                vec![5, 3],
+                vec![9, 2],
+                vec![0, 0],
+                vec![-7, 4],
+                vec![100, -100],
+            ],
+        );
+    }
+
+    #[test]
+    fn narrow_output_ports_wrap_like_c() {
+        assert_matches_golden(
+            "void f(uint8 a, uint8 b, uint8* o) { *o = a * b + 17; }",
+            "f",
+            &[vec![255, 255], vec![16, 16], vec![0, 9]],
+        );
+    }
+
+    #[test]
+    fn lut_kernel_matches_golden() {
+        assert_matches_golden(
+            "const uint16 tab[8] = {5, 10, 20, 40, 80, 160, 320, 640};
+             void f(uint3 i, uint16* o) { *o = tab[i] + 1; }",
+            "f",
+            &[vec![0], vec![3], vec![7]],
+        );
+    }
+
+    #[test]
+    fn accumulator_streams_like_interpreter() {
+        let src = "void acc_dp(int t0, int* t1) {
+           int s; int c = ROCCC_load_prev(s) + t0;
+           ROCCC_store2next(s, c);
+           *t1 = c; }";
+        let prog = parse(src).unwrap();
+        let f = prog.function("acc_dp").unwrap();
+        let fb = vec![roccc_hlir::kernel::FeedbackVar {
+            name: "s".into(),
+            ty: IntType::int(),
+            init: 0,
+        }];
+        let mut ir = lower_function(&prog, f, &fb).unwrap();
+        to_ssa(&mut ir);
+        optimize(&mut ir);
+        let mut dp = build_datapath(&ir).unwrap();
+        pipeline_datapath(&mut dp, 100.0, &DefaultDelayModel);
+        narrow_widths(&mut dp);
+
+        let mut m = DpMachine::new(&dp);
+        let mut interp = Interpreter::new(&prog);
+        let mut arrays = HashMap::new();
+        for x in [3, -1, 100, 7, 7, -200] {
+            let hw = m.step(&[x]).unwrap()[0];
+            let golden = interp.call("acc_dp", &[x], &mut arrays).unwrap().outputs["t1"];
+            assert_eq!(hw, golden);
+        }
+    }
+
+    #[test]
+    fn division_by_zero_reports() {
+        let dp = full_dp("void f(int a, int* o) { *o = 100 / a; }", "f");
+        let mut m = DpMachine::new(&dp);
+        assert!(m.step(&[0]).is_err());
+        assert_eq!(m.step(&[5]).unwrap(), vec![20]);
+    }
+
+    #[test]
+    fn mul_acc_style_predication() {
+        assert_matches_golden(
+            "void f(uint1 nd, int12 a, int12 b, int* o) {
+               int p = 0;
+               if (nd) { p = a * b; }
+               *o = p + 1; }",
+            "f",
+            &[vec![1, 100, -100], vec![0, 100, -100], vec![1, 2047, 2047]],
+        );
+    }
+}

@@ -1,0 +1,404 @@
+//! Data-path graph structures.
+//!
+//! A [`Datapath`] is the fully pipelined dataflow graph the compiler emits
+//! for one loop body (§4.2.2): a DAG of hardware operations connected by
+//! typed wires, annotated with
+//!
+//! * the **node** each operation belongs to — *soft* nodes mirror CFG
+//!   blocks and "will have the same behavior on a CPU", *hard* nodes
+//!   (`Mux`, `Pipe`) "only appear in hardware" (Figure 6);
+//! * the **pipeline stage** each operation executes in (§4.2.3), where each
+//!   stage is "an instance of a single iteration in the for-loop body";
+//! * the **hardware width** of each value after forward inference and
+//!   backward narrowing ("the compiler … narrows inner signals' bit
+//!   sizes", §6).
+
+use roccc_cparse::types::IntType;
+use roccc_suifvm::ir::{FeedbackSlot, LutTable, Opcode};
+use std::fmt;
+
+/// Identifies an operation in the data path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OpId(pub u32);
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+/// Identifies a structural node (component) in the data path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// An operand of a data-path operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// Result of another operation.
+    Op(OpId),
+    /// The k-th input port.
+    Input(usize),
+    /// A literal constant (free in hardware: tied to VCC/GND).
+    Const(i64),
+}
+
+/// One hardware operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DpOp {
+    /// What it computes (a subset of the VM opcodes; no control flow).
+    pub op: Opcode,
+    /// Operands.
+    pub srcs: Vec<Value>,
+    /// Exact (value-preserving) result type from forward inference.
+    pub ty: IntType,
+    /// Hardware width in bits after backward narrowing (`≤ ty.bits`).
+    pub hw_bits: u8,
+    /// Immediate payload (`LUT` table index, `LPR`/`SNX` slot).
+    pub imm: i64,
+    /// Structural node this op belongs to.
+    pub node: NodeId,
+    /// Pipeline stage (0-based).
+    pub stage: u32,
+}
+
+/// The role a structural node plays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// Mirrors a CFG basic block (has a software equivalent).
+    Soft,
+    /// Selects between alternative branch results (hardware-only).
+    Mux,
+    /// Copies live variables past alternative branches (hardware-only).
+    Pipe,
+}
+
+/// Bookkeeping for one structural node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DpNode {
+    /// Node id.
+    pub id: NodeId,
+    /// Soft or hard.
+    pub kind: NodeKind,
+    /// Human-readable label (`node 1`, `mux 7`, …) used in DOT output and
+    /// VHDL component names.
+    pub label: String,
+}
+
+/// An output port of the data path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutputPort {
+    /// Port name.
+    pub name: String,
+    /// Declared port type.
+    pub ty: IntType,
+    /// The value driving the port.
+    pub value: Value,
+}
+
+/// A fully built (and possibly pipelined) data path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Datapath {
+    /// Kernel name.
+    pub name: String,
+    /// Input ports in order.
+    pub inputs: Vec<(String, IntType)>,
+    /// Output ports.
+    pub outputs: Vec<OutputPort>,
+    /// Operations in topological order (operands precede users).
+    pub ops: Vec<DpOp>,
+    /// Structural nodes.
+    pub nodes: Vec<DpNode>,
+    /// Lookup tables.
+    pub luts: Vec<LutTable>,
+    /// Feedback slots with the value each `SNX` latches.
+    pub feedback: Vec<(FeedbackSlot, Value)>,
+    /// Number of pipeline stages (1 = purely combinational between input
+    /// and output registers).
+    pub num_stages: u32,
+    /// Target clock period the pipeliner aimed for, in nanoseconds.
+    pub target_period_ns: f64,
+    /// Achieved critical-path delay of the slowest stage, in nanoseconds.
+    pub achieved_period_ns: f64,
+}
+
+impl Datapath {
+    /// The operation defining a [`Value::Op`], if any.
+    pub fn def(&self, v: Value) -> Option<&DpOp> {
+        match v {
+            Value::Op(id) => self.ops.get(id.0 as usize),
+            _ => None,
+        }
+    }
+
+    /// The hardware width of a value in bits.
+    pub fn width_of(&self, v: Value) -> u8 {
+        match v {
+            Value::Op(id) => self.ops[id.0 as usize].hw_bits,
+            Value::Input(k) => self.inputs[k].1.bits,
+            Value::Const(c) => IntType::width_for(c, c < 0),
+        }
+    }
+
+    /// The stage a value becomes available in (inputs and constants are
+    /// stage 0).
+    pub fn stage_of(&self, v: Value) -> u32 {
+        match v {
+            Value::Op(id) => self.ops[id.0 as usize].stage,
+            _ => 0,
+        }
+    }
+
+    /// Maximum clock frequency implied by the achieved period, in MHz.
+    pub fn fmax_mhz(&self) -> f64 {
+        if self.achieved_period_ns <= 0.0 {
+            return f64::INFINITY;
+        }
+        1000.0 / self.achieved_period_ns
+    }
+
+    /// Pipeline latency in cycles from input to output.
+    pub fn latency_cycles(&self) -> u32 {
+        self.num_stages
+    }
+
+    /// Output values produced per clock cycle once the pipeline is full
+    /// (initiation interval is 1).
+    pub fn throughput_per_cycle(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Number of pipeline registers a value edge crosses: one per stage
+    /// boundary between producer and consumer.
+    pub fn regs_on_edge(&self, src: Value, consumer: OpId) -> u32 {
+        let ps = self.stage_of(src);
+        let cs = self.ops[consumer.0 as usize].stage;
+        cs.saturating_sub(ps)
+    }
+
+    /// Counts hard (mux/pipe) and soft nodes.
+    pub fn node_census(&self) -> (usize, usize) {
+        let soft = self
+            .nodes
+            .iter()
+            .filter(|n| n.kind == NodeKind::Soft)
+            .count();
+        (soft, self.nodes.len() - soft)
+    }
+
+    /// Emits a Graphviz DOT rendering of the data path grouped by node —
+    /// the shape of the paper's Figure 6/7.
+    pub fn to_dot(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!("digraph \"{}\" {{\n  rankdir=TB;\n", self.name));
+        for (k, (name, ty)) in self.inputs.iter().enumerate() {
+            s.push_str(&format!("  in{k} [label=\"{name}:{ty}\", shape=house];\n"));
+        }
+        for node in &self.nodes {
+            let style = match node.kind {
+                NodeKind::Soft => "solid",
+                NodeKind::Mux | NodeKind::Pipe => "dashed",
+            };
+            s.push_str(&format!(
+                "  subgraph cluster_{} {{ label=\"{}\"; style={style};\n",
+                node.id.0, node.label
+            ));
+            for (i, op) in self.ops.iter().enumerate() {
+                if op.node == node.id {
+                    s.push_str(&format!(
+                        "    op{i} [label=\"{} s{} w{}\", shape=box];\n",
+                        op.op, op.stage, op.hw_bits
+                    ));
+                }
+            }
+            s.push_str("  }\n");
+        }
+        for (i, op) in self.ops.iter().enumerate() {
+            for src in &op.srcs {
+                match src {
+                    Value::Op(o) => s.push_str(&format!("  op{} -> op{i};\n", o.0)),
+                    Value::Input(k) => s.push_str(&format!("  in{k} -> op{i};\n")),
+                    Value::Const(_) => {}
+                }
+            }
+        }
+        for (k, out) in self.outputs.iter().enumerate() {
+            s.push_str(&format!(
+                "  out{k} [label=\"{}:{}\", shape=invhouse];\n",
+                out.name, out.ty
+            ));
+            match out.value {
+                Value::Op(o) => s.push_str(&format!("  op{} -> out{k};\n", o.0)),
+                Value::Input(i) => s.push_str(&format!("  in{i} -> out{k};\n")),
+                Value::Const(_) => {}
+            }
+        }
+        s.push_str("}\n");
+        s
+    }
+
+    /// Verifies structural invariants: topological order, operand
+    /// resolvability, stage monotonicity, and feedback staging. Returns the
+    /// first violation.
+    pub fn verify(&self) -> Result<(), String> {
+        for (i, op) in self.ops.iter().enumerate() {
+            for src in &op.srcs {
+                match src {
+                    Value::Op(o) => {
+                        if o.0 as usize >= i {
+                            return Err(format!(
+                                "op{i} uses op{} which is not earlier in topological order",
+                                o.0
+                            ));
+                        }
+                        let ps = self.ops[o.0 as usize].stage;
+                        if ps > op.stage {
+                            return Err(format!(
+                                "op{i} at stage {} consumes op{} from later stage {ps}",
+                                op.stage, o.0
+                            ));
+                        }
+                    }
+                    Value::Input(k) => {
+                        if *k >= self.inputs.len() {
+                            return Err(format!("op{i} reads missing input {k}"));
+                        }
+                    }
+                    Value::Const(_) => {}
+                }
+            }
+            if op.node.0 as usize >= self.nodes.len() {
+                return Err(format!("op{i} references missing {}", op.node));
+            }
+            if op.stage >= self.num_stages {
+                return Err(format!(
+                    "op{i} stage {} out of range ({} stages)",
+                    op.stage, self.num_stages
+                ));
+            }
+        }
+        // Every LPR and the SNX source of the same slot must share a stage.
+        for (slot_idx, (_, snx_src)) in self.feedback.iter().enumerate() {
+            let snx_stage = self.stage_of(*snx_src);
+            for op in &self.ops {
+                if op.op == Opcode::Lpr && op.imm == slot_idx as i64 && op.stage != snx_stage {
+                    return Err(format!(
+                        "feedback slot {slot_idx}: LPR at stage {} but SNX latches at stage {snx_stage}",
+                        op.stage
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Datapath {
+        // out = a + b, one soft node, one stage.
+        Datapath {
+            name: "tiny".into(),
+            inputs: vec![
+                ("a".into(), IntType::unsigned(8)),
+                ("b".into(), IntType::unsigned(8)),
+            ],
+            outputs: vec![OutputPort {
+                name: "o".into(),
+                ty: IntType::unsigned(9),
+                value: Value::Op(OpId(0)),
+            }],
+            ops: vec![DpOp {
+                op: Opcode::Add,
+                srcs: vec![Value::Input(0), Value::Input(1)],
+                ty: IntType::unsigned(9),
+                hw_bits: 9,
+                imm: 0,
+                node: NodeId(0),
+                stage: 0,
+            }],
+            nodes: vec![DpNode {
+                id: NodeId(0),
+                kind: NodeKind::Soft,
+                label: "node 1".into(),
+            }],
+            luts: vec![],
+            feedback: vec![],
+            num_stages: 1,
+            target_period_ns: 10.0,
+            achieved_period_ns: 2.5,
+        }
+    }
+
+    #[test]
+    fn verify_accepts_well_formed() {
+        tiny().verify().unwrap();
+    }
+
+    #[test]
+    fn verify_rejects_forward_reference() {
+        let mut dp = tiny();
+        dp.ops[0].srcs[0] = Value::Op(OpId(5));
+        assert!(dp.verify().is_err());
+    }
+
+    #[test]
+    fn verify_rejects_stage_inversion() {
+        let mut dp = tiny();
+        dp.num_stages = 2;
+        dp.ops.push(DpOp {
+            op: Opcode::Not,
+            srcs: vec![Value::Op(OpId(0))],
+            ty: IntType::signed(10),
+            hw_bits: 10,
+            imm: 0,
+            node: NodeId(0),
+            stage: 1,
+        });
+        dp.ops[0].stage = 1;
+        dp.ops[1].stage = 0;
+        // op1 (stage 0) consumes op0 (stage 1): invalid.
+        let err = dp.verify().unwrap_err();
+        assert!(err.contains("later stage"));
+    }
+
+    #[test]
+    fn fmax_and_throughput() {
+        let dp = tiny();
+        assert!((dp.fmax_mhz() - 400.0).abs() < 1e-9);
+        assert_eq!(dp.throughput_per_cycle(), 1);
+        assert_eq!(dp.latency_cycles(), 1);
+    }
+
+    #[test]
+    fn dot_output_mentions_nodes_and_edges() {
+        let dot = tiny().to_dot();
+        assert!(dot.contains("cluster_0"));
+        assert!(dot.contains("in0 -> op0"));
+        assert!(dot.contains("op0 -> out0"));
+    }
+
+    #[test]
+    fn regs_on_edge_counts_stage_crossings() {
+        let mut dp = tiny();
+        dp.num_stages = 3;
+        dp.ops.push(DpOp {
+            op: Opcode::Not,
+            srcs: vec![Value::Op(OpId(0))],
+            ty: IntType::signed(10),
+            hw_bits: 10,
+            imm: 0,
+            node: NodeId(0),
+            stage: 2,
+        });
+        assert_eq!(dp.regs_on_edge(Value::Op(OpId(0)), OpId(1)), 2);
+        assert_eq!(dp.regs_on_edge(Value::Input(0), OpId(0)), 0);
+    }
+}

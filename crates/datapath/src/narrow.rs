@@ -1,0 +1,251 @@
+//! Backward bit-width narrowing.
+//!
+//! Forward width inference (done at lowering) guarantees values never wrap;
+//! this pass then shrinks hardware widths from the consumers backwards:
+//! when only the low `d` bits of a result are observed, congruence-safe
+//! operations (`+ − × & | ^ ~ <<`) can be built `d` bits wide. The paper
+//! (§5): "We derive bit width only based on port size and opcodes. More
+//! aggressive bit narrowing … may reduce device utilization" — this is
+//! exactly that port-size-and-opcode narrowing.
+
+use crate::graph::*;
+use roccc_suifvm::ir::Opcode;
+
+/// Narrows `hw_bits` of every operation based on downstream demand.
+/// Safe: the observable output bits are unchanged (verified by the
+/// differential tests in `roccc-netlist`).
+pub fn narrow_widths(dp: &mut Datapath) {
+    let n = dp.ops.len();
+    let mut demand: Vec<u8> = vec![0; n];
+
+    let demand_value = |demand: &mut Vec<u8>, v: Value, bits: u8| {
+        if let Value::Op(o) = v {
+            let i = o.0 as usize;
+            demand[i] = demand[i].max(bits);
+        }
+    };
+
+    // Seed demands from the observation points.
+    for out in &dp.outputs {
+        demand_value(&mut demand, out.value, out.ty.bits);
+    }
+    for (slot, v) in &dp.feedback {
+        demand_value(&mut demand, *v, slot.ty.bits);
+    }
+
+    // Reverse-topological walk: finalize each op's width, then push
+    // demands to its operands.
+    for i in (0..n).rev() {
+        let op = dp.ops[i].clone();
+        let full = op.ty.bits;
+        let d = demand[i].min(full).max(1);
+        let hw = match op.op {
+            // Comparisons/bool produce 1 bit regardless of demand.
+            _ if op.op.is_comparison() => 1,
+            _ => d,
+        };
+        dp.ops[i].hw_bits = hw;
+
+        // Operand demands.
+        let src_full = |v: &Value| -> u8 {
+            match v {
+                Value::Op(o) => dp.ops[o.0 as usize].ty.bits,
+                Value::Input(k) => dp.inputs[*k].1.bits,
+                Value::Const(c) => roccc_cparse::types::IntType::width_for(*c, *c < 0),
+            }
+        };
+        match op.op {
+            Opcode::Add
+            | Opcode::Sub
+            | Opcode::Mul
+            | Opcode::And
+            | Opcode::Or
+            | Opcode::Xor
+            | Opcode::Not
+            | Opcode::Neg
+            | Opcode::Mov => {
+                for s in &op.srcs {
+                    demand_value(&mut demand, *s, hw.min(src_full(s)));
+                }
+            }
+            Opcode::Shl => {
+                let k = match op.srcs.get(1) {
+                    Some(Value::Const(c)) if *c >= 0 => Some(*c as u8),
+                    _ => None,
+                };
+                match k {
+                    Some(k) => {
+                        demand_value(&mut demand, op.srcs[0], hw.saturating_sub(k).max(1));
+                    }
+                    None => {
+                        demand_value(&mut demand, op.srcs[0], src_full(&op.srcs[0]));
+                        demand_value(&mut demand, op.srcs[1], src_full(&op.srcs[1]));
+                    }
+                }
+            }
+            Opcode::Shr => {
+                let k = match op.srcs.get(1) {
+                    Some(Value::Const(c)) if *c >= 0 => Some(*c as u8),
+                    _ => None,
+                };
+                match k {
+                    Some(k) => {
+                        let need = hw.saturating_add(k).min(src_full(&op.srcs[0]));
+                        demand_value(&mut demand, op.srcs[0], need);
+                    }
+                    None => {
+                        demand_value(&mut demand, op.srcs[0], src_full(&op.srcs[0]));
+                        demand_value(&mut demand, op.srcs[1], src_full(&op.srcs[1]));
+                    }
+                }
+            }
+            Opcode::Cvt => {
+                demand_value(&mut demand, op.srcs[0], hw.min(op.ty.bits));
+            }
+            Opcode::Mux => {
+                demand_value(&mut demand, op.srcs[0], 1);
+                demand_value(&mut demand, op.srcs[1], hw.min(src_full(&op.srcs[1])));
+                demand_value(&mut demand, op.srcs[2], hw.min(src_full(&op.srcs[2])));
+            }
+            // Exact-value consumers: demand the full forward width.
+            Opcode::Div
+            | Opcode::Rem
+            | Opcode::Slt
+            | Opcode::Sle
+            | Opcode::Seq
+            | Opcode::Sne
+            | Opcode::Bool
+            | Opcode::Lut => {
+                for s in &op.srcs {
+                    demand_value(&mut demand, *s, src_full(s));
+                }
+            }
+            Opcode::Lpr | Opcode::Arg | Opcode::Ldc | Opcode::Snx => {}
+        }
+    }
+}
+
+/// Total data-path register bits implied by stage crossings (pipeline
+/// balancing registers) plus feedback latches — the basis of the FF count
+/// in the synthesis estimator.
+pub fn register_bits(dp: &Datapath) -> u64 {
+    // Register chains are shared among consumers: a value consumed at
+    // stages s+1 and s+3 needs one chain of 3 registers, not 4. Count the
+    // deepest crossing per value.
+    let mut max_cross: std::collections::HashMap<Value, u64> = std::collections::HashMap::new();
+    for (i, op) in dp.ops.iter().enumerate() {
+        for s in &op.srcs {
+            if matches!(s, Value::Const(_)) {
+                continue; // constants are timeless wires
+            }
+            let crossings = dp.regs_on_edge(*s, OpId(i as u32)) as u64;
+            let e = max_cross.entry(*s).or_insert(0);
+            *e = (*e).max(crossings);
+        }
+    }
+    // Output registers: values must also reach the final stage.
+    let last = dp.num_stages.saturating_sub(1);
+    for out in &dp.outputs {
+        if !matches!(out.value, Value::Const(_)) {
+            let crossings = last.saturating_sub(dp.stage_of(out.value)) as u64;
+            let e = max_cross.entry(out.value).or_insert(0);
+            *e = (*e).max(crossings);
+        }
+    }
+    let mut bits: u64 = max_cross
+        .iter()
+        .map(|(v, c)| c * dp.width_of(*v) as u64)
+        .sum();
+    // One output register per port.
+    for out in &dp.outputs {
+        bits += out.ty.bits as u64;
+    }
+    // Feedback latches.
+    for (slot, _) in &dp.feedback {
+        bits += slot.ty.bits as u64;
+    }
+    bits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_datapath;
+    use crate::pipeline::{pipeline_datapath, DefaultDelayModel};
+    use roccc_cparse::parser::parse;
+    use roccc_suifvm::{lower_function, optimize, to_ssa};
+
+    fn dp_of(src: &str, func: &str) -> Datapath {
+        let prog = parse(src).unwrap();
+        roccc_cparse::sema::check(&prog).unwrap();
+        let f = prog.function(func).unwrap();
+        let mut ir = lower_function(&prog, f, &[]).unwrap();
+        to_ssa(&mut ir);
+        optimize(&mut ir);
+        let mut dp = build_datapath(&ir).unwrap();
+        narrow_widths(&mut dp);
+        dp
+    }
+
+    #[test]
+    fn output_port_width_caps_the_chain() {
+        // 32-bit arithmetic observed through an 8-bit port: everything
+        // congruence-safe narrows to 8 bits.
+        let dp = dp_of("void f(int a, int b, uint8* o) { *o = a * b + a; }", "f");
+        for op in &dp.ops {
+            if matches!(op.op, Opcode::Mul | Opcode::Add) {
+                assert!(op.hw_bits <= 8, "{:?} kept {} bits", op.op, op.hw_bits);
+            }
+        }
+    }
+
+    #[test]
+    fn comparisons_keep_full_width_operands() {
+        let dp = dp_of("void f(int a, int b, uint1* o) { *o = a * 3 < b; }", "f");
+        // The multiply feeds a comparison: must not be narrowed below its
+        // forward width.
+        let mul = dp.ops.iter().find(|o| o.op == Opcode::Mul);
+        if let Some(m) = mul {
+            assert_eq!(m.hw_bits, m.ty.bits);
+        }
+        let cmp = dp.ops.iter().find(|o| o.op.is_comparison()).unwrap();
+        assert_eq!(cmp.hw_bits, 1);
+    }
+
+    #[test]
+    fn shr_demands_extra_low_bits() {
+        let dp = dp_of("void f(int a, uint4* o) { *o = (a * a) >> 8; }", "f");
+        let mul = dp.ops.iter().find(|o| o.op == Opcode::Mul).unwrap();
+        // 4 output bits + 8 shifted-out bits = 12 needed.
+        assert_eq!(mul.hw_bits, 12, "got {}", mul.hw_bits);
+    }
+
+    #[test]
+    fn narrowing_never_widens() {
+        let dp = dp_of(
+            "void f(int12 a, int12 b, int* o) { *o = a * b + (a - b); }",
+            "f",
+        );
+        for op in &dp.ops {
+            assert!(op.hw_bits <= op.ty.bits);
+            assert!(op.hw_bits >= 1);
+        }
+    }
+
+    #[test]
+    fn register_bits_grow_with_stages() {
+        let src = "void f(int a, int b, int* o) { *o = (a * b) * (a + b) * 3 + a; }";
+        let prog = parse(src).unwrap();
+        let f = prog.function("f").unwrap();
+        let mut ir = lower_function(&prog, f, &[]).unwrap();
+        to_ssa(&mut ir);
+        optimize(&mut ir);
+        let mut flat = build_datapath(&ir).unwrap();
+        let mut deep = flat.clone();
+        pipeline_datapath(&mut flat, 1000.0, &DefaultDelayModel);
+        pipeline_datapath(&mut deep, 4.0, &DefaultDelayModel);
+        narrow_widths(&mut flat);
+        narrow_widths(&mut deep);
+        assert!(register_bits(&deep) > register_bits(&flat));
+    }
+}

@@ -1,0 +1,297 @@
+//! Constant folding and algebraic simplification.
+//!
+//! One of ROCCC's "conventional optimizations" (§2). Folding runs at the AST
+//! level so that loop bounds and array indices become literal constants
+//! before unrolling and scalar replacement; the back end (`roccc-suifvm`)
+//! folds again at the IR level after other passes expose more constants.
+
+use crate::subst::{map_block_exprs, map_expr};
+use roccc_cparse::ast::*;
+
+/// Folds constants in every function of the program.
+pub fn fold_program(p: &Program) -> Program {
+    Program {
+        items: p
+            .items
+            .iter()
+            .map(|item| match item {
+                Item::Function(f) => Item::Function(fold_function(f)),
+                g => g.clone(),
+            })
+            .collect(),
+    }
+}
+
+/// Folds constants in one function.
+pub fn fold_function(f: &Function) -> Function {
+    Function {
+        body: fold_block(&f.body),
+        ..f.clone()
+    }
+}
+
+/// Folds constants in a block.
+pub fn fold_block(b: &Block) -> Block {
+    map_block_exprs(b, &mut |e| fold_expr(&e))
+}
+
+/// Folds an expression bottom-up: literal arithmetic is evaluated and
+/// algebraic identities are applied (`x*1 → x`, `x+0 → x`, `x*0 → 0`,
+/// `x<<0 → x`, `x&0 → 0`, `1?a:b → a`, …).
+///
+/// ```
+/// use roccc_cparse::{parser::parse, ast::StmtKind};
+/// use roccc_hlir::fold::fold_expr;
+///
+/// let prog = parse("int f(int x) { return x * 1 + 2 * 3; }").unwrap();
+/// let e = match &prog.function("f").unwrap().body.stmts[0].kind {
+///     StmtKind::Return(Some(e)) => e.clone(),
+///     _ => unreachable!(),
+/// };
+/// assert_eq!(fold_expr(&e).to_c(), "(x + 6)");
+/// ```
+pub fn fold_expr(e: &Expr) -> Expr {
+    map_expr(e, &mut fold_node)
+}
+
+fn fold_node(e: Expr) -> Expr {
+    let span = e.span;
+    match &e.kind {
+        ExprKind::Unary { op, operand } => {
+            if let Some(v) = operand.as_const() {
+                let folded = match op {
+                    UnOp::Neg => v.wrapping_neg(),
+                    UnOp::BitNot => !v,
+                    UnOp::LogicalNot => (v == 0) as i64,
+                };
+                return Expr::int(folded, span);
+            }
+            e
+        }
+        ExprKind::Binary { op, lhs, rhs } => {
+            if let (Some(l), Some(r)) = (lhs.as_const(), rhs.as_const()) {
+                if let Some(v) = eval_binop(*op, l, r) {
+                    return Expr::int(v, span);
+                }
+            }
+            // Algebraic identities with one constant side.
+            if let Some(simplified) = simplify_identity(*op, lhs, rhs, span) {
+                return simplified;
+            }
+            e
+        }
+        ExprKind::Cond {
+            cond,
+            then_e,
+            else_e,
+        } => {
+            if let Some(c) = cond.as_const() {
+                return if c != 0 {
+                    (**then_e).clone()
+                } else {
+                    (**else_e).clone()
+                };
+            }
+            e
+        }
+        _ => e,
+    }
+}
+
+/// Evaluates a binary operation on constants; `None` for division by zero
+/// (left in place so the interpreter reports it with the right span).
+pub fn eval_binop(op: BinOp, l: i64, r: i64) -> Option<i64> {
+    Some(match op {
+        BinOp::Add => l.wrapping_add(r),
+        BinOp::Sub => l.wrapping_sub(r),
+        BinOp::Mul => l.wrapping_mul(r),
+        BinOp::Div => {
+            if r == 0 {
+                return None;
+            }
+            l.wrapping_div(r)
+        }
+        BinOp::Rem => {
+            if r == 0 {
+                return None;
+            }
+            l.wrapping_rem(r)
+        }
+        BinOp::Shl => {
+            if r < 0 {
+                return None;
+            }
+            l.wrapping_shl(r.min(63) as u32)
+        }
+        BinOp::Shr => {
+            if r < 0 {
+                return None;
+            }
+            l.wrapping_shr(r.min(63) as u32)
+        }
+        BinOp::Lt => (l < r) as i64,
+        BinOp::Le => (l <= r) as i64,
+        BinOp::Gt => (l > r) as i64,
+        BinOp::Ge => (l >= r) as i64,
+        BinOp::Eq => (l == r) as i64,
+        BinOp::Ne => (l != r) as i64,
+        BinOp::BitAnd => l & r,
+        BinOp::BitXor => l ^ r,
+        BinOp::BitOr => l | r,
+        BinOp::LogicalAnd => ((l != 0) && (r != 0)) as i64,
+        BinOp::LogicalOr => ((l != 0) || (r != 0)) as i64,
+    })
+}
+
+fn simplify_identity(
+    op: BinOp,
+    lhs: &Expr,
+    rhs: &Expr,
+    span: roccc_cparse::span::Span,
+) -> Option<Expr> {
+    let lc = lhs.as_const();
+    let rc = rhs.as_const();
+    match op {
+        BinOp::Add => {
+            if rc == Some(0) {
+                return Some(lhs.clone());
+            }
+            if lc == Some(0) {
+                return Some(rhs.clone());
+            }
+        }
+        BinOp::Sub
+            if rc == Some(0) => {
+                return Some(lhs.clone());
+            }
+        BinOp::Mul => {
+            if rc == Some(1) {
+                return Some(lhs.clone());
+            }
+            if lc == Some(1) {
+                return Some(rhs.clone());
+            }
+            if rc == Some(0) || lc == Some(0) {
+                return Some(Expr::int(0, span));
+            }
+        }
+        BinOp::Div
+            if rc == Some(1) => {
+                return Some(lhs.clone());
+            }
+        BinOp::Shl | BinOp::Shr => {
+            if rc == Some(0) {
+                return Some(lhs.clone());
+            }
+            if lc == Some(0) {
+                return Some(Expr::int(0, span));
+            }
+        }
+        BinOp::BitAnd => {
+            if rc == Some(0) || lc == Some(0) {
+                return Some(Expr::int(0, span));
+            }
+            if rc == Some(-1) {
+                return Some(lhs.clone());
+            }
+            if lc == Some(-1) {
+                return Some(rhs.clone());
+            }
+        }
+        BinOp::BitOr | BinOp::BitXor => {
+            if rc == Some(0) {
+                return Some(lhs.clone());
+            }
+            if lc == Some(0) {
+                return Some(rhs.clone());
+            }
+        }
+        BinOp::LogicalAnd
+            // The subset has no side effects in expressions, so a constant
+            // zero on either side collapses the conjunction.
+            if (rc == Some(0) || lc == Some(0)) => {
+                return Some(Expr::int(0, span));
+            }
+        BinOp::LogicalOr
+            if (matches!(rc, Some(v) if v != 0) || matches!(lc, Some(v) if v != 0)) => {
+                return Some(Expr::int(1, span));
+            }
+        _ => {}
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roccc_cparse::parser::parse;
+
+    fn fold_ret(src: &str) -> String {
+        let prog = parse(&format!("int f(int x, int y) {{ return {src}; }}")).unwrap();
+        let folded = fold_function(prog.function("f").unwrap());
+        match &folded.body.stmts[0].kind {
+            StmtKind::Return(Some(e)) => e.to_c(),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn folds_literal_arithmetic() {
+        assert_eq!(fold_ret("2 + 3 * 4"), "14");
+        assert_eq!(fold_ret("(10 - 4) / 3"), "2");
+        assert_eq!(fold_ret("1 << 5"), "32");
+        assert_eq!(fold_ret("-(3) + 1"), "-2");
+        assert_eq!(fold_ret("~0 & 255"), "255");
+    }
+
+    #[test]
+    fn folds_comparisons_and_logic() {
+        assert_eq!(fold_ret("3 < 4"), "1");
+        assert_eq!(fold_ret("3 == 4 || 1"), "1");
+        assert_eq!(fold_ret("0 && x"), "0");
+    }
+
+    #[test]
+    fn applies_identities() {
+        assert_eq!(fold_ret("x * 1"), "x");
+        assert_eq!(fold_ret("x + 0"), "x");
+        assert_eq!(fold_ret("0 + x"), "x");
+        assert_eq!(fold_ret("x * 0"), "0");
+        assert_eq!(fold_ret("x - 0"), "x");
+        assert_eq!(fold_ret("x << 0"), "x");
+        assert_eq!(fold_ret("x & 0"), "0");
+        assert_eq!(fold_ret("x | 0"), "x");
+        assert_eq!(fold_ret("x ^ 0"), "x");
+    }
+
+    #[test]
+    fn folds_constant_ternary() {
+        assert_eq!(fold_ret("1 ? x : y"), "x");
+        assert_eq!(fold_ret("0 ? x : y"), "y");
+        assert_eq!(fold_ret("2 > 1 ? 5 : 6"), "5");
+    }
+
+    #[test]
+    fn leaves_division_by_zero_unfolded() {
+        assert_eq!(fold_ret("4 / 0"), "(4 / 0)");
+        assert_eq!(fold_ret("4 % 0"), "(4 % 0)");
+    }
+
+    #[test]
+    fn folds_inside_loop_bounds() {
+        let prog = parse(
+            "void f(int A[8], int* o) { int i; int s = 0;
+          for (i = 0; i < 2 * 4; i++) { s = s + A[i]; } *o = s; }",
+        )
+        .unwrap();
+        let folded = fold_function(prog.function("f").unwrap());
+        let text = folded.to_c();
+        assert!(text.contains("i < 8"), "bounds folded: {text}");
+    }
+
+    #[test]
+    fn nested_folding_cascades() {
+        assert_eq!(fold_ret("(1 + 1) * (2 + 2)"), "8");
+        assert_eq!(fold_ret("x * (3 - 2)"), "x");
+    }
+}

@@ -1,0 +1,272 @@
+//! Kernel description produced by the front end.
+//!
+//! A [`Kernel`] is everything the rest of the compiler needs to build
+//! hardware for one loop nest:
+//!
+//! * the **data-path function** (Figure 3 (c) / Figure 4 (c) in the paper) —
+//!   pure scalar computation with window scalars in, `Tmp` scalars out, and
+//!   `ROCCC_load_prev`/`ROCCC_store2next` intrinsics marking feedback;
+//! * the **window specifications** consumed by the smart-buffer generator
+//!   (`roccc-buffers`);
+//! * the **loop dimensions** consumed by the address generators and the
+//!   higher-level controller;
+//! * the **feedback variables** that become `LPR`/`SNX` latches.
+
+use roccc_cparse::ast::Function;
+use roccc_cparse::types::IntType;
+use std::fmt;
+
+/// One dimension of the loop nest (outermost first).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopDim {
+    /// Induction variable name.
+    pub var: String,
+    /// First value.
+    pub start: i64,
+    /// Exclusive bound (normalized to `<`).
+    pub bound: i64,
+    /// Step per iteration.
+    pub step: i64,
+    /// Total iterations.
+    pub trip: u64,
+}
+
+/// An affine array index in one dimension: `var + offset`, or a constant
+/// when `var` is `None`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AffineIndex {
+    /// The loop variable, if the index moves with the loop.
+    pub var: Option<String>,
+    /// Constant offset.
+    pub offset: i64,
+}
+
+impl fmt::Display for AffineIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.var, self.offset) {
+            (Some(v), 0) => write!(f, "{v}"),
+            (Some(v), o) if o > 0 => write!(f, "{v}+{o}"),
+            (Some(v), o) => write!(f, "{v}{o}"),
+            (None, o) => write!(f, "{o}"),
+        }
+    }
+}
+
+/// One element read from an input window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowRead {
+    /// Name of the scalar the element was replaced with (e.g. `A0`).
+    pub scalar: String,
+    /// Index expression per dimension.
+    pub index: Vec<AffineIndex>,
+}
+
+/// The set of elements read from one input array — the sliding window the
+/// smart buffer must serve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowSpec {
+    /// Array (function parameter) name.
+    pub array: String,
+    /// Element type.
+    pub elem: IntType,
+    /// Array dimensions as declared.
+    pub dims: Vec<usize>,
+    /// All reads, ordered by ascending offset.
+    pub reads: Vec<WindowRead>,
+}
+
+impl WindowSpec {
+    /// Window extent per dimension: `max(offset) - min(offset) + 1` over the
+    /// moving dimensions (1 for constant dimensions).
+    pub fn extent(&self) -> Vec<usize> {
+        if self.reads.is_empty() {
+            return vec![];
+        }
+        let ndim = self.reads[0].index.len();
+        (0..ndim)
+            .map(|d| {
+                let offs: Vec<i64> = self.reads.iter().map(|r| r.index[d].offset).collect();
+                let min = offs.iter().min().copied().unwrap_or(0);
+                let max = offs.iter().max().copied().unwrap_or(0);
+                (max - min + 1) as usize
+            })
+            .collect()
+    }
+}
+
+/// One element written to an output array per iteration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutputWrite {
+    /// The scalar holding the computed value (e.g. `Tmp0`).
+    pub scalar: String,
+    /// Index expression per dimension.
+    pub index: Vec<AffineIndex>,
+}
+
+/// The writes into one output array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutputSpec {
+    /// Array (function parameter) name.
+    pub array: String,
+    /// Element type.
+    pub elem: IntType,
+    /// Array dimensions as declared.
+    pub dims: Vec<usize>,
+    /// All writes performed per iteration.
+    pub writes: Vec<OutputWrite>,
+}
+
+/// A loop-carried scalar that becomes an `LPR`/`SNX` feedback latch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FeedbackVar {
+    /// Variable name (e.g. `sum`).
+    pub name: String,
+    /// Declared type.
+    pub ty: IntType,
+    /// Initial value latched before the first iteration.
+    pub init: i64,
+}
+
+/// A compiled kernel description. See the module docs.
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    /// Kernel (original function) name.
+    pub name: String,
+    /// Loop nest, outermost first. Empty for straight-line kernels
+    /// (fully-unrolled loops, pure scalar functions).
+    pub dims: Vec<LoopDim>,
+    /// Input windows, one per array read.
+    pub windows: Vec<WindowSpec>,
+    /// Output arrays written.
+    pub outputs: Vec<OutputSpec>,
+    /// Scalar live-in parameters of the original function that the loop body
+    /// reads (become constant input ports of the data-path).
+    pub scalar_inputs: Vec<(String, IntType)>,
+    /// Scalar outputs delivered through out-pointer parameters each
+    /// invocation (straight-line kernels) — `(param, type)`.
+    pub scalar_outputs: Vec<(String, IntType)>,
+    /// Feedback variables.
+    pub feedback: Vec<FeedbackVar>,
+    /// Names of feedback variables whose final value is exported after the
+    /// loop drains (via a `<name>_final` out-parameter on the data-path).
+    pub live_out: Vec<String>,
+    /// The extracted data-path function (Figure 3 (c) / 4 (c) shape).
+    pub dp_func: Function,
+    /// The scalar-replaced loop function (Figure 3 (b) shape) — functionally
+    /// identical to the original, used for golden-model checks.
+    pub rewritten: Function,
+}
+
+impl Kernel {
+    /// Per-iteration input port list of the data-path, in order: window
+    /// scalars then scalar live-ins.
+    pub fn input_ports(&self) -> Vec<(String, IntType)> {
+        let mut ports = Vec::new();
+        for w in &self.windows {
+            for r in &w.reads {
+                ports.push((r.scalar.clone(), w.elem));
+            }
+        }
+        ports.extend(self.scalar_inputs.iter().cloned());
+        ports
+    }
+
+    /// Per-iteration output port list: output scalars then feedback finals.
+    pub fn output_ports(&self) -> Vec<(String, IntType)> {
+        let mut ports = Vec::new();
+        for o in &self.outputs {
+            for w in &o.writes {
+                ports.push((w.scalar.clone(), o.elem));
+            }
+        }
+        ports.extend(self.scalar_outputs.iter().cloned());
+        for name in &self.live_out {
+            if let Some(fb) = self.feedback.iter().find(|f| &f.name == name) {
+                ports.push((format!("{name}_final"), fb.ty));
+            }
+        }
+        ports
+    }
+
+    /// Total iterations of the whole nest.
+    pub fn total_iterations(&self) -> u64 {
+        self.dims.iter().map(|d| d.trip).product()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn affine_index_displays() {
+        let i = AffineIndex {
+            var: Some("i".into()),
+            offset: 0,
+        };
+        assert_eq!(i.to_string(), "i");
+        let j = AffineIndex {
+            var: Some("i".into()),
+            offset: 3,
+        };
+        assert_eq!(j.to_string(), "i+3");
+        let k = AffineIndex {
+            var: Some("i".into()),
+            offset: -2,
+        };
+        assert_eq!(k.to_string(), "i-2");
+        let c = AffineIndex {
+            var: None,
+            offset: 7,
+        };
+        assert_eq!(c.to_string(), "7");
+    }
+
+    #[test]
+    fn window_extent_spans_offsets() {
+        let w = WindowSpec {
+            array: "A".into(),
+            elem: IntType::int(),
+            dims: vec![32],
+            reads: (0..5)
+                .map(|k| WindowRead {
+                    scalar: format!("A{k}"),
+                    index: vec![AffineIndex {
+                        var: Some("i".into()),
+                        offset: k,
+                    }],
+                })
+                .collect(),
+        };
+        assert_eq!(w.extent(), vec![5]);
+    }
+
+    #[test]
+    fn window_extent_2d() {
+        let mut reads = Vec::new();
+        for r in 0..2i64 {
+            for c in 0..3i64 {
+                reads.push(WindowRead {
+                    scalar: format!("A{}", r * 3 + c),
+                    index: vec![
+                        AffineIndex {
+                            var: Some("i".into()),
+                            offset: r,
+                        },
+                        AffineIndex {
+                            var: Some("j".into()),
+                            offset: c,
+                        },
+                    ],
+                });
+            }
+        }
+        let w = WindowSpec {
+            array: "A".into(),
+            elem: IntType::int(),
+            dims: vec![16, 16],
+            reads,
+        };
+        assert_eq!(w.extent(), vec![2, 3]);
+    }
+}

@@ -1,0 +1,349 @@
+//! AST rewriting helpers shared by the loop transformations.
+
+use roccc_cparse::ast::*;
+
+/// Applies `f` bottom-up to every expression inside `e`, rebuilding the tree.
+pub fn map_expr(e: &Expr, f: &mut impl FnMut(Expr) -> Expr) -> Expr {
+    let kind = match &e.kind {
+        ExprKind::IntLit(v) => ExprKind::IntLit(*v),
+        ExprKind::Var(n) => ExprKind::Var(n.clone()),
+        ExprKind::ArrayIndex { name, indices } => ExprKind::ArrayIndex {
+            name: name.clone(),
+            indices: indices.iter().map(|i| map_expr(i, f)).collect(),
+        },
+        ExprKind::Unary { op, operand } => ExprKind::Unary {
+            op: *op,
+            operand: Box::new(map_expr(operand, f)),
+        },
+        ExprKind::Binary { op, lhs, rhs } => ExprKind::Binary {
+            op: *op,
+            lhs: Box::new(map_expr(lhs, f)),
+            rhs: Box::new(map_expr(rhs, f)),
+        },
+        ExprKind::Cond {
+            cond,
+            then_e,
+            else_e,
+        } => ExprKind::Cond {
+            cond: Box::new(map_expr(cond, f)),
+            then_e: Box::new(map_expr(then_e, f)),
+            else_e: Box::new(map_expr(else_e, f)),
+        },
+        ExprKind::Call { name, args } => ExprKind::Call {
+            name: name.clone(),
+            args: args.iter().map(|a| map_expr(a, f)).collect(),
+        },
+    };
+    f(Expr { kind, span: e.span })
+}
+
+/// Replaces every read of variable `var` with `replacement`.
+pub fn subst_var(e: &Expr, var: &str, replacement: &Expr) -> Expr {
+    map_expr(e, &mut |x| match &x.kind {
+        ExprKind::Var(n) if n == var => Expr {
+            kind: replacement.kind.clone(),
+            span: x.span,
+        },
+        _ => x,
+    })
+}
+
+/// Substitutes `var` in every expression position of a statement tree.
+pub fn subst_var_stmt(s: &Stmt, var: &str, replacement: &Expr) -> Stmt {
+    map_stmt_exprs(s, &mut |e| subst_var(&e, var, replacement))
+}
+
+/// Applies `f` to every top-level expression of a statement tree (conditions,
+/// right-hand sides, indices, initializers), recursing through blocks.
+pub fn map_stmt_exprs(s: &Stmt, f: &mut impl FnMut(Expr) -> Expr) -> Stmt {
+    let kind = match &s.kind {
+        StmtKind::Decl { name, ty, init } => StmtKind::Decl {
+            name: name.clone(),
+            ty: ty.clone(),
+            init: init.as_ref().map(|e| f(e.clone())),
+        },
+        StmtKind::Assign { target, op, value } => StmtKind::Assign {
+            target: map_lvalue(target, f),
+            op: *op,
+            value: f(value.clone()),
+        },
+        StmtKind::If {
+            cond,
+            then_blk,
+            else_blk,
+        } => StmtKind::If {
+            cond: f(cond.clone()),
+            then_blk: map_block_exprs(then_blk, f),
+            else_blk: else_blk.as_ref().map(|b| map_block_exprs(b, f)),
+        },
+        StmtKind::For {
+            init,
+            cond,
+            step,
+            body,
+        } => StmtKind::For {
+            init: init.as_ref().map(|st| Box::new(map_stmt_exprs(st, f))),
+            cond: cond.as_ref().map(|e| f(e.clone())),
+            step: step.as_ref().map(|st| Box::new(map_stmt_exprs(st, f))),
+            body: map_block_exprs(body, f),
+        },
+        StmtKind::While { cond, body } => StmtKind::While {
+            cond: f(cond.clone()),
+            body: map_block_exprs(body, f),
+        },
+        StmtKind::Return(e) => StmtKind::Return(e.as_ref().map(|e| f(e.clone()))),
+        StmtKind::Block(b) => StmtKind::Block(map_block_exprs(b, f)),
+        StmtKind::Expr(e) => StmtKind::Expr(f(e.clone())),
+    };
+    Stmt { kind, span: s.span }
+}
+
+/// Applies `f` to every expression in a block.
+pub fn map_block_exprs(b: &Block, f: &mut impl FnMut(Expr) -> Expr) -> Block {
+    Block {
+        stmts: b.stmts.iter().map(|s| map_stmt_exprs(s, f)).collect(),
+        span: b.span,
+    }
+}
+
+fn map_lvalue(lv: &LValue, f: &mut impl FnMut(Expr) -> Expr) -> LValue {
+    match lv {
+        LValue::Var(n) => LValue::Var(n.clone()),
+        LValue::ArrayElem { name, indices } => LValue::ArrayElem {
+            name: name.clone(),
+            indices: indices.iter().map(|e| f(e.clone())).collect(),
+        },
+        LValue::Deref(n) => LValue::Deref(n.clone()),
+    }
+}
+
+/// Collects the names of all variables read anywhere in `e`.
+pub fn collect_var_reads(e: &Expr, out: &mut Vec<String>) {
+    match &e.kind {
+        ExprKind::IntLit(_) => {}
+        ExprKind::Var(n) => out.push(n.clone()),
+        ExprKind::ArrayIndex { indices, .. } => {
+            for i in indices {
+                collect_var_reads(i, out);
+            }
+        }
+        ExprKind::Unary { operand, .. } => collect_var_reads(operand, out),
+        ExprKind::Binary { lhs, rhs, .. } => {
+            collect_var_reads(lhs, out);
+            collect_var_reads(rhs, out);
+        }
+        ExprKind::Cond {
+            cond,
+            then_e,
+            else_e,
+        } => {
+            collect_var_reads(cond, out);
+            collect_var_reads(then_e, out);
+            collect_var_reads(else_e, out);
+        }
+        ExprKind::Call { args, .. } => {
+            for a in args {
+                collect_var_reads(a, out);
+            }
+        }
+    }
+}
+
+/// Collects scalar variables written anywhere in a block (assignments and
+/// declarations with initializers), recursing into nested control flow.
+pub fn collect_scalar_writes(b: &Block, out: &mut Vec<String>) {
+    for s in &b.stmts {
+        collect_scalar_writes_stmt(s, out);
+    }
+}
+
+fn collect_scalar_writes_stmt(s: &Stmt, out: &mut Vec<String>) {
+    match &s.kind {
+        StmtKind::Decl { name, init, .. } => {
+            if init.is_some() {
+                out.push(name.clone());
+            }
+        }
+        StmtKind::Assign { target, .. } => {
+            if let LValue::Var(n) = target {
+                out.push(n.clone());
+            }
+        }
+        StmtKind::If {
+            then_blk, else_blk, ..
+        } => {
+            collect_scalar_writes(then_blk, out);
+            if let Some(e) = else_blk {
+                collect_scalar_writes(e, out);
+            }
+        }
+        StmtKind::For {
+            init, step, body, ..
+        } => {
+            if let Some(i) = init {
+                collect_scalar_writes_stmt(i, out);
+            }
+            if let Some(st) = step {
+                collect_scalar_writes_stmt(st, out);
+            }
+            collect_scalar_writes(body, out);
+        }
+        StmtKind::While { body, .. } => collect_scalar_writes(body, out),
+        StmtKind::Block(b) => collect_scalar_writes(b, out),
+        StmtKind::Return(_) | StmtKind::Expr(_) => {}
+    }
+}
+
+/// Renames every variable occurrence (reads, writes, declarations) using the
+/// provided mapping; names absent from the map are left unchanged.
+pub fn rename_vars_stmt(s: &Stmt, map: &std::collections::HashMap<String, String>) -> Stmt {
+    let rename = |n: &String| map.get(n).cloned().unwrap_or_else(|| n.clone());
+    let kind = match &s.kind {
+        StmtKind::Decl { name, ty, init } => StmtKind::Decl {
+            name: rename(name),
+            ty: ty.clone(),
+            init: init.as_ref().map(|e| rename_vars_expr(e, map)),
+        },
+        StmtKind::Assign { target, op, value } => StmtKind::Assign {
+            target: rename_lvalue(target, map),
+            op: *op,
+            value: rename_vars_expr(value, map),
+        },
+        StmtKind::If {
+            cond,
+            then_blk,
+            else_blk,
+        } => StmtKind::If {
+            cond: rename_vars_expr(cond, map),
+            then_blk: rename_vars_block(then_blk, map),
+            else_blk: else_blk.as_ref().map(|b| rename_vars_block(b, map)),
+        },
+        StmtKind::For {
+            init,
+            cond,
+            step,
+            body,
+        } => StmtKind::For {
+            init: init.as_ref().map(|st| Box::new(rename_vars_stmt(st, map))),
+            cond: cond.as_ref().map(|e| rename_vars_expr(e, map)),
+            step: step.as_ref().map(|st| Box::new(rename_vars_stmt(st, map))),
+            body: rename_vars_block(body, map),
+        },
+        StmtKind::While { cond, body } => StmtKind::While {
+            cond: rename_vars_expr(cond, map),
+            body: rename_vars_block(body, map),
+        },
+        StmtKind::Return(e) => StmtKind::Return(e.as_ref().map(|e| rename_vars_expr(e, map))),
+        StmtKind::Block(b) => StmtKind::Block(rename_vars_block(b, map)),
+        StmtKind::Expr(e) => StmtKind::Expr(rename_vars_expr(e, map)),
+    };
+    Stmt { kind, span: s.span }
+}
+
+/// Renames variables in a block. See [`rename_vars_stmt`].
+pub fn rename_vars_block(b: &Block, map: &std::collections::HashMap<String, String>) -> Block {
+    Block {
+        stmts: b.stmts.iter().map(|s| rename_vars_stmt(s, map)).collect(),
+        span: b.span,
+    }
+}
+
+/// Renames variables in an expression. See [`rename_vars_stmt`].
+pub fn rename_vars_expr(e: &Expr, map: &std::collections::HashMap<String, String>) -> Expr {
+    map_expr(e, &mut |x| match &x.kind {
+        ExprKind::Var(n) => match map.get(n) {
+            Some(new) => Expr {
+                kind: ExprKind::Var(new.clone()),
+                span: x.span,
+            },
+            None => x,
+        },
+        ExprKind::ArrayIndex { name, indices } => match map.get(name) {
+            Some(new) => Expr {
+                kind: ExprKind::ArrayIndex {
+                    name: new.clone(),
+                    indices: indices.clone(),
+                },
+                span: x.span,
+            },
+            None => x,
+        },
+        _ => x,
+    })
+}
+
+fn rename_lvalue(lv: &LValue, map: &std::collections::HashMap<String, String>) -> LValue {
+    let rename = |n: &String| map.get(n).cloned().unwrap_or_else(|| n.clone());
+    match lv {
+        LValue::Var(n) => LValue::Var(rename(n)),
+        LValue::ArrayElem { name, indices } => LValue::ArrayElem {
+            name: rename(name),
+            indices: indices.clone(),
+        },
+        LValue::Deref(n) => LValue::Deref(rename(n)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roccc_cparse::parser::parse;
+    use roccc_cparse::span::Span;
+
+    fn expr_of(src: &str) -> Expr {
+        // Parse `int f() { return <src>; }` and pull out the expression.
+        let prog = parse(&format!("int f(int a, int b, int i) {{ return {src}; }}")).unwrap();
+        match &prog.function("f").unwrap().body.stmts[0].kind {
+            StmtKind::Return(Some(e)) => e.clone(),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn subst_replaces_all_occurrences() {
+        let e = expr_of("a + a * b");
+        let replaced = subst_var(&e, "a", &Expr::int(7, Span::dummy()));
+        assert_eq!(replaced.to_c(), "(7 + (7 * b))");
+    }
+
+    #[test]
+    fn subst_reaches_array_indices() {
+        let prog = parse("void f(int A[8], int i, int* o) { *o = A[i + 1]; }").unwrap();
+        let f = prog.function("f").unwrap();
+        let s = subst_var_stmt(&f.body.stmts[0], "i", &Expr::int(3, Span::dummy()));
+        match &s.kind {
+            StmtKind::Assign { value, .. } => assert_eq!(value.to_c(), "A[(3 + 1)]"),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn collect_reads_finds_nested() {
+        let e = expr_of("a > 0 ? b : a + i");
+        let mut reads = Vec::new();
+        collect_var_reads(&e, &mut reads);
+        reads.sort();
+        assert_eq!(reads, vec!["a", "a", "b", "i"]);
+    }
+
+    #[test]
+    fn rename_renames_decls_and_uses() {
+        let prog = parse("void f() { int x = 1; int y = x + 2; }").unwrap();
+        let f = prog.function("f").unwrap();
+        let mut map = std::collections::HashMap::new();
+        map.insert("x".to_string(), "x_1".to_string());
+        let renamed = rename_vars_block(&f.body, &map);
+        let text: String = renamed.stmts.iter().map(|s| format!("{s:?}")).collect();
+        assert!(text.contains("x_1"));
+        assert!(!text.contains("\"x\""));
+    }
+
+    #[test]
+    fn collect_writes_descends_into_branches() {
+        let prog = parse("void f(int c) { int a; if (c) { a = 1; } else { a = 2; } }").unwrap();
+        let f = prog.function("f").unwrap();
+        let mut writes = Vec::new();
+        collect_scalar_writes(&f.body, &mut writes);
+        assert_eq!(writes, vec!["a", "a"]);
+    }
+}

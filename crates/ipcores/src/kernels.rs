@@ -1,0 +1,380 @@
+//! The C kernels compiled by the ROCCC side of every Table 1 row.
+//!
+//! Scalar cores (bit_correlator, mul_acc via a stream loop, udiv, square
+//! root, the two lookup tables) are written the way the paper describes —
+//! "The C input, as a high-level code, is not good at describing bit
+//! operations", hence the explicit shift/mask style for the bit kernels —
+//! and the streaming kernels (FIR, DCT, wavelet) are loop nests with
+//! sliding windows.
+
+use crate::baselines::{
+    arbitrary_table_entry, cos_table_entry, dct_coeff, CORRELATOR_MASK, FIR_COEFFS,
+};
+use std::fmt::Write as _;
+
+/// C source of the bit-correlator kernel: straight-line bit tests, fully
+/// parallel in hardware.
+pub fn bit_correlator_source() -> String {
+    let mut terms = Vec::new();
+    for k in 0..8 {
+        let mb = (CORRELATOR_MASK >> k) & 1;
+        terms.push(format!("(((x >> {k}) & 1) == {mb})"));
+    }
+    format!(
+        "void bit_correlator(uint8 x, uint4* count) {{\n  *count = {};\n}}\n",
+        terms.join(" + ")
+    )
+}
+
+/// C source of the streaming multiplier-accumulator with the `nd` (new
+/// data) qualifier, written with the if-else the paper discusses in §5.
+pub fn mul_acc_source() -> String {
+    "void mul_acc(int12 a[256], int12 b[256], uint1 nd[256], int* q) {
+  int acc = 0;
+  int i;
+  for (i = 0; i < 256; i++) {
+    int p;
+    p = 0;
+    if (nd[i]) { p = a[i] * b[i]; }
+    acc = acc + p;
+  }
+  *q = acc;
+}
+"
+    .to_string()
+}
+
+/// Algorithm-level alternative from §5: multiply the product by `nd`
+/// instead of branching ("we used to convert this C code by multiplying nd
+/// with the new input data … the overall area and clock rate performance
+/// was better").
+pub fn mul_acc_multiply_source() -> String {
+    "void mul_acc(int12 a[256], int12 b[256], uint1 nd[256], int* q) {
+  int acc = 0;
+  int i;
+  for (i = 0; i < 256; i++) {
+    acc = acc + a[i] * b[i] * nd[i];
+  }
+  *q = acc;
+}
+"
+    .to_string()
+}
+
+/// C source of the 8-bit unsigned divider: restoring shift-subtract,
+/// fully unrolled into an 8-deep data path.
+pub fn udiv_source() -> String {
+    let mut s = String::from("void udiv(uint8 n, uint8 d, uint8* q) {\n");
+    // Natural C declarations: `int` temporaries. The paper names exactly
+    // this as a major cause of the area gap — "The C input, as a
+    // high-level code, is not good at describing bit operations" — the
+    // hand-built divider keeps a 9-bit remainder, the C version a 32-bit
+    // one (backward narrowing recovers some, but comparisons demand full
+    // width).
+    s.push_str("  int rem = 0;\n  int quo = 0;\n");
+    for k in (0..8).rev() {
+        let _ = writeln!(s, "  rem = (rem << 1) | ((n >> {k}) & 1);");
+        s.push_str("  quo = quo << 1;\n");
+        s.push_str("  if (rem >= d) { rem = rem - d; quo = quo | 1; }\n");
+    }
+    s.push_str("  *q = quo;\n}\n");
+    s
+}
+
+/// The divider rewritten with the paper's future-work "bit manipulation
+/// macros" (`ROCCC_bits` keeps every temporary at its true width): the
+/// D6 ablation shows this recovers most of the area gap to the hand
+/// design.
+pub fn udiv_bits_source() -> String {
+    let mut s = String::from("void udiv(uint8 n, uint8 d, uint8* q) {\n");
+    s.push_str("  uint9 rem = 0;\n  uint8 quo = 0;\n");
+    for k in (0..8).rev() {
+        let _ = writeln!(
+            s,
+            "  rem = ROCCC_cat(ROCCC_bits(rem, 7, 0), ROCCC_bits(n, {k}, {k}), 1);"
+        );
+        s.push_str("  quo = quo << 1;\n");
+        s.push_str("  if (rem >= d) { rem = rem - d; quo = quo | 1; }\n");
+    }
+    s.push_str("  *q = quo;\n}\n");
+    s
+}
+
+/// C source of the 24-bit integer square root: restoring digit recurrence,
+/// 12 unrolled steps.
+pub fn square_root_source() -> String {
+    let mut s = String::from("void square_root(uint24 x, uint12* r) {\n");
+    // Natural C `int` temporaries (see `udiv_source` on why this is the
+    // faithful ROCCC-side formulation).
+    s.push_str("  int rem = 0;\n  int root = 0;\n  int test = 0;\n");
+    for i in 0..12 {
+        let hi = 2 * (11 - i) + 1;
+        let lo = 2 * (11 - i);
+        let _ = writeln!(
+            s,
+            "  rem = (rem << 2) | (((x >> {hi}) & 1) << 1) | ((x >> {lo}) & 1);"
+        );
+        s.push_str("  test = (root << 2) | 1;\n");
+        s.push_str("  root = root << 1;\n");
+        s.push_str("  if (rem >= test) { rem = rem - test; root = root | 1; }\n");
+    }
+    s.push_str("  *r = root;\n}\n");
+    s
+}
+
+/// C source of the cosine lookup: the compiler instantiates the table as a
+/// ROM IP ("the only thing the user needs to do is to edit a pure text
+/// initialization file").
+pub fn cos_source() -> String {
+    let entries: Vec<String> = (0..1024).map(|i| cos_table_entry(i).to_string()).collect();
+    format!(
+        "const uint16 cos_table[1024] = {{ {} }};\n\
+         void cos_lut(uint10 theta, uint16* c) {{\n  *c = ROCCC_lut(cos_table, theta);\n}}\n",
+        entries.join(", ")
+    )
+}
+
+/// C source of the arbitrary lookup table (same ports as the cosine).
+pub fn rom_lut_source() -> String {
+    let entries: Vec<String> = (0..1024)
+        .map(|i| arbitrary_table_entry(i).to_string())
+        .collect();
+    format!(
+        "const uint16 user_table[1024] = {{ {} }};\n\
+         void rom_lut(uint10 addr, uint16* data) {{\n  *data = ROCCC_lut(user_table, addr);\n}}\n",
+        entries.join(", ")
+    )
+}
+
+/// C source of the FIR pair (Figure 3's 5-tap filter plus a second
+/// coefficient set; the bus carries 16-bit data).
+pub fn fir_source() -> String {
+    let c0 = FIR_COEFFS[0];
+    let c1 = FIR_COEFFS[1];
+    format!(
+        "void fir(int16 A[128], int16 Y0[124], int16 Y1[124]) {{
+  int i;
+  for (i = 0; i < 124; i = i + 1) {{
+    Y0[i] = {}*A[i] + {}*A[i+1] + {}*A[i+2] + {}*A[i+3] + {}*A[i+4];
+    Y1[i] = {}*A[i] + {}*A[i+1] + {}*A[i+2] + {}*A[i+3] + {}*A[i+4];
+  }}
+}}
+",
+        c0[0], c0[1], c0[2], c0[3], c0[4], c1[0], c1[1], c1[2], c1[3], c1[4]
+    )
+}
+
+/// C source of the 8-point DCT: one unrolled matrix-vector product per
+/// window, eight outputs per iteration ("ROCCC's throughput is eight
+/// output data per clock cycle").
+pub fn dct_source() -> String {
+    // "Both ROCCC DCT and Xilinx IP DCT explore the symmetry within the
+    // cosine coefficients": even rows are symmetric in the inputs, odd
+    // rows antisymmetric, halving the constant multiplies via the
+    // butterfly decomposition s_c = x_c + x_{7−c}, d_c = x_c − x_{7−c}.
+    let mut s = String::from(
+        "void dct(int8 X[64], int19 Y[64]) {\n  int i;\n  for (i = 0; i < 64; i = i + 8) {\n",
+    );
+    for c in 0..4 {
+        let _ = writeln!(s, "    int s{c} = X[i+{c}] + X[i+{}];", 7 - c);
+        let _ = writeln!(s, "    int d{c} = X[i+{c}] - X[i+{}];", 7 - c);
+    }
+    for r in 0..8 {
+        let var = if r % 2 == 0 { "s" } else { "d" };
+        let terms: Vec<String> = (0..4)
+            .map(|c| format!("{}*{var}{c}", dct_coeff(r, c)))
+            .collect();
+        let _ = writeln!(s, "    Y[i+{r}] = ({}) >> 6;", terms.join(" + "));
+    }
+    s.push_str("  }\n}\n");
+    s
+}
+
+/// C source of the 2-D (5,3) lifting wavelet: a 5×5 window sliding by 2 in
+/// both dimensions produces the four subband samples of one 2×2 block,
+/// written to an interleaved output image.
+pub fn wavelet_source() -> String {
+    let w = crate::baselines::WAVELET_ROW_WIDTH; // input row width
+    let n = w - 6; // window positions per dimension (stride 2)
+    let mut s = String::new();
+    let _ = writeln!(s, "void wavelet(int16 X[{w}][{w}], int16 Y[{w}][{w}]) {{");
+    s.push_str("  int i;\n  int j;\n");
+    let _ = writeln!(s, "  for (i = 0; i < {n}; i = i + 2) {{");
+    let _ = writeln!(s, "    for (j = 0; j < {n}; j = j + 2) {{");
+    // Row lifting per window row r: l_r (low) and h_r (high).
+    for r in 0..5 {
+        let _ = writeln!(
+            s,
+            "      int h{r} = X[i+{r}][j+3] - ((X[i+{r}][j+2] + X[i+{r}][j+4]) >> 1);"
+        );
+        let _ = writeln!(
+            s,
+            "      int g{r} = X[i+{r}][j+1] - ((X[i+{r}][j+0] + X[i+{r}][j+2]) >> 1);"
+        );
+        let _ = writeln!(s, "      int l{r} = X[i+{r}][j+2] + ((g{r} + h{r}) >> 2);");
+    }
+    // Column lifting over the row results.
+    s.push_str("      int lh = l3 - ((l2 + l4) >> 1);\n");
+    s.push_str("      int lg = l1 - ((l0 + l2) >> 1);\n");
+    s.push_str("      int ll = l2 + ((lg + lh) >> 2);\n");
+    s.push_str("      int hh = h3 - ((h2 + h4) >> 1);\n");
+    s.push_str("      int hg = h1 - ((h0 + h2) >> 1);\n");
+    s.push_str("      int hl = h2 + ((hg + hh) >> 2);\n");
+    s.push_str("      Y[i][j] = ll;\n");
+    s.push_str("      Y[i][j+1] = hl;\n");
+    s.push_str("      Y[i+1][j] = lh;\n");
+    s.push_str("      Y[i+1][j+1] = hh;\n");
+    s.push_str("    }\n  }\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roccc_cparse::{frontend, Interpreter};
+    use std::collections::HashMap;
+
+    #[test]
+    fn all_sources_pass_the_front_end() {
+        for (name, src) in [
+            ("bit_correlator", bit_correlator_source()),
+            ("mul_acc", mul_acc_source()),
+            ("mul_acc_multiply", mul_acc_multiply_source()),
+            ("udiv", udiv_source()),
+            ("square_root", square_root_source()),
+            ("cos", cos_source()),
+            ("rom_lut", rom_lut_source()),
+            ("fir", fir_source()),
+            ("dct", dct_source()),
+            ("wavelet", wavelet_source()),
+        ] {
+            frontend(&src).unwrap_or_else(|e| panic!("{name}: {}", e.render(&src)));
+        }
+    }
+
+    #[test]
+    fn udiv_bits_variant_matches_plain() {
+        let plain = frontend(&udiv_source()).unwrap();
+        let bits = frontend(&udiv_bits_source()).unwrap();
+        for (n, d) in [(100i64, 7i64), (255, 255), (0, 3), (199, 4), (17, 1)] {
+            let p = Interpreter::new(&plain)
+                .call("udiv", &[n, d], &mut HashMap::new())
+                .unwrap();
+            let b = Interpreter::new(&bits)
+                .call("udiv", &[n, d], &mut HashMap::new())
+                .unwrap();
+            assert_eq!(p.outputs["q"], b.outputs["q"], "{n}/{d}");
+            assert_eq!(p.outputs["q"], n / d.max(1));
+        }
+    }
+
+    #[test]
+    fn udiv_kernel_divides_in_software() {
+        let src = udiv_source();
+        let prog = frontend(&src).unwrap();
+        let mut interp = Interpreter::new(&prog);
+        for (n, d) in [(100i64, 7i64), (255, 3), (8, 9), (77, 11)] {
+            let out = interp.call("udiv", &[n, d], &mut HashMap::new()).unwrap();
+            assert_eq!(out.outputs["q"], n / d, "{n}/{d}");
+        }
+    }
+
+    #[test]
+    fn square_root_kernel_is_exact_in_software() {
+        let src = square_root_source();
+        let prog = frontend(&src).unwrap();
+        let mut interp = Interpreter::new(&prog);
+        for x in [0i64, 1, 99, 6250000, (1 << 24) - 1] {
+            let out = interp
+                .call("square_root", &[x], &mut HashMap::new())
+                .unwrap();
+            assert_eq!(
+                out.outputs["r"],
+                (x as f64).sqrt().floor() as i64,
+                "sqrt({x})"
+            );
+        }
+    }
+
+    #[test]
+    fn bit_correlator_kernel_counts() {
+        let src = bit_correlator_source();
+        let prog = frontend(&src).unwrap();
+        let mut interp = Interpreter::new(&prog);
+        for x in [0u8, 0xA5, 0xFF, 0x42] {
+            let out = interp
+                .call("bit_correlator", &[x as i64], &mut HashMap::new())
+                .unwrap();
+            let expect = 8 - (x ^ CORRELATOR_MASK).count_ones() as i64;
+            assert_eq!(out.outputs["count"], expect, "x = {x:#x}");
+        }
+    }
+
+    #[test]
+    fn mul_acc_variants_agree() {
+        let branchy = frontend(&mul_acc_source()).unwrap();
+        let multiply = frontend(&mul_acc_multiply_source()).unwrap();
+        let mk = || {
+            let mut m = HashMap::new();
+            m.insert(
+                "a".to_string(),
+                (0..256).map(|x| (x * 7 % 211) - 100).collect::<Vec<i64>>(),
+            );
+            m.insert(
+                "b".to_string(),
+                (0..256).map(|x| 50 - (x % 101)).collect::<Vec<i64>>(),
+            );
+            m.insert(
+                "nd".to_string(),
+                (0..256).map(|x| (x / 3) % 2).collect::<Vec<i64>>(),
+            );
+            m
+        };
+        let mut m1 = mk();
+        let mut m2 = mk();
+        let o1 = Interpreter::new(&branchy)
+            .call("mul_acc", &[], &mut m1)
+            .unwrap();
+        let o2 = Interpreter::new(&multiply)
+            .call("mul_acc", &[], &mut m2)
+            .unwrap();
+        assert_eq!(o1.outputs["q"], o2.outputs["q"]);
+    }
+
+    #[test]
+    fn dct_kernel_matches_matrix_product() {
+        let src = dct_source();
+        let prog = frontend(&src).unwrap();
+        let mut interp = Interpreter::new(&prog);
+        let x: Vec<i64> = (0..64).map(|i| (i * 13 % 255) - 128).collect();
+        let mut arrays = HashMap::new();
+        arrays.insert("X".to_string(), x.clone());
+        arrays.insert("Y".to_string(), vec![0i64; 64]);
+        interp.call("dct", &[], &mut arrays).unwrap();
+        for blk in 0..8usize {
+            for r in 0..8usize {
+                let expect: i64 = (0..8)
+                    .map(|c| dct_coeff(r, c) * x[blk * 8 + c])
+                    .sum::<i64>()
+                    >> 6;
+                assert_eq!(arrays["Y"][blk * 8 + r], expect, "block {blk} row {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn wavelet_kernel_runs_in_software() {
+        let src = wavelet_source();
+        let prog = frontend(&src).unwrap();
+        let w = crate::baselines::WAVELET_ROW_WIDTH;
+        let mut interp = Interpreter::new(&prog);
+        let mut arrays = HashMap::new();
+        // Flat image: every HH output must be zero.
+        arrays.insert("X".to_string(), vec![100i64; w * w]);
+        arrays.insert("Y".to_string(), vec![0i64; w * w]);
+        interp.call("wavelet", &[], &mut arrays).unwrap();
+        let y = &arrays["Y"];
+        assert_eq!(y[1 * w + 1], 0, "HH of a flat image");
+        assert_eq!(y[0], 100, "LL of a flat image is the DC value");
+    }
+}

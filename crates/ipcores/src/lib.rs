@@ -1,0 +1,24 @@
+//! # roccc-ipcores — Table 1 baselines and kernels
+//!
+//! For each row of the paper's Table 1, this crate provides
+//!
+//! * a **baseline netlist** ([`baselines`]) structured the way the Xilinx
+//!   IP core (or, for the wavelet, handwritten VHDL) is documented to
+//!   work — digit-recurrence dividers, half-wave cosine ROMs,
+//!   distributed-arithmetic FIR, block-multiplier MAC;
+//! * the **C kernel** ([`kernels`]) the ROCCC side compiles;
+//! * the **published numbers** ([`paper`]); and
+//! * the **comparison harness** ([`table`]) that scores both sides with
+//!   the shared Virtex-II model and renders the reproduced Table 1.
+
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod builder;
+pub mod kernels;
+pub mod paper;
+pub mod table;
+
+pub use builder::NetBuilder;
+pub use paper::{paper_row, PaperRow, TABLE1};
+pub use table::{benchmarks, buffer_overhead, render_table, run_table1, Benchmark, MeasuredRow};

@@ -1,0 +1,345 @@
+//! The Table 1 harness: compiles every kernel, scores both sides with the
+//! shared Virtex-II model, and renders the paper-style comparison table.
+
+use crate::baselines;
+use crate::kernels;
+use crate::paper::{paper_row, PaperRow};
+use roccc::{compile_with_model, CompileOptions, Compiled, UnrollStrategy};
+use roccc_hlir::kernel::Kernel;
+use roccc_netlist::cells::Netlist;
+use roccc_synth::{fast_estimate, map_netlist, MultiplierStyle, ResourceReport, VirtexII};
+
+/// One benchmark definition.
+pub struct Benchmark {
+    /// Row name (matches [`crate::paper::TABLE1`]).
+    pub name: &'static str,
+    /// C source of the ROCCC-side kernel.
+    pub source: String,
+    /// Kernel function name.
+    pub func: &'static str,
+    /// Compile options (target period per the paper's reported clocks).
+    pub opts: CompileOptions,
+    /// Multiplier mapping style for this row.
+    pub mult_style: MultiplierStyle,
+    /// Builds the baseline IP-style netlist.
+    pub baseline: fn() -> Netlist,
+    /// ROCCC instantiates the same lookup-table IP, so both sides are
+    /// identical by construction (§5: "they have exactly the same
+    /// performance").
+    pub lut_row: bool,
+    /// Whether the comparison includes the smart buffer / controller
+    /// (streaming kernels: FIR, DCT, wavelet).
+    pub streaming: bool,
+}
+
+fn opts(period_ns: f64) -> CompileOptions {
+    CompileOptions {
+        target_period_ns: period_ns,
+        unroll: UnrollStrategy::Keep,
+        ..CompileOptions::default()
+    }
+}
+
+/// All nine Table 1 benchmarks.
+pub fn benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "bit_correlator",
+            source: kernels::bit_correlator_source(),
+            func: "bit_correlator",
+            opts: opts(6.9),
+            mult_style: MultiplierStyle::Lut,
+            baseline: baselines::bit_correlator,
+            lut_row: false,
+            streaming: false,
+        },
+        Benchmark {
+            name: "mul_acc",
+            source: kernels::mul_acc_source(),
+            func: "mul_acc",
+            opts: opts(4.2),
+            mult_style: MultiplierStyle::Block,
+            baseline: baselines::mul_acc,
+            lut_row: false,
+            streaming: false,
+        },
+        Benchmark {
+            name: "udiv",
+            source: kernels::udiv_source(),
+            func: "udiv",
+            opts: opts(3.7),
+            mult_style: MultiplierStyle::Lut,
+            baseline: baselines::udiv,
+            lut_row: false,
+            streaming: false,
+        },
+        Benchmark {
+            name: "square_root",
+            source: kernels::square_root_source(),
+            func: "square_root",
+            opts: opts(4.5),
+            mult_style: MultiplierStyle::Lut,
+            baseline: baselines::square_root,
+            lut_row: false,
+            streaming: false,
+        },
+        Benchmark {
+            name: "cos",
+            source: kernels::cos_source(),
+            func: "cos_lut",
+            opts: opts(5.9),
+            mult_style: MultiplierStyle::Lut,
+            baseline: baselines::cos_lut,
+            lut_row: true,
+            streaming: false,
+        },
+        Benchmark {
+            name: "arbitrary_lut",
+            source: kernels::rom_lut_source(),
+            func: "rom_lut",
+            opts: opts(5.9),
+            mult_style: MultiplierStyle::Lut,
+            baseline: baselines::rom_lut,
+            lut_row: true,
+            streaming: false,
+        },
+        Benchmark {
+            name: "fir",
+            source: kernels::fir_source(),
+            func: "fir",
+            opts: opts(5.2),
+            mult_style: MultiplierStyle::Lut,
+            baseline: baselines::fir,
+            lut_row: false,
+            streaming: true,
+        },
+        Benchmark {
+            name: "dct",
+            source: kernels::dct_source(),
+            func: "dct",
+            opts: opts(7.5),
+            mult_style: MultiplierStyle::Lut,
+            baseline: baselines::dct,
+            lut_row: false,
+            streaming: true,
+        },
+        Benchmark {
+            name: "wavelet",
+            source: kernels::wavelet_source(),
+            func: "wavelet",
+            opts: opts(9.9),
+            mult_style: MultiplierStyle::Lut,
+            baseline: baselines::wavelet,
+            lut_row: false,
+            streaming: true,
+        },
+    ]
+}
+
+/// Estimated smart-buffer + address-generator + controller resources for a
+/// streaming kernel (the wavelet row "includes the address generator,
+/// smart buffer and data path").
+pub fn buffer_overhead(kernel: &Kernel, model: &VirtexII) -> ResourceReport {
+    let mut ffs = 0u64;
+    let mut luts = 0u64;
+    for w in &kernel.windows {
+        let extent = w.extent();
+        let bits = w.elem.bits as u64;
+        match extent.len() {
+            1 => {
+                // Window registers plus staging.
+                ffs += (extent[0] as u64 + 1) * bits;
+                luts += 8; // shift-enable decode
+            }
+            2 => {
+                // Line buffers: (rows−1) lines of the array width plus the
+                // register window.
+                let row_width = if w.dims.len() == 2 { w.dims[1] } else { 1 } as u64;
+                ffs += (extent[0] as u64 - 1) * row_width * bits
+                    + (extent[0] * extent[1]) as u64 * bits;
+                luts += 24;
+            }
+            _ => {}
+        }
+    }
+    // Address generators: one counter + comparator per dimension per port.
+    let ports = (kernel.windows.len() + kernel.outputs.len()).max(1) as u64;
+    let dims = kernel.dims.len().max(1) as u64;
+    luts += ports * dims * 48; // 24-bit counter + bound compare
+    ffs += ports * dims * 24;
+    // Higher-level controller FSM.
+    luts += 40;
+    ffs += 16;
+    ResourceReport {
+        luts,
+        ffs,
+        slices: model.slices(luts, ffs),
+        mult_blocks: 0,
+        critical_path_ns: 0.0,
+        fmax_mhz: f64::INFINITY,
+        power_mw: 0.0,
+    }
+}
+
+/// One measured Table 1 row.
+#[derive(Debug, Clone)]
+pub struct MeasuredRow {
+    /// Row name.
+    pub name: &'static str,
+    /// Baseline (IP-style) resources under the shared model.
+    pub ip: ResourceReport,
+    /// Compiler-output resources under the shared model.
+    pub roccc: ResourceReport,
+    /// Fast-estimator result for the compiler side (ablation data).
+    pub roccc_fast: ResourceReport,
+    /// Paper's published numbers.
+    pub paper: PaperRow,
+    /// Outputs per cycle of the compiled data path (DCT: 8 vs the IP's 1).
+    pub outputs_per_cycle: usize,
+}
+
+impl MeasuredRow {
+    /// Measured clock ratio (ROCCC ÷ IP).
+    pub fn clock_ratio(&self) -> f64 {
+        self.roccc.fmax_mhz / self.ip.fmax_mhz
+    }
+
+    /// Measured area ratio (ROCCC ÷ IP).
+    pub fn area_ratio(&self) -> f64 {
+        self.roccc.slices as f64 / self.ip.slices.max(1) as f64
+    }
+}
+
+/// Compiles one benchmark and returns the compiled kernel.
+///
+/// # Errors
+///
+/// Propagates compiler errors (should not happen for the built-in rows).
+pub fn compile_benchmark(b: &Benchmark) -> Result<Compiled, roccc::CompileError> {
+    let model = VirtexII::with_mult_style(b.mult_style);
+    compile_with_model(&b.source, b.func, &b.opts, &model)
+}
+
+/// Runs the full Table 1 comparison.
+pub fn run_table1() -> Vec<MeasuredRow> {
+    benchmarks()
+        .iter()
+        .map(|b| {
+            let model = VirtexII::with_mult_style(b.mult_style);
+            let ip = map_netlist(&(b.baseline)(), &model);
+            let hw = compile_benchmark(b).expect("built-in benchmark compiles");
+            let mut roccc_rep = if b.lut_row {
+                // ROCCC instantiates the same LUT IP core: identical.
+                ip.clone()
+            } else {
+                map_netlist(&hw.netlist, &model)
+            };
+            let mut fast = if b.lut_row {
+                // The compiler instantiates the IP: the estimator reports
+                // the IP's numbers, like the full flow does.
+                ip.clone()
+            } else {
+                fast_estimate(&hw.datapath, &model)
+            };
+            if b.streaming {
+                let buf = buffer_overhead(&hw.kernel, &model);
+                roccc_rep = roccc_rep.merge(&buf);
+                fast = fast.merge(&buf);
+            }
+            let outputs_per_cycle = hw.datapath.throughput_per_cycle();
+            MeasuredRow {
+                name: b.name,
+                ip,
+                roccc: roccc_rep,
+                roccc_fast: fast,
+                paper: *paper_row(b.name).expect("paper row exists"),
+                outputs_per_cycle,
+            }
+        })
+        .collect()
+}
+
+/// Renders the measured rows in the paper's Table 1 layout, with the
+/// paper's own numbers alongside.
+pub fn render_table(rows: &[MeasuredRow]) -> String {
+    let mut s = String::new();
+    s.push_str(
+        "benchmark        |  IP clk  IP slc | ROCCC clk ROCCC slc | %Clock %Area | paper %Clock %Area\n",
+    );
+    s.push_str(
+        "-----------------+-----------------+---------------------+--------------+-------------------\n",
+    );
+    for r in rows {
+        s.push_str(&format!(
+            "{:<16} | {:>7.0} {:>7} | {:>9.0} {:>9} | {:>6.3} {:>5.2} | {:>12.3} {:>5.2}\n",
+            r.name,
+            r.ip.fmax_mhz,
+            r.ip.slices,
+            r.roccc.fmax_mhz,
+            r.roccc.slices,
+            r.clock_ratio(),
+            r.area_ratio(),
+            r.paper.clock_ratio(),
+            r.paper.area_ratio(),
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_benchmark_compiles() {
+        for b in benchmarks() {
+            let hw = compile_benchmark(&b).unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            assert!(!hw.netlist.cells.is_empty(), "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn lut_rows_have_unit_ratios() {
+        let rows = run_table1();
+        for r in rows
+            .iter()
+            .filter(|r| matches!(r.name, "cos" | "arbitrary_lut"))
+        {
+            assert!((r.clock_ratio() - 1.0).abs() < 1e-9, "{}", r.name);
+            assert!((r.area_ratio() - 1.0).abs() < 1e-9, "{}", r.name);
+        }
+    }
+
+    #[test]
+    fn compute_rows_show_compiler_overhead() {
+        let rows = run_table1();
+        // Headline: ROCCC takes more area than hand IP on the bit-twiddling
+        // kernels, comparable clock overall.
+        // The bit-twiddling kernels pay for 32-bit C temporaries and
+        // generic mux/compare structures the hand design avoids.
+        let udiv = rows.iter().find(|r| r.name == "udiv").unwrap();
+        assert!(udiv.area_ratio() > 1.5, "{:?}", udiv);
+        let sqrt = rows.iter().find(|r| r.name == "square_root").unwrap();
+        assert!(sqrt.area_ratio() > 1.5, "{:?}", sqrt);
+        // The tiny correlator is near parity in our model (the paper's IP
+        // exploits sub-slice packing our cost model does not resolve).
+        let bc = rows.iter().find(|r| r.name == "bit_correlator").unwrap();
+        assert!(bc.area_ratio() > 0.7, "{:?}", bc);
+    }
+
+    #[test]
+    fn dct_throughput_is_eight_per_cycle() {
+        let rows = run_table1();
+        let dct = rows.iter().find(|r| r.name == "dct").unwrap();
+        assert_eq!(dct.outputs_per_cycle, 8);
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let rows = run_table1();
+        let text = render_table(&rows);
+        for b in benchmarks() {
+            assert!(text.contains(b.name), "missing {}", b.name);
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! Word-level netlist cells.
+//!
+//! The RTL level below the data-path graph: every operation becomes a
+//! combinational cell, every stage crossing a register, every lookup table
+//! a ROM. This is the representation the synthesis estimator
+//! (`roccc-synth`) maps to Virtex-II resources and the cycle-accurate
+//! simulator executes.
+
+use roccc_cparse::types::IntType;
+use roccc_suifvm::ir::{LutTable, Opcode};
+use std::fmt;
+
+/// Identifies a cell (and its output net).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellId(pub u32);
+
+impl fmt::Display for CellId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// What a cell does.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellKind {
+    /// Constant driver.
+    Const(i64),
+    /// External input port `k` (combinational from the environment).
+    Input(usize),
+    /// Combinational operation (`Opcode` subset: arithmetic/logic/mux/LUT).
+    Op {
+        /// Operation.
+        op: Opcode,
+        /// Input nets.
+        srcs: Vec<CellId>,
+        /// ROM index for `Lut`.
+        imm: i64,
+    },
+    /// Clocked register. `d` may be connected after creation
+    /// ([`Netlist::connect_reg`]) to close feedback cycles.
+    Reg {
+        /// Data input net.
+        d: Option<CellId>,
+        /// Power-on value.
+        init: i64,
+        /// When `Some(s)`, the register only latches on cycles where a
+        /// valid iteration occupies pipeline stage `s` (feedback latches).
+        /// `None` latches every cycle (pipeline balancing registers).
+        stage_gate: Option<u32>,
+    },
+}
+
+/// A cell with its output net type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    /// Behaviour.
+    pub kind: CellKind,
+    /// Output width in bits.
+    pub width: u8,
+    /// Signed interpretation of the output net.
+    pub signed: bool,
+}
+
+impl Cell {
+    /// The output net's type.
+    pub fn ty(&self) -> IntType {
+        IntType {
+            signed: self.signed,
+            bits: self.width.max(1),
+        }
+    }
+}
+
+/// A word-level netlist.
+#[derive(Debug, Clone, Default)]
+pub struct Netlist {
+    /// All cells; combinational sources of a cell always precede it.
+    pub cells: Vec<Cell>,
+    /// Input ports `(name, type)`; `CellKind::Input(k)` refers to these.
+    pub inputs: Vec<(String, IntType)>,
+    /// Output ports `(name, type, net)`.
+    pub outputs: Vec<(String, IntType, CellId)>,
+    /// ROMs referenced by `Lut` cells.
+    pub roms: Vec<LutTable>,
+    /// Pipeline depth in clock cycles from input to output port.
+    pub latency: u32,
+    /// Nets that are feedback registers, with their slot names.
+    pub feedback_regs: Vec<(String, CellId)>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a cell, returning its id.
+    pub fn add(&mut self, cell: Cell) -> CellId {
+        let id = CellId(self.cells.len() as u32);
+        self.cells.push(cell);
+        id
+    }
+
+    /// Adds a constant.
+    pub fn constant(&mut self, value: i64) -> CellId {
+        let ty = IntType {
+            signed: value < 0,
+            bits: IntType::width_for(value, value < 0),
+        };
+        self.add(Cell {
+            kind: CellKind::Const(value),
+            width: ty.bits,
+            signed: ty.signed,
+        })
+    }
+
+    /// Connects a register's data input after the fact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reg` is not a register cell.
+    pub fn connect_reg(&mut self, reg: CellId, d: CellId) {
+        match &mut self.cells[reg.0 as usize].kind {
+            CellKind::Reg { d: slot, .. } => *slot = Some(d),
+            other => panic!("connect_reg on non-register cell {other:?}"),
+        }
+    }
+
+    /// Census: `(combinational ops, registers, constants+inputs)`.
+    pub fn census(&self) -> (usize, usize, usize) {
+        let mut comb = 0;
+        let mut regs = 0;
+        let mut other = 0;
+        for c in &self.cells {
+            match c.kind {
+                CellKind::Op { .. } => comb += 1,
+                CellKind::Reg { .. } => regs += 1,
+                _ => other += 1,
+            }
+        }
+        (comb, regs, other)
+    }
+
+    /// Total register bits.
+    pub fn register_bits(&self) -> u64 {
+        self.cells
+            .iter()
+            .filter(|c| matches!(c.kind, CellKind::Reg { .. }))
+            .map(|c| c.width as u64)
+            .sum()
+    }
+
+    /// Structural check: combinational sources precede their users, all
+    /// registers are connected, and referenced ROMs/inputs exist.
+    pub fn verify(&self) -> Result<(), String> {
+        for (i, c) in self.cells.iter().enumerate() {
+            match &c.kind {
+                CellKind::Op { op, srcs, imm } => {
+                    for s in srcs {
+                        if s.0 as usize >= self.cells.len() {
+                            return Err(format!("cell n{i} uses missing cell {s}"));
+                        }
+                        if s.0 as usize >= i
+                            && !matches!(self.cells[s.0 as usize].kind, CellKind::Reg { .. })
+                        {
+                            return Err(format!("cell n{i} uses later combinational cell {s}"));
+                        }
+                    }
+                    if *op == Opcode::Lut && (*imm as usize) >= self.roms.len() {
+                        return Err(format!("cell n{i} references missing ROM {imm}"));
+                    }
+                }
+                CellKind::Reg { d, .. } => {
+                    if d.is_none() {
+                        return Err(format!("register n{i} has no data input"));
+                    }
+                }
+                CellKind::Input(k) => {
+                    if *k >= self.inputs.len() {
+                        return Err(format!("cell n{i} reads missing input {k}"));
+                    }
+                }
+                CellKind::Const(_) => {}
+            }
+        }
+        for (name, _, net) in &self.outputs {
+            if net.0 as usize >= self.cells.len() {
+                return Err(format!("output {name} driven by missing net {net}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_census() {
+        let mut nl = Netlist::new();
+        nl.inputs.push(("a".into(), IntType::unsigned(8)));
+        let a = nl.add(Cell {
+            kind: CellKind::Input(0),
+            width: 8,
+            signed: false,
+        });
+        let one = nl.constant(1);
+        let sum = nl.add(Cell {
+            kind: CellKind::Op {
+                op: Opcode::Add,
+                srcs: vec![a, one],
+                imm: 0,
+            },
+            width: 9,
+            signed: false,
+        });
+        let reg = nl.add(Cell {
+            kind: CellKind::Reg {
+                d: Some(sum),
+                init: 0,
+                stage_gate: None,
+            },
+            width: 9,
+            signed: false,
+        });
+        nl.outputs.push(("o".into(), IntType::unsigned(9), reg));
+        nl.verify().unwrap();
+        assert_eq!(nl.census(), (1, 1, 2));
+        assert_eq!(nl.register_bits(), 9);
+    }
+
+    #[test]
+    fn verify_catches_unconnected_reg() {
+        let mut nl = Netlist::new();
+        nl.add(Cell {
+            kind: CellKind::Reg {
+                d: None,
+                init: 0,
+                stage_gate: None,
+            },
+            width: 4,
+            signed: false,
+        });
+        assert!(nl.verify().is_err());
+    }
+
+    #[test]
+    fn verify_allows_backward_reg_reference() {
+        // Feedback: reg → add → reg.d
+        let mut nl = Netlist::new();
+        nl.inputs.push(("x".into(), IntType::unsigned(8)));
+        let reg = nl.add(Cell {
+            kind: CellKind::Reg {
+                d: None,
+                init: 0,
+                stage_gate: Some(0),
+            },
+            width: 8,
+            signed: false,
+        });
+        let x = nl.add(Cell {
+            kind: CellKind::Input(0),
+            width: 8,
+            signed: false,
+        });
+        let sum = nl.add(Cell {
+            kind: CellKind::Op {
+                op: Opcode::Add,
+                srcs: vec![reg, x],
+                imm: 0,
+            },
+            width: 8,
+            signed: false,
+        });
+        nl.connect_reg(reg, sum);
+        nl.verify().unwrap();
+    }
+
+    #[test]
+    fn verify_catches_forward_comb_reference() {
+        let mut nl = Netlist::new();
+        nl.inputs.push(("x".into(), IntType::unsigned(8)));
+        let bogus = CellId(5);
+        nl.add(Cell {
+            kind: CellKind::Op {
+                op: Opcode::Not,
+                srcs: vec![bogus],
+                imm: 0,
+            },
+            width: 8,
+            signed: false,
+        });
+        assert!(nl.verify().is_err());
+    }
+}

@@ -1,0 +1,322 @@
+//! Lowering a pipelined data path to a word-level netlist.
+//!
+//! Every data-path op becomes a combinational cell at its stage; values
+//! crossing stage boundaries get chains of pipeline registers (the
+//! "latches" of §4.2.3); feedback slots become clock-enabled registers
+//! whose enable asserts when a valid iteration occupies the feedback
+//! stage; outputs get a final output register.
+
+use crate::cells::*;
+use roccc_datapath::graph::{Datapath, Value};
+use roccc_suifvm::ir::Opcode;
+use std::collections::HashMap;
+
+/// Converts a data path into a netlist.
+///
+/// The resulting netlist has `dp.num_stages` cycles of latency from input
+/// port to output port (stage boundaries plus one output register).
+pub fn netlist_from_datapath(dp: &Datapath) -> Netlist {
+    let mut nl = Netlist::new();
+    nl.inputs = dp.inputs.clone();
+    nl.roms = dp.luts.clone();
+    nl.latency = dp.num_stages;
+
+    // Input port cells.
+    let input_cells: Vec<CellId> = dp
+        .inputs
+        .iter()
+        .enumerate()
+        .map(|(k, (_, t))| {
+            nl.add(Cell {
+                kind: CellKind::Input(k),
+                width: t.bits,
+                signed: t.signed,
+            })
+        })
+        .collect();
+
+    // Feedback registers up front (read by LPR cells, closed at the end).
+    let mut fb_regs: Vec<CellId> = Vec::new();
+    for (slot_idx, (slot, _)) in dp.feedback.iter().enumerate() {
+        // The latch enables when a valid iteration sits in the LPR/SNX
+        // stage; find it from any LPR of this slot (fall back to 0).
+        let stage = dp
+            .ops
+            .iter()
+            .find(|o| o.op == Opcode::Lpr && o.imm == slot_idx as i64)
+            .map(|o| o.stage)
+            .unwrap_or(0);
+        let reg = nl.add(Cell {
+            kind: CellKind::Reg {
+                d: None,
+                init: slot.ty.wrap(slot.init),
+                stage_gate: Some(stage),
+            },
+            width: slot.ty.bits,
+            signed: slot.ty.signed,
+        });
+        nl.feedback_regs.push((slot.name.clone(), reg));
+        fb_regs.push(reg);
+    }
+
+    // Base cell for each op, and register chains keyed by
+    // (base cell, target stage).
+    let mut base: Vec<CellId> = Vec::with_capacity(dp.ops.len());
+    let mut const_cache: HashMap<i64, CellId> = HashMap::new();
+    let mut chain: HashMap<(CellId, u32), CellId> = HashMap::new();
+
+    // Resolves `v` as seen by a consumer at `stage`.
+    #[allow(clippy::too_many_arguments)]
+    fn at_stage(
+        nl: &mut Netlist,
+        dp: &Datapath,
+        base: &[CellId],
+        input_cells: &[CellId],
+        const_cache: &mut HashMap<i64, CellId>,
+        chain: &mut HashMap<(CellId, u32), CellId>,
+        v: Value,
+        stage: u32,
+    ) -> CellId {
+        let (cell, def_stage, width, signed) = match v {
+            Value::Op(o) => {
+                let op = &dp.ops[o.0 as usize];
+                (base[o.0 as usize], op.stage, op.hw_bits, op.ty.signed)
+            }
+            Value::Input(k) => {
+                let t = dp.inputs[k].1;
+                (input_cells[k], 0, t.bits, t.signed)
+            }
+            Value::Const(c) => {
+                // Constants are timeless: no registers needed.
+                let id = *const_cache.entry(c).or_insert_with(|| nl.constant(c));
+                return id;
+            }
+        };
+        let mut cur = cell;
+        for s in def_stage..stage {
+            let key = (cell, s + 1);
+            cur = *chain.entry(key).or_insert_with(|| {
+                let prev = cur;
+                nl.add(Cell {
+                    kind: CellKind::Reg {
+                        d: Some(prev),
+                        init: 0,
+                        stage_gate: None,
+                    },
+                    width,
+                    signed,
+                })
+            });
+        }
+        cur
+    }
+
+    for op in dp.ops.iter() {
+        let id = match op.op {
+            Opcode::Lpr => fb_regs[op.imm as usize],
+            Opcode::Mov | Opcode::Cvt => {
+                // Pure renaming/truncation: model as an op cell so hardware
+                // widths are observed (a CVT narrows the wire).
+                let src = at_stage(
+                    &mut nl,
+                    dp,
+                    &base,
+                    &input_cells,
+                    &mut const_cache,
+                    &mut chain,
+                    op.srcs[0],
+                    op.stage,
+                );
+                nl.add(Cell {
+                    kind: CellKind::Op {
+                        op: Opcode::Cvt,
+                        srcs: vec![src],
+                        imm: 0,
+                    },
+                    width: op.hw_bits,
+                    signed: op.ty.signed,
+                })
+            }
+            _ => {
+                let srcs: Vec<CellId> = op
+                    .srcs
+                    .iter()
+                    .map(|s| {
+                        at_stage(
+                            &mut nl,
+                            dp,
+                            &base,
+                            &input_cells,
+                            &mut const_cache,
+                            &mut chain,
+                            *s,
+                            op.stage,
+                        )
+                    })
+                    .collect();
+                nl.add(Cell {
+                    kind: CellKind::Op {
+                        op: op.op,
+                        srcs,
+                        imm: op.imm,
+                    },
+                    width: op.hw_bits,
+                    signed: op.ty.signed,
+                })
+            }
+        };
+        base.push(id);
+    }
+
+    // Close the feedback loops.
+    for (slot_idx, (slot, snx_v)) in dp.feedback.iter().enumerate() {
+        let stage = match nl.cells[fb_regs[slot_idx].0 as usize].kind {
+            CellKind::Reg {
+                stage_gate: Some(s),
+                ..
+            } => s,
+            _ => 0,
+        };
+        let src = at_stage(
+            &mut nl,
+            dp,
+            &base,
+            &input_cells,
+            &mut const_cache,
+            &mut chain,
+            *snx_v,
+            stage,
+        );
+        // Wrap to the slot width via a CVT if necessary.
+        let src_cell = &nl.cells[src.0 as usize];
+        let d = if src_cell.width != slot.ty.bits || src_cell.signed != slot.ty.signed {
+            nl.add(Cell {
+                kind: CellKind::Op {
+                    op: Opcode::Cvt,
+                    srcs: vec![src],
+                    imm: 0,
+                },
+                width: slot.ty.bits,
+                signed: slot.ty.signed,
+            })
+        } else {
+            src
+        };
+        nl.connect_reg(fb_regs[slot_idx], d);
+    }
+
+    // Output ports: value at the final stage, then one output register.
+    let last_stage = dp.num_stages - 1;
+    for out in &dp.outputs {
+        let v = at_stage(
+            &mut nl,
+            dp,
+            &base,
+            &input_cells,
+            &mut const_cache,
+            &mut chain,
+            out.value,
+            last_stage,
+        );
+        let reg = nl.add(Cell {
+            kind: CellKind::Reg {
+                d: Some(v),
+                init: 0,
+                stage_gate: None,
+            },
+            width: out.ty.bits,
+            signed: out.ty.signed,
+        });
+        nl.outputs.push((out.name.clone(), out.ty, reg));
+    }
+
+    nl
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use roccc_cparse::parser::parse;
+    use roccc_datapath::{build_datapath, narrow_widths, pipeline_datapath, DefaultDelayModel};
+    use roccc_suifvm::{lower_function, optimize, to_ssa};
+
+    pub(crate) fn dp_for(src: &str, func: &str, period: f64) -> Datapath {
+        let prog = parse(src).unwrap();
+        roccc_cparse::sema::check(&prog).unwrap();
+        let f = prog.function(func).unwrap();
+        let mut ir = lower_function(&prog, f, &[]).unwrap();
+        to_ssa(&mut ir);
+        optimize(&mut ir);
+        let mut dp = build_datapath(&ir).unwrap();
+        pipeline_datapath(&mut dp, period, &DefaultDelayModel);
+        narrow_widths(&mut dp);
+        dp
+    }
+
+    #[test]
+    fn combinational_dp_gets_output_reg_only() {
+        let dp = dp_for("void f(int a, int* o) { *o = a + 1; }", "f", 1000.0);
+        let nl = netlist_from_datapath(&dp);
+        nl.verify().unwrap();
+        let (_, regs, _) = nl.census();
+        assert_eq!(regs, 1, "only the output register");
+        assert_eq!(nl.latency, 1);
+    }
+
+    #[test]
+    fn pipelined_dp_gets_balancing_registers() {
+        let src = "void f(int a, int b, int* o) { *o = (a * b) * (a + b) + a; }";
+        let flat = netlist_from_datapath(&dp_for(src, "f", 1000.0));
+        let deep = netlist_from_datapath(&dp_for(src, "f", 4.0));
+        flat.verify().unwrap();
+        deep.verify().unwrap();
+        assert!(deep.register_bits() > flat.register_bits());
+        assert!(deep.latency > flat.latency);
+    }
+
+    #[test]
+    fn register_chains_are_shared() {
+        // `a` used by two consumers in a later stage: one chain, not two.
+        let src = "void f(int a, int b, int* o, int* p) {
+           int m = a * b * a * b;
+           *o = m + a; *p = m - a; }";
+        let dp = dp_for(src, "f", 5.0);
+        let nl = netlist_from_datapath(&dp);
+        nl.verify().unwrap();
+        // Count regs whose width equals a's (32): the chain for `a` should
+        // appear once per stage crossing, not twice.
+        let (_, regs, _) = nl.census();
+        assert!(regs < nl.cells.len(), "sanity");
+    }
+
+    #[test]
+    fn feedback_reg_has_stage_gate() {
+        let prog = parse(
+            "void acc(int t0, int* t1) {
+               int s; int c = ROCCC_load_prev(s) + t0;
+               ROCCC_store2next(s, c);
+               *t1 = c; }",
+        )
+        .unwrap();
+        let f = prog.function("acc").unwrap();
+        let fb = vec![roccc_hlir::kernel::FeedbackVar {
+            name: "s".into(),
+            ty: roccc_cparse::types::IntType::int(),
+            init: 0,
+        }];
+        let mut ir = lower_function(&prog, f, &fb).unwrap();
+        to_ssa(&mut ir);
+        optimize(&mut ir);
+        let mut dp = build_datapath(&ir).unwrap();
+        pipeline_datapath(&mut dp, 100.0, &DefaultDelayModel);
+        narrow_widths(&mut dp);
+        let nl = netlist_from_datapath(&dp);
+        nl.verify().unwrap();
+        assert_eq!(nl.feedback_regs.len(), 1);
+        let (_, reg) = &nl.feedback_regs[0];
+        match nl.cells[reg.0 as usize].kind {
+            CellKind::Reg { stage_gate, .. } => assert!(stage_gate.is_some()),
+            _ => panic!("feedback net is not a register"),
+        }
+    }
+}

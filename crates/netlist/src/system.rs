@@ -1,0 +1,425 @@
+//! Whole-kernel system simulation (the paper's Figure 2 execution model).
+//!
+//! Instantiates, per input array, a BRAM + address generator + smart
+//! buffer; per output array, an output address generator + BRAM; plus the
+//! higher-level firing logic and the pipelined data-path netlist. Each
+//! simulated clock cycle: memory data lands in the smart buffers, a new
+//! iteration fires when every buffer has a valid window, and valid outputs
+//! retire into the output BRAMs.
+//!
+//! This is the cycle-accurate counterpart of running the kernel on the
+//! FPGA; integration tests check it word-for-word against the golden-model
+//! C interpreter, and the Table 1 harness reads its throughput numbers.
+
+use crate::cells::Netlist;
+use crate::sim::{NetlistSim, SimError};
+use roccc_buffers::addr::{AddressGen1d, AddressGen2d, DimScan, OutputAddressGen};
+use roccc_buffers::bram::BramModel;
+use roccc_buffers::smart::{SmartBuffer1d, SmartBuffer2d};
+use roccc_hlir::kernel::{Kernel, WindowSpec};
+use std::collections::HashMap;
+
+/// Result of a full system run.
+#[derive(Debug, Clone, Default)]
+pub struct SystemRun {
+    /// Final contents of each output array.
+    pub arrays: HashMap<String, Vec<i64>>,
+    /// Final values of exported feedback scalars (`<name>_final`).
+    pub scalars: HashMap<String, i64>,
+    /// Total clock cycles from start to done.
+    pub cycles: u64,
+    /// Iterations fired.
+    pub fired: u64,
+    /// Words read from input BRAMs.
+    pub mem_reads: u64,
+    /// Words written to output BRAMs.
+    pub mem_writes: u64,
+}
+
+impl SystemRun {
+    /// Output words produced per clock cycle, averaged over the run.
+    pub fn throughput(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.mem_writes as f64 / self.cycles as f64
+    }
+}
+
+/// System-level error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SystemError(pub String);
+
+impl std::fmt::Display for SystemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "system simulation error: {}", self.0)
+    }
+}
+
+impl std::error::Error for SystemError {}
+
+impl From<SimError> for SystemError {
+    fn from(e: SimError) -> Self {
+        SystemError(e.0)
+    }
+}
+
+enum AnyBuffer {
+    One(SmartBuffer1d),
+    Two(SmartBuffer2d),
+}
+
+struct InputLane {
+    bram: BramModel,
+    addrs: Box<dyn Iterator<Item = i64>>,
+    buffer: AnyBuffer,
+    /// Map from window position (row-major within the window) to input
+    /// port index — windows may be sparse.
+    port_map: Vec<(usize, usize)>, // (window slot, dp input port)
+    staged: Option<Vec<i64>>,
+}
+
+struct OutputLane {
+    name: String,
+    bram: BramModel,
+    addrs: OutputAddressGen,
+    /// Data-path output port feeding this lane.
+    port: usize,
+    remaining: u64,
+}
+
+/// System-level configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SystemOptions {
+    /// Words delivered per memory beat ("bus size ÷ data size" in the
+    /// paper's smart-buffer parameterization). 1 models a word-wide bus;
+    /// the paper's FIR uses 2 (16-bit bus, 8-bit data).
+    pub bus_elems: usize,
+}
+
+impl Default for SystemOptions {
+    fn default() -> Self {
+        SystemOptions { bus_elems: 1 }
+    }
+}
+
+/// Runs a kernel's generated hardware over concrete array contents.
+///
+/// `arrays` supplies input arrays by parameter name; `scalars` supplies
+/// scalar live-in parameters. `netlist` must come from the kernel's
+/// pipelined data path.
+///
+/// # Errors
+///
+/// Returns [`SystemError`] on missing buffers, unsupported access shapes
+/// or netlist simulation faults.
+pub fn run_system(
+    kernel: &Kernel,
+    netlist: &Netlist,
+    arrays: &HashMap<String, Vec<i64>>,
+    scalars: &HashMap<String, i64>,
+) -> Result<SystemRun, SystemError> {
+    run_system_with_options(kernel, netlist, arrays, scalars, SystemOptions::default())
+}
+
+/// [`run_system`] with explicit [`SystemOptions`] (bus width etc.).
+///
+/// # Errors
+///
+/// See [`run_system`].
+pub fn run_system_with_options(
+    kernel: &Kernel,
+    netlist: &Netlist,
+    arrays: &HashMap<String, Vec<i64>>,
+    scalars: &HashMap<String, i64>,
+    options: SystemOptions,
+) -> Result<SystemRun, SystemError> {
+    if kernel.dims.is_empty() {
+        return Err(SystemError(
+            "straight-line kernels have no loop to stream; use NetlistSim directly".into(),
+        ));
+    }
+
+    // ----- input lanes ------------------------------------------------------
+    let ports = kernel.input_ports();
+    let port_index: HashMap<&str, usize> = ports
+        .iter()
+        .enumerate()
+        .map(|(i, (n, _))| (n.as_str(), i))
+        .collect();
+
+    let mut lanes: Vec<InputLane> = Vec::new();
+    for w in &kernel.windows {
+        let data = arrays
+            .get(&w.array)
+            .ok_or_else(|| SystemError(format!("missing input array `{}`", w.array)))?;
+        lanes.push(build_lane(kernel, w, data, &port_index)?);
+    }
+
+    // ----- scalar live-ins --------------------------------------------------
+    let mut const_inputs: Vec<(usize, i64)> = Vec::new();
+    for (name, _) in &kernel.scalar_inputs {
+        let v = *scalars
+            .get(name)
+            .ok_or_else(|| SystemError(format!("missing scalar input `{name}`")))?;
+        const_inputs.push((port_index[name.as_str()], v));
+    }
+
+    // ----- output lanes -----------------------------------------------------
+    let out_ports = kernel.output_ports();
+    let mut out_lanes: Vec<OutputLane> = Vec::new();
+    for o in &kernel.outputs {
+        for wr in &o.writes {
+            let port = out_ports
+                .iter()
+                .position(|(n, _)| n == &wr.scalar)
+                .ok_or_else(|| SystemError(format!("no output port for `{}`", wr.scalar)))?;
+            let mut dims = Vec::new();
+            for (d, ai) in wr.index.iter().enumerate() {
+                let var = ai.var.as_ref().ok_or_else(|| {
+                    SystemError("constant store indices are not supported".into())
+                })?;
+                let ld = kernel
+                    .dims
+                    .iter()
+                    .find(|l| &l.var == var)
+                    .ok_or_else(|| SystemError(format!("store index var `{var}` unknown")))?;
+                dims.push(DimScan {
+                    start: ld.start + ai.offset,
+                    bound: ld.bound + ai.offset,
+                    step: ld.step,
+                    extent: 1,
+                });
+                let _ = d;
+            }
+            let row_width = if o.dims.len() == 2 { o.dims[1] } else { 1 };
+            let gen = OutputAddressGen::new(dims, 0, row_width);
+            let total = gen.total();
+            let size: usize = o.dims.iter().product();
+            out_lanes.push(OutputLane {
+                name: o.array.clone(),
+                bram: BramModel::zeroed(size),
+                addrs: gen,
+                port,
+                remaining: total,
+            });
+        }
+    }
+
+    // ----- main loop ----------------------------------------------------------
+    let mut sim = NetlistSim::new(netlist);
+    let total_iters = kernel.total_iterations();
+    let mut fired = 0u64;
+    let mut cycles = 0u64;
+    let zero_args = vec![0i64; netlist.inputs.len()];
+    let safety = 16 * total_iters + 4096;
+    let mut drain = 0u32;
+    let drain_needed = netlist.latency + 2;
+
+    // Run until every output array is written, all iterations have fired,
+    // and the pipeline has drained (so feedback finals are settled).
+    while out_lanes.iter().any(|l| l.remaining > 0) || fired < total_iters || drain < drain_needed {
+        if fired >= total_iters {
+            drain += 1;
+        }
+        cycles += 1;
+        if cycles > safety {
+            return Err(SystemError(format!(
+                "system did not converge after {cycles} cycles ({fired}/{total_iters} fired)"
+            )));
+        }
+
+        // 1. Memory data from last cycle lands in the smart buffers (the
+        //    whole bus beat arrives together).
+        for lane in &mut lanes {
+            for (addr, v) in lane.bram.clock_all() {
+                match &mut lane.buffer {
+                    AnyBuffer::One(sb) => sb.push(addr as i64, v),
+                    AnyBuffer::Two(sb) => sb.push_flat(addr as i64, v),
+                }
+            }
+            if lane.staged.is_none() {
+                lane.staged = match &mut lane.buffer {
+                    AnyBuffer::One(sb) => sb.pop_window(),
+                    AnyBuffer::Two(sb) => sb.pop_window(),
+                };
+            }
+        }
+
+        // 2. Fire when every lane has a window.
+        let all_ready =
+            fired < total_iters && !lanes.is_empty() && lanes.iter().all(|l| l.staged.is_some());
+        let (args, valid) = if all_ready {
+            let mut args = zero_args.clone();
+            for lane in &mut lanes {
+                let win = lane.staged.take().expect("all_ready");
+                for (slot, port) in &lane.port_map {
+                    args[*port] = win[*slot];
+                }
+            }
+            for (port, v) in &const_inputs {
+                args[*port] = *v;
+            }
+            fired += 1;
+            (args, true)
+        } else {
+            (zero_args.clone(), false)
+        };
+
+        // 3. Step the data path.
+        let r = sim.step(&args, valid)?;
+
+        // 4. Retire valid outputs.
+        if r.out_valid {
+            for lane in &mut out_lanes {
+                if lane.remaining > 0 {
+                    let addr = lane
+                        .addrs
+                        .next()
+                        .ok_or_else(|| SystemError("output address underflow".into()))?;
+                    lane.bram.write(addr as usize, r.outputs[lane.port]);
+                    lane.remaining -= 1;
+                }
+            }
+        }
+
+        // 5. Issue next input reads (one beat of `bus_elems` words).
+        for lane in &mut lanes {
+            for _ in 0..options.bus_elems.max(1) {
+                match lane.addrs.next() {
+                    Some(a) => lane.bram.issue_read(a as usize),
+                    None => break,
+                }
+            }
+        }
+    }
+
+    // Collect results.
+    let mut result = SystemRun {
+        cycles,
+        fired,
+        ..SystemRun::default()
+    };
+    for lane in &mut lanes {
+        let (r, _) = lane.bram.traffic();
+        result.mem_reads += r;
+    }
+    for lane in out_lanes {
+        let (_, w) = lane.bram.traffic();
+        result.mem_writes += w;
+        // Merge multi-port writes into one array image.
+        let entry = result
+            .arrays
+            .entry(lane.name.clone())
+            .or_insert_with(|| vec![0; lane.bram.len()]);
+        for (i, v) in lane.bram.data().iter().enumerate() {
+            if *v != 0 || entry.get(i) == Some(&0) {
+                if i >= entry.len() {
+                    entry.resize(i + 1, 0);
+                }
+                if *v != 0 {
+                    entry[i] = *v;
+                }
+            }
+        }
+    }
+    for name in &kernel.live_out {
+        if let Some(v) = sim.feedback_value(name) {
+            result.scalars.insert(format!("{name}_final"), v);
+            result.scalars.insert(name.clone(), v);
+        }
+    }
+    Ok(result)
+}
+
+fn build_lane(
+    kernel: &Kernel,
+    w: &WindowSpec,
+    data: &[i64],
+    port_index: &HashMap<&str, usize>,
+) -> Result<InputLane, SystemError> {
+    let ndim = w
+        .reads
+        .first()
+        .map(|r| r.index.len())
+        .ok_or_else(|| SystemError(format!("window `{}` has no reads", w.array)))?;
+    let extent = w.extent();
+
+    // Loop dimension for each window dimension.
+    let mut scans = Vec::new();
+    let mut min_off = Vec::new();
+    for (d, ext) in extent.iter().enumerate().take(ndim) {
+        let var = w.reads[0].index[d]
+            .var
+            .clone()
+            .ok_or_else(|| SystemError("constant window dimensions unsupported".into()))?;
+        let ld = kernel
+            .dims
+            .iter()
+            .find(|l| l.var == var)
+            .ok_or_else(|| SystemError(format!("window index var `{var}` unknown")))?;
+        let mo = w.reads.iter().map(|r| r.index[d].offset).min().unwrap_or(0);
+        min_off.push(mo);
+        scans.push(DimScan {
+            start: ld.start + mo,
+            bound: ld.bound + mo,
+            step: ld.step,
+            extent: *ext,
+        });
+    }
+
+    // Port map: window slot (row-major in the extent box) → dp port.
+    let mut port_map = Vec::new();
+    for r in &w.reads {
+        let slot = match ndim {
+            1 => (r.index[0].offset - min_off[0]) as usize,
+            2 => {
+                let dr = (r.index[0].offset - min_off[0]) as usize;
+                let dc = (r.index[1].offset - min_off[1]) as usize;
+                dr * extent[1] + dc
+            }
+            n => return Err(SystemError(format!("{n}-dimensional windows unsupported"))),
+        };
+        let port = *port_index
+            .get(r.scalar.as_str())
+            .ok_or_else(|| SystemError(format!("no input port for `{}`", r.scalar)))?;
+        port_map.push((slot, port));
+    }
+
+    let (addrs, buffer): (Box<dyn Iterator<Item = i64>>, AnyBuffer) = match ndim {
+        1 => (
+            Box::new(AddressGen1d::new(scans[0])),
+            AnyBuffer::One(SmartBuffer1d::new(
+                extent[0],
+                scans[0].step as usize,
+                scans[0].start,
+            )),
+        ),
+        2 => {
+            let row_width = if w.dims.len() == 2 { w.dims[1] } else { 1 };
+            (
+                Box::new(AddressGen2d::new(scans[0], scans[1], row_width)),
+                AnyBuffer::Two(SmartBuffer2d::new(
+                    extent[0],
+                    extent[1],
+                    scans[0].step as usize,
+                    scans[1].step as usize,
+                    scans[0].start,
+                    scans[0].bound,
+                    scans[1].start,
+                    scans[1].bound,
+                    row_width,
+                )),
+            )
+        }
+        n => return Err(SystemError(format!("{n}-dimensional windows unsupported"))),
+    };
+
+    Ok(InputLane {
+        bram: BramModel::new(data.to_vec()),
+        addrs,
+        buffer,
+        port_map,
+        staged: None,
+    })
+}

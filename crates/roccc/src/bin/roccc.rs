@@ -1,0 +1,221 @@
+//! Command-line driver for the ROCCC reproduction.
+//!
+//! ```text
+//! roccc <input.c> --function <name> [options]
+//!
+//! Options:
+//!   --function <name>    kernel function to compile (required)
+//!   --period <ns>        target clock period (default 7.0)
+//!   --unroll <n|full>    unroll factor or full unrolling
+//!   --fuse               run loop fusion first
+//!   --no-opt             skip SSA-level scalar optimizations
+//!   --no-narrow          skip bit-width narrowing
+//!   --budget <slices>    pick the unroll factor by area budget
+//!   --emit <what>        vhdl | dot | stats | ir | c   (default stats)
+//!   -o <file>            write output to a file instead of stdout
+//! ```
+
+use roccc::{compile, compile_with_area_budget, CompileOptions, Compiled, UnrollStrategy};
+use roccc_synth::{fast_estimate, map_netlist, VirtexII};
+use std::process::ExitCode;
+
+struct Args {
+    input: String,
+    function: String,
+    opts: CompileOptions,
+    budget: Option<u64>,
+    emit: String,
+    output: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let mut input = None;
+    let mut function = None;
+    let mut opts = CompileOptions::default();
+    let mut budget = None;
+    let mut emit = "stats".to_string();
+    let mut output = None;
+
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--function" | "-f" => function = Some(args.next().ok_or("--function needs a name")?),
+            "--period" => {
+                opts.target_period_ns = args
+                    .next()
+                    .ok_or("--period needs a value")?
+                    .parse()
+                    .map_err(|_| "--period expects a number (ns)")?;
+            }
+            "--unroll" => {
+                let v = args.next().ok_or("--unroll needs a factor or `full`")?;
+                opts.unroll = if v == "full" {
+                    UnrollStrategy::Full
+                } else {
+                    UnrollStrategy::Partial(
+                        v.parse()
+                            .map_err(|_| "--unroll expects a number or `full`")?,
+                    )
+                };
+            }
+            "--fuse" => opts.fuse = true,
+            "--no-opt" => opts.optimize = false,
+            "--no-narrow" => opts.narrow = false,
+            "--budget" => {
+                budget = Some(
+                    args.next()
+                        .ok_or("--budget needs a slice count")?
+                        .parse()
+                        .map_err(|_| "--budget expects a number")?,
+                )
+            }
+            "--emit" => emit = args.next().ok_or("--emit needs vhdl|dot|stats|ir|c")?,
+            "-o" => output = Some(args.next().ok_or("-o needs a path")?),
+            "--help" | "-h" => {
+                return Err("usage: roccc <input.c> --function <name> \
+                            [--period ns] [--unroll n|full] [--fuse] [--no-opt] \
+                            [--no-narrow] [--budget slices] \
+                            [--emit vhdl|dot|stats|ir|c] [-o file]"
+                    .to_string())
+            }
+            other if input.is_none() && !other.starts_with('-') => input = Some(other.to_string()),
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(Args {
+        input: input.ok_or("missing input file (try --help)")?,
+        function: function.ok_or("missing --function (try --help)")?,
+        opts,
+        budget,
+        emit,
+        output,
+    })
+}
+
+fn render(hw: &Compiled, emit: &str, factor: Option<u64>) -> Result<String, String> {
+    match emit {
+        "vhdl" => Ok(hw.to_vhdl()),
+        "dot" => Ok(hw.to_dot()),
+        "ir" => Ok(hw.ir.dump()),
+        "c" => Ok(format!(
+            "// Figure 3(b)-style rewritten kernel:\n{}\n// Exported data-path function:\n{}",
+            hw.kernel.rewritten.to_c(),
+            hw.kernel.dp_func.to_c()
+        )),
+        "stats" => {
+            let model = VirtexII::default();
+            let full = map_netlist(&hw.netlist, &model);
+            let fast = fast_estimate(&hw.datapath, &model);
+            let (soft, hard) = hw.datapath.node_census();
+            let mut s = String::new();
+            s.push_str(&format!("kernel           : {}\n", hw.kernel.name));
+            if let Some(f) = factor {
+                s.push_str(&format!("unroll factor    : {f} (area-budget driven)\n"));
+            }
+            s.push_str(&format!(
+                "loop nest        : {:?} ({} iterations)\n",
+                hw.kernel
+                    .dims
+                    .iter()
+                    .map(|d| format!("{}: {}..{} step {}", d.var, d.start, d.bound, d.step))
+                    .collect::<Vec<_>>(),
+                hw.kernel.total_iterations()
+            ));
+            s.push_str(&format!(
+                "windows          : {:?}\n",
+                hw.kernel
+                    .windows
+                    .iter()
+                    .map(|w| format!("{}{:?}", w.array, w.extent()))
+                    .collect::<Vec<_>>()
+            ));
+            s.push_str(&format!(
+                "feedback         : {:?}\n",
+                hw.kernel
+                    .feedback
+                    .iter()
+                    .map(|f| &f.name)
+                    .collect::<Vec<_>>()
+            ));
+            s.push_str(&format!(
+                "data path        : {} ops, {soft} soft + {hard} hard nodes, {} stages\n",
+                hw.datapath.ops.len(),
+                hw.datapath.num_stages
+            ));
+            s.push_str(&format!(
+                "outputs per cycle: {}\n",
+                hw.datapath.throughput_per_cycle()
+            ));
+            s.push_str(&format!(
+                "estimate (fast)  : {} LUT, {} FF, {} slices\n",
+                fast.luts, fast.ffs, fast.slices
+            ));
+            s.push_str(&format!(
+                "mapped (full)    : {} LUT, {} FF, {} slices, Fmax {:.0} MHz\n",
+                full.luts, full.ffs, full.slices, full.fmax_mhz
+            ));
+            Ok(s)
+        }
+        other => Err(format!("unknown --emit `{other}` (vhdl|dot|stats|ir|c)")),
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let source = match std::fs::read_to_string(&args.input) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", args.input);
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let (hw, factor) = if let Some(budget) = args.budget {
+        match compile_with_area_budget(&source, &args.function, &args.opts, budget) {
+            Ok(b) => (b.compiled, Some(b.factor)),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match compile(&source, &args.function, &args.opts) {
+            Ok(c) => (c, None),
+            Err(e) => {
+                eprintln!("{}", render_error(&e, &source));
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    let text = match render(&hw, &args.emit, factor) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match args.output {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, text) {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        None => print!("{text}"),
+    }
+    ExitCode::SUCCESS
+}
+
+fn render_error(e: &roccc::CompileError, source: &str) -> String {
+    match e {
+        roccc::CompileError::Front(c) => c.render(source),
+        other => other.to_string(),
+    }
+}

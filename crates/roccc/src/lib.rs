@@ -1,0 +1,515 @@
+//! # roccc — the end-to-end compiler pipeline
+//!
+//! Reproduction of the ROCCC compiler from *"Optimized Generation of
+//! Data-path from C Codes for FPGAs"* (DATE 2005): C kernels in, pipelined
+//! data paths (and VHDL) out.
+//!
+//! The [`compile`] function chains the whole flow:
+//!
+//! 1. front end (`roccc-cparse`): parse + semantic checks;
+//! 2. loop level (`roccc-hlir`): inlining, folding, optional unrolling,
+//!    scalar replacement, feedback detection → a [`Kernel`];
+//! 3. back end (`roccc-suifvm`): lowering, SSA, scalar optimizations;
+//! 4. data path (`roccc-datapath`): if-conversion with mux/pipe hard
+//!    nodes, pipelining, bit-width narrowing;
+//! 5. RTL (`roccc-netlist`): registers materialized, cycle-accurate model;
+//! 6. VHDL (`roccc-vhdl`): one component per CFG node.
+//!
+//! ```
+//! use roccc::{compile, CompileOptions};
+//!
+//! # fn main() -> Result<(), roccc::CompileError> {
+//! let src = "void fir(int A[21], int C[17]) { int i;
+//!   for (i = 0; i < 17; i = i + 1) {
+//!     C[i] = 3*A[i] + 5*A[i+1] + 7*A[i+2] + 9*A[i+3] - A[i+4]; } }";
+//! let hw = compile(src, "fir", &CompileOptions::default())?;
+//! assert_eq!(hw.kernel.windows[0].extent(), vec![5]);
+//! assert!(hw.datapath.fmax_mhz() > 50.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+use roccc_cparse::ast::{Function, Item, Program};
+use roccc_cparse::error::CError;
+use roccc_datapath::{
+    build_datapath, narrow_widths, pipeline_datapath, Datapath, DefaultDelayModel, DelayModel,
+};
+use roccc_hlir::extract::extract_kernel;
+use roccc_hlir::kernel::Kernel;
+use roccc_netlist::{netlist_from_datapath, run_system, Netlist, SystemError, SystemRun};
+use roccc_suifvm::{lower_function, optimize, to_ssa, FunctionIr};
+use std::collections::HashMap;
+use std::fmt;
+
+/// How to treat loops before kernel extraction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum UnrollStrategy {
+    /// Leave loops iterative: one pipeline iteration per loop iteration.
+    #[default]
+    Keep,
+    /// Fully unroll constant-bound loops (straight-line data path,
+    /// the paper's DCT-style 8-outputs-per-clock configuration).
+    Full,
+    /// Partially unroll by the given factor.
+    Partial(u64),
+}
+
+/// Compilation options.
+#[derive(Debug, Clone)]
+pub struct CompileOptions {
+    /// Target clock period for the pipeliner, in nanoseconds
+    /// (default 7.0 ns ≈ 143 MHz, a typical Virtex-II -5 target).
+    pub target_period_ns: f64,
+    /// Loop unrolling strategy.
+    pub unroll: UnrollStrategy,
+    /// Run the SSA-level scalar optimizations.
+    pub optimize: bool,
+    /// Run backward bit-width narrowing.
+    pub narrow: bool,
+    /// Apply loop fusion before extraction.
+    pub fuse: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            target_period_ns: 7.0,
+            unroll: UnrollStrategy::Keep,
+            optimize: true,
+            narrow: true,
+            fuse: false,
+        }
+    }
+}
+
+/// A fully compiled kernel.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    /// Front-end kernel description (windows, loop dims, feedback).
+    pub kernel: Kernel,
+    /// Optimized SSA IR of the data-path function.
+    pub ir: FunctionIr,
+    /// Pipelined, width-narrowed data path.
+    pub datapath: Datapath,
+    /// Word-level netlist with pipeline registers.
+    pub netlist: Netlist,
+    /// The (transformed) program the kernel was extracted from.
+    pub program: Program,
+}
+
+impl Compiled {
+    /// Runs the generated hardware over concrete arrays/scalars
+    /// (cycle-accurate system simulation; loop kernels only).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SystemError`] from the system simulator.
+    pub fn run(
+        &self,
+        arrays: &HashMap<String, Vec<i64>>,
+        scalars: &HashMap<String, i64>,
+    ) -> Result<SystemRun, SystemError> {
+        run_system(&self.kernel, &self.netlist, arrays, scalars)
+    }
+
+    /// [`Compiled::run`] with a wide memory bus delivering `bus_elems`
+    /// words per beat (the paper's "bus size" smart-buffer parameter).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SystemError`] from the system simulator.
+    pub fn run_with_bus(
+        &self,
+        arrays: &HashMap<String, Vec<i64>>,
+        scalars: &HashMap<String, i64>,
+        bus_elems: usize,
+    ) -> Result<SystemRun, SystemError> {
+        roccc_netlist::run_system_with_options(
+            &self.kernel,
+            &self.netlist,
+            arrays,
+            scalars,
+            roccc_netlist::SystemOptions { bus_elems },
+        )
+    }
+
+    /// Generates the RTL VHDL for the data path (one component per node)
+    /// plus the buffer/controller entities.
+    pub fn to_vhdl(&self) -> String {
+        roccc_vhdl::generate_vhdl(&self.kernel, &self.datapath)
+    }
+
+    /// DOT rendering of the data path (Figure 6/7 shape).
+    pub fn to_dot(&self) -> String {
+        self.datapath.to_dot()
+    }
+}
+
+/// Errors from any stage of the pipeline.
+#[derive(Debug, Clone)]
+pub enum CompileError {
+    /// Front-end (lex/parse/sema/extract/lower) diagnostic.
+    Front(CError),
+    /// Structural error in data-path or netlist construction.
+    Backend(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Front(e) => write!(f, "{e}"),
+            CompileError::Backend(m) => write!(f, "backend error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<CError> for CompileError {
+    fn from(e: CError) -> Self {
+        CompileError::Front(e)
+    }
+}
+
+impl From<String> for CompileError {
+    fn from(m: String) -> Self {
+        CompileError::Backend(m)
+    }
+}
+
+/// Compiles C `source`'s function `func` into hardware.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] for malformed source, subset violations, or
+/// kernels outside the supported loop shapes.
+pub fn compile(source: &str, func: &str, opts: &CompileOptions) -> Result<Compiled, CompileError> {
+    compile_with_model(source, func, opts, &DefaultDelayModel)
+}
+
+/// [`compile`] with a caller-provided delay model (e.g. the calibrated
+/// Virtex-II model from `roccc-synth`).
+///
+/// # Errors
+///
+/// See [`compile`].
+pub fn compile_with_model(
+    source: &str,
+    func: &str,
+    opts: &CompileOptions,
+    model: &dyn DelayModel,
+) -> Result<Compiled, CompileError> {
+    let mut program = roccc_cparse::frontend(source)?;
+
+    // Loop-level transformations requested by the options.
+    program = transform_program(&program, func, opts);
+
+    // Scalar replacement + feedback detection.
+    let kernel = extract_kernel(&program, func)?;
+
+    // Back end: VM IR → SSA → optimizations.
+    let dp_program = Program {
+        items: {
+            let mut items: Vec<Item> = program
+                .items
+                .iter()
+                .filter(|i| matches!(i, Item::Global(_)))
+                .cloned()
+                .collect();
+            items.push(Item::Function(kernel.dp_func.clone()));
+            items
+        },
+    };
+    let mut ir = lower_function(&dp_program, &kernel.dp_func, &kernel.feedback)?;
+    to_ssa(&mut ir);
+    if opts.optimize {
+        optimize(&mut ir);
+    }
+    roccc_suifvm::verify_ssa(&ir).map_err(CompileError::Backend)?;
+
+    // Data path.
+    let mut datapath = build_datapath(&ir)?;
+    pipeline_datapath(&mut datapath, opts.target_period_ns, model);
+    if opts.narrow {
+        narrow_widths(&mut datapath);
+    }
+    datapath.verify().map_err(CompileError::Backend)?;
+
+    // RTL netlist.
+    let netlist = netlist_from_datapath(&datapath);
+    netlist.verify().map_err(CompileError::Backend)?;
+
+    Ok(Compiled {
+        kernel,
+        ir,
+        datapath,
+        netlist,
+        program,
+    })
+}
+
+/// Applies the option-selected loop transformations to `func` only.
+fn transform_program(program: &Program, func: &str, opts: &CompileOptions) -> Program {
+    let map_fn = |f: &Function| -> Function {
+        if f.name != func {
+            return f.clone();
+        }
+        let mut f = f.clone();
+        if opts.fuse {
+            f = roccc_hlir::fusion::fuse_function(&f);
+        }
+        match opts.unroll {
+            UnrollStrategy::Keep => {}
+            UnrollStrategy::Full => {
+                f = roccc_hlir::unroll::fully_unroll_function(&f);
+                f = roccc_hlir::fold::fold_function(&f);
+            }
+            UnrollStrategy::Partial(k) => {
+                f = roccc_hlir::unroll::partially_unroll_function(&f, k);
+                f = roccc_hlir::fold::fold_function(&f);
+            }
+        }
+        f
+    };
+    Program {
+        items: program
+            .items
+            .iter()
+            .map(|i| match i {
+                Item::Function(f) => Item::Function(map_fn(f)),
+                g => g.clone(),
+            })
+            .collect(),
+    }
+}
+
+/// Profiles a program by running `driver` in the golden-model interpreter
+/// and ranks functions by executed statements — the paper's Figure 1
+/// "Code Profiling" stage, which "identifies the frequently executing
+/// code kernels in a given application" for hardware mapping.
+///
+/// # Errors
+///
+/// Propagates front-end and interpreter errors.
+pub fn identify_kernels(
+    source: &str,
+    driver: &str,
+    args: &[i64],
+    arrays: &mut HashMap<String, Vec<i64>>,
+) -> Result<Vec<(String, u64)>, CompileError> {
+    let program = roccc_cparse::frontend(source)?;
+    let mut interp = Interpreter::new(&program);
+    interp
+        .call(driver, args, arrays)
+        .map_err(CompileError::Front)?;
+    Ok(interp.profile())
+}
+
+/// Result of [`compile_with_area_budget`].
+#[derive(Debug, Clone)]
+pub struct BudgetedCompile {
+    /// The selected compilation.
+    pub compiled: Compiled,
+    /// The unroll factor chosen (1 = no unrolling).
+    pub factor: u64,
+    /// Estimated slices of the chosen configuration.
+    pub estimated_slices: u64,
+}
+
+/// Chooses the largest power-of-two unroll factor whose estimated area
+/// fits `budget_slices`, using the sub-millisecond fast estimator — the
+/// paper's §2 flow: "Loop unrolling for FPGAs requires compile time area
+/// estimation".
+///
+/// Factors 1, 2, 4, … are tried until the estimate exceeds the budget or
+/// the loop is fully unrolled; the last fitting configuration wins.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] if even the un-unrolled kernel fails to
+/// compile; estimation failures at larger factors just stop the search.
+pub fn compile_with_area_budget(
+    source: &str,
+    func: &str,
+    opts: &CompileOptions,
+    budget_slices: u64,
+) -> Result<BudgetedCompile, CompileError> {
+    let model = roccc_synth::VirtexII::default();
+    let mut best: Option<BudgetedCompile> = None;
+    let mut factor = 1u64;
+    loop {
+        let attempt_opts = CompileOptions {
+            unroll: if factor == 1 {
+                UnrollStrategy::Keep
+            } else {
+                UnrollStrategy::Partial(factor)
+            },
+            ..opts.clone()
+        };
+        let compiled = match compile_with_model(source, func, &attempt_opts, &model) {
+            Ok(c) => c,
+            Err(e) => match best {
+                Some(b) => return Ok(b),
+                None => return Err(e),
+            },
+        };
+        let est = roccc_synth::fast_estimate(&compiled.datapath, &model);
+        let iterations = compiled.kernel.total_iterations();
+        if est.slices <= budget_slices || best.is_none() {
+            let done = est.slices > budget_slices;
+            best = Some(BudgetedCompile {
+                compiled,
+                factor,
+                estimated_slices: est.slices,
+            });
+            if done {
+                // Even factor 1 blows the budget: report it and stop.
+                break;
+            }
+        } else {
+            break;
+        }
+        if iterations <= 1 || factor >= 64 {
+            break;
+        }
+        factor *= 2;
+    }
+    Ok(best.expect("loop sets best before breaking"))
+}
+
+pub use roccc_cparse::{interp::Interpreter, CResult};
+pub use roccc_datapath::graph::NodeKind;
+pub use roccc_netlist::NetlistSim;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIR: &str = "void fir(int A[21], int C[17]) { int i;
+      for (i = 0; i < 17; i = i + 1) {
+        C[i] = 3*A[i] + 5*A[i+1] + 7*A[i+2] + 9*A[i+3] - A[i+4]; } }";
+
+    #[test]
+    fn fir_compiles_and_runs_end_to_end() {
+        let hw = compile(FIR, "fir", &CompileOptions::default()).unwrap();
+        let a: Vec<i64> = (0..21).map(|x| (x * 31 % 47) - 11).collect();
+        let mut arrays = HashMap::new();
+        arrays.insert("A".to_string(), a.clone());
+        let run = hw.run(&arrays, &HashMap::new()).unwrap();
+        // Golden model.
+        let prog = roccc_cparse::frontend(FIR).unwrap();
+        let mut golden_arrays = HashMap::new();
+        golden_arrays.insert("A".to_string(), a);
+        golden_arrays.insert("C".to_string(), vec![0i64; 17]);
+        Interpreter::new(&prog)
+            .call("fir", &[], &mut golden_arrays)
+            .unwrap();
+        assert_eq!(run.arrays["C"], golden_arrays["C"]);
+        // Smart buffer reuse: 21 reads, not 85.
+        assert_eq!(run.mem_reads, 21);
+        assert_eq!(run.mem_writes, 17);
+        assert_eq!(run.fired, 17);
+    }
+
+    #[test]
+    fn accumulator_live_out_matches_golden() {
+        let src = "void acc(int A[32], int* out) {
+          int sum = 0; int i;
+          for (i = 0; i < 32; i++) { sum = sum + A[i]; }
+          *out = sum; }";
+        let hw = compile(src, "acc", &CompileOptions::default()).unwrap();
+        let a: Vec<i64> = (0..32).map(|x| x * x - 40).collect();
+        let expect: i64 = a.iter().sum();
+        let mut arrays = HashMap::new();
+        arrays.insert("A".to_string(), a);
+        let run = hw.run(&arrays, &HashMap::new()).unwrap();
+        assert_eq!(run.scalars["sum"], expect);
+    }
+
+    #[test]
+    fn full_unroll_removes_loop_dims() {
+        // An 8-sample scaler fully unrolled: becomes straight-line.
+        let src = "void scale8(int x0,int x1,int x2,int x3, int* o) {
+           int s = 0; int t;
+           t = x0 * 3; s = s + t;
+           t = x1 * 3; s = s + t;
+           t = x2 * 3; s = s + t;
+           t = x3 * 3; s = s + t;
+           *o = s; }";
+        let hw = compile(src, "scale8", &CompileOptions::default()).unwrap();
+        assert!(hw.kernel.dims.is_empty());
+        // Straight-line kernels run through NetlistSim directly.
+        let mut sim = NetlistSim::new(&hw.netlist);
+        let outs = sim.run_stream(&[vec![1, 2, 3, 4]]).unwrap();
+        assert_eq!(outs[0], vec![3 * (1 + 2 + 3 + 4)]);
+    }
+
+    #[test]
+    fn scalar_inputs_are_ports() {
+        let src = "void scale(int A[16], int B[16], int gain) { int i;
+          for (i = 0; i < 16; i++) { B[i] = A[i] * gain; } }";
+        let hw = compile(src, "scale", &CompileOptions::default()).unwrap();
+        let a: Vec<i64> = (0..16).collect();
+        let mut arrays = HashMap::new();
+        arrays.insert("A".to_string(), a.clone());
+        let mut scalars = HashMap::new();
+        scalars.insert("gain".to_string(), 7i64);
+        let run = hw.run(&arrays, &scalars).unwrap();
+        let expect: Vec<i64> = a.iter().map(|x| x * 7).collect();
+        assert_eq!(run.arrays["B"], expect);
+    }
+
+    #[test]
+    fn throughput_counts_outputs_per_cycle() {
+        let hw = compile(FIR, "fir", &CompileOptions::default()).unwrap();
+        let mut arrays = HashMap::new();
+        arrays.insert("A".to_string(), (0..21).collect());
+        let run = hw.run(&arrays, &HashMap::new()).unwrap();
+        // 17 outputs over some cycles; with II=1 the steady state is one
+        // output per cycle, fills and drains cost a handful.
+        assert!(run.cycles < 60, "cycles = {}", run.cycles);
+        assert!(run.throughput() > 0.25, "throughput = {}", run.throughput());
+    }
+
+    #[test]
+    fn identify_kernels_ranks_the_hot_loop() {
+        let src = "int hot(int x) { int s = 0; int i;
+            for (i = 0; i < 200; i++) { s = s + x; } return s; }
+          int cold(int x) { return x + 1; }
+          void app(int a, int* o) { *o = hot(a) + cold(a); }";
+        let ranked = identify_kernels(src, "app", &[5], &mut HashMap::new()).unwrap();
+        assert_eq!(ranked[0].0, "hot");
+        assert!(ranked[0].1 > 50 * ranked.iter().find(|(n, _)| n == "cold").unwrap().1);
+    }
+
+    #[test]
+    fn area_budget_drives_unroll_factor() {
+        let src = "void scale(int16 A[64], int16 B[64]) { int i;
+          for (i = 0; i < 64; i++) { B[i] = A[i] * 11 + 3; } }";
+        let tight = compile_with_area_budget(src, "scale", &CompileOptions::default(), 60).unwrap();
+        let loose =
+            compile_with_area_budget(src, "scale", &CompileOptions::default(), 100_000).unwrap();
+        assert!(
+            loose.factor > tight.factor,
+            "loose budget should unroll more: {} vs {}",
+            loose.factor,
+            tight.factor
+        );
+        assert!(tight.estimated_slices <= 60 || tight.factor == 1);
+        // The chosen configuration still computes correctly.
+        let a: Vec<i64> = (0..64).collect();
+        let mut arrays = HashMap::new();
+        arrays.insert("A".to_string(), a.clone());
+        let run = loose.compiled.run(&arrays, &HashMap::new()).unwrap();
+        let expect: Vec<i64> = a.iter().map(|x| x * 11 + 3).collect();
+        assert_eq!(run.arrays["B"], expect);
+    }
+
+    #[test]
+    fn compile_rejects_bad_source() {
+        assert!(compile("int f(", "f", &CompileOptions::default()).is_err());
+        assert!(compile("void f() {}", "g", &CompileOptions::default()).is_err());
+    }
+}

@@ -1,0 +1,216 @@
+//! Dominator tree and dominance frontiers.
+//!
+//! Implements the Cooper–Harvey–Kennedy iterative algorithm — the same
+//! machinery the Machine-SUIF SSA library uses to place phi nodes.
+
+use crate::ir::{BlockId, FunctionIr};
+
+/// Dominator information for a function's CFG.
+#[derive(Debug, Clone)]
+pub struct DomInfo {
+    /// Immediate dominator per block (`idom[entry] == entry`).
+    pub idom: Vec<BlockId>,
+    /// Dominance frontier per block.
+    pub frontier: Vec<Vec<BlockId>>,
+    /// Reverse postorder used for the computation.
+    pub rpo: Vec<BlockId>,
+}
+
+impl DomInfo {
+    /// Computes dominators and frontiers for `f`.
+    pub fn compute(f: &FunctionIr) -> DomInfo {
+        let n = f.blocks.len();
+        let rpo = f.reverse_postorder();
+        let mut rpo_num = vec![usize::MAX; n];
+        for (i, b) in rpo.iter().enumerate() {
+            rpo_num[b.0 as usize] = i;
+        }
+        let preds = f.predecessors();
+
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[f.entry().0 as usize] = Some(f.entry());
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &preds[b.0 as usize] {
+                    if idom[p.0 as usize].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(cur, p, &idom, &rpo_num),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.0 as usize] != Some(ni) {
+                        idom[b.0 as usize] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        let idom: Vec<BlockId> = idom
+            .into_iter()
+            .enumerate()
+            .map(|(i, d)| d.unwrap_or(BlockId(i as u32)))
+            .collect();
+
+        // Dominance frontiers (Cytron et al.).
+        let mut frontier: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+        for b in 0..n {
+            let bid = BlockId(b as u32);
+            if preds[b].len() >= 2 {
+                for &p in &preds[b] {
+                    let mut runner = p;
+                    while runner != idom[b] {
+                        if !frontier[runner.0 as usize].contains(&bid) {
+                            frontier[runner.0 as usize].push(bid);
+                        }
+                        let next = idom[runner.0 as usize];
+                        if next == runner {
+                            break; // unreachable predecessor chain
+                        }
+                        runner = next;
+                    }
+                }
+            }
+        }
+
+        DomInfo {
+            idom,
+            frontier,
+            rpo,
+        }
+    }
+
+    /// Whether `a` dominates `b`.
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            let next = self.idom[cur.0 as usize];
+            if next == cur {
+                return cur == a;
+            }
+            cur = next;
+        }
+    }
+
+    /// Children of each node in the dominator tree.
+    pub fn dom_tree_children(&self) -> Vec<Vec<BlockId>> {
+        let mut children = vec![Vec::new(); self.idom.len()];
+        for (b, &d) in self.idom.iter().enumerate() {
+            let bid = BlockId(b as u32);
+            if d != bid {
+                children[d.0 as usize].push(bid);
+            }
+        }
+        children
+    }
+}
+
+fn intersect(
+    mut a: BlockId,
+    mut b: BlockId,
+    idom: &[Option<BlockId>],
+    rpo_num: &[usize],
+) -> BlockId {
+    while a != b {
+        while rpo_num[a.0 as usize] > rpo_num[b.0 as usize] {
+            a = idom[a.0 as usize].expect("processed");
+        }
+        while rpo_num[b.0 as usize] > rpo_num[a.0 as usize] {
+            b = idom[b.0 as usize].expect("processed");
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{FunctionIr, Terminator};
+    use roccc_cparse::types::IntType;
+
+    /// Builds the Figure 6 diamond: bb0 → {bb1, bb2} → bb3.
+    fn diamond() -> FunctionIr {
+        let mut f = FunctionIr::new("d");
+        let b0 = f.new_block();
+        let b1 = f.new_block();
+        let b2 = f.new_block();
+        let b3 = f.new_block();
+        let c = f.new_vreg(IntType::bit());
+        f.block_mut(b0).term = Terminator::Branch {
+            cond: c,
+            then_b: b1,
+            else_b: b2,
+        };
+        f.block_mut(b1).term = Terminator::Jump(b3);
+        f.block_mut(b2).term = Terminator::Jump(b3);
+        f
+    }
+
+    #[test]
+    fn diamond_idoms() {
+        let f = diamond();
+        let dom = DomInfo::compute(&f);
+        assert_eq!(dom.idom[1], BlockId(0));
+        assert_eq!(dom.idom[2], BlockId(0));
+        assert_eq!(dom.idom[3], BlockId(0)); // join dominated by fork, not arms
+    }
+
+    #[test]
+    fn diamond_frontiers() {
+        let f = diamond();
+        let dom = DomInfo::compute(&f);
+        assert_eq!(dom.frontier[1], vec![BlockId(3)]);
+        assert_eq!(dom.frontier[2], vec![BlockId(3)]);
+        assert!(dom.frontier[0].is_empty());
+        assert!(dom.frontier[3].is_empty());
+    }
+
+    #[test]
+    fn dominates_is_reflexive_and_transitive() {
+        let f = diamond();
+        let dom = DomInfo::compute(&f);
+        assert!(dom.dominates(BlockId(0), BlockId(3)));
+        assert!(dom.dominates(BlockId(1), BlockId(1)));
+        assert!(!dom.dominates(BlockId(1), BlockId(3)));
+        assert!(!dom.dominates(BlockId(1), BlockId(2)));
+    }
+
+    #[test]
+    fn nested_diamonds() {
+        // bb0 → {bb1 → {bb2, bb3} → bb4, bb5} → bb6
+        let mut f = FunctionIr::new("n");
+        let ids: Vec<_> = (0..7).map(|_| f.new_block()).collect();
+        let c = f.new_vreg(IntType::bit());
+        f.block_mut(ids[0]).term = Terminator::Branch {
+            cond: c,
+            then_b: ids[1],
+            else_b: ids[5],
+        };
+        f.block_mut(ids[1]).term = Terminator::Branch {
+            cond: c,
+            then_b: ids[2],
+            else_b: ids[3],
+        };
+        f.block_mut(ids[2]).term = Terminator::Jump(ids[4]);
+        f.block_mut(ids[3]).term = Terminator::Jump(ids[4]);
+        f.block_mut(ids[4]).term = Terminator::Jump(ids[6]);
+        f.block_mut(ids[5]).term = Terminator::Jump(ids[6]);
+        let dom = DomInfo::compute(&f);
+        assert_eq!(dom.idom[4], ids[1]);
+        assert_eq!(dom.idom[6], ids[0]);
+        assert!(dom.dominates(ids[1], ids[4]));
+        assert!(!dom.dominates(ids[1], ids[6]));
+        let children = dom.dom_tree_children();
+        assert!(children[ids[1].0 as usize].contains(&ids[4]));
+    }
+}

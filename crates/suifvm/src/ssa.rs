@@ -1,0 +1,353 @@
+//! Static single assignment construction.
+//!
+//! Standard Cytron-style phi placement on dominance frontiers followed by
+//! dominator-tree renaming — the reproduction of the Machine-SUIF SSA pass
+//! the paper applies before data-path building ("every virtual register is
+//! assigned only once", §4.2.1).
+
+use crate::dom::DomInfo;
+use crate::ir::*;
+use std::collections::{HashMap, HashSet};
+
+/// Converts `f` into SSA form in place.
+///
+/// After this pass every register has exactly one definition; merges are
+/// explicit phi nodes; `output_srcs` is rewritten to the renamed registers.
+pub fn to_ssa(f: &mut FunctionIr) {
+    if f.is_ssa {
+        return;
+    }
+    let dom = DomInfo::compute(f);
+    let preds = f.predecessors();
+
+    // 1. Find registers with multiple defs or defs + live-across-block uses.
+    let n_regs = f.vreg_types.len();
+    let mut def_blocks: Vec<Vec<BlockId>> = vec![Vec::new(); n_regs];
+    for b in &f.blocks {
+        for i in &b.instrs {
+            if let Some(d) = i.dst {
+                if !def_blocks[d.0 as usize].contains(&b.id) {
+                    def_blocks[d.0 as usize].push(b.id);
+                }
+            }
+        }
+    }
+
+    // 2. Phi insertion on iterated dominance frontiers for every register
+    //    defined in more than one block (single-block multi-def registers
+    //    are handled by renaming alone).
+    let mut phi_for: HashMap<(BlockId, u32), usize> = HashMap::new();
+    for (reg, blocks) in def_blocks.iter().enumerate() {
+        if blocks.len() < 2 {
+            continue;
+        }
+        let reg = VReg(reg as u32);
+        let ty = f.ty(reg);
+        let mut work: Vec<BlockId> = blocks.clone();
+        let mut placed: HashSet<BlockId> = HashSet::new();
+        while let Some(b) = work.pop() {
+            for &df in &dom.frontier[b.0 as usize] {
+                if placed.insert(df) {
+                    let idx = f.block(df).phis.len();
+                    f.block_mut(df).phis.push(Phi {
+                        dst: reg, // renamed below
+                        args: preds[df.0 as usize].iter().map(|&p| (p, reg)).collect(),
+                        ty,
+                    });
+                    phi_for.insert((df, reg.0), idx);
+                    if !def_blocks[reg.0 as usize].contains(&df) {
+                        work.push(df);
+                    }
+                }
+            }
+        }
+    }
+
+    // 3. Renaming along the dominator tree.
+    let mut renamer = Renamer {
+        stacks: vec![Vec::new(); n_regs],
+        f,
+        preds: &preds,
+    };
+    let children = dom.dom_tree_children();
+    renamer.rename_block(BlockId(0), &children);
+
+    f.is_ssa = true;
+}
+
+struct Renamer<'a> {
+    /// For each original register, the stack of current SSA names.
+    stacks: Vec<Vec<VReg>>,
+    f: &'a mut FunctionIr,
+    preds: &'a [Vec<BlockId>],
+}
+
+impl<'a> Renamer<'a> {
+    fn current(&self, orig: VReg) -> VReg {
+        self.stacks[orig.0 as usize].last().copied().unwrap_or(orig)
+    }
+
+    fn rename_block(&mut self, b: BlockId, children: &[Vec<BlockId>]) {
+        let mut pushed: Vec<u32> = Vec::new();
+
+        // Phi destinations define new names.
+        let phi_count = self.f.block(b).phis.len();
+        for pi in 0..phi_count {
+            let (orig, ty) = {
+                let p = &self.f.block(b).phis[pi];
+                (p.dst, p.ty)
+            };
+            let new = self.f.new_vreg(ty);
+            self.stacks.push(Vec::new()); // keep stacks parallel to vregs
+            self.stacks[orig.0 as usize].push(new);
+            pushed.push(orig.0);
+            self.f.block_mut(b).phis[pi].dst = new;
+        }
+
+        // Instructions: rewrite uses, then define new names.
+        let instr_count = self.f.block(b).instrs.len();
+        for ii in 0..instr_count {
+            let srcs: Vec<VReg> = self.f.block(b).instrs[ii]
+                .srcs
+                .iter()
+                .map(|&s| self.current(s))
+                .collect();
+            self.f.block_mut(b).instrs[ii].srcs = srcs;
+            if let Some(orig) = self.f.block(b).instrs[ii].dst {
+                let ty = self.f.block(b).instrs[ii].ty;
+                let new = self.f.new_vreg(ty);
+                self.stacks.push(Vec::new());
+                self.stacks[orig.0 as usize].push(new);
+                pushed.push(orig.0);
+                self.f.block_mut(b).instrs[ii].dst = Some(new);
+            }
+        }
+
+        // Terminator condition.
+        let term = self.f.block(b).term.clone();
+        if let Terminator::Branch {
+            cond,
+            then_b,
+            else_b,
+        } = term
+        {
+            self.f.block_mut(b).term = Terminator::Branch {
+                cond: self.current(cond),
+                then_b,
+                else_b,
+            };
+        }
+
+        // Output sources are "used" at exit; rewrite them in the exit block.
+        if matches!(self.f.block(b).term, Terminator::Ret) {
+            let outs: Vec<VReg> = self
+                .f
+                .output_srcs
+                .iter()
+                .map(|&r| self.current(r))
+                .collect();
+            self.f.output_srcs = outs;
+        }
+
+        // Fill successor phi arguments for the edge b → s.
+        for s in self.f.block(b).term.successors() {
+            let phi_count = self.f.block(s).phis.len();
+            for pi in 0..phi_count {
+                let arg_pos = self.preds[s.0 as usize]
+                    .iter()
+                    .position(|&p| p == b)
+                    .expect("b is a predecessor of s");
+                let orig = self.f.block(s).phis[pi].args[arg_pos].1;
+                // args still hold original names until their edge is
+                // processed; stacks are keyed by the original register.
+                let cur = self.current(orig);
+                self.f.block_mut(s).phis[pi].args[arg_pos] = (b, cur);
+            }
+        }
+
+        // Recurse over dominator-tree children.
+        for &c in &children[b.0 as usize] {
+            self.rename_block(c, children);
+        }
+
+        for orig in pushed {
+            self.stacks[orig as usize].pop();
+        }
+    }
+}
+
+/// Checks the SSA invariants: every register defined at most once, and phi
+/// argument counts match predecessor counts. Returns a description of the
+/// first violation.
+pub fn verify_ssa(f: &FunctionIr) -> Result<(), String> {
+    let mut defined: HashSet<VReg> = HashSet::new();
+    for b in &f.blocks {
+        for p in &b.phis {
+            if !defined.insert(p.dst) {
+                return Err(format!("{} defined more than once (phi)", p.dst));
+            }
+        }
+        for i in &b.instrs {
+            if let Some(d) = i.dst {
+                if !defined.insert(d) {
+                    return Err(format!("{d} defined more than once"));
+                }
+            }
+        }
+    }
+    let preds = f.predecessors();
+    for b in &f.blocks {
+        for p in &b.phis {
+            if p.args.len() != preds[b.id.0 as usize].len() {
+                return Err(format!(
+                    "phi in {} has {} args for {} predecessors",
+                    b.id,
+                    p.args.len(),
+                    preds[b.id.0 as usize].len()
+                ));
+            }
+        }
+    }
+    // Every use must be defined somewhere (arguments included).
+    for b in &f.blocks {
+        for i in &b.instrs {
+            for s in &i.srcs {
+                if !defined.contains(s) {
+                    return Err(format!("{s} used in {} but never defined", b.id));
+                }
+            }
+        }
+        for p in &b.phis {
+            for (_, a) in &p.args {
+                if !defined.contains(a) {
+                    return Err(format!("{a} used by phi in {} but never defined", b.id));
+                }
+            }
+        }
+    }
+    for r in &f.output_srcs {
+        if !defined.contains(r) {
+            return Err(format!("output register {r} never defined"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_function;
+    use roccc_cparse::parser::parse;
+
+    fn ssa_of(src: &str, func: &str) -> FunctionIr {
+        let prog = parse(src).unwrap();
+        roccc_cparse::sema::check(&prog).unwrap();
+        let f = prog.function(func).unwrap();
+        let mut ir = lower_function(&prog, f, &[]).unwrap();
+        to_ssa(&mut ir);
+        ir
+    }
+
+    #[test]
+    fn straight_line_ssa_has_no_phis() {
+        let ir = ssa_of(
+            "void f(int a, int b, int* o) { int t = a + b; t = t * 2; *o = t; }",
+            "f",
+        );
+        assert!(verify_ssa(&ir).is_ok(), "{}", ir.dump());
+        let phi_count: usize = ir.blocks.iter().map(|b| b.phis.len()).sum();
+        assert_eq!(phi_count, 0);
+    }
+
+    #[test]
+    fn diamond_gets_phi_at_join() {
+        let ir = ssa_of(
+            "void if_else(int x1, int x2, int* x3, int* x4) {
+               int a; int c;
+               c = x1 - x2;
+               if (c < x2) { a = x1 * x1; } else { a = x1 * x2 + 3; }
+               c = c - a;
+               *x3 = c; *x4 = a; }",
+            "if_else",
+        );
+        verify_ssa(&ir).unwrap_or_else(|e| panic!("{e}\n{}", ir.dump()));
+        // The join block merges `a` (and possibly `c`'s home).
+        let join_phis = ir.blocks.last().map(|b| b.phis.len()).unwrap_or(0);
+        let total_phis: usize = ir.blocks.iter().map(|b| b.phis.len()).sum();
+        assert!(total_phis >= 1, "expected ≥1 phi\n{}", ir.dump());
+        let _ = join_phis;
+    }
+
+    #[test]
+    fn one_sided_if_still_merges() {
+        let ir = ssa_of(
+            "void f(int a, int* o) { int x = 0; if (a > 0) { x = a; } *o = x; }",
+            "f",
+        );
+        verify_ssa(&ir).unwrap_or_else(|e| panic!("{e}\n{}", ir.dump()));
+        let total_phis: usize = ir.blocks.iter().map(|b| b.phis.len()).sum();
+        assert_eq!(total_phis, 1, "{}", ir.dump());
+    }
+
+    #[test]
+    fn nested_ifs_verify() {
+        let ir = ssa_of(
+            "void f(int a, int b, int* o) {
+               int x = 0;
+               if (a > 0) { if (b > 0) { x = a + b; } else { x = a - b; } x = x * 2; }
+               *o = x; }",
+            "f",
+        );
+        verify_ssa(&ir).unwrap_or_else(|e| panic!("{e}\n{}", ir.dump()));
+    }
+
+    #[test]
+    fn output_srcs_are_renamed() {
+        let ir = ssa_of(
+            "void f(int a, int* o) { int x = 1; if (a) { x = 2; } *o = x; }",
+            "f",
+        );
+        verify_ssa(&ir).unwrap();
+        assert_eq!(ir.output_srcs.len(), 1);
+    }
+
+    #[test]
+    fn else_side_nesting_verifies() {
+        let ir = ssa_of(
+            "void f(int a, int b, int* o) {
+               int x = 0;
+               if (a > 0) { x = 1; }
+               else { if (b > 0) { x = 2; } else { x = 3; } x = x + 10; }
+               *o = x; }",
+            "f",
+        );
+        verify_ssa(&ir).unwrap_or_else(|e| panic!("{e}\n{}", ir.dump()));
+        let phis: usize = ir.blocks.iter().map(|b| b.phis.len()).sum();
+        assert!(
+            phis >= 2,
+            "inner and outer joins both merge x\n{}",
+            ir.dump()
+        );
+    }
+
+    #[test]
+    fn sequential_diamonds_verify() {
+        let ir = ssa_of(
+            "void f(int a, int* o) {
+               int x = 0; int y = 0;
+               if (a > 0) { x = 1; } else { x = 2; }
+               if (a > 5) { y = x + 1; } else { y = x - 1; }
+               *o = x + y; }",
+            "f",
+        );
+        verify_ssa(&ir).unwrap_or_else(|e| panic!("{e}\n{}", ir.dump()));
+    }
+
+    #[test]
+    fn idempotent() {
+        let mut ir = ssa_of("void f(int a, int* o) { *o = a + 1; }", "f");
+        let before = ir.dump();
+        to_ssa(&mut ir);
+        assert_eq!(before, ir.dump());
+    }
+}

@@ -1,0 +1,23 @@
+//! # roccc-synth — Virtex-II synthesis estimation
+//!
+//! Substitutes for the paper's Xilinx ISE 5.1i + xc2v2000-5 synthesis
+//! flow: a calibrated technology model ([`model::VirtexII`]), a full
+//! technology mapper with static timing over the netlist
+//! ([`map::map_netlist`]), and the sub-millisecond compile-time area
+//! estimator the paper's loop unroller relies on
+//! ([`fast::fast_estimate`]).
+//!
+//! Both the compiler's output and the baseline IP-style cores in
+//! `roccc-ipcores` are scored by this same model, preserving the paper's
+//! *relative* area/clock comparison (Table 1) without the proprietary
+//! toolchain.
+
+#![warn(missing_docs)]
+
+pub mod fast;
+pub mod map;
+pub mod model;
+
+pub use fast::{estimate_error_pct, fast_estimate};
+pub use map::{map_netlist, ResourceReport};
+pub use model::{MultiplierStyle, VirtexII};

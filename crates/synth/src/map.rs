@@ -1,0 +1,295 @@
+//! Full technology mapping of a netlist onto the Virtex-II model.
+//!
+//! Walks every cell, sums LUT/FF/BRAM/MULT usage, and runs a static timing
+//! analysis over the combinational paths between registers to report Fmax
+//! — the numbers Table 1 compares (clock MHz, area in slices).
+
+use crate::model::VirtexII;
+use roccc_datapath::pipeline::DelayModel;
+use roccc_netlist::cells::{CellKind, Netlist};
+use roccc_suifvm::ir::Opcode;
+
+/// Post-synthesis resource and timing report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResourceReport {
+    /// 4-input LUTs.
+    pub luts: u64,
+    /// Flip-flops.
+    pub ffs: u64,
+    /// Occupied slices.
+    pub slices: u64,
+    /// Embedded multiplier blocks.
+    pub mult_blocks: u64,
+    /// Critical combinational path, ns.
+    pub critical_path_ns: f64,
+    /// Maximum clock frequency, MHz.
+    pub fmax_mhz: f64,
+    /// Rough dynamic power at Fmax, mW (toggling model).
+    pub power_mw: f64,
+}
+
+impl ResourceReport {
+    /// Merges two reports (for composing data path + buffers etc.): areas
+    /// add, the critical path takes the max.
+    pub fn merge(&self, other: &ResourceReport) -> ResourceReport {
+        let critical = self.critical_path_ns.max(other.critical_path_ns);
+        ResourceReport {
+            luts: self.luts + other.luts,
+            ffs: self.ffs + other.ffs,
+            slices: self.slices + other.slices,
+            mult_blocks: self.mult_blocks + other.mult_blocks,
+            critical_path_ns: critical,
+            fmax_mhz: if critical > 0.0 {
+                1000.0 / critical
+            } else {
+                f64::INFINITY
+            },
+            power_mw: self.power_mw + other.power_mw,
+        }
+    }
+}
+
+/// Whether an `OR` is a bit-field concatenation: one operand is a
+/// constant left shift by `k` and the other operand's width is ≤ `k`
+/// (disjoint bit supports) — pure wiring in hardware.
+fn is_disjoint_or(nl: &Netlist, srcs: &[roccc_netlist::cells::CellId]) -> bool {
+    if srcs.len() != 2 {
+        return false;
+    }
+    fn low_bound(nl: &Netlist, id: roccc_netlist::cells::CellId, depth: u8) -> u8 {
+        if depth == 0 {
+            return 0;
+        }
+        if let CellKind::Op { op, srcs, .. } = &nl.cells[id.0 as usize].kind {
+            match op {
+                Opcode::Shl => {
+                    if let CellKind::Const(k) = nl.cells[srcs[1].0 as usize].kind {
+                        if k >= 0 {
+                            return (k as u8).saturating_add(low_bound(nl, srcs[0], depth - 1));
+                        }
+                    }
+                }
+                Opcode::Or => {
+                    return low_bound(nl, srcs[0], depth - 1).min(low_bound(
+                        nl,
+                        srcs[1],
+                        depth - 1,
+                    ));
+                }
+                _ => {}
+            }
+        }
+        0
+    }
+    let w = |id: roccc_netlist::cells::CellId| nl.cells[id.0 as usize].width;
+    w(srcs[1]) <= low_bound(nl, srcs[0], 8) || w(srcs[0]) <= low_bound(nl, srcs[1], 8)
+}
+
+/// Maps `nl` to Virtex-II resources and runs timing analysis.
+pub fn map_netlist(nl: &Netlist, model: &VirtexII) -> ResourceReport {
+    let mut luts = 0u64;
+    let mut ffs = 0u64;
+    let mut mult_blocks = 0u64;
+
+    // Constant-operand discovery for cost modelling.
+    let const_of = |id: roccc_netlist::cells::CellId| -> Option<i64> {
+        match nl.cells[id.0 as usize].kind {
+            CellKind::Const(c) => Some(c),
+            _ => None,
+        }
+    };
+
+    let mut arrival: Vec<f64> = vec![0.0; nl.cells.len()];
+    let mut critical = 0.0f64;
+
+    // Comparisons sharing a subtractor's operand pair reuse its carry
+    // chain after synthesis: zero marginal LUTs and delay.
+    let mut sub_pairs: std::collections::HashSet<(u32, u32)> = Default::default();
+    for cell in &nl.cells {
+        if let CellKind::Op {
+            op: Opcode::Sub,
+            srcs,
+            ..
+        } = &cell.kind
+        {
+            if srcs.len() == 2 {
+                sub_pairs.insert((srcs[0].0, srcs[1].0));
+            }
+        }
+    }
+    let shares_sub = |op: Opcode, srcs: &[roccc_netlist::cells::CellId]| -> bool {
+        matches!(op, Opcode::Slt | Opcode::Sle)
+            && srcs.len() == 2
+            && (sub_pairs.contains(&(srcs[0].0, srcs[1].0))
+                || sub_pairs.contains(&(srcs[1].0, srcs[0].0)))
+    };
+
+    for (i, cell) in nl.cells.iter().enumerate() {
+        match &cell.kind {
+            CellKind::Const(_) | CellKind::Input(_) => {}
+            CellKind::Reg { d, .. } => {
+                ffs += cell.width as u64;
+                // Path INTO the register ends here.
+                if let Some(d) = d {
+                    critical = critical.max(arrival[d.0 as usize]);
+                }
+                arrival[i] = 0.0;
+            }
+            CellKind::Op { op, srcs, imm } => {
+                let src_widths: Vec<u8> =
+                    srcs.iter().map(|s| nl.cells[s.0 as usize].width).collect();
+                let const_opnd = srcs.iter().find_map(|s| const_of(*s));
+                // Bit-field concatenation (`x | (y << k)` with disjoint
+                // supports) synthesizes to pure wiring.
+                let concat_or = *op == Opcode::Or && is_disjoint_or(nl, srcs);
+                let shared_cmp = shares_sub(*op, srcs);
+                if !concat_or && !shared_cmp {
+                    luts += model.op_luts(*op, cell.width, &src_widths, const_opnd);
+                }
+                if *op == Opcode::Mul && const_opnd.is_none() {
+                    mult_blocks += model.mult_blocks(
+                        src_widths.first().copied().unwrap_or(cell.width),
+                        src_widths.get(1).copied().unwrap_or(cell.width),
+                    );
+                }
+                if *op == Opcode::Lut {
+                    let rom = &nl.roms[*imm as usize];
+                    luts += model.rom_luts(rom.data.len(), rom.elem.bits);
+                }
+                let const_shift = matches!(op, Opcode::Shl | Opcode::Shr)
+                    && srcs.get(1).map(|s| const_of(*s).is_some()).unwrap_or(false);
+                let free_wiring =
+                    concat_or || shared_cmp || (*op == Opcode::And && const_opnd.is_some());
+                let d = if shared_cmp {
+                    // Sign bit of the shared subtractor: arrives with it.
+                    model.delay_ns(
+                        Opcode::Sub,
+                        src_widths.iter().copied().max().unwrap_or(1),
+                        false,
+                    )
+                } else if free_wiring {
+                    0.0
+                } else if *op == Opcode::Mul && const_opnd.is_some() {
+                    model.const_mult_delay_ns(const_opnd.unwrap_or(0), cell.width)
+                } else {
+                    model.delay_ns(*op, cell.width, const_shift)
+                };
+                let in_arr = srcs
+                    .iter()
+                    .map(|s| arrival[s.0 as usize])
+                    .fold(0.0f64, f64::max);
+                arrival[i] = in_arr + d;
+                critical = critical.max(arrival[i]);
+            }
+        }
+    }
+
+    let slices = model.slices(luts, ffs);
+    let fmax = if critical > 0.0 {
+        1000.0 / critical
+    } else {
+        // Purely sequential: registers limited (~420 MHz on -5).
+        420.0
+    };
+    // Simple activity model: half the nets toggle per cycle.
+    let power_mw = 0.012 * (luts as f64 + ffs as f64) * fmax / 100.0;
+
+    ResourceReport {
+        luts,
+        ffs,
+        slices,
+        mult_blocks,
+        critical_path_ns: critical,
+        fmax_mhz: fmax.min(420.0),
+        power_mw,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roccc::{compile, CompileOptions};
+
+    fn report_for(src: &str, func: &str, period: f64) -> ResourceReport {
+        let opts = CompileOptions {
+            target_period_ns: period,
+            ..CompileOptions::default()
+        };
+        let hw = compile(src, func, &opts).unwrap();
+        map_netlist(&hw.netlist, &VirtexII::default())
+    }
+
+    const FIR: &str = "void fir(int16 A0, int16 A1, int16 A2, int16 A3, int16 A4, int16* T) {
+       *T = 3*A0 + 5*A1 + 7*A2 + 9*A3 - A4; }";
+
+    #[test]
+    fn fir_report_is_plausible() {
+        let r = report_for(FIR, "fir", 7.0);
+        // A 16-bit 5-tap constant-coefficient FIR in shift-add form:
+        // hundreds of LUTs territory, not thousands.
+        assert!(r.luts > 20, "{r:?}");
+        assert!(r.luts < 800, "{r:?}");
+        assert!(r.fmax_mhz > 60.0, "{r:?}");
+        assert!(r.slices > 0);
+    }
+
+    #[test]
+    fn deeper_pipelines_trade_ffs_for_fmax() {
+        let slow = report_for(FIR, "fir", 1000.0);
+        let fast = report_for(FIR, "fir", 3.5);
+        assert!(fast.ffs > slow.ffs, "fast {fast:?} slow {slow:?}");
+        assert!(
+            fast.fmax_mhz >= slow.fmax_mhz,
+            "fast {fast:?} slow {slow:?}"
+        );
+    }
+
+    #[test]
+    fn narrowing_reduces_area() {
+        let src = "void f(uint8 a, uint8 b, uint8* o) { *o = a * b + a; }";
+        let opts_narrow = CompileOptions::default();
+        let opts_wide = CompileOptions {
+            narrow: false,
+            ..CompileOptions::default()
+        };
+        let n = compile(src, "f", &opts_narrow).unwrap();
+        let w = compile(src, "f", &opts_wide).unwrap();
+        let rn = map_netlist(&n.netlist, &VirtexII::default());
+        let rw = map_netlist(&w.netlist, &VirtexII::default());
+        assert!(rn.luts <= rw.luts, "narrow {rn:?} wide {rw:?}");
+    }
+
+    #[test]
+    fn rom_kernels_count_rom_luts() {
+        let src = "const uint16 tab[1024] = {1,2,3};
+          void f(uint10 i, uint16* o) { *o = ROCCC_lut(tab, i); }";
+        let r = report_for(src, "f", 7.0);
+        assert!(r.luts >= 1024, "{r:?}"); // 1024×16 ROM in LUT-RAM
+    }
+
+    #[test]
+    fn merge_adds_areas_and_maxes_paths() {
+        let a = ResourceReport {
+            luts: 100,
+            ffs: 50,
+            slices: 60,
+            mult_blocks: 1,
+            critical_path_ns: 5.0,
+            fmax_mhz: 200.0,
+            power_mw: 10.0,
+        };
+        let b = ResourceReport {
+            luts: 30,
+            ffs: 20,
+            slices: 20,
+            mult_blocks: 0,
+            critical_path_ns: 8.0,
+            fmax_mhz: 125.0,
+            power_mw: 5.0,
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.luts, 130);
+        assert_eq!(m.slices, 80);
+        assert!((m.fmax_mhz - 125.0).abs() < 1e-9);
+    }
+}

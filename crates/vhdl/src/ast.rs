@@ -1,0 +1,291 @@
+//! A minimal VHDL'93 AST and pretty printer.
+//!
+//! Only the subset the ROCCC generator needs: entities with std_logic /
+//! signed / unsigned ports, architectures with signal declarations,
+//! concurrent assignments, clocked processes, component instantiations and
+//! ROM constant tables.
+
+use std::fmt::Write as _;
+
+/// Direction of an entity port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortDir {
+    /// Input port.
+    In,
+    /// Output port.
+    Out,
+}
+
+/// A VHDL scalar/vector type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VhdlType {
+    /// `std_logic`.
+    StdLogic,
+    /// `signed(w-1 downto 0)`.
+    Signed(u8),
+    /// `unsigned(w-1 downto 0)`.
+    Unsigned(u8),
+}
+
+impl VhdlType {
+    /// Builds the type for a width/signedness pair (width 1 Boolean nets
+    /// still use vectors so resize rules stay uniform).
+    pub fn vector(signed: bool, bits: u8) -> Self {
+        if signed {
+            VhdlType::Signed(bits.max(1))
+        } else {
+            VhdlType::Unsigned(bits.max(1))
+        }
+    }
+
+    /// Renders the type name.
+    pub fn render(&self) -> String {
+        match self {
+            VhdlType::StdLogic => "std_logic".to_string(),
+            VhdlType::Signed(w) => format!("signed({} downto 0)", w.saturating_sub(1)),
+            VhdlType::Unsigned(w) => format!("unsigned({} downto 0)", w.saturating_sub(1)),
+        }
+    }
+
+    /// Width in bits.
+    pub fn bits(&self) -> u8 {
+        match self {
+            VhdlType::StdLogic => 1,
+            VhdlType::Signed(w) | VhdlType::Unsigned(w) => *w,
+        }
+    }
+}
+
+/// One port declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Port {
+    /// Port name.
+    pub name: String,
+    /// Direction.
+    pub dir: PortDir,
+    /// Type.
+    pub ty: VhdlType,
+}
+
+/// A signal declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Signal {
+    /// Signal name.
+    pub name: String,
+    /// Type.
+    pub ty: VhdlType,
+}
+
+/// Architecture statements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `target <= expr;`
+    Assign {
+        /// Assignment target signal.
+        target: String,
+        /// Right-hand side (already-rendered VHDL expression).
+        expr: String,
+    },
+    /// A clocked process latching `assigns` on the rising edge, optionally
+    /// under a clock-enable signal.
+    Process {
+        /// Process label.
+        label: String,
+        /// Clock-enable signal name, if any.
+        enable: Option<String>,
+        /// `(target, expr)` pairs latched each enabled edge.
+        assigns: Vec<(String, String)>,
+    },
+    /// `label: entity work.name port map (...);`
+    Instance {
+        /// Instance label.
+        label: String,
+        /// Entity name.
+        entity: String,
+        /// `(formal, actual)` associations.
+        map: Vec<(String, String)>,
+    },
+    /// A free-form comment line.
+    Comment(String),
+}
+
+/// One entity + architecture pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entity {
+    /// Entity name.
+    pub name: String,
+    /// Ports (clock/reset included explicitly when needed).
+    pub ports: Vec<Port>,
+    /// Architecture-local signals.
+    pub signals: Vec<Signal>,
+    /// Architecture body.
+    pub stmts: Vec<Stmt>,
+    /// ROM constants: `(name, element type, values)`.
+    pub constants: Vec<(String, VhdlType, Vec<i64>)>,
+}
+
+impl Entity {
+    /// Creates an empty entity.
+    pub fn new(name: impl Into<String>) -> Self {
+        Entity {
+            name: name.into(),
+            ports: Vec::new(),
+            signals: Vec::new(),
+            stmts: Vec::new(),
+            constants: Vec::new(),
+        }
+    }
+
+    /// Renders entity + rtl architecture.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "entity {} is", self.name);
+        if !self.ports.is_empty() {
+            let _ = writeln!(s, "  port (");
+            for (i, p) in self.ports.iter().enumerate() {
+                let dir = match p.dir {
+                    PortDir::In => "in ",
+                    PortDir::Out => "out",
+                };
+                let sep = if i + 1 == self.ports.len() { "" } else { ";" };
+                let _ = writeln!(s, "    {} : {} {}{}", p.name, dir, p.ty.render(), sep);
+            }
+            let _ = writeln!(s, "  );");
+        }
+        let _ = writeln!(s, "end entity {};\n", self.name);
+        let _ = writeln!(s, "architecture rtl of {} is", self.name);
+        for (name, ty, values) in &self.constants {
+            let elems: Vec<String> = values
+                .iter()
+                .map(|v| match ty {
+                    VhdlType::Signed(w) => format!("to_signed({v}, {w})"),
+                    VhdlType::Unsigned(w) => format!("to_unsigned({v}, {w})"),
+                    VhdlType::StdLogic => format!("'{}'", if *v != 0 { 1 } else { 0 }),
+                })
+                .collect();
+            let _ = writeln!(
+                s,
+                "  type {name}_t is array (0 to {}) of {};",
+                values.len().saturating_sub(1),
+                ty.render()
+            );
+            let _ = writeln!(s, "  constant {name} : {name}_t := ({});", elems.join(", "));
+        }
+        for sig in &self.signals {
+            let _ = writeln!(s, "  signal {} : {};", sig.name, sig.ty.render());
+        }
+        let _ = writeln!(s, "begin");
+        for st in &self.stmts {
+            match st {
+                Stmt::Assign { target, expr } => {
+                    let _ = writeln!(s, "  {target} <= {expr};");
+                }
+                Stmt::Process {
+                    label,
+                    enable,
+                    assigns,
+                } => {
+                    let _ = writeln!(s, "  {label}: process(clk)");
+                    let _ = writeln!(s, "  begin");
+                    let _ = writeln!(s, "    if rising_edge(clk) then");
+                    let indent = if enable.is_some() {
+                        let _ = writeln!(s, "      if {} = '1' then", enable.as_ref().unwrap());
+                        "        "
+                    } else {
+                        "      "
+                    };
+                    for (t, e) in assigns {
+                        let _ = writeln!(s, "{indent}{t} <= {e};");
+                    }
+                    if enable.is_some() {
+                        let _ = writeln!(s, "      end if;");
+                    }
+                    let _ = writeln!(s, "    end if;");
+                    let _ = writeln!(s, "  end process {label};");
+                }
+                Stmt::Instance { label, entity, map } => {
+                    let assoc: Vec<String> =
+                        map.iter().map(|(f, a)| format!("{f} => {a}")).collect();
+                    let _ = writeln!(
+                        s,
+                        "  {label}: entity work.{entity} port map ({});",
+                        assoc.join(", ")
+                    );
+                }
+                Stmt::Comment(c) => {
+                    let _ = writeln!(s, "  -- {c}");
+                }
+            }
+        }
+        let _ = writeln!(s, "end architecture rtl;\n");
+        s
+    }
+}
+
+/// Renders the standard library header.
+pub fn header() -> String {
+    "library ieee;\nuse ieee.std_logic_1164.all;\nuse ieee.numeric_std.all;\n\n".to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_rendering() {
+        assert_eq!(VhdlType::Signed(8).render(), "signed(7 downto 0)");
+        assert_eq!(VhdlType::Unsigned(1).render(), "unsigned(0 downto 0)");
+        assert_eq!(VhdlType::StdLogic.render(), "std_logic");
+        assert_eq!(VhdlType::vector(true, 12).bits(), 12);
+    }
+
+    #[test]
+    fn entity_renders_ports_and_process() {
+        let mut e = Entity::new("acc");
+        e.ports.push(Port {
+            name: "clk".into(),
+            dir: PortDir::In,
+            ty: VhdlType::StdLogic,
+        });
+        e.ports.push(Port {
+            name: "d".into(),
+            dir: PortDir::In,
+            ty: VhdlType::Signed(32),
+        });
+        e.ports.push(Port {
+            name: "q".into(),
+            dir: PortDir::Out,
+            ty: VhdlType::Signed(32),
+        });
+        e.signals.push(Signal {
+            name: "r".into(),
+            ty: VhdlType::Signed(32),
+        });
+        e.stmts.push(Stmt::Process {
+            label: "latch".into(),
+            enable: Some("en".into()),
+            assigns: vec![("r".into(), "d".into())],
+        });
+        e.stmts.push(Stmt::Assign {
+            target: "q".into(),
+            expr: "r".into(),
+        });
+        let text = e.render();
+        assert!(text.contains("entity acc is"));
+        assert!(text.contains("d : in  signed(31 downto 0)"));
+        assert!(text.contains("rising_edge(clk)"));
+        assert!(text.contains("if en = '1' then"));
+        assert!(text.contains("q <= r;"));
+        assert!(text.contains("end architecture rtl;"));
+    }
+
+    #[test]
+    fn rom_constant_rendering() {
+        let mut e = Entity::new("rom");
+        e.constants
+            .push(("table".into(), VhdlType::Unsigned(16), vec![1, 2, 3]));
+        let text = e.render();
+        assert!(text.contains("type table_t is array (0 to 2)"));
+        assert!(text.contains("to_unsigned(2, 16)"));
+    }
+}

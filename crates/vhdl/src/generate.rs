@@ -1,0 +1,830 @@
+//! RTL VHDL generation (§4.2.4).
+//!
+//! "ROCCC generates one VHDL component for each CFG node that goes to
+//! hardware. In a node, every virtual register is single assigned and is
+//! converted into wires in hardware." This module emits:
+//!
+//! * one combinational entity per data-path node (soft, mux and pipe);
+//! * ROM entities for `LUT` operations ("the compiler instantiates the
+//!   lookup table as a regular ROM IP core unit in the VHDL code");
+//! * a top-level data-path entity that instantiates the nodes, places the
+//!   pipeline registers between stages, the feedback latches (`SNX` →
+//!   `LPR`), the input-valid chain and the output registers;
+//! * behavioral smart-buffer and controller entities parameterized from
+//!   the kernel's window specification (§4.1's "pre-existing parameterized
+//!   FSMs in a VHDL library").
+
+use crate::ast::*;
+use roccc_datapath::graph::{Datapath, NodeId, Value};
+use roccc_hlir::kernel::Kernel;
+use roccc_suifvm::ir::Opcode;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Generates the complete VHDL source for a compiled kernel.
+pub fn generate_vhdl(kernel: &Kernel, dp: &Datapath) -> String {
+    let mut out = header();
+    let mut entities: Vec<Entity> = Vec::new();
+
+    // ROM entities for LUT ops.
+    for (t, lut) in dp.luts.iter().enumerate() {
+        entities.push(rom_entity(dp, t, lut));
+    }
+
+    // One entity per node.
+    for node in &dp.nodes {
+        entities.push(node_entity(dp, node.id));
+    }
+
+    // Top-level data path.
+    entities.push(top_entity(dp));
+
+    // Buffer and controller shells for loop kernels.
+    if !kernel.dims.is_empty() {
+        entities.push(smart_buffer_entity(kernel, dp));
+        entities.push(controller_entity(kernel, dp));
+    }
+
+    for e in &entities {
+        out.push_str(&e.render());
+    }
+    out
+}
+
+fn val_ty(dp: &Datapath, v: Value) -> VhdlType {
+    match v {
+        Value::Op(o) => {
+            let op = &dp.ops[o.0 as usize];
+            VhdlType::vector(op.ty.signed, op.hw_bits)
+        }
+        Value::Input(k) => {
+            let t = dp.inputs[k].1;
+            VhdlType::vector(t.signed, t.bits)
+        }
+        Value::Const(c) => {
+            VhdlType::vector(c < 0, roccc_cparse::types::IntType::width_for(c, c < 0))
+        }
+    }
+}
+
+/// Casts expression `e` of type `from` to (signed?, bits) with correct
+/// two's-complement semantics.
+fn cast(e: &str, from: &VhdlType, signed: bool, bits: u8) -> String {
+    let bits = bits.max(1);
+    match (from, signed) {
+        (VhdlType::Signed(w), true) | (VhdlType::Unsigned(w), false) => {
+            if *w == bits {
+                e.to_string()
+            } else {
+                format!("resize({e}, {bits})")
+            }
+        }
+        (VhdlType::Unsigned(_), true) => format!("signed(resize({e}, {bits}))"),
+        (VhdlType::Signed(_), false) => format!("unsigned(resize({e}, {bits}))"),
+        (VhdlType::StdLogic, _) => format!("to_unsigned(0, {bits}) -- std_logic cast of {e}"),
+    }
+}
+
+fn const_literal(c: i64, signed: bool, bits: u8) -> String {
+    if signed {
+        format!("to_signed({c}, {bits})")
+    } else {
+        format!("to_unsigned({c}, {bits})")
+    }
+}
+
+/// Whether an op's logic lives in its node entity (vs the top level).
+fn in_node(op: Opcode) -> bool {
+    !matches!(op, Opcode::Lpr | Opcode::Lut)
+}
+
+/// The staged signal name for an op value consumed at `stage` in the top
+/// entity.
+fn top_signal(dp: &Datapath, v: Value, stage: u32) -> String {
+    match v {
+        Value::Op(o) => {
+            let def = dp.ops[o.0 as usize].stage;
+            if stage <= def {
+                format!("op{}_s{def}", o.0)
+            } else {
+                format!("op{}_s{stage}", o.0)
+            }
+        }
+        Value::Input(k) => {
+            if stage == 0 {
+                format!("in_{}", dp.inputs[k].0.to_lowercase())
+            } else {
+                format!("in{k}_s{stage}")
+            }
+        }
+        Value::Const(c) => {
+            let t = val_ty(dp, v);
+            const_literal(c, matches!(t, VhdlType::Signed(_)), t.bits())
+        }
+    }
+}
+
+fn rom_entity(dp: &Datapath, t: usize, lut: &roccc_suifvm::ir::LutTable) -> Entity {
+    let mut e = Entity::new(format!("{}_rom{}", dp.name.to_lowercase(), t));
+    e.ports.push(Port {
+        name: "addr".into(),
+        dir: PortDir::In,
+        ty: VhdlType::Unsigned(lut.addr_bits()),
+    });
+    e.ports.push(Port {
+        name: "data".into(),
+        dir: PortDir::Out,
+        ty: VhdlType::vector(lut.elem.signed, lut.elem.bits),
+    });
+    let elem_ty = VhdlType::vector(lut.elem.signed, lut.elem.bits);
+    let mut data = lut.data.clone();
+    let padded = 1usize << lut.addr_bits();
+    data.resize(padded, 0);
+    let data: Vec<i64> = data.iter().map(|v| lut.elem.wrap(*v)).collect();
+    e.constants.push(("table".into(), elem_ty, data));
+    e.stmts.push(Stmt::Assign {
+        target: "data".into(),
+        expr: "table(to_integer(addr))".into(),
+    });
+    e
+}
+
+/// Builds the combinational entity for one node.
+fn node_entity(dp: &Datapath, node: NodeId) -> Entity {
+    let name = format!(
+        "{}_{}",
+        dp.name.to_lowercase(),
+        dp.nodes[node.0 as usize].label.replace(' ', "_")
+    );
+    let mut e = Entity::new(name);
+
+    // Which op values are produced here and consumed elsewhere (other
+    // node, different stage, top-level output/feedback/rom/lpr ops)?
+    let mut exported: BTreeSet<u32> = BTreeSet::new();
+    let mut imported: BTreeSet<Value> = BTreeSet::new();
+    let node_ops: Vec<usize> = dp
+        .ops
+        .iter()
+        .enumerate()
+        .filter(|(_, o)| o.node == node && in_node(o.op))
+        .map(|(i, _)| i)
+        .collect();
+    let node_set: BTreeSet<usize> = node_ops.iter().copied().collect();
+
+    for (i, op) in dp.ops.iter().enumerate() {
+        let in_this = node_set.contains(&i);
+        for s in &op.srcs {
+            if let Value::Op(o) = s {
+                let src_i = o.0 as usize;
+                let src_in = node_set.contains(&src_i);
+                let cross_stage = dp.ops[src_i].stage != op.stage;
+                if src_in && (!in_this || cross_stage) {
+                    exported.insert(o.0);
+                }
+                if in_this && (!src_in || cross_stage) {
+                    imported.insert(*s);
+                }
+            } else if in_this {
+                if let Value::Input(_) = s {
+                    imported.insert(*s);
+                }
+            }
+        }
+    }
+    // Values feeding outputs/feedback also export.
+    for out in &dp.outputs {
+        if let Value::Op(o) = out.value {
+            if node_set.contains(&(o.0 as usize)) {
+                exported.insert(o.0);
+            }
+        }
+    }
+    for (_, v) in &dp.feedback {
+        if let Value::Op(o) = v {
+            if node_set.contains(&(o.0 as usize)) {
+                exported.insert(o.0);
+            }
+        }
+    }
+
+    // Ports.
+    for v in &imported {
+        let pname = match v {
+            Value::Op(o) => format!("i_op{}", o.0),
+            Value::Input(k) => format!("i_{}", dp.inputs[*k].0.to_lowercase()),
+            Value::Const(_) => continue,
+        };
+        e.ports.push(Port {
+            name: pname,
+            dir: PortDir::In,
+            ty: val_ty(dp, *v),
+        });
+    }
+    for o in &exported {
+        e.ports.push(Port {
+            name: format!("o_op{o}"),
+            dir: PortDir::Out,
+            ty: val_ty(dp, Value::Op(roccc_datapath::OpId(*o))),
+        });
+    }
+
+    // Internal signals + combinational logic.
+    let ref_of = |v: Value| -> String {
+        match v {
+            Value::Op(o) => {
+                if imported.contains(&v) {
+                    format!("i_op{}", o.0)
+                } else {
+                    format!("w{}", o.0)
+                }
+            }
+            Value::Input(k) => format!("i_{}", dp.inputs[k].0.to_lowercase()),
+            Value::Const(c) => {
+                let t = val_ty(dp, v);
+                const_literal(c, matches!(t, VhdlType::Signed(_)), t.bits())
+            }
+        }
+    };
+
+    for &i in &node_ops {
+        let op = &dp.ops[i];
+        let w = op.hw_bits.max(1);
+        let signed = op.ty.signed;
+        let opnd = |k: usize| -> String {
+            let v = op.srcs[k];
+            cast(&ref_of(v), &val_ty(dp, v), signed, w)
+        };
+        // Comparison operands keep their own widths and signedness.
+        let raw = |k: usize| ref_of(op.srcs[k]);
+        let expr = match op.op {
+            Opcode::Add => format!("{} + {}", opnd(0), opnd(1)),
+            Opcode::Sub => format!("{} - {}", opnd(0), opnd(1)),
+            Opcode::Mul => format!("resize({} * {}, {w})", opnd(0), opnd(1)),
+            Opcode::Div => format!("{} / {}", opnd(0), opnd(1)),
+            Opcode::Rem => format!("{} rem {}", opnd(0), opnd(1)),
+            Opcode::Neg => format!("-{}", opnd(0)),
+            Opcode::Not => format!("not {}", opnd(0)),
+            Opcode::Shl => match op.srcs[1] {
+                Value::Const(c) => format!("shift_left({}, {c})", opnd(0)),
+                _ => format!("shift_left({}, to_integer({}))", opnd(0), raw(1)),
+            },
+            Opcode::Shr => match op.srcs[1] {
+                Value::Const(c) => format!("shift_right({}, {c})", opnd(0)),
+                _ => format!("shift_right({}, to_integer({}))", opnd(0), raw(1)),
+            },
+            Opcode::And => format!("{} and {}", opnd(0), opnd(1)),
+            Opcode::Or => format!("{} or {}", opnd(0), opnd(1)),
+            Opcode::Xor => format!("{} xor {}", opnd(0), opnd(1)),
+            Opcode::Slt => cmp_expr(&raw(0), &raw(1), "<"),
+            Opcode::Sle => cmp_expr(&raw(0), &raw(1), "<="),
+            Opcode::Seq => cmp_expr(&raw(0), &raw(1), "="),
+            Opcode::Sne => cmp_expr(&raw(0), &raw(1), "/="),
+            Opcode::Bool => format!(
+                "to_unsigned(1, 1) when ({} /= 0) else to_unsigned(0, 1)",
+                format!("to_integer({})", raw(0))
+            ),
+            Opcode::Mux => format!("{} when {}(0) = '1' else {}", opnd(1), raw(0), opnd(2)),
+            Opcode::Mov | Opcode::Cvt => opnd(0),
+            _ => unreachable!("{} excluded from node entities", op.op),
+        };
+        let target = format!("w{i}");
+        e.signals.push(Signal {
+            name: target.clone(),
+            ty: VhdlType::vector(signed, w),
+        });
+        e.stmts.push(Stmt::Assign { target, expr });
+    }
+
+    // Drive the export ports.
+    for o in &exported {
+        e.stmts.push(Stmt::Assign {
+            target: format!("o_op{o}"),
+            expr: format!("w{o}"),
+        });
+    }
+    e
+}
+
+fn cmp_expr(a: &str, b: &str, op: &str) -> String {
+    format!("to_unsigned(1, 1) when ({a} {op} {b}) else to_unsigned(0, 1)")
+}
+
+/// The top-level data-path entity: node instances, pipeline registers,
+/// feedback latches, valid chain, output registers.
+fn top_entity(dp: &Datapath) -> Entity {
+    // `dp.name` is the data-path function's name, which the front end
+    // already suffixed `_dp` (Figure 3 (c)'s `main_df` convention).
+    let mut e = Entity::new(dp.name.to_lowercase());
+    e.ports.push(Port {
+        name: "clk".into(),
+        dir: PortDir::In,
+        ty: VhdlType::StdLogic,
+    });
+    e.ports.push(Port {
+        name: "ivalid".into(),
+        dir: PortDir::In,
+        ty: VhdlType::StdLogic,
+    });
+    e.ports.push(Port {
+        name: "ovalid".into(),
+        dir: PortDir::Out,
+        ty: VhdlType::StdLogic,
+    });
+    for (n, t) in &dp.inputs {
+        e.ports.push(Port {
+            name: format!("in_{}", n.to_lowercase()),
+            dir: PortDir::In,
+            ty: VhdlType::vector(t.signed, t.bits),
+        });
+    }
+    for out in &dp.outputs {
+        e.ports.push(Port {
+            name: format!("out_{}", out.name.to_lowercase()),
+            dir: PortDir::Out,
+            ty: VhdlType::vector(out.ty.signed, out.ty.bits),
+        });
+    }
+
+    // Max stage each value is consumed at.
+    let mut max_use: BTreeMap<Value, u32> = BTreeMap::new();
+    for op in &dp.ops {
+        for s in &op.srcs {
+            let m = max_use.entry(*s).or_insert(0);
+            *m = (*m).max(op.stage);
+        }
+    }
+    let last = dp.num_stages - 1;
+    for out in &dp.outputs {
+        let m = max_use.entry(out.value).or_insert(0);
+        *m = (*m).max(last);
+    }
+    for (_, v) in &dp.feedback {
+        let m = max_use.entry(*v).or_insert(0);
+        // Feedback latches at the LPR stage (verified equal by dp.verify).
+        *m = (*m).max(dp.stage_of(*v));
+    }
+
+    // An op's value appears as a top-level signal only when it leaves its
+    // node: consumed in another node, at a later stage, by an output or
+    // feedback latch, or produced by a top-level element (LPR/LUT).
+    let mut top_visible: std::collections::BTreeSet<u32> = Default::default();
+    for op in &dp.ops {
+        for s in &op.srcs {
+            if let Value::Op(o) = s {
+                let src = &dp.ops[o.0 as usize];
+                if src.node != op.node
+                    || src.stage != op.stage
+                    || !in_node(src.op)
+                    || !in_node(op.op)
+                {
+                    top_visible.insert(o.0);
+                }
+            }
+        }
+    }
+    for out in &dp.outputs {
+        if let Value::Op(o) = out.value {
+            top_visible.insert(o.0);
+        }
+    }
+    for (_, v) in &dp.feedback {
+        if let Value::Op(o) = v {
+            top_visible.insert(o.0);
+        }
+    }
+    for (i, op) in dp.ops.iter().enumerate() {
+        if !in_node(op.op) {
+            top_visible.insert(i as u32);
+        }
+    }
+
+    // Declare staged signals + register chains.
+    let mut reg_assigns: Vec<(String, String)> = Vec::new();
+    for (v, max_stage) in &max_use {
+        let (def_stage, ty) = match v {
+            Value::Op(o) => {
+                if !top_visible.contains(&o.0) {
+                    continue; // purely node-internal value
+                }
+                (dp.ops[o.0 as usize].stage, val_ty(dp, *v))
+            }
+            Value::Input(_) => (0, val_ty(dp, *v)),
+            Value::Const(_) => continue,
+        };
+        // Base signal (op outputs; inputs are ports at stage 0).
+        if let Value::Op(o) = v {
+            e.signals.push(Signal {
+                name: format!("op{}_s{def_stage}", o.0),
+                ty: ty.clone(),
+            });
+        }
+        for s in def_stage + 1..=*max_stage {
+            let name = match v {
+                Value::Op(o) => format!("op{}_s{s}", o.0),
+                Value::Input(k) => format!("in{k}_s{s}"),
+                Value::Const(_) => unreachable!(),
+            };
+            e.signals.push(Signal {
+                name: name.clone(),
+                ty: ty.clone(),
+            });
+            let prev = top_signal(dp, *v, s - 1);
+            reg_assigns.push((name, prev));
+        }
+    }
+
+    // Valid chain.
+    for s in 0..dp.num_stages {
+        e.signals.push(Signal {
+            name: format!("valid_s{s}"),
+            ty: VhdlType::StdLogic,
+        });
+    }
+    e.stmts.push(Stmt::Assign {
+        target: "valid_s0".into(),
+        expr: "ivalid".into(),
+    });
+    let mut valid_assigns = Vec::new();
+    for s in 1..dp.num_stages {
+        valid_assigns.push((format!("valid_s{s}"), format!("valid_s{}", s - 1)));
+    }
+    e.signals.push(Signal {
+        name: "ovalid_r".into(),
+        ty: VhdlType::StdLogic,
+    });
+    valid_assigns.push(("ovalid_r".into(), format!("valid_s{last}")));
+    e.stmts.push(Stmt::Assign {
+        target: "ovalid".into(),
+        expr: "ovalid_r".into(),
+    });
+
+    // Node instances.
+    for node in &dp.nodes {
+        let label = node.label.replace(' ', "_");
+        let mut map: Vec<(String, String)> = Vec::new();
+        // Recompute the node's port sets the same way node_entity does.
+        let ent = node_entity(dp, node.id);
+        for p in &ent.ports {
+            if let Some(rest) = p.name.strip_prefix("i_op") {
+                let id: u32 = rest.parse().expect("port name");
+                let consumer_stage = dp
+                    .ops
+                    .iter()
+                    .filter(|o| o.node == node.id)
+                    .filter(|o| o.srcs.contains(&Value::Op(roccc_datapath::OpId(id))))
+                    .map(|o| o.stage)
+                    .max()
+                    .unwrap_or(dp.ops[id as usize].stage);
+                map.push((
+                    p.name.clone(),
+                    top_signal(dp, Value::Op(roccc_datapath::OpId(id)), consumer_stage),
+                ));
+            } else if let Some(rest) = p.name.strip_prefix("o_op") {
+                let id: u32 = rest.parse().expect("port name");
+                let def = dp.ops[id as usize].stage;
+                map.push((p.name.clone(), format!("op{id}_s{def}")));
+            } else if p.name.starts_with("i_") {
+                // Data-path input consumed inside this node.
+                let k = dp
+                    .inputs
+                    .iter()
+                    .position(|(n, _)| format!("i_{}", n.to_lowercase()) == p.name)
+                    .expect("input port");
+                let consumer_stage = dp
+                    .ops
+                    .iter()
+                    .filter(|o| o.node == node.id)
+                    .filter(|o| o.srcs.contains(&Value::Input(k)))
+                    .map(|o| o.stage)
+                    .max()
+                    .unwrap_or(0);
+                map.push((
+                    p.name.clone(),
+                    top_signal(dp, Value::Input(k), consumer_stage),
+                ));
+            }
+        }
+        e.stmts.push(Stmt::Instance {
+            label: format!("u_{label}"),
+            entity: format!("{}_{}", dp.name.to_lowercase(), label),
+            map,
+        });
+    }
+
+    // LPR / feedback latches and LUT ROM instances live at the top.
+    for (i, op) in dp.ops.iter().enumerate() {
+        match op.op {
+            Opcode::Lpr => {
+                let slot = op.imm as usize;
+                let (slotinfo, snx_v) = &dp.feedback[slot];
+                let fbname = format!("fb_{}", slotinfo.name.to_lowercase());
+                e.signals.push(Signal {
+                    name: fbname.clone(),
+                    ty: VhdlType::vector(slotinfo.ty.signed, slotinfo.ty.bits),
+                });
+                // The LPR value is the latch output.
+                e.stmts.push(Stmt::Assign {
+                    target: format!("op{i}_s{}", op.stage),
+                    expr: cast(
+                        &fbname,
+                        &VhdlType::vector(slotinfo.ty.signed, slotinfo.ty.bits),
+                        op.ty.signed,
+                        op.hw_bits,
+                    ),
+                });
+                let snx_sig = top_signal(dp, *snx_v, op.stage);
+                e.stmts.push(Stmt::Process {
+                    label: format!("fb_latch_{}", slotinfo.name.to_lowercase()),
+                    enable: Some(format!("valid_s{}", op.stage)),
+                    assigns: vec![(
+                        fbname,
+                        cast(
+                            &snx_sig,
+                            &val_ty(dp, *snx_v),
+                            slotinfo.ty.signed,
+                            slotinfo.ty.bits,
+                        ),
+                    )],
+                });
+            }
+            Opcode::Lut => {
+                let t = op.imm as usize;
+                let addr_bits = dp.luts[t].addr_bits();
+                let addr_sig = format!("lut{i}_addr");
+                e.signals.push(Signal {
+                    name: addr_sig.clone(),
+                    ty: VhdlType::Unsigned(addr_bits),
+                });
+                let idx = top_signal(dp, op.srcs[0], op.stage);
+                e.stmts.push(Stmt::Assign {
+                    target: addr_sig.clone(),
+                    expr: cast(&idx, &val_ty(dp, op.srcs[0]), false, addr_bits),
+                });
+                e.stmts.push(Stmt::Instance {
+                    label: format!("u_rom{i}"),
+                    entity: format!("{}_rom{}", dp.name.to_lowercase(), t),
+                    map: vec![
+                        ("addr".into(), addr_sig),
+                        ("data".into(), format!("op{i}_s{}", op.stage)),
+                    ],
+                });
+                // Ensure the base signal exists even if only later stages
+                // consume it (declared above when max_use has it).
+                if !max_use.contains_key(&Value::Op(roccc_datapath::OpId(i as u32))) {
+                    e.signals.push(Signal {
+                        name: format!("op{i}_s{}", op.stage),
+                        ty: val_ty(dp, Value::Op(roccc_datapath::OpId(i as u32))),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Pipeline registers + valid chain in one clocked process.
+    let mut assigns = reg_assigns;
+    assigns.extend(valid_assigns);
+    // Output registers.
+    for out in &dp.outputs {
+        let src = top_signal(dp, out.value, last);
+        let target = format!("out_{}_r", out.name.to_lowercase());
+        e.signals.push(Signal {
+            name: target.clone(),
+            ty: VhdlType::vector(out.ty.signed, out.ty.bits),
+        });
+        assigns.push((
+            target.clone(),
+            cast(&src, &val_ty(dp, out.value), out.ty.signed, out.ty.bits),
+        ));
+        e.stmts.push(Stmt::Assign {
+            target: format!("out_{}", out.name.to_lowercase()),
+            expr: target,
+        });
+    }
+    e.stmts.push(Stmt::Process {
+        label: "pipeline".into(),
+        enable: None,
+        assigns,
+    });
+
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roccc::{compile, CompileOptions};
+
+    fn vhdl_for(src: &str, func: &str) -> String {
+        let hw = compile(src, func, &CompileOptions::default()).unwrap();
+        generate_vhdl(&hw.kernel, &hw.datapath)
+    }
+
+    #[test]
+    fn cast_handles_all_signedness_combinations() {
+        assert_eq!(cast("x", &VhdlType::Signed(8), true, 8), "x");
+        assert_eq!(cast("x", &VhdlType::Signed(8), true, 12), "resize(x, 12)");
+        assert_eq!(
+            cast("x", &VhdlType::Unsigned(8), true, 12),
+            "signed(resize(x, 12))"
+        );
+        assert_eq!(
+            cast("x", &VhdlType::Signed(8), false, 4),
+            "unsigned(resize(x, 4))"
+        );
+    }
+
+    #[test]
+    fn top_entity_has_valid_chain_and_ports() {
+        let text = vhdl_for("void f(int a, int b, int* o) { *o = a * b + 1; }", "f");
+        assert!(text.contains("entity f_dp is"));
+        assert!(text.contains("ivalid : in  std_logic"));
+        assert!(text.contains("ovalid : out std_logic"));
+        assert!(text.contains("in_a : in  signed(31 downto 0)"));
+        assert!(text.contains("out_o : out signed(31 downto 0)"));
+        assert!(text.contains("valid_s0 <= ivalid;"));
+        assert!(text.contains("pipeline: process(clk)"));
+    }
+
+    #[test]
+    fn mux_node_entity_emitted_for_branches() {
+        let text = vhdl_for(
+            "void f(int a, int* o) { int x; if (a > 0) { x = a; } else { x = -a; } *o = x; }",
+            "f",
+        );
+        assert!(text.contains("mux"), "{text}");
+        assert!(text.contains("when"), "mux select expression");
+    }
+
+    #[test]
+    fn feedback_kernel_gets_gated_latch() {
+        let text = vhdl_for(
+            "void acc(int A[8], int* out) { int s = 0; int i;
+               for (i = 0; i < 8; i++) { s = s + A[i]; } *out = s; }",
+            "acc",
+        );
+        assert!(text.contains("fb_latch_s"), "{text}");
+        assert!(text.contains("if valid_s"), "latch gated by the valid bit");
+        // Streaming kernel also gets buffer + controller shells.
+        assert!(text.contains("smart_buffer"));
+        assert!(text.contains("controller"));
+    }
+
+    #[test]
+    fn rom_entities_are_padded_to_power_of_two() {
+        let text = vhdl_for(
+            "const uint8 t[5] = {1,2,3,4,5};
+             void f(uint3 i, uint8* o) { *o = ROCCC_lut(t, i); }",
+            "f",
+        );
+        // 5 entries pad to 8.
+        assert!(text.contains("array (0 to 7)"), "{text}");
+        assert!(text.contains("table(to_integer(addr))"));
+    }
+}
+
+/// Behavioral smart-buffer shell parameterized by the kernel's window.
+fn smart_buffer_entity(kernel: &Kernel, dp: &Datapath) -> Entity {
+    let mut e = Entity::new(format!("{}_smart_buffer", dp.name.to_lowercase()));
+    e.ports.push(Port {
+        name: "clk".into(),
+        dir: PortDir::In,
+        ty: VhdlType::StdLogic,
+    });
+    e.ports.push(Port {
+        name: "din_valid".into(),
+        dir: PortDir::In,
+        ty: VhdlType::StdLogic,
+    });
+    e.ports.push(Port {
+        name: "window_valid".into(),
+        dir: PortDir::Out,
+        ty: VhdlType::StdLogic,
+    });
+    for w in &kernel.windows {
+        e.ports.push(Port {
+            name: format!("din_{}", w.array.to_lowercase()),
+            dir: PortDir::In,
+            ty: VhdlType::vector(w.elem.signed, w.elem.bits),
+        });
+        for r in &w.reads {
+            e.ports.push(Port {
+                name: format!("win_{}", r.scalar.to_lowercase()),
+                dir: PortDir::Out,
+                ty: VhdlType::vector(w.elem.signed, w.elem.bits),
+            });
+        }
+    }
+    e.stmts.push(Stmt::Comment(format!(
+        "parameterized smart buffer: windows {:?}, stride {:?}",
+        kernel
+            .windows
+            .iter()
+            .map(|w| w.extent())
+            .collect::<Vec<_>>(),
+        kernel.dims.iter().map(|d| d.step).collect::<Vec<_>>()
+    )));
+    // Shift-register behaviour for every window.
+    for w in &kernel.windows {
+        let n = w.reads.len();
+        let arr = w.array.to_lowercase();
+        let mut assigns = Vec::new();
+        for i in 0..n {
+            let target = format!("sr_{arr}_{i}");
+            e.signals.push(Signal {
+                name: target.clone(),
+                ty: VhdlType::vector(w.elem.signed, w.elem.bits),
+            });
+            let src = if i + 1 < n {
+                format!("sr_{arr}_{}", i + 1)
+            } else {
+                format!("din_{arr}")
+            };
+            assigns.push((target, src));
+        }
+        e.stmts.push(Stmt::Process {
+            label: format!("shift_{arr}"),
+            enable: Some("din_valid".into()),
+            assigns,
+        });
+        for (i, r) in w.reads.iter().enumerate() {
+            e.stmts.push(Stmt::Assign {
+                target: format!("win_{}", r.scalar.to_lowercase()),
+                expr: format!("sr_{arr}_{i}"),
+            });
+        }
+    }
+    e.signals.push(Signal {
+        name: "fill_count".into(),
+        ty: VhdlType::Unsigned(16),
+    });
+    e.stmts.push(Stmt::Process {
+        label: "fill".into(),
+        enable: Some("din_valid".into()),
+        assigns: vec![("fill_count".into(), "fill_count + 1".into())],
+    });
+    let window = kernel.windows.first().map(|w| w.reads.len()).unwrap_or(1);
+    e.stmts.push(Stmt::Assign {
+        target: "window_valid".into(),
+        expr: format!("'1' when fill_count >= to_unsigned({window}, 16) else '0'"),
+    });
+    e
+}
+
+/// Controller FSM shell: address generation bounds from the loop dims.
+fn controller_entity(kernel: &Kernel, dp: &Datapath) -> Entity {
+    let mut e = Entity::new(format!("{}_controller", dp.name.to_lowercase()));
+    for p in ["clk", "start"] {
+        e.ports.push(Port {
+            name: p.into(),
+            dir: PortDir::In,
+            ty: VhdlType::StdLogic,
+        });
+    }
+    e.ports.push(Port {
+        name: "read_addr".into(),
+        dir: PortDir::Out,
+        ty: VhdlType::Unsigned(32),
+    });
+    e.ports.push(Port {
+        name: "write_addr".into(),
+        dir: PortDir::Out,
+        ty: VhdlType::Unsigned(32),
+    });
+    e.ports.push(Port {
+        name: "done".into(),
+        dir: PortDir::Out,
+        ty: VhdlType::StdLogic,
+    });
+    let total: u64 = kernel.total_iterations();
+    e.signals.push(Signal {
+        name: "iter".into(),
+        ty: VhdlType::Unsigned(32),
+    });
+    e.stmts.push(Stmt::Comment(format!(
+        "higher-level controller: {} iterations over dims {:?}",
+        total,
+        kernel
+            .dims
+            .iter()
+            .map(|d| (d.start, d.bound, d.step))
+            .collect::<Vec<_>>()
+    )));
+    e.stmts.push(Stmt::Process {
+        label: "count".into(),
+        enable: Some("start".into()),
+        assigns: vec![("iter".into(), "iter + 1".into())],
+    });
+    e.stmts.push(Stmt::Assign {
+        target: "read_addr".into(),
+        expr: "iter".into(),
+    });
+    e.stmts.push(Stmt::Assign {
+        target: "write_addr".into(),
+        expr: "iter".into(),
+    });
+    e.stmts.push(Stmt::Assign {
+        target: "done".into(),
+        expr: format!("'1' when iter >= to_unsigned({total}, 32) else '0'"),
+    });
+    e
+}

@@ -1,0 +1,29 @@
+//! # roccc-vhdl — RTL VHDL code generation (§4.2.4)
+//!
+//! Emits the paper's VHDL shape: one component per CFG node (soft nodes,
+//! mux and pipe hard nodes), ROM entities for `LUT` instructions, a
+//! top-level data-path entity with the pipeline registers, feedback
+//! latches and valid chain, plus parameterized smart-buffer and controller
+//! shells. A structural [`lint`] checks the output in tests.
+//!
+//! ```
+//! use roccc::{compile, CompileOptions};
+//!
+//! # fn main() -> Result<(), roccc::CompileError> {
+//! let src = "void f(int a, int b, int* o) { *o = a * b + 1; }";
+//! let hw = compile(src, "f", &CompileOptions::default())?;
+//! let vhdl = hw.to_vhdl();
+//! assert!(vhdl.contains("entity f_dp is"));
+//! assert!(roccc_vhdl::lint::lint(&vhdl).is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod generate;
+pub mod lint;
+
+pub use ast::{Entity, Port, PortDir, Signal, Stmt, VhdlType};
+pub use generate::generate_vhdl;

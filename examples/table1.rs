@@ -1,0 +1,13 @@
+//! Regenerates the paper's Table 1 (also available as
+//! `cargo run -p roccc-bench --bin table1`, which adds the
+//! fast-estimator ablation).
+//!
+//! ```sh
+//! cargo run --release --example table1
+//! ```
+
+fn main() {
+    let rows = roccc_suite::ipcores::run_table1();
+    println!("{}", roccc_suite::ipcores::render_table(&rows));
+    println!("(LUT rows are identical by construction: ROCCC instantiates the same ROM IP.)");
+}

@@ -1,0 +1,18 @@
+//! Umbrella library for the ROCCC reproduction suite.
+//!
+//! This crate only re-exports the member crates so that the workspace-level
+//! integration tests in `tests/` and the runnable examples in `examples/`
+//! can reach every subsystem through one dependency. The actual
+//! implementation lives in the `crates/` members; start with [`roccc`] for
+//! the end-to-end compiler pipeline.
+
+pub use roccc;
+pub use roccc_buffers as buffers;
+pub use roccc_cparse as cparse;
+pub use roccc_datapath as datapath;
+pub use roccc_hlir as hlir;
+pub use roccc_ipcores as ipcores;
+pub use roccc_netlist as netlist;
+pub use roccc_suifvm as suifvm;
+pub use roccc_synth as synth;
+pub use roccc_vhdl as vhdl;

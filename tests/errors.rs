@@ -1,0 +1,107 @@
+//! Diagnostics battery: every unsupported construct must fail with a
+//! clear, stage-appropriate error — never a panic or silent miscompile.
+
+use roccc_suite::roccc::{compile, CompileError, CompileOptions};
+
+fn err_of(src: &str, func: &str) -> String {
+    match compile(src, func, &CompileOptions::default()) {
+        Err(CompileError::Front(e)) => e.message,
+        Err(CompileError::Backend(m)) => m,
+        Ok(_) => panic!("expected `{func}` to be rejected"),
+    }
+}
+
+#[test]
+fn lexical_and_syntactic_errors() {
+    assert!(err_of("int f( {", "f").contains("expected"));
+    assert!(err_of("void f() { $ }", "f").contains("$"));
+    assert!(err_of("void f() { return 1 }", "f").contains("expected"));
+}
+
+#[test]
+fn semantic_errors() {
+    assert!(err_of("void f() { x = 1; }", "f").contains("undeclared"));
+    assert!(err_of("int f(int x) { return f(x); }", "f").contains("recursion"));
+    assert!(
+        err_of("void f(int* p, int* q) { *q = 1; int a = 2; }", "g").contains("unknown function")
+    );
+    assert!(err_of("const int t[2] = {1,2}; void f(int i) { t[i] = 0; }", "f").contains("const"));
+}
+
+#[test]
+fn kernel_shape_errors() {
+    // Non-affine index.
+    assert!(err_of(
+        "void f(int A[8], int B[8]) { int i; for (i=0;i<4;i++) { B[i] = A[i*2]; } }",
+        "f"
+    )
+    .contains("non-affine"));
+    // Conditional array store.
+    assert!(err_of(
+        "void f(int A[8], int B[8]) { int i;
+           for (i=0;i<8;i++) { if (A[i] > 0) { B[i] = 1; } } }",
+        "f"
+    )
+    .contains("branches"));
+    // Read+write of the same array.
+    assert!(err_of(
+        "void f(int A[8]) { int i; for (i=0;i<7;i++) { A[i] = A[i+1]; } }",
+        "f"
+    )
+    .contains("both read and written"));
+    // Triple-nested loops.
+    assert!(err_of(
+        "void f(int A[2][2], int B[2][2]) { int i; int j; int k; int s;
+           for (i=0;i<2;i++) { for (j=0;j<2;j++) { s = 0;
+             for (k=0;k<2;k++) { s = s + 1; } B[i][j] = s; } } }",
+        "f"
+    )
+    .contains("deeper than two"));
+    // Unknown trip count.
+    assert!(err_of(
+        "void f(int n, int A[8], int B[8]) { int i;
+           for (i = 0; i < n; i++) { B[i] = A[i]; } }",
+        "f"
+    )
+    .contains("canonical"));
+    // While loops are not counted loops.
+    assert!(!err_of(
+        "void f(int A[8], int B[8]) { int i = 0;
+           while (i < 8) { B[i] = A[i]; i = i + 1; } }",
+        "f"
+    )
+    .is_empty());
+}
+
+#[test]
+fn intrinsic_misuse_errors() {
+    assert!(err_of(
+        "void f(int a, int* o) { int s; ROCCC_store2next(s); *o = a; }",
+        "f"
+    )
+    .contains("two arguments"));
+    assert!(
+        err_of("void f(int a, int* o) { *o = ROCCC_bits(a, 2, 5); }", "f").contains("lo <= hi")
+    );
+    assert!(err_of(
+        "void f(int a, int b, int* o) { *o = ROCCC_bits(a, b, 0); }",
+        "f"
+    )
+    .contains("constant"));
+    assert!(
+        err_of("void f(int a, int* o) { *o = ROCCC_lut(missing, a); }", "f")
+            .contains("unknown lookup table")
+    );
+}
+
+#[test]
+fn errors_carry_source_locations() {
+    let src = "void f() {\n  int x;\n  y = 1;\n}";
+    match compile(src, "f", &CompileOptions::default()) {
+        Err(CompileError::Front(e)) => {
+            let rendered = e.render(src);
+            assert!(rendered.starts_with("3:"), "line number in `{rendered}`");
+        }
+        other => panic!("expected front-end error, got {other:?}"),
+    }
+}

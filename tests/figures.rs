@@ -1,0 +1,121 @@
+//! Regression tests pinning the paper's worked figures: the artifacts our
+//! pipeline produces for the Figure 3/4/5/6/7 examples must keep their
+//! published structure.
+
+use roccc_suite::cparse::parse;
+use roccc_suite::datapath::NodeKind;
+use roccc_suite::hlir::extract_kernel;
+use roccc_suite::roccc::{compile, CompileOptions};
+use roccc_suite::vhdl::lint::lint;
+
+const FIG3A: &str = "void fir(int A[21], int C[17]) { int i;
+  for (i = 0; i < 17; i = i + 1) {
+    C[i] = 3*A[i] + 5*A[i+1] + 7*A[i+2] + 9*A[i+3] - A[i+4]; } }";
+
+const FIG4A: &str = "void acc(int A[32], int* out) {
+  int sum = 0; int i;
+  for (i = 0; i < 32; i++) { sum = sum + A[i]; }
+  *out = sum; }";
+
+const FIG5: &str = "void if_else(int x1, int x2, int* x3, int* x4) {
+  int a; int c;
+  c = x1 - x2;
+  if (c < x2) { a = x1 * x1; } else { a = x1 * x2 + 3; }
+  c = c - a;
+  *x3 = c; *x4 = a;
+  return; }";
+
+#[test]
+fn figure3_scalar_replacement_shape() {
+    // (a) → (b): loads isolated at the top of the loop, compute in the
+    // middle, the store at the bottom; (c): the exported function takes
+    // the five window scalars and one out-pointer.
+    let prog = parse(FIG3A).unwrap();
+    let k = extract_kernel(&prog, "fir").unwrap();
+    let rewritten = k.rewritten.to_c();
+    assert!(rewritten.contains("A0 = A[i]"), "{rewritten}");
+    assert!(rewritten.contains("A4 = A[(i + 4)]"), "{rewritten}");
+    assert!(rewritten.contains("C[i] = Tmp0"), "{rewritten}");
+
+    let dp = k.dp_func.to_c();
+    assert!(
+        dp.starts_with(
+            "void fir_dp(int32 A0, int32 A1, int32 A2, int32 A3, int32 A4, int32* Tmp0)"
+        ),
+        "{dp}"
+    );
+    assert!(dp.contains("*Tmp0 ="), "{dp}");
+}
+
+#[test]
+fn figure4_feedback_macros() {
+    let prog = parse(FIG4A).unwrap();
+    let k = extract_kernel(&prog, "acc").unwrap();
+    let dp = k.dp_func.to_c();
+    assert!(dp.contains("ROCCC_load_prev(sum)"), "{dp}");
+    assert!(dp.contains("ROCCC_store2next(sum, sum_cur)"), "{dp}");
+    assert_eq!(k.feedback.len(), 1);
+    assert_eq!(k.feedback[0].init, 0);
+}
+
+#[test]
+fn figure6_node_structure() {
+    let hw = compile(FIG5, "if_else", &CompileOptions::default()).unwrap();
+    let kinds: Vec<NodeKind> = hw.datapath.nodes.iter().map(|n| n.kind).collect();
+    // Soft nodes 1–4 plus the pipe (node 6) and mux (node 7) hard nodes.
+    assert_eq!(kinds.iter().filter(|k| **k == NodeKind::Soft).count(), 4);
+    assert_eq!(kinds.iter().filter(|k| **k == NodeKind::Mux).count(), 1);
+    assert_eq!(kinds.iter().filter(|k| **k == NodeKind::Pipe).count(), 1);
+
+    // The DOT rendering groups by node for the figure.
+    let dot = hw.to_dot();
+    assert!(dot.contains("cluster_"));
+    assert!(dot.contains("mux"));
+    assert!(dot.contains("pipe"));
+}
+
+#[test]
+fn figure7_accumulator_feedback_latch() {
+    let hw = compile(FIG4A, "acc", &CompileOptions::default()).unwrap();
+    // One feedback latch, gated by the valid bit at the LPR stage.
+    assert_eq!(hw.netlist.feedback_regs.len(), 1);
+    // The LPR and the SNX source share a stage (verified structurally).
+    hw.datapath.verify().unwrap();
+}
+
+#[test]
+fn generated_vhdl_is_lint_clean_for_all_kernels() {
+    for b in roccc_suite::ipcores::benchmarks() {
+        let hw = roccc_suite::ipcores::table::compile_benchmark(&b).unwrap();
+        let vhdl = hw.to_vhdl();
+        let errors = lint(&vhdl);
+        assert!(
+            errors.is_empty(),
+            "{}: {:?}\n(first 40 lines)\n{}",
+            b.name,
+            errors,
+            vhdl.lines().take(40).collect::<Vec<_>>().join("\n")
+        );
+        // One component per node, plus top/buffers/controller/ROMs.
+        let entity_count = vhdl.matches("\nentity ").count() + 1;
+        assert!(
+            entity_count >= hw.datapath.nodes.len() + 1,
+            "{}: only {entity_count} entities for {} nodes",
+            b.name,
+            hw.datapath.nodes.len()
+        );
+    }
+}
+
+#[test]
+fn figure2_execution_model_counts_memory_traffic() {
+    // BRAM in → smart buffer → data path → BRAM out, with each input word
+    // fetched once.
+    let hw = compile(FIG3A, "fir", &CompileOptions::default()).unwrap();
+    let mut arrays = std::collections::HashMap::new();
+    arrays.insert("A".to_string(), (0..21).collect::<Vec<i64>>());
+    let run = hw.run(&arrays, &Default::default()).unwrap();
+    assert_eq!(run.mem_reads, 21, "each input element fetched exactly once");
+    assert_eq!(run.mem_writes, 17);
+    assert_eq!(run.fired, 17);
+}
