@@ -7,6 +7,7 @@ fn main() {
     println!("Data-path from C Codes for FPGAs\") — all numbers from the shared");
     println!("Virtex-II xc2v2000-style synthesis model.\n");
 
+    // Rows compile and simulate concurrently (one scoped thread each).
     let rows = roccc_ipcores::run_table1();
     println!("{}", roccc_ipcores::render_table(&rows));
 

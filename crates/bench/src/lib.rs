@@ -1,17 +1,24 @@
-//! # roccc-bench — benchmark harness for the Table 1 reproduction
+//! # roccc-bench — in-tree benchmark harness and evaluation binaries
 //!
-//! Criterion benchmarks (`cargo bench -p roccc-bench`) cover compile time,
-//! the sub-millisecond area-estimation claim, and simulation throughput;
-//! the binaries regenerate the paper's evaluation artifacts:
+//! The workspace builds fully offline, so instead of criterion this crate
+//! carries its own small measurement harness: wall-clock timing over a
+//! calibrated number of in-loop repetitions, median-of-runs reporting, and
+//! a hand-rolled JSON writer for the tracked artifact `BENCH_sim.json`.
 //!
-//! * `cargo run -p roccc-bench --bin table1` — the full Table 1
-//!   comparison with paper numbers alongside;
-//! * `cargo run -p roccc-bench --bin ablations` — the design-choice
-//!   ablations from DESIGN.md (D1–D5).
+//! Binaries:
+//!
+//! * `cargo run --release -p roccc-bench --bin bench_sim` — simulation
+//!   throughput (cycles/sec) of the reference interpreter vs. the
+//!   compiled engine on the paper kernels; writes `BENCH_sim.json`;
+//! * `cargo run --release -p roccc-bench --bin table1` — the full
+//!   Table 1 comparison with paper numbers alongside (rows in parallel);
+//! * `cargo run --release -p roccc-bench --bin ablations` — the
+//!   design-choice ablations from DESIGN.md (D1–D6, in parallel).
 
 #![warn(missing_docs)]
 
 use roccc_synth::ResourceReport;
+use std::time::Instant;
 
 /// Formats a resource report on one line.
 pub fn fmt_report(r: &ResourceReport) -> String {
@@ -30,6 +37,90 @@ pub fn ratio(a: f64, b: f64) -> f64 {
     }
 }
 
+/// One measured simulation-engine result.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Kernel name (`fir`, `dct`, `wavelet`, …).
+    pub kernel: String,
+    /// Engine name (`reference` or `compiled`).
+    pub engine: String,
+    /// Clock cycles simulated per timed run.
+    pub cycles: u64,
+    /// Median wall-clock seconds per run.
+    pub seconds: f64,
+    /// Simulated cycles per wall-clock second.
+    pub cycles_per_sec: f64,
+    /// Speedup over the reference engine on the same kernel
+    /// (1.0 for the reference itself).
+    pub speedup: f64,
+}
+
+/// Times `f` (which must simulate `cycles` clock cycles) `runs` times and
+/// returns the median seconds per run. The closure's return value is
+/// folded into a sink to keep the optimizer honest.
+pub fn time_median<F: FnMut() -> u64>(runs: usize, mut f: F) -> f64 {
+    assert!(runs > 0);
+    let mut sink = 0u64;
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let t0 = Instant::now();
+            sink = sink.wrapping_add(f());
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    std::hint::black_box(sink);
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+/// Builds a [`BenchResult`] from a timed simulation run.
+pub fn bench_result(kernel: &str, engine: &str, cycles: u64, seconds: f64) -> BenchResult {
+    BenchResult {
+        kernel: kernel.to_string(),
+        engine: engine.to_string(),
+        cycles,
+        seconds,
+        cycles_per_sec: if seconds > 0.0 {
+            cycles as f64 / seconds
+        } else {
+            f64::INFINITY
+        },
+        speedup: 1.0,
+    }
+}
+
+/// Serializes results as the `BENCH_sim.json` artifact (a stable,
+/// hand-rolled JSON document — no serde in the offline build).
+pub fn render_bench_json(results: &[BenchResult]) -> String {
+    let mut s = String::from("{\n  \"benchmark\": \"netlist-simulation\",\n  \"unit\": \"cycles/sec\",\n  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"engine\": \"{}\", \"cycles\": {}, \"seconds\": {:.6}, \"cycles_per_sec\": {:.1}, \"speedup\": {:.3}}}{}\n",
+            json_escape(&r.kernel),
+            json_escape(&r.engine),
+            r.cycles,
+            r.seconds,
+            r.cycles_per_sec,
+            r.speedup,
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -38,5 +129,37 @@ mod tests {
     fn ratio_handles_zero() {
         assert!(ratio(1.0, 0.0).is_nan());
         assert_eq!(ratio(6.0, 3.0), 2.0);
+    }
+
+    #[test]
+    fn bench_json_is_well_formed() {
+        let a = bench_result("fir", "reference", 1000, 0.5);
+        let mut b = bench_result("fir", "compiled", 1000, 0.1);
+        b.speedup = b.cycles_per_sec / a.cycles_per_sec;
+        assert!((b.speedup - 5.0).abs() < 1e-9);
+        let doc = render_bench_json(&[a, b]);
+        // Structural smoke checks (no JSON parser in the offline build).
+        assert!(doc.starts_with('{') && doc.trim_end().ends_with('}'));
+        assert_eq!(doc.matches("\"kernel\"").count(), 2);
+        assert_eq!(doc.matches("\"cycles_per_sec\"").count(), 2);
+        assert!(!doc.contains(",\n  ]"), "no trailing comma:\n{doc}");
+    }
+
+    #[test]
+    fn json_escape_controls_and_quotes() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn time_median_is_positive() {
+        let t = time_median(3, || {
+            let mut x = 0u64;
+            for i in 0..1000u64 {
+                x = x.wrapping_add(i * i);
+            }
+            x
+        });
+        assert!(t >= 0.0 && t.is_finite());
     }
 }

@@ -21,4 +21,6 @@ pub mod table;
 
 pub use builder::NetBuilder;
 pub use paper::{paper_row, PaperRow, TABLE1};
-pub use table::{benchmarks, buffer_overhead, render_table, run_table1, Benchmark, MeasuredRow};
+pub use table::{
+    benchmarks, buffer_overhead, measure_row, render_table, run_table1, Benchmark, MeasuredRow,
+};

@@ -220,43 +220,55 @@ pub fn compile_benchmark(b: &Benchmark) -> Result<Compiled, roccc::CompileError>
     compile_with_model(&b.source, b.func, &b.opts, &model)
 }
 
-/// Runs the full Table 1 comparison.
+/// Compiles, maps, and scores one Table 1 row.
+pub fn measure_row(b: &Benchmark) -> MeasuredRow {
+    let model = VirtexII::with_mult_style(b.mult_style);
+    let ip = map_netlist(&(b.baseline)(), &model);
+    let hw = compile_benchmark(b).expect("built-in benchmark compiles");
+    let mut roccc_rep = if b.lut_row {
+        // ROCCC instantiates the same LUT IP core: identical.
+        ip.clone()
+    } else {
+        map_netlist(&hw.netlist, &model)
+    };
+    let mut fast = if b.lut_row {
+        // The compiler instantiates the IP: the estimator reports
+        // the IP's numbers, like the full flow does.
+        ip.clone()
+    } else {
+        fast_estimate(&hw.datapath, &model)
+    };
+    if b.streaming {
+        let buf = buffer_overhead(&hw.kernel, &model);
+        roccc_rep = roccc_rep.merge(&buf);
+        fast = fast.merge(&buf);
+    }
+    let outputs_per_cycle = hw.datapath.throughput_per_cycle();
+    MeasuredRow {
+        name: b.name,
+        ip,
+        roccc: roccc_rep,
+        roccc_fast: fast,
+        paper: *paper_row(b.name).expect("paper row exists"),
+        outputs_per_cycle,
+    }
+}
+
+/// Runs the full Table 1 comparison, compiling and scoring every kernel
+/// concurrently (one scoped thread per row; rows are independent). Row
+/// order matches [`benchmarks`].
 pub fn run_table1() -> Vec<MeasuredRow> {
-    benchmarks()
-        .iter()
-        .map(|b| {
-            let model = VirtexII::with_mult_style(b.mult_style);
-            let ip = map_netlist(&(b.baseline)(), &model);
-            let hw = compile_benchmark(b).expect("built-in benchmark compiles");
-            let mut roccc_rep = if b.lut_row {
-                // ROCCC instantiates the same LUT IP core: identical.
-                ip.clone()
-            } else {
-                map_netlist(&hw.netlist, &model)
-            };
-            let mut fast = if b.lut_row {
-                // The compiler instantiates the IP: the estimator reports
-                // the IP's numbers, like the full flow does.
-                ip.clone()
-            } else {
-                fast_estimate(&hw.datapath, &model)
-            };
-            if b.streaming {
-                let buf = buffer_overhead(&hw.kernel, &model);
-                roccc_rep = roccc_rep.merge(&buf);
-                fast = fast.merge(&buf);
-            }
-            let outputs_per_cycle = hw.datapath.throughput_per_cycle();
-            MeasuredRow {
-                name: b.name,
-                ip,
-                roccc: roccc_rep,
-                roccc_fast: fast,
-                paper: *paper_row(b.name).expect("paper row exists"),
-                outputs_per_cycle,
-            }
-        })
-        .collect()
+    let benches = benchmarks();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = benches
+            .iter()
+            .map(|b| s.spawn(move || measure_row(b)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("table1 row thread panicked"))
+            .collect()
+    })
 }
 
 /// Renders the measured rows in the paper's Table 1 layout, with the

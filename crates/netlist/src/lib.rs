@@ -9,7 +9,11 @@
 //!   with optional valid gating, ROMs);
 //! * [`from_dp`] — lowering from `roccc_datapath::Datapath`, materializing
 //!   the pipeline balancing registers and feedback latches;
-//! * [`sim`] — two-phase cycle-accurate simulation with a valid chain;
+//! * [`sim`] — two-phase cycle-accurate *reference* simulation with a
+//!   valid chain (readable, interprets the cell graph every cycle);
+//! * [`plan`] — the *compiled* engine: one-time levelization into a dense
+//!   instruction stream ([`SimPlan`]) executed zero-allocation by
+//!   [`CompiledSim`] — what `run_system` and the benches actually run;
 //! * [`system`] — whole-kernel runs with smart buffers and controllers,
 //!   producing throughput and memory-traffic numbers for the evaluation.
 
@@ -17,10 +21,12 @@
 
 pub mod cells;
 pub mod from_dp;
+pub mod plan;
 pub mod sim;
 pub mod system;
 
 pub use cells::{Cell, CellId, CellKind, Netlist};
 pub use from_dp::netlist_from_datapath;
+pub use plan::{cell_stages, CompiledSim, SimPlan};
 pub use sim::{CycleResult, NetlistSim, SimError};
 pub use system::{run_system, run_system_with_options, SystemError, SystemOptions, SystemRun};

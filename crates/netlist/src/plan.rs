@@ -1,0 +1,867 @@
+//! Compiled netlist simulation: levelize once, step fast forever.
+//!
+//! [`NetlistSim`](crate::sim::NetlistSim) re-interprets the cell graph on
+//! every clock — matching on `CellKind`, chasing `Vec<CellId>` sources,
+//! constructing an `IntType` per cell, and allocating fresh value and
+//! occupancy buffers per cycle. That is fine as a readable reference, but
+//! every evaluation artifact of the paper (Table 1, the §5 throughput
+//! numbers, `run_system`'s memory traffic) funnels through that inner
+//! loop.
+//!
+//! [`SimPlan::compile`] pays the interpretation cost once:
+//!
+//! * cells are **levelized** into a dense instruction stream of flat
+//!   `(opcode, operand indices, precomputed wrap mask)` records —
+//!   constants are pre-folded out of the stream entirely (including
+//!   constant subexpressions), ROM tables are pre-wrapped, and register
+//!   cells are split into a separate clock-edge list;
+//! * every cell gets a **pipeline stage** from a levelization pass
+//!   ([`cell_stages`]), so divide/rem bubble handling is keyed to the
+//!   *divider's own stage* occupancy — a garbage bubble flowing past a
+//!   divider no longer faults just because an unrelated valid iteration
+//!   is elsewhere in the pipeline;
+//! * [`CompiledSim::step`] then runs **zero-allocation** against
+//!   preallocated value/occupancy buffers, and [`CompiledSim::run_batch`]
+//!   streams whole iteration blocks without per-cycle argument clones or
+//!   per-output `Vec` churn.
+//!
+//! The compiled engine is bit-identical to the reference simulator (the
+//! workspace differential tests drive both over random kernels, bubbles
+//! included) and is what `run_system` and the bench harness execute.
+
+use crate::cells::{CellKind, Netlist};
+use crate::sim::SimError;
+use roccc_cparse::types::IntType;
+use roccc_suifvm::ir::Opcode;
+
+/// Precomputed two's-complement truncation for one net: the `IntType`
+/// wrap with the mask and sign bit resolved at plan-compile time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Wrap {
+    mask: u64,
+    sign: u64,
+}
+
+impl Wrap {
+    fn from_ty(ty: IntType) -> Wrap {
+        if ty.bits >= 64 {
+            return Wrap { mask: !0, sign: 0 };
+        }
+        let mask = (1u64 << ty.bits) - 1;
+        Wrap {
+            mask,
+            sign: if ty.signed { 1u64 << (ty.bits - 1) } else { 0 },
+        }
+    }
+
+    #[inline(always)]
+    fn apply(self, v: i64) -> i64 {
+        let t = (v as u64) & self.mask;
+        if t & self.sign != 0 {
+            (t | !self.mask) as i64
+        } else {
+            t as i64
+        }
+    }
+}
+
+/// Compiled per-cell operation. Operand slots index the value buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SimOp {
+    /// Load input port and wrap to the port type.
+    Input {
+        port: u32,
+    },
+    Add,
+    Sub,
+    Mul,
+    /// Division; `stage` keys the bubble check to the divider's own
+    /// pipeline stage occupancy.
+    Div {
+        stage: u32,
+    },
+    /// Remainder; `stage` as for `Div`.
+    Rem {
+        stage: u32,
+    },
+    Neg,
+    Not,
+    Shl,
+    Shr,
+    And,
+    Or,
+    Xor,
+    Slt,
+    Sle,
+    Seq,
+    Sne,
+    Bool,
+    Mux,
+    /// `Mov`/`Cvt`: copy (the wrap does the narrowing).
+    Copy,
+    /// ROM lookup into the pre-wrapped table `rom`.
+    Lut {
+        rom: u32,
+    },
+}
+
+/// One combinational instruction: evaluate `op` over the value buffer and
+/// store the wrapped result at `dst`.
+#[derive(Debug, Clone, Copy)]
+struct Instr {
+    op: SimOp,
+    dst: u32,
+    a: u32,
+    b: u32,
+    c: u32,
+    wrap: Wrap,
+}
+
+/// One register in the clock-edge list.
+#[derive(Debug, Clone, Copy)]
+struct RegEdge {
+    /// Value-buffer slot of the register.
+    reg: u32,
+    /// Value-buffer slot of the data input.
+    d: u32,
+    /// Register width truncation.
+    wrap: Wrap,
+    /// `u32::MAX` latches every cycle; otherwise the occupancy stage that
+    /// must hold a valid iteration for the register to latch.
+    gate: u32,
+}
+
+const GATE_NONE: u32 = u32::MAX;
+
+/// Computes the pipeline stage of every cell by levelization.
+///
+/// Inputs and constants sit at stage 0; combinational ops at the maximum
+/// stage of their sources (same-cycle evaluation); pipeline registers one
+/// stage after their data input; feedback registers (stage-gated) at their
+/// gate stage, which is where their consumers read them. The pass iterates
+/// to a fixpoint so hand-built netlists with forward register references
+/// resolve too.
+pub fn cell_stages(nl: &Netlist) -> Vec<u32> {
+    let n = nl.cells.len();
+    let mut stage = vec![0u32; n];
+    // A netlist's combinational cells are topologically ordered, so one
+    // pass settles everything except forward-connected plain registers;
+    // iterate until stable with a small safety bound.
+    for _ in 0..n.max(1) {
+        let mut changed = false;
+        for (i, cell) in nl.cells.iter().enumerate() {
+            let s = match &cell.kind {
+                CellKind::Const(_) | CellKind::Input(_) => 0,
+                CellKind::Reg {
+                    stage_gate: Some(g),
+                    ..
+                } => *g,
+                CellKind::Reg {
+                    d,
+                    stage_gate: None,
+                    ..
+                } => match d {
+                    Some(d) => stage[d.0 as usize].saturating_add(1),
+                    None => 0,
+                },
+                CellKind::Op { srcs, .. } => {
+                    srcs.iter().map(|s| stage[s.0 as usize]).max().unwrap_or(0)
+                }
+            };
+            if stage[i] != s {
+                stage[i] = s;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    stage
+}
+
+/// A netlist compiled for fast simulation. Compile once per netlist with
+/// [`SimPlan::compile`], then instantiate any number of cheap
+/// [`CompiledSim`] states from it.
+#[derive(Debug, Clone)]
+pub struct SimPlan {
+    /// Combinational instruction stream in evaluation order.
+    instrs: Vec<Instr>,
+    /// Clock-edge register list.
+    edges: Vec<RegEdge>,
+    /// Initial value buffer: power-on register values and pre-folded
+    /// constants; combinational slots start at 0 and are overwritten
+    /// before first use.
+    init_vals: Vec<i64>,
+    /// Pre-wrapped ROM tables.
+    roms: Vec<Vec<i64>>,
+    /// Output ports: `(name, value slot, port wrap)`.
+    outputs: Vec<(String, u32, Wrap)>,
+    /// Feedback registers by slot name.
+    feedback: Vec<(String, u32)>,
+    /// Pipeline depth (occupancy length).
+    latency: u32,
+    /// Input port count and wraps.
+    input_wraps: Vec<Wrap>,
+}
+
+impl SimPlan {
+    /// Levelizes and compiles `nl` into a dense instruction stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if the netlist contains an opcode the
+    /// simulator cannot execute (checked here once instead of per cycle).
+    pub fn compile(nl: &Netlist) -> Result<SimPlan, SimError> {
+        let stages = cell_stages(nl);
+        let n = nl.cells.len();
+        let mut instrs = Vec::with_capacity(n);
+        let mut edges = Vec::new();
+        let mut init_vals = vec![0i64; n];
+        // Constant value per cell, when the cell is a constant or folds to
+        // one (all-constant sources and a side-effect-free evaluation).
+        let mut const_val: Vec<Option<i64>> = vec![None; n];
+
+        let roms: Vec<Vec<i64>> = nl
+            .roms
+            .iter()
+            .map(|t| t.data.iter().map(|&v| t.elem.wrap(v)).collect())
+            .collect();
+
+        for (i, cell) in nl.cells.iter().enumerate() {
+            let wrap = Wrap::from_ty(cell.ty());
+            match &cell.kind {
+                CellKind::Const(c) => {
+                    let v = wrap.apply(*c);
+                    const_val[i] = Some(v);
+                    init_vals[i] = v;
+                }
+                CellKind::Input(k) => {
+                    instrs.push(Instr {
+                        op: SimOp::Input { port: *k as u32 },
+                        dst: i as u32,
+                        a: 0,
+                        b: 0,
+                        c: 0,
+                        wrap,
+                    });
+                }
+                CellKind::Reg {
+                    d,
+                    init,
+                    stage_gate,
+                } => {
+                    let v = cell.ty().wrap(*init);
+                    init_vals[i] = v;
+                    edges.push(RegEdge {
+                        reg: i as u32,
+                        d: d.ok_or_else(|| SimError(format!("register n{i} has no data input")))?
+                            .0,
+                        wrap,
+                        gate: stage_gate.map_or(GATE_NONE, |s| s),
+                    });
+                }
+                CellKind::Op { op, srcs, imm } => {
+                    let sim_op = lower_op(*op, *imm, stages[i], &roms)?;
+                    let idx = |k: usize| srcs.get(k).map_or(0, |s| s.0);
+                    // Pre-fold constant subexpressions (division excluded
+                    // when the folded divisor is zero: that must stay a
+                    // dynamic, occupancy-gated fault).
+                    let folded = fold_const(sim_op, srcs, &const_val, &roms);
+                    if let Some(v) = folded {
+                        let v = wrap.apply(v);
+                        const_val[i] = Some(v);
+                        init_vals[i] = v;
+                    } else {
+                        instrs.push(Instr {
+                            op: sim_op,
+                            dst: i as u32,
+                            a: idx(0),
+                            b: idx(1),
+                            c: idx(2),
+                            wrap,
+                        });
+                    }
+                }
+            }
+        }
+
+        let outputs = nl
+            .outputs
+            .iter()
+            .map(|(name, ty, net)| (name.clone(), net.0, Wrap::from_ty(*ty)))
+            .collect();
+        let feedback = nl
+            .feedback_regs
+            .iter()
+            .map(|(name, id)| (name.clone(), id.0))
+            .collect();
+        let input_wraps = nl.inputs.iter().map(|(_, t)| Wrap::from_ty(*t)).collect();
+
+        Ok(SimPlan {
+            instrs,
+            edges,
+            init_vals,
+            roms,
+            outputs,
+            feedback,
+            latency: nl.latency.max(1),
+            input_wraps,
+        })
+    }
+
+    /// Number of combinational instructions in the stream (constants are
+    /// pre-folded away and registers live in the edge list).
+    pub fn instr_count(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Number of clocked registers.
+    pub fn reg_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Pipeline latency in cycles.
+    pub fn latency(&self) -> u32 {
+        self.latency
+    }
+
+    /// Number of input ports.
+    pub fn num_inputs(&self) -> usize {
+        self.input_wraps.len()
+    }
+
+    /// Number of output ports.
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Output port names in port order.
+    pub fn output_names(&self) -> impl Iterator<Item = &str> {
+        self.outputs.iter().map(|(n, _, _)| n.as_str())
+    }
+}
+
+/// Lowers a netlist opcode to the compiled form, validating it is
+/// executable.
+fn lower_op(op: Opcode, imm: i64, stage: u32, roms: &[Vec<i64>]) -> Result<SimOp, SimError> {
+    Ok(match op {
+        Opcode::Add => SimOp::Add,
+        Opcode::Sub => SimOp::Sub,
+        Opcode::Mul => SimOp::Mul,
+        Opcode::Div => SimOp::Div { stage },
+        Opcode::Rem => SimOp::Rem { stage },
+        Opcode::Neg => SimOp::Neg,
+        Opcode::Not => SimOp::Not,
+        Opcode::Shl => SimOp::Shl,
+        Opcode::Shr => SimOp::Shr,
+        Opcode::And => SimOp::And,
+        Opcode::Or => SimOp::Or,
+        Opcode::Xor => SimOp::Xor,
+        Opcode::Slt => SimOp::Slt,
+        Opcode::Sle => SimOp::Sle,
+        Opcode::Seq => SimOp::Seq,
+        Opcode::Sne => SimOp::Sne,
+        Opcode::Bool => SimOp::Bool,
+        Opcode::Mux => SimOp::Mux,
+        Opcode::Cvt | Opcode::Mov => SimOp::Copy,
+        Opcode::Lut => {
+            let rom = imm as u32;
+            if rom as usize >= roms.len() {
+                return Err(SimError(format!("LUT references missing ROM {imm}")));
+            }
+            SimOp::Lut { rom }
+        }
+        other => {
+            return Err(SimError(format!(
+                "opcode {other} cannot appear in a netlist"
+            )))
+        }
+    })
+}
+
+/// Evaluates `op` at compile time when every source is a known constant.
+/// Returns `None` when any source is dynamic or the fold is unsafe.
+fn fold_const(
+    op: SimOp,
+    srcs: &[crate::cells::CellId],
+    const_val: &[Option<i64>],
+    roms: &[Vec<i64>],
+) -> Option<i64> {
+    let cv = |k: usize| -> Option<i64> { const_val[srcs.get(k)?.0 as usize] };
+    Some(match op {
+        SimOp::Input { .. } => return None,
+        SimOp::Add => cv(0)?.wrapping_add(cv(1)?),
+        SimOp::Sub => cv(0)?.wrapping_sub(cv(1)?),
+        SimOp::Mul => cv(0)?.wrapping_mul(cv(1)?),
+        SimOp::Div { .. } => {
+            let d = cv(1)?;
+            if d == 0 {
+                return None;
+            }
+            cv(0)?.wrapping_div(d)
+        }
+        SimOp::Rem { .. } => {
+            let d = cv(1)?;
+            if d == 0 {
+                return None;
+            }
+            cv(0)?.wrapping_rem(d)
+        }
+        SimOp::Neg => cv(0)?.wrapping_neg(),
+        SimOp::Not => !cv(0)?,
+        SimOp::Shl => cv(0)?.wrapping_shl(cv(1)?.clamp(0, 63) as u32),
+        SimOp::Shr => cv(0)?.wrapping_shr(cv(1)?.clamp(0, 63) as u32),
+        SimOp::And => cv(0)? & cv(1)?,
+        SimOp::Or => cv(0)? | cv(1)?,
+        SimOp::Xor => cv(0)? ^ cv(1)?,
+        SimOp::Slt => (cv(0)? < cv(1)?) as i64,
+        SimOp::Sle => (cv(0)? <= cv(1)?) as i64,
+        SimOp::Seq => (cv(0)? == cv(1)?) as i64,
+        SimOp::Sne => (cv(0)? != cv(1)?) as i64,
+        SimOp::Bool => (cv(0)? != 0) as i64,
+        SimOp::Mux => {
+            if cv(0)? != 0 {
+                cv(1)?
+            } else {
+                cv(2)?
+            }
+        }
+        SimOp::Copy => cv(0)?,
+        SimOp::Lut { rom } => {
+            let idx = cv(0)?;
+            if idx < 0 {
+                0
+            } else {
+                roms[rom as usize].get(idx as usize).copied().unwrap_or(0)
+            }
+        }
+    })
+}
+
+/// A running compiled simulation: mutable buffers over a [`SimPlan`].
+///
+/// All buffers are allocated at construction; [`CompiledSim::step`] and
+/// [`CompiledSim::run_batch`] perform no heap allocation.
+#[derive(Debug, Clone)]
+pub struct CompiledSim<'p> {
+    plan: &'p SimPlan,
+    /// Persistent value buffer: constants written once, registers updated
+    /// at the clock edge, combinational slots overwritten every settle.
+    vals: Vec<i64>,
+    /// Next-state scratch for the two-phase register commit.
+    reg_next: Vec<i64>,
+    /// Valid-bit occupancy per pipeline stage (`occ[0]` = newest).
+    occ: Vec<bool>,
+    /// Reusable zero-argument buffer for bubble cycles.
+    zero_args: Vec<i64>,
+    cycles: u64,
+}
+
+impl<'p> CompiledSim<'p> {
+    /// Creates a simulation with registers at their power-on values.
+    pub fn new(plan: &'p SimPlan) -> Self {
+        CompiledSim {
+            plan,
+            vals: plan.init_vals.clone(),
+            reg_next: vec![0; plan.edges.len()],
+            occ: vec![false; plan.latency as usize],
+            zero_args: vec![0; plan.input_wraps.len()],
+            cycles: 0,
+        }
+    }
+
+    /// Resets registers, occupancy, and the cycle counter to power-on.
+    pub fn reset(&mut self) {
+        self.vals.copy_from_slice(&self.plan.init_vals);
+        self.occ.fill(false);
+        self.cycles = 0;
+    }
+
+    /// Cycles simulated so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Current state of a feedback register by slot name.
+    pub fn feedback_value(&self, name: &str) -> Option<i64> {
+        self.plan
+            .feedback
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, idx)| self.vals[*idx as usize])
+    }
+
+    /// Post-edge value of output port `k`.
+    #[inline]
+    pub fn output(&self, k: usize) -> i64 {
+        let (_, idx, wrap) = &self.plan.outputs[k];
+        wrap.apply(self.vals[*idx as usize])
+    }
+
+    /// Copies all post-edge output-port values into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` differs from the output-port count.
+    pub fn read_outputs(&self, out: &mut [i64]) {
+        assert_eq!(out.len(), self.plan.outputs.len(), "output arity");
+        for (slot, (_, idx, wrap)) in out.iter_mut().zip(&self.plan.outputs) {
+            *slot = wrap.apply(self.vals[*idx as usize]);
+        }
+    }
+
+    /// Whether the most recent [`CompiledSim::step`] retired a valid
+    /// iteration (same value the step returned).
+    pub fn out_valid(&self) -> bool {
+        *self.occ.last().unwrap_or(&false)
+    }
+
+    /// Simulates one clock cycle without allocating: `args` drive the
+    /// input ports, `valid` marks them as a real iteration. Returns
+    /// whether the post-edge outputs correspond to a valid iteration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on division/remainder by zero while a valid
+    /// iteration occupies the divider's own pipeline stage (bubbles force
+    /// benign results), or on negative dynamic shifts during valid cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `args` does not match the input-port arity.
+    pub fn step(&mut self, args: &[i64], valid: bool) -> Result<bool, SimError> {
+        assert_eq!(args.len(), self.plan.input_wraps.len(), "input arity");
+        self.cycles += 1;
+
+        // Advance occupancy in place: stage 0 holds the new iteration.
+        let l = self.occ.len();
+        self.occ.copy_within(0..l - 1, 1);
+        self.occ[0] = valid;
+
+        // Combinational settle over the dense instruction stream.
+        let vals = &mut self.vals;
+        for ins in &self.plan.instrs {
+            let s = |k: u32| vals[k as usize];
+            let v = match ins.op {
+                SimOp::Input { port } => args[port as usize],
+                SimOp::Add => s(ins.a).wrapping_add(s(ins.b)),
+                SimOp::Sub => s(ins.a).wrapping_sub(s(ins.b)),
+                SimOp::Mul => s(ins.a).wrapping_mul(s(ins.b)),
+                SimOp::Div { stage } => {
+                    let d = s(ins.b);
+                    if d == 0 {
+                        if self.occ.get(stage as usize).copied().unwrap_or(false) {
+                            return Err(SimError("division by zero".into()));
+                        }
+                        0
+                    } else {
+                        s(ins.a).wrapping_div(d)
+                    }
+                }
+                SimOp::Rem { stage } => {
+                    let d = s(ins.b);
+                    if d == 0 {
+                        if self.occ.get(stage as usize).copied().unwrap_or(false) {
+                            return Err(SimError("remainder by zero".into()));
+                        }
+                        0
+                    } else {
+                        s(ins.a).wrapping_rem(d)
+                    }
+                }
+                SimOp::Neg => s(ins.a).wrapping_neg(),
+                SimOp::Not => !s(ins.a),
+                SimOp::Shl => s(ins.a).wrapping_shl(s(ins.b).clamp(0, 63) as u32),
+                SimOp::Shr => s(ins.a).wrapping_shr(s(ins.b).clamp(0, 63) as u32),
+                SimOp::And => s(ins.a) & s(ins.b),
+                SimOp::Or => s(ins.a) | s(ins.b),
+                SimOp::Xor => s(ins.a) ^ s(ins.b),
+                SimOp::Slt => (s(ins.a) < s(ins.b)) as i64,
+                SimOp::Sle => (s(ins.a) <= s(ins.b)) as i64,
+                SimOp::Seq => (s(ins.a) == s(ins.b)) as i64,
+                SimOp::Sne => (s(ins.a) != s(ins.b)) as i64,
+                SimOp::Bool => (s(ins.a) != 0) as i64,
+                SimOp::Mux => {
+                    if s(ins.a) != 0 {
+                        s(ins.b)
+                    } else {
+                        s(ins.c)
+                    }
+                }
+                SimOp::Copy => s(ins.a),
+                SimOp::Lut { rom } => {
+                    let idx = s(ins.a);
+                    if idx < 0 {
+                        0
+                    } else {
+                        self.plan.roms[rom as usize]
+                            .get(idx as usize)
+                            .copied()
+                            .unwrap_or(0)
+                    }
+                }
+            };
+            vals[ins.dst as usize] = ins.wrap.apply(v);
+        }
+
+        // Clock edge: two-phase so register-to-register chains observe
+        // pre-edge values, exactly like real flip-flops.
+        for (next, edge) in self.reg_next.iter_mut().zip(&self.plan.edges) {
+            *next = edge.wrap.apply(vals[edge.d as usize]);
+        }
+        for (next, edge) in self.reg_next.iter().zip(&self.plan.edges) {
+            let latch = edge.gate == GATE_NONE
+                || self.occ.get(edge.gate as usize).copied().unwrap_or(false);
+            if latch {
+                vals[edge.reg as usize] = *next;
+            }
+        }
+
+        Ok(*self.occ.last().unwrap_or(&false))
+    }
+
+    /// Streams `iterations` through the pipeline back-to-back and returns
+    /// only the valid outputs, in order (API-compatible with
+    /// [`NetlistSim::run_stream`](crate::sim::NetlistSim::run_stream), but
+    /// with preallocated buffers and no per-cycle clones).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from [`CompiledSim::step`].
+    pub fn run_stream(&mut self, iterations: &[Vec<i64>]) -> Result<Vec<Vec<i64>>, SimError> {
+        let n_out = self.plan.outputs.len();
+        let mut out = Vec::with_capacity(iterations.len());
+        let zeros = std::mem::take(&mut self.zero_args);
+        let total = iterations.len() as u64 + self.plan.latency as u64 + 2;
+        let mut run = || -> Result<(), SimError> {
+            for t in 0..total {
+                let (args, valid) = match iterations.get(t as usize) {
+                    Some(a) => (a.as_slice(), true),
+                    None => (zeros.as_slice(), false),
+                };
+                if self.step(args, valid)? {
+                    let mut row = vec![0i64; n_out];
+                    self.read_outputs(&mut row);
+                    out.push(row);
+                }
+            }
+            Ok(())
+        };
+        let r = run();
+        self.zero_args = zeros;
+        r.map(|()| out)
+    }
+
+    /// Streams `iters` iterations whose arguments are packed row-major in
+    /// `flat_args` (`iters × num_inputs`), appending each valid output row
+    /// (`num_outputs` words) to `out_flat`. Returns the number of valid
+    /// output rows produced. This is the zero-churn batch entry point the
+    /// bench harness and throughput drivers use: no per-cycle argument
+    /// clones, no per-output `Vec`s.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from [`CompiledSim::step`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat_args.len() != iters * num_inputs`.
+    pub fn run_batch(
+        &mut self,
+        flat_args: &[i64],
+        iters: usize,
+        out_flat: &mut Vec<i64>,
+    ) -> Result<usize, SimError> {
+        let n_in = self.plan.input_wraps.len();
+        let n_out = self.plan.outputs.len();
+        assert_eq!(flat_args.len(), iters * n_in, "batch arity");
+        out_flat.reserve(iters * n_out);
+        let mut rows = 0usize;
+        let zeros = std::mem::take(&mut self.zero_args);
+        let total = iters as u64 + self.plan.latency as u64 + 2;
+        let mut run = || -> Result<(), SimError> {
+            for t in 0..total {
+                let valid = (t as usize) < iters;
+                let args: &[i64] = if valid {
+                    let base = t as usize * n_in;
+                    &flat_args[base..base + n_in]
+                } else {
+                    &zeros
+                };
+                if self.step(args, valid)? {
+                    let start = out_flat.len();
+                    out_flat.resize(start + n_out, 0);
+                    self.read_outputs(&mut out_flat[start..]);
+                    rows += 1;
+                }
+            }
+            Ok(())
+        };
+        let r = run();
+        self.zero_args = zeros;
+        r.map(|()| rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::from_dp::netlist_from_datapath;
+    use crate::from_dp::tests::dp_for;
+    use crate::sim::NetlistSim;
+
+    #[test]
+    fn compiled_matches_reference_on_fir() {
+        let src = "void fir_dp(int A0, int A1, int A2, int A3, int A4, int* Tmp0) {
+           *Tmp0 = 3*A0 + 5*A1 + 7*A2 + 9*A3 - A4; }";
+        for period in [1000.0, 5.0, 3.0] {
+            let dp = dp_for(src, "fir_dp", period);
+            let nl = netlist_from_datapath(&dp);
+            let plan = SimPlan::compile(&nl).unwrap();
+            let mut reference = NetlistSim::new(&nl);
+            let mut compiled = CompiledSim::new(&plan);
+            let iters: Vec<Vec<i64>> = (0..20)
+                .map(|i| (0..5).map(|j| (i * 7 + j * 13) % 200 - 100).collect())
+                .collect();
+            let a = reference.run_stream(&iters).unwrap();
+            let b = compiled.run_stream(&iters).unwrap();
+            assert_eq!(a, b, "period {period}");
+        }
+    }
+
+    #[test]
+    fn constants_fold_out_of_the_stream() {
+        // 3*A0 + ... : the literal coefficients and any constant math
+        // disappear from the instruction stream.
+        let src = "void f(int a, int* o) { *o = a * 3 + (2 + 5); }";
+        let dp = dp_for(src, "f", 1000.0);
+        let nl = netlist_from_datapath(&dp);
+        let plan = SimPlan::compile(&nl).unwrap();
+        let consts = nl
+            .cells
+            .iter()
+            .filter(|c| matches!(c.kind, CellKind::Const(_)))
+            .count();
+        assert!(consts > 0, "test premise: netlist has constants");
+        // Stream = cells − constants − registers (at minimum).
+        assert!(plan.instr_count() <= nl.cells.len() - consts - plan.reg_count());
+    }
+
+    #[test]
+    fn batch_and_stream_agree() {
+        let src = "void f(uint8 a, uint8 b, uint8* o) { *o = a * b + 1; }";
+        let dp = dp_for(src, "f", 4.0);
+        let nl = netlist_from_datapath(&dp);
+        let plan = SimPlan::compile(&nl).unwrap();
+        let iters: Vec<Vec<i64>> = (0..32).map(|i| vec![i % 17, (i * 3) % 11]).collect();
+        let mut s1 = CompiledSim::new(&plan);
+        let streamed = s1.run_stream(&iters).unwrap();
+        let flat: Vec<i64> = iters.iter().flatten().copied().collect();
+        let mut s2 = CompiledSim::new(&plan);
+        let mut out = Vec::new();
+        let rows = s2.run_batch(&flat, iters.len(), &mut out).unwrap();
+        assert_eq!(rows, streamed.len());
+        let flattened: Vec<i64> = streamed.into_iter().flatten().collect();
+        assert_eq!(out, flattened);
+    }
+
+    #[test]
+    fn divider_bubble_with_garbage_zero_is_benign() {
+        // Pipelined divide: a bubble carrying a zero divisor while a valid
+        // iteration is in flight elsewhere must NOT fault (the reference
+        // simulator used to error on any occupied stage).
+        let src = "void d(int a, int b, int* o) { *o = (a * a + b) / b; }";
+        let dp = dp_for(src, "d", 4.0);
+        let nl = netlist_from_datapath(&dp);
+        assert!(nl.latency > 1, "test premise: pipelined");
+        let plan = SimPlan::compile(&nl).unwrap();
+        let mut sim = CompiledSim::new(&plan);
+        // Valid iteration with a safe divisor, then garbage bubbles with
+        // zero divisors while it drains.
+        sim.step(&[10, 3], true).unwrap();
+        for _ in 0..(nl.latency + 2) {
+            sim.step(&[7, 0], false).unwrap();
+        }
+        // A valid zero divisor still faults.
+        sim.step(&[1, 0], true).unwrap();
+        let mut faulted = false;
+        for _ in 0..(nl.latency + 2) {
+            if sim.step(&[0, 0], false).is_err() {
+                faulted = true;
+                break;
+            }
+        }
+        // The fault fires on the cycle the valid iteration reaches the
+        // divider's stage (possibly the firing cycle itself for stage 0).
+        assert!(faulted || nl.latency == 1);
+    }
+
+    #[test]
+    fn reset_restores_power_on_state() {
+        let src = "void acc(int t0, int* t1) {
+           int s; int c = ROCCC_load_prev(s) + t0;
+           ROCCC_store2next(s, c);
+           *t1 = c; }";
+        let prog = roccc_cparse::parser::parse(src).unwrap();
+        let f = prog.function("acc").unwrap();
+        let fb = vec![roccc_hlir::kernel::FeedbackVar {
+            name: "s".into(),
+            ty: roccc_cparse::types::IntType::int(),
+            init: 0,
+        }];
+        let mut ir = roccc_suifvm::lower_function(&prog, f, &fb).unwrap();
+        roccc_suifvm::to_ssa(&mut ir);
+        roccc_suifvm::optimize(&mut ir);
+        let mut dp = roccc_datapath::build_datapath(&ir).unwrap();
+        roccc_datapath::pipeline_datapath(&mut dp, 100.0, &roccc_datapath::DefaultDelayModel);
+        roccc_datapath::narrow_widths(&mut dp);
+        let nl = netlist_from_datapath(&dp);
+        let plan = SimPlan::compile(&nl).unwrap();
+        let mut sim = CompiledSim::new(&plan);
+        sim.step(&[10], true).unwrap();
+        sim.step(&[5], true).unwrap();
+        for _ in 0..4 {
+            sim.step(&[0], false).unwrap();
+        }
+        assert_eq!(sim.feedback_value("s"), Some(15));
+        sim.reset();
+        assert_eq!(sim.feedback_value("s"), Some(0));
+        assert_eq!(sim.cycles(), 0);
+    }
+
+    #[test]
+    fn stages_levelize_inputs_ops_and_registers() {
+        let src = "void f(int a, int b, int* o) { *o = (a * b) * (a + b) + a * 3; }";
+        let dp = dp_for(src, "f", 4.0);
+        let nl = netlist_from_datapath(&dp);
+        let stages = cell_stages(&nl);
+        assert_eq!(stages.len(), nl.cells.len());
+        for (i, cell) in nl.cells.iter().enumerate() {
+            match &cell.kind {
+                CellKind::Input(_) | CellKind::Const(_) => assert_eq!(stages[i], 0),
+                CellKind::Op { srcs, .. } => {
+                    let m = srcs.iter().map(|s| stages[s.0 as usize]).max().unwrap_or(0);
+                    assert_eq!(stages[i], m, "op n{i}");
+                }
+                CellKind::Reg {
+                    d,
+                    stage_gate: None,
+                    ..
+                } => {
+                    assert_eq!(stages[i], stages[d.unwrap().0 as usize] + 1, "reg n{i}");
+                }
+                CellKind::Reg {
+                    stage_gate: Some(g),
+                    ..
+                } => assert_eq!(stages[i], *g),
+            }
+        }
+        // No combinational cell sits beyond the last pipeline stage.
+        for (i, cell) in nl.cells.iter().enumerate() {
+            if matches!(cell.kind, CellKind::Op { .. }) {
+                assert!(stages[i] < nl.latency, "op n{i} stage {}", stages[i]);
+            }
+        }
+    }
+}

@@ -8,6 +8,7 @@
 //! input stream never corrupt an accumulator.
 
 use crate::cells::*;
+use crate::plan::cell_stages;
 use roccc_cparse::types::IntType;
 use roccc_suifvm::ir::Opcode;
 
@@ -40,6 +41,8 @@ pub struct NetlistSim<'n> {
     regs: Vec<i64>,
     /// Valid-bit occupancy per pipeline stage.
     occupancy: Vec<bool>,
+    /// Levelized pipeline stage per cell (divide/rem bubble gating).
+    stages: Vec<u32>,
     cycles: u64,
 }
 
@@ -58,6 +61,7 @@ impl<'n> NetlistSim<'n> {
             nl,
             regs,
             occupancy: vec![false; nl.latency.max(1) as usize],
+            stages: cell_stages(nl),
             cycles: 0,
         }
     }
@@ -109,7 +113,11 @@ impl<'n> NetlistSim<'n> {
                         Opcode::Div => {
                             let d = s(1);
                             if d == 0 {
-                                if occ.iter().any(|&o| o) {
+                                // The zero only matters if a *valid*
+                                // iteration occupies the divider's own
+                                // stage; garbage bubbles are benign.
+                                let stage = self.stages[i] as usize;
+                                if occ.get(stage).copied().unwrap_or(false) {
                                     return Err(SimError("division by zero".into()));
                                 }
                                 0
@@ -120,7 +128,8 @@ impl<'n> NetlistSim<'n> {
                         Opcode::Rem => {
                             let d = s(1);
                             if d == 0 {
-                                if occ.iter().any(|&o| o) {
+                                let stage = self.stages[i] as usize;
+                                if occ.get(stage).copied().unwrap_or(false) {
                                     return Err(SimError("remainder by zero".into()));
                                 }
                                 0
@@ -200,15 +209,17 @@ impl<'n> NetlistSim<'n> {
     /// Convenience: streams `iterations` through the pipeline back-to-back
     /// and returns only the valid outputs, in order.
     pub fn run_stream(&mut self, iterations: &[Vec<i64>]) -> Result<Vec<Vec<i64>>, SimError> {
-        let mut out = Vec::new();
+        let mut out = Vec::with_capacity(iterations.len());
         let zeros = vec![0i64; self.nl.inputs.len()];
         let total = iterations.len() as u64 + self.nl.latency as u64 + 2;
         for t in 0..total {
+            // Reuse the single zero buffer for bubble cycles instead of
+            // cloning argument vectors on every iteration.
             let (args, valid) = match iterations.get(t as usize) {
-                Some(a) => (a.clone(), true),
-                None => (zeros.clone(), false),
+                Some(a) => (a.as_slice(), true),
+                None => (zeros.as_slice(), false),
             };
-            let r = self.step(&args, valid)?;
+            let r = self.step(args, valid)?;
             if r.out_valid {
                 out.push(r.outputs);
             }
@@ -329,6 +340,27 @@ mod tests {
             sim.step(&[0], false).unwrap();
         }
         assert_eq!(sim.feedback_value("s"), Some(15));
+    }
+
+    #[test]
+    fn divider_bubble_garbage_does_not_fault_reference_sim() {
+        // Regression: a zero divisor in a *bubble* while a valid iteration
+        // occupies some other stage must not raise division-by-zero. With
+        // the old `occ.iter().any()` check, draining any pipelined divide
+        // kernel with zeroed bubble args always faulted.
+        let src = "void d(int a, int b, int* o) { *o = (a * a + b) / b; }";
+        let dp = dp_for(src, "d", 4.0);
+        let nl = netlist_from_datapath(&dp);
+        assert!(nl.latency > 1, "test premise: pipelined");
+        let mut sim = NetlistSim::new(&nl);
+        sim.step(&[10, 3], true).unwrap();
+        for _ in 0..(nl.latency + 2) {
+            sim.step(&[0, 0], false).unwrap();
+        }
+        // run_stream drains with zero args: must now work for divides.
+        let mut sim = NetlistSim::new(&nl);
+        let outs = sim.run_stream(&[vec![9, 2], vec![8, 4]]).unwrap();
+        assert_eq!(outs, vec![vec![(9 * 9 + 2) / 2], vec![(8 * 8 + 4) / 4]]);
     }
 
     #[test]

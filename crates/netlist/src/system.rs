@@ -12,7 +12,8 @@
 //! C interpreter, and the Table 1 harness reads its throughput numbers.
 
 use crate::cells::Netlist;
-use crate::sim::{NetlistSim, SimError};
+use crate::plan::{CompiledSim, SimPlan};
+use crate::sim::SimError;
 use roccc_buffers::addr::{AddressGen1d, AddressGen2d, DimScan, OutputAddressGen};
 use roccc_buffers::bram::BramModel;
 use roccc_buffers::smart::{SmartBuffer1d, SmartBuffer2d};
@@ -207,11 +208,16 @@ pub fn run_system_with_options(
     }
 
     // ----- main loop ----------------------------------------------------------
-    let mut sim = NetlistSim::new(netlist);
+    // Compile the netlist once; every cycle then runs the zero-allocation
+    // levelized engine instead of re-interpreting the cell graph.
+    let plan = SimPlan::compile(netlist)?;
+    let mut sim = CompiledSim::new(&plan);
     let total_iters = kernel.total_iterations();
     let mut fired = 0u64;
     let mut cycles = 0u64;
-    let zero_args = vec![0i64; netlist.inputs.len()];
+    // Single argument buffer reused every cycle (zeroed, then window
+    // values written in for firing cycles).
+    let mut args_buf = vec![0i64; netlist.inputs.len()];
     let safety = 16 * total_iters + 4096;
     let mut drain = 0u32;
     let drain_needed = netlist.latency + 2;
@@ -249,35 +255,35 @@ pub fn run_system_with_options(
         // 2. Fire when every lane has a window.
         let all_ready =
             fired < total_iters && !lanes.is_empty() && lanes.iter().all(|l| l.staged.is_some());
-        let (args, valid) = if all_ready {
-            let mut args = zero_args.clone();
+        args_buf.fill(0);
+        let valid = if all_ready {
             for lane in &mut lanes {
                 let win = lane.staged.take().expect("all_ready");
                 for (slot, port) in &lane.port_map {
-                    args[*port] = win[*slot];
+                    args_buf[*port] = win[*slot];
                 }
             }
             for (port, v) in &const_inputs {
-                args[*port] = *v;
+                args_buf[*port] = *v;
             }
             fired += 1;
-            (args, true)
+            true
         } else {
-            (zero_args.clone(), false)
+            false
         };
 
         // 3. Step the data path.
-        let r = sim.step(&args, valid)?;
+        let out_valid = sim.step(&args_buf, valid)?;
 
         // 4. Retire valid outputs.
-        if r.out_valid {
+        if out_valid {
             for lane in &mut out_lanes {
                 if lane.remaining > 0 {
                     let addr = lane
                         .addrs
                         .next()
                         .ok_or_else(|| SystemError("output address underflow".into()))?;
-                    lane.bram.write(addr as usize, r.outputs[lane.port]);
+                    lane.bram.write(addr as usize, sim.output(lane.port));
                     lane.remaining -= 1;
                 }
             }

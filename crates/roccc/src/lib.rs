@@ -38,7 +38,7 @@ use roccc_datapath::{
 };
 use roccc_hlir::extract::extract_kernel;
 use roccc_hlir::kernel::Kernel;
-use roccc_netlist::{netlist_from_datapath, run_system, Netlist, SystemError, SystemRun};
+use roccc_netlist::{netlist_from_datapath, run_system, Netlist, SimPlan, SystemError, SystemRun};
 use roccc_suifvm::{lower_function, optimize, to_ssa, FunctionIr};
 use std::collections::HashMap;
 use std::fmt;
@@ -144,6 +144,19 @@ impl Compiled {
     /// DOT rendering of the data path (Figure 6/7 shape).
     pub fn to_dot(&self) -> String {
         self.datapath.to_dot()
+    }
+
+    /// Compiles the netlist into a [`SimPlan`] for fast, zero-allocation
+    /// cycle stepping (`CompiledSim`). `run`/`run_with_bus` do this
+    /// internally; call it directly to drive the data path yourself, e.g.
+    /// for throughput measurement.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SystemError`] if the netlist contains an opcode the
+    /// simulator cannot execute.
+    pub fn sim_plan(&self) -> Result<SimPlan, SystemError> {
+        SimPlan::compile(&self.netlist).map_err(SystemError::from)
     }
 }
 
@@ -381,7 +394,7 @@ pub fn compile_with_area_budget(
 
 pub use roccc_cparse::{interp::Interpreter, CResult};
 pub use roccc_datapath::graph::NodeKind;
-pub use roccc_netlist::NetlistSim;
+pub use roccc_netlist::{CompiledSim, NetlistSim};
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,156 @@
+//! # roccc-testutil — deterministic randomness for offline tests
+//!
+//! The build environment has no network access, so the workspace carries
+//! its own tiny PRNG instead of depending on `rand`/`proptest`. Everything
+//! here is seeded and fully deterministic: a failing test prints its seed
+//! and replays exactly.
+//!
+//! * [`XorShift64`] — xorshift64\* generator (Vigna, *An experimental
+//!   exploration of Marsaglia's xorshift generators*), 2^64−1 period,
+//!   plenty for differential and property-style tests;
+//! * [`exprgen`] — random C expression/kernel source generation used by
+//!   the property tests and the simulator differential tests.
+
+#![warn(missing_docs)]
+
+use roccc_cparse::types::IntType;
+
+pub mod exprgen;
+
+/// A seeded xorshift64\* pseudo-random generator.
+///
+/// ```
+/// use roccc_testutil::XorShift64;
+/// let mut a = XorShift64::new(42);
+/// let mut b = XorShift64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Creates a generator from `seed` (any value; zero is remapped).
+    pub fn new(seed: u64) -> Self {
+        // xorshift state must be non-zero; splash the seed through a
+        // splitmix-style finalizer so small seeds diverge immediately.
+        let mut s = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        s = (s ^ (s >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        s = (s ^ (s >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        s ^= s >> 31;
+        XorShift64 {
+            state: if s == 0 { 0x9e37_79b9_7f4a_7c15 } else { s },
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform value in `[lo, hi]` (inclusive on both ends).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn gen_range(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo <= hi, "gen_range: {lo} > {hi}");
+        let span = (hi as i128 - lo as i128 + 1) as u128;
+        let v = ((self.next_u64() as u128) % span) as i128;
+        (lo as i128 + v) as i64
+    }
+
+    /// Uniform value in `[0, n)`.
+    pub fn gen_index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "gen_index on empty range");
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// True with probability `num / den`.
+    pub fn gen_ratio(&mut self, num: u32, den: u32) -> bool {
+        (self.next_u64() % den as u64) < num as u64
+    }
+
+    /// Uniform boolean.
+    pub fn gen_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Random value representable by `ty` (the full two's-complement
+    /// range, matching what a hardware port of that width can carry).
+    pub fn sample_int(&mut self, ty: IntType) -> i64 {
+        self.gen_range(ty.min_value(), ty.max_value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut r = XorShift64::new(7);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = XorShift64::new(7);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<u64> = {
+            let mut r = XorShift64::new(8);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut r = XorShift64::new(0);
+        let vals: Vec<u64> = (0..8).map(|_| r.next_u64()).collect();
+        assert!(vals.iter().any(|&v| v != 0));
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = XorShift64::new(99);
+        for _ in 0..10_000 {
+            let v = r.gen_range(-37, 41);
+            assert!((-37..=41).contains(&v));
+        }
+        // Degenerate single-value range.
+        assert_eq!(r.gen_range(5, 5), 5);
+        // Full i64 range must not overflow.
+        let _ = r.gen_range(i64::MIN, i64::MAX);
+    }
+
+    #[test]
+    fn sample_int_respects_type_range() {
+        let mut r = XorShift64::new(3);
+        for (signed, bits) in [(true, 8), (false, 8), (true, 1), (false, 1), (true, 63)] {
+            let ty = IntType { signed, bits };
+            for _ in 0..1000 {
+                let v = r.sample_int(ty);
+                assert!(v >= ty.min_value() && v <= ty.max_value(), "{ty:?}: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_the_span() {
+        // Sanity: over a small range every value appears.
+        let mut r = XorShift64::new(12);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[r.gen_range(0, 7) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

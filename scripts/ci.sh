@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Offline CI: format check, release build, full test suite, and a bench
+# smoke run. Everything here works with no network access and an empty
+# cargo registry cache — the workspace has no external dependencies.
+#
+#   scripts/ci.sh            # the full gate
+#   BENCH_CYCLES=50000 scripts/ci.sh   # heavier bench smoke
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH_CYCLES="${BENCH_CYCLES:-5000}"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test (workspace)"
+cargo test --workspace --release -q
+
+echo "==> bench smoke (${BENCH_CYCLES} cycles, 3 runs)"
+out="$(mktemp -t bench_sim_smoke.XXXXXX.json)"
+cargo run --release -p roccc-bench --bin bench_sim -- \
+  --cycles "${BENCH_CYCLES}" --runs 3 --out "${out}"
+grep -q '"benchmark"' "${out}" || { echo "bench smoke: bad JSON" >&2; exit 1; }
+rm -f "${out}"
+
+echo "==> table1 smoke"
+cargo run --release -p roccc-bench --bin table1 >/dev/null
+
+echo "CI OK"

@@ -15,4 +15,5 @@ pub use roccc_ipcores as ipcores;
 pub use roccc_netlist as netlist;
 pub use roccc_suifvm as suifvm;
 pub use roccc_synth as synth;
+pub use roccc_testutil as testrand;
 pub use roccc_vhdl as vhdl;

@@ -2,22 +2,22 @@
 //! hardware (cycle-accurate netlist / full-system simulation) must match
 //! the golden-model C interpreter bit for bit.
 
-use rand::{rngs::StdRng, Rng, SeedableRng};
 use roccc_suite::cparse::{frontend, Interpreter};
 use roccc_suite::ipcores::{benchmarks, table::compile_benchmark};
 use roccc_suite::netlist::NetlistSim;
 use roccc_suite::roccc::Compiled;
+use roccc_suite::testrand::XorShift64;
 use std::collections::HashMap;
 
 /// Random value in a type's range.
-fn sample(rng: &mut StdRng, ty: roccc_suite::cparse::IntType) -> i64 {
-    rng.gen_range(ty.min_value()..=ty.max_value())
+fn sample(rng: &mut XorShift64, ty: roccc_suite::cparse::IntType) -> i64 {
+    rng.sample_int(ty)
 }
 
 /// Differential test of a scalar (non-streaming) kernel.
 fn check_scalar_kernel(hw: &Compiled, source: &str, func: &str, iters: usize, seed: u64) {
     let prog = frontend(source).expect("kernel parses");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = XorShift64::new(seed);
     let args_list: Vec<Vec<i64>> = (0..iters)
         .map(|_| {
             hw.netlist
@@ -50,7 +50,7 @@ fn check_scalar_kernel(hw: &Compiled, source: &str, func: &str, iters: usize, se
 fn check_streaming_kernel(hw: &Compiled, source: &str, func: &str, seed: u64) {
     let prog = frontend(source).expect("kernel parses");
     let f = prog.function(func).expect("function exists");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = XorShift64::new(seed);
 
     let mut inputs: HashMap<String, Vec<i64>> = HashMap::new();
     let mut golden_arrays: HashMap<String, Vec<i64>> = HashMap::new();
@@ -222,19 +222,19 @@ fn mul_acc_multiply_variant_matches_branchy_in_hardware() {
     // §5's algorithm-level rewrite produces identical results in hardware.
     let src = roccc_suite::ipcores::kernels::mul_acc_multiply_source();
     let hw = roccc_suite::roccc::compile(src.as_str(), "mul_acc", &Default::default()).unwrap();
-    let mut rng = StdRng::seed_from_u64(42);
+    let mut rng = XorShift64::new(42);
     let mut arrays = HashMap::new();
     arrays.insert(
         "a".to_string(),
-        (0..256).map(|_| rng.gen_range(-2048i64..2048)).collect(),
+        (0..256).map(|_| rng.gen_range(-2048, 2047)).collect(),
     );
     arrays.insert(
         "b".to_string(),
-        (0..256).map(|_| rng.gen_range(-2048i64..2048)).collect(),
+        (0..256).map(|_| rng.gen_range(-2048, 2047)).collect(),
     );
     arrays.insert(
         "nd".to_string(),
-        (0..256).map(|_| rng.gen_range(0i64..2)).collect(),
+        (0..256).map(|_| rng.gen_range(0, 1)).collect(),
     );
     let run = hw.run(&arrays, &HashMap::new()).unwrap();
     let expect: i64 = (0..256)

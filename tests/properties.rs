@@ -1,138 +1,97 @@
-//! Property-based tests: randomly generated kernels must compile and the
+//! Property-style tests: randomly generated kernels must compile and the
 //! generated hardware must match the golden-model interpreter bit for
 //! bit, regardless of expression shape, widths, or pipelining depth.
+//!
+//! Randomness comes from the in-tree deterministic PRNG
+//! (`roccc_suite::testrand`) — every case is replayable from the seed
+//! printed in a failure message, and the suite runs fully offline.
 
-use proptest::prelude::*;
 use roccc_suite::cparse::{frontend, IntType, Interpreter};
 use roccc_suite::netlist::NetlistSim;
 use roccc_suite::roccc::{compile, CompileOptions};
+use roccc_suite::testrand::exprgen::gen_expr;
+use roccc_suite::testrand::XorShift64;
 use std::collections::HashMap;
 
-/// A randomly generated integer expression over inputs `a`, `b`, `c`.
-#[derive(Debug, Clone)]
-enum Expr {
-    Var(usize),
-    Lit(i32),
-    Un(&'static str, Box<Expr>),
-    Bin(&'static str, Box<Expr>, Box<Expr>),
-    ShiftK(&'static str, Box<Expr>, u8),
-    Tern(Box<Expr>, Box<Expr>, Box<Expr>),
-}
+const CASES: u64 = 48;
 
-impl Expr {
-    fn to_c(&self) -> String {
-        match self {
-            Expr::Var(i) => ["a", "b", "c"][*i].to_string(),
-            Expr::Lit(v) => format!("({v})"),
-            Expr::Un(op, e) => format!("({op}({}))", e.to_c()),
-            Expr::Bin(op, l, r) => format!("({} {op} {})", l.to_c(), r.to_c()),
-            Expr::ShiftK(op, e, k) => format!("({} {op} {k})", e.to_c(), k = k),
-            Expr::Tern(c, a, b) => format!("({} ? {} : {})", c.to_c(), a.to_c(), b.to_c()),
-        }
-    }
-}
-
-fn arb_expr(depth: u32) -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        (0usize..3).prop_map(Expr::Var),
-        (-100i32..100).prop_map(Expr::Lit),
-    ];
-    leaf.prop_recursive(depth, 24, 3, |inner| {
-        prop_oneof![
-            (prop_oneof![Just("-"), Just("~")], inner.clone())
-                .prop_map(|(op, e)| Expr::Un(op, Box::new(e))),
-            (
-                prop_oneof![
-                    Just("+"),
-                    Just("-"),
-                    Just("*"),
-                    Just("&"),
-                    Just("|"),
-                    Just("^"),
-                    Just("<"),
-                    Just("<="),
-                    Just("=="),
-                    Just("!=")
-                ],
-                inner.clone(),
-                inner.clone()
-            )
-                .prop_map(|(op, l, r)| Expr::Bin(op, Box::new(l), Box::new(r))),
-            (prop_oneof![Just("<<"), Just(">>")], inner.clone(), 0u8..8)
-                .prop_map(|(op, e, k)| Expr::ShiftK(op, Box::new(e), k)),
-            (inner.clone(), inner.clone(), inner).prop_map(|(c, a, b)| Expr::Tern(
-                Box::new(c),
-                Box::new(a),
-                Box::new(b)
-            )),
-        ]
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Random straight-line kernels: hardware == software for random inputs.
-    #[test]
-    fn random_expression_kernels_match_golden(
-        e in arb_expr(3),
-        inputs in proptest::collection::vec((-5000i64..5000, -5000i64..5000, -5000i64..5000), 4),
-        period in prop_oneof![Just(1000.0f64), Just(6.0), Just(3.0)],
-    ) {
+/// Random straight-line kernels: hardware == software for random inputs.
+#[test]
+fn random_expression_kernels_match_golden() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::new(0x1000 + case);
+        let e = gen_expr(&mut rng, 3);
+        let period = [1000.0f64, 6.0, 3.0][rng.gen_index(3)];
         let src = format!(
             "void k(int a, int b, int c, int* o) {{ *o = {}; }}",
             e.to_c()
         );
         let prog = frontend(&src).expect("generated source is valid");
-        let opts = CompileOptions { target_period_ns: period, ..CompileOptions::default() };
+        let opts = CompileOptions {
+            target_period_ns: period,
+            ..CompileOptions::default()
+        };
         let hw = compile(&src, "k", &opts).expect("generated source compiles");
         let mut sim = NetlistSim::new(&hw.netlist);
-        let args_list: Vec<Vec<i64>> = inputs.iter().map(|(a, b, c)| vec![*a, *b, *c]).collect();
+        let args_list: Vec<Vec<i64>> = (0..4)
+            .map(|_| (0..3).map(|_| rng.gen_range(-5000, 4999)).collect())
+            .collect();
         let outs = sim.run_stream(&args_list).expect("simulates");
-        for ((a, b, c), hw_out) in inputs.iter().zip(&outs) {
+        for (args, hw_out) in args_list.iter().zip(&outs) {
             let mut interp = Interpreter::new(&prog);
-            let golden = interp.call("k", &[*a, *b, *c], &mut HashMap::new()).unwrap();
-            prop_assert_eq!(hw_out[0], golden.outputs["o"], "inputs ({}, {}, {})", a, b, c);
+            let golden = interp.call("k", args, &mut HashMap::new()).unwrap();
+            assert_eq!(
+                hw_out[0], golden.outputs["o"],
+                "case {case} (src {src}) inputs {args:?}"
+            );
         }
     }
+}
 
-    /// Branchy kernels (if/else writing a scalar) match on both paths.
-    #[test]
-    fn random_branchy_kernels_match_golden(
-        t in arb_expr(2),
-        f in arb_expr(2),
-        c in arb_expr(2),
-        inputs in proptest::collection::vec((-999i64..999, -999i64..999, -999i64..999), 3),
-    ) {
+/// Branchy kernels (if/else writing a scalar) match on both paths.
+#[test]
+fn random_branchy_kernels_match_golden() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::new(0x2000 + case);
+        let c = gen_expr(&mut rng, 2);
+        let t = gen_expr(&mut rng, 2);
+        let f = gen_expr(&mut rng, 2);
         let src = format!(
             "void k(int a, int b, int c, int* o) {{
                int x;
                if ({}) {{ x = {}; }} else {{ x = {}; }}
                *o = x; }}",
-            c.to_c(), t.to_c(), f.to_c()
+            c.to_c(),
+            t.to_c(),
+            f.to_c()
         );
         let prog = frontend(&src).expect("valid");
         let hw = compile(&src, "k", &CompileOptions::default()).expect("compiles");
         let mut sim = NetlistSim::new(&hw.netlist);
-        let args_list: Vec<Vec<i64>> = inputs.iter().map(|(a, b, c)| vec![*a, *b, *c]).collect();
+        let args_list: Vec<Vec<i64>> = (0..3)
+            .map(|_| (0..3).map(|_| rng.gen_range(-999, 998)).collect())
+            .collect();
         let outs = sim.run_stream(&args_list).expect("simulates");
-        for ((a, b, cc), hw_out) in inputs.iter().zip(&outs) {
+        for (args, hw_out) in args_list.iter().zip(&outs) {
             let mut interp = Interpreter::new(&prog);
-            let golden = interp.call("k", &[*a, *b, *cc], &mut HashMap::new()).unwrap();
-            prop_assert_eq!(hw_out[0], golden.outputs["o"]);
+            let golden = interp.call("k", args, &mut HashMap::new()).unwrap();
+            assert_eq!(hw_out[0], golden.outputs["o"], "case {case} args {args:?}");
         }
     }
+}
 
-    /// Narrow output ports wrap exactly like C stores.
-    #[test]
-    fn narrow_ports_wrap_like_c(
-        e in arb_expr(2),
-        bits in 1u8..=16,
-        signed in any::<bool>(),
-        a in -100000i64..100000,
-        b in -100000i64..100000,
-    ) {
-        let ty = IntType { signed, bits };
+/// Narrow output ports wrap exactly like C stores.
+#[test]
+fn narrow_ports_wrap_like_c() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::new(0x3000 + case);
+        let e = gen_expr(&mut rng, 2);
+        let ty = IntType {
+            signed: rng.gen_bool(),
+            bits: rng.gen_range(1, 16) as u8,
+        };
+        let a = rng.gen_range(-100_000, 100_000);
+        let b = rng.gen_range(-100_000, 100_000);
         let src = format!(
             "void k(int a, int b, int c, {ty}* o) {{ *o = {}; }}",
             e.to_c()
@@ -143,24 +102,28 @@ proptest! {
         let outs = sim.run_stream(&[vec![a, b, 7]]).expect("simulates");
         let mut interp = Interpreter::new(&prog);
         let golden = interp.call("k", &[a, b, 7], &mut HashMap::new()).unwrap();
-        prop_assert_eq!(outs[0][0], golden.outputs["o"]);
+        assert_eq!(outs[0][0], golden.outputs["o"], "case {case} src {src}");
         // And the value is in the port's range.
-        prop_assert!(outs[0][0] >= ty.min_value() && outs[0][0] <= ty.max_value());
+        assert!(
+            outs[0][0] >= ty.min_value() && outs[0][0] <= ty.max_value(),
+            "case {case}: {} out of {ty} range",
+            outs[0][0]
+        );
     }
+}
 
-    /// Deeply nested branch pyramids still match the golden model.
-    #[test]
-    fn nested_branch_pyramids_match_golden(
-        depth in 1usize..5,
-        a in -50i64..50,
-        b in -50i64..50,
-    ) {
-        // Build a nest: if (a > k) { ... } else { x += k; } at each level.
+/// Deeply nested branch pyramids still match the golden model.
+#[test]
+fn nested_branch_pyramids_match_golden() {
+    for case in 0..CASES {
+        let mut rng = XorShift64::new(0x4000 + case);
+        let depth = rng.gen_range(1, 4) as usize;
+        let a = rng.gen_range(-50, 49);
+        let b = rng.gen_range(-50, 49);
+        // Build a nest: if (a > k) { ... } else { x -= k; } at each level.
         let mut body = String::from("x = x + a * b;");
         for k in 0..depth {
-            body = format!(
-                "if (a > {k}) {{ {body} }} else {{ x = x - {k}; }}"
-            );
+            body = format!("if (a > {k}) {{ {body} }} else {{ x = x - {k}; }}");
         }
         let src = format!("void k(int a, int b, int* o) {{ int x = 1; {body} *o = x; }}");
         let prog = frontend(&src).expect("valid");
@@ -169,31 +132,46 @@ proptest! {
         let outs = sim.run_stream(&[vec![a, b]]).expect("simulates");
         let mut interp = Interpreter::new(&prog);
         let golden = interp.call("k", &[a, b], &mut HashMap::new()).unwrap();
-        prop_assert_eq!(outs[0][0], golden.outputs["o"]);
+        assert_eq!(outs[0][0], golden.outputs["o"], "case {case} a={a} b={b}");
     }
+}
 
-    /// IntType::wrap is idempotent and stays in range.
-    #[test]
-    fn wrap_is_idempotent(v in any::<i64>(), bits in 1u8..=63, signed in any::<bool>()) {
-        let t = IntType { signed, bits };
+/// IntType::wrap is idempotent and stays in range.
+#[test]
+fn wrap_is_idempotent() {
+    let mut rng = XorShift64::new(0x5000);
+    for case in 0..2000 {
+        let v = rng.next_u64() as i64;
+        let t = IntType {
+            signed: rng.gen_bool(),
+            bits: rng.gen_range(1, 63) as u8,
+        };
         let w = t.wrap(v);
-        prop_assert_eq!(t.wrap(w), w);
-        prop_assert!(w >= t.min_value() && w <= t.max_value());
+        assert_eq!(t.wrap(w), w, "case {case} {t} {v}");
+        assert!(w >= t.min_value() && w <= t.max_value(), "case {case}");
         // Congruence modulo 2^bits.
-        let m = 1i128 << bits;
-        prop_assert_eq!(((v as i128) - (w as i128)).rem_euclid(m), 0);
+        let m = 1i128 << t.bits;
+        assert_eq!(
+            ((v as i128) - (w as i128)).rem_euclid(m),
+            0,
+            "case {case} {t} {v}"
+        );
     }
+}
 
-    /// The smart buffer delivers every window of the scan, in order, with
-    /// each element fetched exactly once.
-    #[test]
-    fn smart_buffer_reuse_property(
-        len in 8usize..64,
-        window in 1usize..6,
-        stride in 1usize..4,
-    ) {
-        use roccc_suite::buffers::{AddressGen1d, DimScan, SmartBuffer1d};
-        prop_assume!(len > window);
+/// The smart buffer delivers every window of the scan, in order, with
+/// each element fetched exactly once.
+#[test]
+fn smart_buffer_reuse_property() {
+    use roccc_suite::buffers::{AddressGen1d, DimScan, SmartBuffer1d};
+    for case in 0..CASES {
+        let mut rng = XorShift64::new(0x6000 + case);
+        let len = rng.gen_range(8, 63) as usize;
+        let window = rng.gen_range(1, 5) as usize;
+        let stride = rng.gen_range(1, 3) as usize;
+        if len <= window {
+            continue;
+        }
         let positions = (len - window) / stride + 1;
         let scan = DimScan {
             start: 0,
@@ -210,14 +188,14 @@ proptest! {
                 got.push(w);
             }
         }
-        prop_assert_eq!(got.len(), positions);
+        assert_eq!(got.len(), positions, "case {case}");
         for (k, w) in got.iter().enumerate() {
             let base = k * stride;
             let expect: Vec<i64> = (base..base + window).map(|i| data[i]).collect();
-            prop_assert_eq!(w, &expect);
+            assert_eq!(w, &expect, "case {case} window {k}");
         }
         // Exactly-once fetching.
         let touched = (positions - 1) * stride + window;
-        prop_assert!(sb.stats().fetched <= touched as u64);
+        assert!(sb.stats().fetched <= touched as u64, "case {case}");
     }
 }
