@@ -13,7 +13,11 @@
 //! * `cargo run --release -p roccc-bench --bin table1` — the full
 //!   Table 1 comparison with paper numbers alongside (rows in parallel);
 //! * `cargo run --release -p roccc-bench --bin ablations` — the
-//!   design-choice ablations from DESIGN.md (D1–D6, in parallel).
+//!   design-choice ablations from DESIGN.md (D1–D6, in parallel);
+//! * `cargo run --release -p roccc-bench --bin loadgen` — hammers a
+//!   `roccc-serve` compile daemon from N client threads over the
+//!   Table 1 kernels and writes `BENCH_serve.json` (throughput,
+//!   p50/p99 latency, cache hit rate).
 
 #![warn(missing_docs)]
 
@@ -89,6 +93,19 @@ pub fn bench_result(kernel: &str, engine: &str, cycles: u64, seconds: f64) -> Be
     }
 }
 
+/// Linear-interpolated percentile (`p` in 0..=100) of an ascending
+/// `sorted` slice. Returns NaN on an empty slice.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let rank = (p / 100.0).clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
 /// Serializes results as the `BENCH_sim.json` artifact (a stable,
 /// hand-rolled JSON document — no serde in the offline build).
 pub fn render_bench_json(results: &[BenchResult]) -> String {
@@ -149,6 +166,16 @@ mod tests {
     fn json_escape_controls_and_quotes() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 4.0);
+        assert_eq!(percentile(&xs, 50.0), 2.5);
+        assert!(percentile(&[], 50.0).is_nan());
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
     }
 
     #[test]

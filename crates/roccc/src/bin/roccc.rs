@@ -13,19 +13,33 @@
 //!   --budget <slices>    pick the unroll factor by area budget
 //!   --emit <what>        vhdl | dot | stats | ir | c   (default stats)
 //!   -o <file>            write output to a file instead of stdout
+//!
+//! Client mode (talk to a running `roccc-serve` daemon instead of
+//! compiling locally; `table-row` is additionally accepted for --emit):
+//!   --connect <host:port>  send the compile to the server
+//!   --metrics              (with --connect) print the server metrics
+//!   --shutdown             (with --connect) stop the server
 //! ```
+//!
+//! On `--emit vhdl`, structural lint findings from `roccc-vhdl` are
+//! reported as warnings on stderr; the exit code stays 0.
 
+use roccc::proto::{self, Request, Response};
 use roccc::{compile, compile_with_area_budget, CompileOptions, Compiled, UnrollStrategy};
 use roccc_synth::{fast_estimate, map_netlist, VirtexII};
 use std::process::ExitCode;
+use std::time::Duration;
 
 struct Args {
-    input: String,
-    function: String,
+    input: Option<String>,
+    function: Option<String>,
     opts: CompileOptions,
     budget: Option<u64>,
     emit: String,
     output: Option<String>,
+    connect: Option<String>,
+    metrics: bool,
+    shutdown: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -36,6 +50,9 @@ fn parse_args() -> Result<Args, String> {
     let mut budget = None;
     let mut emit = "stats".to_string();
     let mut output = None;
+    let mut connect = None;
+    let mut metrics = false;
+    let mut shutdown = false;
 
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -71,24 +88,42 @@ fn parse_args() -> Result<Args, String> {
             }
             "--emit" => emit = args.next().ok_or("--emit needs vhdl|dot|stats|ir|c")?,
             "-o" => output = Some(args.next().ok_or("-o needs a path")?),
+            "--connect" => connect = Some(args.next().ok_or("--connect needs host:port")?),
+            "--metrics" => metrics = true,
+            "--shutdown" => shutdown = true,
             "--help" | "-h" => {
                 return Err("usage: roccc <input.c> --function <name> \
                             [--period ns] [--unroll n|full] [--fuse] [--no-opt] \
                             [--no-narrow] [--budget slices] \
-                            [--emit vhdl|dot|stats|ir|c] [-o file]"
+                            [--emit vhdl|dot|stats|ir|c] [-o file]\n\
+                            client mode: roccc [input.c --function name] \
+                            --connect host:port [--metrics] [--shutdown]"
                     .to_string())
             }
             other if input.is_none() && !other.starts_with('-') => input = Some(other.to_string()),
             other => return Err(format!("unknown argument `{other}` (try --help)")),
         }
     }
+    if (metrics || shutdown) && connect.is_none() {
+        return Err("--metrics/--shutdown require --connect (try --help)".to_string());
+    }
+    let control = metrics || shutdown;
+    if !control && input.is_none() {
+        return Err("missing input file (try --help)".to_string());
+    }
+    if !control && function.is_none() {
+        return Err("missing --function (try --help)".to_string());
+    }
     Ok(Args {
-        input: input.ok_or("missing input file (try --help)")?,
-        function: function.ok_or("missing --function (try --help)")?,
+        input,
+        function,
         opts,
         budget,
         emit,
         output,
+        connect,
+        metrics,
+        shutdown,
     })
 }
 
@@ -160,6 +195,54 @@ fn render(hw: &Compiled, emit: &str, factor: Option<u64>) -> Result<String, Stri
     }
 }
 
+/// Writes `text` to `-o file` or stdout.
+fn deliver(output: &Option<String>, text: &str) -> Result<(), String> {
+    match output {
+        Some(path) => std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}")),
+        None => {
+            print!("{text}");
+            Ok(())
+        }
+    }
+}
+
+/// Client mode: ship the request to a `roccc-serve` daemon.
+fn run_client(args: &Args, addr: &str) -> Result<(), String> {
+    let io_timeout = Some(Duration::from_secs(120));
+    let req = if args.metrics {
+        Request::Metrics
+    } else if args.shutdown {
+        Request::Shutdown
+    } else {
+        let input = args.input.as_deref().expect("parse_args checked input");
+        let source =
+            std::fs::read_to_string(input).map_err(|e| format!("cannot read {input}: {e}"))?;
+        if args.budget.is_some() {
+            return Err("--budget is not supported in --connect mode".to_string());
+        }
+        Request::Compile {
+            source,
+            function: args
+                .function
+                .clone()
+                .expect("parse_args checked --function"),
+            opts: args.opts.clone(),
+            emit: args.emit.clone(),
+        }
+    };
+    match proto::roundtrip(addr, &req, io_timeout).map_err(|e| e.to_string())? {
+        Response::Ok { payload, cached } => {
+            if cached && !args.metrics && !args.shutdown {
+                eprintln!("(served from cache)");
+            }
+            deliver(&args.output, &String::from_utf8_lossy(&payload))
+        }
+        Response::Err(msg) => Err(format!("server error: {msg}")),
+        Response::Timeout(msg) => Err(format!("server timeout: {msg}")),
+        Response::Busy => Err("server busy: admission queue full, retry later".to_string()),
+    }
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -168,16 +251,32 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let source = match std::fs::read_to_string(&args.input) {
+
+    if let Some(addr) = args.connect.clone() {
+        return match run_client(&args, &addr) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let input = args.input.as_deref().expect("parse_args checked input");
+    let function = args
+        .function
+        .as_deref()
+        .expect("parse_args checked --function");
+    let source = match std::fs::read_to_string(input) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("cannot read {}: {e}", args.input);
+            eprintln!("cannot read {input}: {e}");
             return ExitCode::FAILURE;
         }
     };
 
     let (hw, factor) = if let Some(budget) = args.budget {
-        match compile_with_area_budget(&source, &args.function, &args.opts, budget) {
+        match compile_with_area_budget(&source, function, &args.opts, budget) {
             Ok(b) => (b.compiled, Some(b.factor)),
             Err(e) => {
                 eprintln!("{e}");
@@ -185,7 +284,7 @@ fn main() -> ExitCode {
             }
         }
     } else {
-        match compile(&source, &args.function, &args.opts) {
+        match compile(&source, function, &args.opts) {
             Ok(c) => (c, None),
             Err(e) => {
                 eprintln!("{}", render_error(&e, &source));
@@ -201,16 +300,20 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match args.output {
-        Some(path) => {
-            if let Err(e) = std::fs::write(&path, text) {
-                eprintln!("cannot write {path}: {e}");
-                return ExitCode::FAILURE;
-            }
+    // Lint the generated VHDL: findings are warnings (stderr), never a
+    // failure — the artifact is still emitted with exit code 0.
+    if args.emit == "vhdl" {
+        for w in roccc_vhdl::lint::lint(&text) {
+            eprintln!("warning: {w}");
         }
-        None => print!("{text}"),
     }
-    ExitCode::SUCCESS
+    match deliver(&args.output, &text) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn render_error(e: &roccc::CompileError, source: &str) -> String {

@@ -42,6 +42,9 @@ use roccc_netlist::{netlist_from_datapath, run_system, Netlist, SimPlan, SystemE
 use roccc_suifvm::{lower_function, optimize, to_ssa, FunctionIr};
 use std::collections::HashMap;
 use std::fmt;
+use std::time::{Duration, Instant};
+
+pub mod proto;
 
 /// How to treat loops before kernel extraction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -57,7 +60,7 @@ pub enum UnrollStrategy {
 }
 
 /// Compilation options.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CompileOptions {
     /// Target clock period for the pipeliner, in nanoseconds
     /// (default 7.0 ns ≈ 143 MHz, a typical Virtex-II -5 target).
@@ -81,6 +84,79 @@ impl Default for CompileOptions {
             narrow: true,
             fuse: false,
         }
+    }
+}
+
+impl CompileOptions {
+    /// Canonical byte encoding of the options, stable across runs and
+    /// platforms. Two option sets encode identically iff they compile
+    /// identically, which makes this the options half of a
+    /// content-addressed cache key (the `roccc-serve` artifact cache
+    /// hashes `(source, function, canonical_bytes)`).
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(20);
+        // f64 periods with the same bit pattern pipeline identically.
+        v.extend_from_slice(&self.target_period_ns.to_bits().to_le_bytes());
+        match self.unroll {
+            UnrollStrategy::Keep => v.push(0),
+            UnrollStrategy::Full => v.push(1),
+            UnrollStrategy::Partial(k) => {
+                v.push(2);
+                v.extend_from_slice(&k.to_le_bytes());
+            }
+        }
+        v.push(u8::from(self.optimize));
+        v.push(u8::from(self.narrow));
+        v.push(u8::from(self.fuse));
+        v
+    }
+}
+
+/// Wall-clock time spent in each phase of one [`compile_timed`] call.
+///
+/// The `vhdl` slot is zero until somebody renders VHDL and charges it
+/// (the compile pipeline itself stops at the netlist); `roccc-serve`
+/// fills it when it generates the artifact.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTimings {
+    /// Front end: lex + parse + semantic checks.
+    pub parse: Duration,
+    /// Loop level: fusion/unrolling transforms + kernel extraction.
+    pub hlir: Duration,
+    /// Back end: lowering, SSA construction, scalar optimizations.
+    pub suifvm: Duration,
+    /// Data path: build, pipeline, narrow, verify.
+    pub datapath: Duration,
+    /// RTL netlist materialization + verification.
+    pub netlist: Duration,
+    /// VHDL rendering (charged by the caller, not by `compile`).
+    pub vhdl: Duration,
+}
+
+impl PhaseTimings {
+    /// Phase names, in pipeline order, matching [`PhaseTimings::get`].
+    pub const PHASES: [&'static str; 6] =
+        ["parse", "hlir", "suifvm", "datapath", "netlist", "vhdl"];
+
+    /// The timing for phase index `i` of [`PhaseTimings::PHASES`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 6`.
+    pub fn get(&self, i: usize) -> Duration {
+        [
+            self.parse,
+            self.hlir,
+            self.suifvm,
+            self.datapath,
+            self.netlist,
+            self.vhdl,
+        ][i]
+    }
+
+    /// Sum of all phases.
+    pub fn total(&self) -> Duration {
+        (0..Self::PHASES.len()).map(|i| self.get(i)).sum()
     }
 }
 
@@ -202,6 +278,22 @@ pub fn compile(source: &str, func: &str, opts: &CompileOptions) -> Result<Compil
     compile_with_model(source, func, opts, &DefaultDelayModel)
 }
 
+/// [`compile`], also returning per-phase wall-clock timings — the
+/// observability hook `roccc-serve` feeds into its latency histograms.
+///
+/// # Errors
+///
+/// See [`compile`].
+pub fn compile_timed(
+    source: &str,
+    func: &str,
+    opts: &CompileOptions,
+) -> Result<(Compiled, PhaseTimings), CompileError> {
+    let mut timings = PhaseTimings::default();
+    let compiled = compile_with_model_timed(source, func, opts, &DefaultDelayModel, &mut timings)?;
+    Ok((compiled, timings))
+}
+
 /// [`compile`] with a caller-provided delay model (e.g. the calibrated
 /// Virtex-II model from `roccc-synth`).
 ///
@@ -214,15 +306,36 @@ pub fn compile_with_model(
     opts: &CompileOptions,
     model: &dyn DelayModel,
 ) -> Result<Compiled, CompileError> {
+    compile_with_model_timed(source, func, opts, model, &mut PhaseTimings::default())
+}
+
+/// [`compile_with_model`], accumulating per-phase wall-clock time into
+/// `timings` (the `vhdl` slot is left untouched).
+///
+/// # Errors
+///
+/// See [`compile`].
+pub fn compile_with_model_timed(
+    source: &str,
+    func: &str,
+    opts: &CompileOptions,
+    model: &dyn DelayModel,
+    timings: &mut PhaseTimings,
+) -> Result<Compiled, CompileError> {
+    let t0 = Instant::now();
     let mut program = roccc_cparse::frontend(source)?;
+    timings.parse += t0.elapsed();
 
     // Loop-level transformations requested by the options.
+    let t0 = Instant::now();
     program = transform_program(&program, func, opts);
 
     // Scalar replacement + feedback detection.
     let kernel = extract_kernel(&program, func)?;
+    timings.hlir += t0.elapsed();
 
     // Back end: VM IR → SSA → optimizations.
+    let t0 = Instant::now();
     let dp_program = Program {
         items: {
             let mut items: Vec<Item> = program
@@ -241,18 +354,23 @@ pub fn compile_with_model(
         optimize(&mut ir);
     }
     roccc_suifvm::verify_ssa(&ir).map_err(CompileError::Backend)?;
+    timings.suifvm += t0.elapsed();
 
     // Data path.
+    let t0 = Instant::now();
     let mut datapath = build_datapath(&ir)?;
     pipeline_datapath(&mut datapath, opts.target_period_ns, model);
     if opts.narrow {
         narrow_widths(&mut datapath);
     }
     datapath.verify().map_err(CompileError::Backend)?;
+    timings.datapath += t0.elapsed();
 
     // RTL netlist.
+    let t0 = Instant::now();
     let netlist = netlist_from_datapath(&datapath);
     netlist.verify().map_err(CompileError::Backend)?;
+    timings.netlist += t0.elapsed();
 
     Ok(Compiled {
         kernel,

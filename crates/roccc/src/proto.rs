@@ -1,0 +1,467 @@
+//! Wire protocol shared by the `roccc-serve` compile daemon and the
+//! `roccc --connect` client mode.
+//!
+//! The protocol is a small newline-delimited exchange over a TCP stream,
+//! one request per connection. A request is a command line followed by
+//! `key value` lines and a terminating `end` line; multi-line values
+//! (the C source) are backslash-escaped onto a single line:
+//!
+//! ```text
+//! compile
+//! function fir
+//! emit vhdl
+//! period 7
+//! unroll 4
+//! source void fir(int A[21], ...) { ... }\n  ...
+//! end
+//! ```
+//!
+//! Responses are a single header line, then for payload-carrying statuses
+//! exactly `len` raw bytes and a trailing newline:
+//!
+//! ```text
+//! ok <len> cached=<0|1>\n<len bytes>\n
+//! err <len>\n<len bytes>\n
+//! timeout <len>\n<len bytes>\n
+//! busy\n
+//! ```
+//!
+//! `busy` is the admission-control backpressure reply: the server's
+//! bounded queue is full and the request was never enqueued — clients
+//! should back off and retry.
+
+use crate::{CompileOptions, UnrollStrategy};
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Hard cap on any single protocol line (16 MiB) so a malicious or
+/// broken peer cannot make the server buffer unbounded input.
+pub const MAX_LINE_BYTES: usize = 16 * 1024 * 1024;
+
+/// Hard cap on a response payload (64 MiB).
+pub const MAX_PAYLOAD_BYTES: usize = 64 * 1024 * 1024;
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Compile `function` from `source` under `opts` and return the
+    /// artifact selected by `emit` (`stats|vhdl|dot|ir|c|table-row`).
+    Compile {
+        /// C source text.
+        source: String,
+        /// Kernel function name.
+        function: String,
+        /// Compilation options.
+        opts: CompileOptions,
+        /// Requested artifact kind.
+        emit: String,
+    },
+    /// Fetch the Prometheus-style metrics text.
+    Metrics,
+    /// Liveness probe; the server answers `ok` with payload `pong`.
+    Ping,
+    /// Ask the server to shut down gracefully.
+    Shutdown,
+}
+
+/// A server reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Success; `cached` reports whether the artifact came from the
+    /// content-addressed cache.
+    Ok {
+        /// Rendered artifact bytes.
+        payload: Vec<u8>,
+        /// True when served from cache (memory or disk) without compiling.
+        cached: bool,
+    },
+    /// Compilation or protocol error (message in `payload` spirit).
+    Err(String),
+    /// The request exceeded the server's wall-clock budget.
+    Timeout(String),
+    /// Admission queue full; retry later.
+    Busy,
+}
+
+/// Protocol-level failure (I/O or malformed peer).
+#[derive(Debug)]
+pub enum ProtoError {
+    /// Underlying socket error.
+    Io(io::Error),
+    /// The peer sent something outside the protocol.
+    Malformed(String),
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Io(e) => write!(f, "protocol i/o error: {e}"),
+            ProtoError::Malformed(m) => write!(f, "malformed protocol data: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<io::Error> for ProtoError {
+    fn from(e: io::Error) -> Self {
+        ProtoError::Io(e)
+    }
+}
+
+fn malformed(m: impl Into<String>) -> ProtoError {
+    ProtoError::Malformed(m.into())
+}
+
+/// Escapes a value onto one protocol line (`\` → `\\`, LF → `\n`,
+/// CR → `\r`).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Reverses [`escape`].
+///
+/// # Errors
+///
+/// Returns [`ProtoError::Malformed`] on a dangling or unknown escape.
+pub fn unescape(s: &str) -> Result<String, ProtoError> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some(other) => return Err(malformed(format!("unknown escape `\\{other}`"))),
+            None => return Err(malformed("dangling backslash")),
+        }
+    }
+    Ok(out)
+}
+
+/// Serializes `req` onto `w` (does not flush).
+///
+/// # Errors
+///
+/// Propagates write errors.
+pub fn write_request<W: Write>(w: &mut W, req: &Request) -> io::Result<()> {
+    match req {
+        Request::Metrics => writeln!(w, "metrics\nend"),
+        Request::Ping => writeln!(w, "ping\nend"),
+        Request::Shutdown => writeln!(w, "shutdown\nend"),
+        Request::Compile {
+            source,
+            function,
+            opts,
+            emit,
+        } => {
+            writeln!(w, "compile")?;
+            writeln!(w, "function {}", escape(function))?;
+            writeln!(w, "emit {}", escape(emit))?;
+            writeln!(w, "period {}", opts.target_period_ns)?;
+            match opts.unroll {
+                UnrollStrategy::Keep => {}
+                UnrollStrategy::Full => writeln!(w, "unroll full")?,
+                UnrollStrategy::Partial(k) => writeln!(w, "unroll {k}")?,
+            }
+            if !opts.optimize {
+                writeln!(w, "no-opt")?;
+            }
+            if !opts.narrow {
+                writeln!(w, "no-narrow")?;
+            }
+            if opts.fuse {
+                writeln!(w, "fuse")?;
+            }
+            writeln!(w, "source {}", escape(source))?;
+            writeln!(w, "end")
+        }
+    }
+}
+
+fn read_line_capped<R: BufRead>(r: &mut R) -> Result<String, ProtoError> {
+    let mut line = String::new();
+    // read_line appends, so a loop is not needed; cap afterwards.
+    let n = r.read_line(&mut line)?;
+    if n == 0 {
+        return Err(malformed("peer closed mid-message"));
+    }
+    if line.len() > MAX_LINE_BYTES {
+        return Err(malformed("protocol line exceeds 16 MiB"));
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(line)
+}
+
+/// Reads one request from `r`.
+///
+/// # Errors
+///
+/// [`ProtoError`] on I/O failure or a message outside the protocol.
+pub fn read_request<R: BufRead>(r: &mut R) -> Result<Request, ProtoError> {
+    let cmd = read_line_capped(r)?;
+    match cmd.as_str() {
+        "metrics" | "ping" | "shutdown" => {
+            let end = read_line_capped(r)?;
+            if end != "end" {
+                return Err(malformed(format!("expected `end`, got `{end}`")));
+            }
+            Ok(match cmd.as_str() {
+                "metrics" => Request::Metrics,
+                "ping" => Request::Ping,
+                _ => Request::Shutdown,
+            })
+        }
+        "compile" => {
+            let mut source = None;
+            let mut function = None;
+            let mut emit = "stats".to_string();
+            let mut opts = CompileOptions::default();
+            loop {
+                let line = read_line_capped(r)?;
+                if line == "end" {
+                    break;
+                }
+                let (key, value) = match line.split_once(' ') {
+                    Some((k, v)) => (k, v),
+                    None => (line.as_str(), ""),
+                };
+                match key {
+                    "function" => function = Some(unescape(value)?),
+                    "emit" => emit = unescape(value)?,
+                    "source" => source = Some(unescape(value)?),
+                    "period" => {
+                        opts.target_period_ns = value
+                            .parse()
+                            .map_err(|_| malformed(format!("bad period `{value}`")))?;
+                    }
+                    "unroll" => {
+                        opts.unroll = if value == "full" {
+                            UnrollStrategy::Full
+                        } else {
+                            UnrollStrategy::Partial(
+                                value
+                                    .parse()
+                                    .map_err(|_| malformed(format!("bad unroll `{value}`")))?,
+                            )
+                        };
+                    }
+                    "no-opt" => opts.optimize = false,
+                    "no-narrow" => opts.narrow = false,
+                    "fuse" => opts.fuse = true,
+                    other => return Err(malformed(format!("unknown field `{other}`"))),
+                }
+            }
+            Ok(Request::Compile {
+                source: source.ok_or_else(|| malformed("compile without source"))?,
+                function: function.ok_or_else(|| malformed("compile without function"))?,
+                opts,
+                emit,
+            })
+        }
+        other => Err(malformed(format!("unknown command `{other}`"))),
+    }
+}
+
+/// Serializes `resp` onto `w` and flushes.
+///
+/// # Errors
+///
+/// Propagates write errors.
+pub fn write_response<W: Write>(w: &mut W, resp: &Response) -> io::Result<()> {
+    match resp {
+        Response::Ok { payload, cached } => {
+            writeln!(w, "ok {} cached={}", payload.len(), u8::from(*cached))?;
+            w.write_all(payload)?;
+            writeln!(w)?;
+        }
+        Response::Err(msg) => {
+            writeln!(w, "err {}", msg.len())?;
+            w.write_all(msg.as_bytes())?;
+            writeln!(w)?;
+        }
+        Response::Timeout(msg) => {
+            writeln!(w, "timeout {}", msg.len())?;
+            w.write_all(msg.as_bytes())?;
+            writeln!(w)?;
+        }
+        Response::Busy => writeln!(w, "busy")?,
+    }
+    w.flush()
+}
+
+fn read_payload<R: BufRead>(r: &mut R, len: usize) -> Result<Vec<u8>, ProtoError> {
+    if len > MAX_PAYLOAD_BYTES {
+        return Err(malformed("payload exceeds 64 MiB"));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    let mut nl = [0u8; 1];
+    r.read_exact(&mut nl)?;
+    if nl[0] != b'\n' {
+        return Err(malformed("payload not newline-terminated"));
+    }
+    Ok(buf)
+}
+
+/// Reads one response from `r`.
+///
+/// # Errors
+///
+/// [`ProtoError`] on I/O failure or a malformed header.
+pub fn read_response<R: BufRead>(r: &mut R) -> Result<Response, ProtoError> {
+    let header = read_line_capped(r)?;
+    let mut parts = header.split(' ');
+    let status = parts.next().unwrap_or("");
+    match status {
+        "busy" => Ok(Response::Busy),
+        "ok" => {
+            let len: usize = parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| malformed("ok header without length"))?;
+            let cached = parts.next() == Some("cached=1");
+            let payload = read_payload(r, len)?;
+            Ok(Response::Ok { payload, cached })
+        }
+        "err" | "timeout" => {
+            let len: usize = parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| malformed("error header without length"))?;
+            let text = String::from_utf8_lossy(&read_payload(r, len)?).into_owned();
+            Ok(if status == "err" {
+                Response::Err(text)
+            } else {
+                Response::Timeout(text)
+            })
+        }
+        other => Err(malformed(format!("unknown response status `{other}`"))),
+    }
+}
+
+/// Client helper: connect to `addr`, send `req`, read the reply.
+/// `io_timeout` bounds each socket read/write (None = block forever).
+///
+/// # Errors
+///
+/// [`ProtoError`] on connect/send/receive failure.
+pub fn roundtrip(
+    addr: impl ToSocketAddrs,
+    req: &Request,
+    io_timeout: Option<Duration>,
+) -> Result<Response, ProtoError> {
+    let stream = TcpStream::connect(addr)?;
+    // One small request and one reply per connection: Nagle only hurts.
+    let _ = stream.set_nodelay(true);
+    stream.set_read_timeout(io_timeout)?;
+    stream.set_write_timeout(io_timeout)?;
+    let mut writer = stream.try_clone()?;
+    write_request(&mut writer, req)?;
+    writer.flush()?;
+    let mut reader = BufReader::new(stream);
+    read_response(&mut reader)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn escape_roundtrips() {
+        let samples = [
+            "plain",
+            "two\nlines\r\nand\\backslash",
+            "",
+            "\\n literal",
+            "trailing\\",
+        ];
+        for s in samples {
+            assert_eq!(unescape(&escape(s)).unwrap(), s, "{s:?}");
+        }
+        assert!(unescape("dangling\\").is_err());
+        assert!(unescape("bad\\q").is_err());
+    }
+
+    #[test]
+    fn compile_request_roundtrips_with_options() {
+        let req = Request::Compile {
+            source: "void f(int* o) {\n  *o = 1;\n}".to_string(),
+            function: "f".to_string(),
+            opts: CompileOptions {
+                target_period_ns: 5.25,
+                unroll: UnrollStrategy::Partial(4),
+                optimize: false,
+                narrow: false,
+                fuse: true,
+            },
+            emit: "vhdl".to_string(),
+        };
+        let mut buf = Vec::new();
+        write_request(&mut buf, &req).unwrap();
+        let got = read_request(&mut Cursor::new(buf)).unwrap();
+        assert_eq!(got, req);
+    }
+
+    #[test]
+    fn control_requests_roundtrip() {
+        for req in [Request::Metrics, Request::Ping, Request::Shutdown] {
+            let mut buf = Vec::new();
+            write_request(&mut buf, &req).unwrap();
+            assert_eq!(read_request(&mut Cursor::new(buf)).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let cases = [
+            Response::Ok {
+                payload: b"library ieee;\nend rtl;\n".to_vec(),
+                cached: true,
+            },
+            Response::Ok {
+                payload: Vec::new(),
+                cached: false,
+            },
+            Response::Err("parse error: line 3".to_string()),
+            Response::Timeout("deadline 250ms exceeded".to_string()),
+            Response::Busy,
+        ];
+        for resp in cases {
+            let mut buf = Vec::new();
+            write_response(&mut buf, &resp).unwrap();
+            assert_eq!(read_response(&mut Cursor::new(buf)).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn malformed_input_is_rejected_not_panicked() {
+        for bad in [
+            "nonsense\nend\n",
+            "compile\nend\n",
+            "compile\nunroll banana\nsource x\nfunction f\nend\n",
+        ] {
+            assert!(read_request(&mut Cursor::new(bad.as_bytes().to_vec())).is_err());
+        }
+        assert!(read_response(&mut Cursor::new(b"ok notanumber\n".to_vec())).is_err());
+        assert!(read_response(&mut Cursor::new(b"wat\n".to_vec())).is_err());
+    }
+}

@@ -1,0 +1,94 @@
+//! The `roccc-serve` daemon binary.
+//!
+//! ```text
+//! roccc-serve [options]
+//!
+//! Options:
+//!   --addr <ip>          bind address (default 127.0.0.1)
+//!   --port <n>           port; 0 picks an ephemeral port (default 9317)
+//!   --workers <n>        worker threads (default 4)
+//!   --queue <n>          admission queue capacity (default 64)
+//!   --cache <n>          in-memory cache entries (default 256)
+//!   --timeout-ms <n>     per-request compile budget (default 30000)
+//!   --disk-cache <dir>   enable the on-disk artifact store
+//! ```
+//!
+//! Prints `roccc-serve listening on <addr>` once bound, then serves
+//! until it receives the `shutdown` protocol command (e.g.
+//! `roccc --connect <addr> --shutdown`).
+
+use roccc_serve::ServerConfig;
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn parse_args() -> Result<ServerConfig, String> {
+    let mut cfg = ServerConfig::default();
+    let mut ip = "127.0.0.1".to_string();
+    let mut port = 9317u16;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut grab = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+        match a.as_str() {
+            "--addr" => ip = grab("--addr")?,
+            "--port" => {
+                port = grab("--port")?
+                    .parse()
+                    .map_err(|_| "--port expects a number")?;
+            }
+            "--workers" => {
+                cfg.workers = grab("--workers")?
+                    .parse()
+                    .map_err(|_| "--workers expects a number")?;
+            }
+            "--queue" => {
+                cfg.queue_cap = grab("--queue")?
+                    .parse()
+                    .map_err(|_| "--queue expects a number")?;
+            }
+            "--cache" => {
+                cfg.cache_cap = grab("--cache")?
+                    .parse()
+                    .map_err(|_| "--cache expects a number")?;
+            }
+            "--timeout-ms" => {
+                cfg.timeout = Duration::from_millis(
+                    grab("--timeout-ms")?
+                        .parse()
+                        .map_err(|_| "--timeout-ms expects a number")?,
+                );
+            }
+            "--disk-cache" => cfg.disk_dir = Some(grab("--disk-cache")?.into()),
+            "--help" | "-h" => {
+                return Err("usage: roccc-serve [--addr ip] [--port n] [--workers n] \
+                            [--queue n] [--cache n] [--timeout-ms n] [--disk-cache dir]"
+                    .to_string())
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    cfg.addr = format!("{ip}:{port}");
+    Ok(cfg)
+}
+
+fn main() -> ExitCode {
+    let cfg = match parse_args() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let workers = cfg.workers;
+    let handle = match roccc_serve::start(cfg) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("roccc-serve: cannot start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("roccc-serve listening on {}", handle.local_addr());
+    println!("({workers} workers; send the `shutdown` protocol command to stop)");
+    handle.join();
+    println!("roccc-serve: shut down");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,163 @@
+//! Content addressing for compile artifacts.
+//!
+//! A 64-bit FNV-1a hash over `(source, function, canonical options)`
+//! keys the cache. FNV is not collision-resistant against adversaries,
+//! but the cache is an optimization, not a trust boundary: a collision
+//! serves a stale artifact to a local client, it does not corrupt the
+//! compiler. Length prefixes keep field boundaries unambiguous
+//! (`("ab","c")` must not collide with `("a","bc")`).
+
+use roccc::CompileOptions;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental 64-bit FNV-1a hasher.
+#[derive(Debug, Clone)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64(FNV_OFFSET)
+    }
+}
+
+impl Fnv64 {
+    /// Fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorbs `bytes`.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs a length-prefixed field (8-byte LE length, then bytes).
+    pub fn write_field(&mut self, bytes: &[u8]) {
+        self.write(&(bytes.len() as u64).to_le_bytes());
+        self.write(bytes);
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// The content-addressed cache key of one compile request.
+pub fn cache_key(source: &str, function: &str, opts: &CompileOptions) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_field(source.as_bytes());
+    h.write_field(function.as_bytes());
+    h.write_field(&opts.canonical_bytes());
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roccc::UnrollStrategy;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        let mut h = Fnv64::new();
+        assert_eq!(h.finish(), 0xcbf2_9ce4_8422_2325);
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+        let mut h = Fnv64::new();
+        h.write(b"foobar");
+        assert_eq!(h.finish(), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn identical_inputs_produce_equal_keys() {
+        let src =
+            "void f(int A[4], int B[4]) { int i;\n  for (i = 0; i < 4; i++) { B[i] = A[i]; } }";
+        let a = cache_key(src, "f", &CompileOptions::default());
+        let b = cache_key(src, "f", &CompileOptions::default());
+        assert_eq!(a, b);
+        // Same options built by hand, not via Default.
+        let opts = CompileOptions {
+            target_period_ns: 7.0,
+            unroll: UnrollStrategy::Keep,
+            optimize: true,
+            narrow: true,
+            fuse: false,
+        };
+        assert_eq!(a, cache_key(src, "f", &opts));
+    }
+
+    #[test]
+    fn differing_options_produce_different_keys() {
+        let src =
+            "void f(int A[8], int B[8]) { int i;\n  for (i = 0; i < 8; i++) { B[i] = A[i] * 3; } }";
+        let base = CompileOptions::default();
+        let unrolled = CompileOptions {
+            unroll: UnrollStrategy::Partial(4),
+            ..base.clone()
+        };
+        // The ISSUE's canonical pair: unroll factor 1 (Keep) vs 4.
+        assert_ne!(cache_key(src, "f", &base), cache_key(src, "f", &unrolled));
+
+        // Every other option axis must also separate keys.
+        for variant in [
+            CompileOptions {
+                target_period_ns: 9.5,
+                ..base.clone()
+            },
+            CompileOptions {
+                unroll: UnrollStrategy::Full,
+                ..base.clone()
+            },
+            CompileOptions {
+                optimize: false,
+                ..base.clone()
+            },
+            CompileOptions {
+                narrow: false,
+                ..base.clone()
+            },
+            CompileOptions {
+                fuse: true,
+                ..base.clone()
+            },
+        ] {
+            assert_ne!(
+                cache_key(src, "f", &base),
+                cache_key(src, "f", &variant),
+                "{variant:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn source_and_function_separate_keys() {
+        let opts = CompileOptions::default();
+        assert_ne!(
+            cache_key("void f() {}", "f", &opts),
+            cache_key("void g() {}", "g", &opts)
+        );
+        // Length-prefixing: shifting a byte across the field boundary
+        // must change the key.
+        assert_ne!(cache_key("ab", "c", &opts), cache_key("a", "bc", &opts));
+    }
+
+    #[test]
+    fn canonical_bytes_distinguish_partial_factors() {
+        let k1 = CompileOptions {
+            unroll: UnrollStrategy::Partial(1),
+            ..CompileOptions::default()
+        };
+        let k2 = CompileOptions {
+            unroll: UnrollStrategy::Partial(4),
+            ..CompileOptions::default()
+        };
+        assert_ne!(k1.canonical_bytes(), k2.canonical_bytes());
+        assert_eq!(k1.canonical_bytes(), k1.canonical_bytes());
+    }
+}

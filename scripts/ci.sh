@@ -29,4 +29,50 @@ rm -f "${out}"
 echo "==> table1 smoke"
 cargo run --release -p roccc-bench --bin table1 >/dev/null
 
+echo "==> roccc-serve smoke (daemon + client + metrics + shutdown)"
+serve_log="$(mktemp -t roccc_serve_smoke.XXXXXX.log)"
+./target/release/roccc-serve --port 0 >"${serve_log}" 2>&1 &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+  addr="$(sed -n 's/^roccc-serve listening on //p' "${serve_log}")"
+  [ -n "${addr}" ] && break
+  sleep 0.1
+done
+if [ -z "${addr}" ]; then
+  echo "serve smoke: server never announced its address" >&2
+  kill "${serve_pid}" 2>/dev/null || true
+  exit 1
+fi
+smoke_src="$(mktemp -t serve_smoke.XXXXXX.c)"
+cat >"${smoke_src}" <<'EOF'
+void acc(int a, int b, int* q) {
+  *q = a * 3 + b;
+}
+EOF
+# Cold compile, then the identical request again: the second must be a
+# cache hit (the client reports it on stderr).
+./target/release/roccc "${smoke_src}" --function acc --connect "${addr}" \
+  --emit stats >/dev/null
+hit_note="$(./target/release/roccc "${smoke_src}" --function acc \
+  --connect "${addr}" --emit stats 2>&1 >/dev/null)"
+case "${hit_note}" in
+  *"served from cache"*) ;;
+  *) echo "serve smoke: repeat compile was not served from cache" >&2; exit 1 ;;
+esac
+./target/release/roccc --connect "${addr}" --metrics \
+  | grep -q '^roccc_cache_hits_total 1$' \
+  || { echo "serve smoke: metrics missing the cache hit" >&2; exit 1; }
+./target/release/roccc --connect "${addr}" --shutdown >/dev/null
+wait "${serve_pid}"
+rm -f "${serve_log}" "${smoke_src}"
+
+echo "==> loadgen smoke (4 clients x 8 requests, in-process server)"
+lg_out="$(mktemp -t bench_serve_smoke.XXXXXX.json)"
+cargo run --release -p roccc-bench --bin loadgen -- \
+  --threads 4 --requests 8 --out "${lg_out}" >/dev/null
+grep -q '"dropped": 0' "${lg_out}" \
+  || { echo "loadgen smoke: dropped requests" >&2; exit 1; }
+rm -f "${lg_out}"
+
 echo "CI OK"

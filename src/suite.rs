@@ -13,6 +13,7 @@ pub use roccc_datapath as datapath;
 pub use roccc_hlir as hlir;
 pub use roccc_ipcores as ipcores;
 pub use roccc_netlist as netlist;
+pub use roccc_serve as serve;
 pub use roccc_suifvm as suifvm;
 pub use roccc_synth as synth;
 pub use roccc_testutil as testrand;

@@ -1,0 +1,344 @@
+//! Integration tests for the `roccc-serve` compile daemon: concurrent
+//! clients must observe byte-identical artifacts to a direct in-process
+//! `compile()`, the content-addressed cache must hit/miss exactly as the
+//! request mix dictates (single-flight makes the counters deterministic),
+//! and the robustness paths — wall-clock timeout, admission-control
+//! backpressure, compiler panics — must all answer with clean protocol
+//! replies instead of taking the server down.
+
+use roccc_suite::ipcores::benchmarks;
+use roccc_suite::roccc::proto::{roundtrip, Request, Response};
+use roccc_suite::roccc::CompileOptions;
+use roccc_suite::serve::{start, CompileFn, ServerConfig};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+const IO_TIMEOUT: Option<Duration> = Some(Duration::from_secs(120));
+
+fn compile_req(source: &str, function: &str, opts: &CompileOptions, emit: &str) -> Request {
+    Request::Compile {
+        source: source.to_string(),
+        function: function.to_string(),
+        opts: opts.clone(),
+        emit: emit.to_string(),
+    }
+}
+
+fn expect_ok(resp: Response) -> (Vec<u8>, bool) {
+    match resp {
+        Response::Ok { payload, cached } => (payload, cached),
+        other => panic!("expected ok, got {other:?}"),
+    }
+}
+
+/// ≥8 concurrent clients over a shared kernel mix: every reply must be
+/// byte-identical to a direct `roccc::compile(...)` + `to_vhdl()`, no
+/// request may be dropped or rejected, and the hit/miss counters must
+/// come out exact (misses == distinct cache keys, because the winner of
+/// a single-flight race publishes to the cache before waiters re-check).
+#[test]
+fn concurrent_clients_get_byte_identical_artifacts() {
+    const THREADS: usize = 8;
+    const ROUNDS: usize = 2;
+
+    let kernels: Vec<_> = benchmarks().into_iter().take(4).collect();
+    let expected: Vec<Vec<u8>> = kernels
+        .iter()
+        .map(|b| {
+            roccc::compile(&b.source, b.func, &b.opts)
+                .expect("table kernel compiles directly")
+                .to_vhdl()
+                .into_bytes()
+        })
+        .collect();
+
+    let handle = start(ServerConfig {
+        workers: THREADS,
+        queue_cap: 64,
+        timeout: Duration::from_secs(120),
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    let addr = handle.local_addr();
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let kernels = &kernels;
+            let expected = &expected;
+            scope.spawn(move || {
+                for round in 0..ROUNDS {
+                    for (k, b) in kernels.iter().enumerate() {
+                        let req = compile_req(&b.source, b.func, &b.opts, "vhdl");
+                        let resp = roundtrip(addr, &req, IO_TIMEOUT)
+                            .unwrap_or_else(|e| panic!("client {t} round {round}: {e}"));
+                        let (payload, _cached) = expect_ok(resp);
+                        assert_eq!(
+                            payload, expected[k],
+                            "client {t} round {round}: artifact for `{}` differs from a \
+                             direct compile",
+                            b.name
+                        );
+                    }
+                }
+            });
+        }
+    });
+
+    let m = handle.metrics();
+    let total = (THREADS * ROUNDS * kernels.len()) as u64;
+    assert_eq!(m.requests.get(), total, "one request per roundtrip");
+    assert_eq!(
+        m.cache_misses.get(),
+        kernels.len() as u64,
+        "single flight: exactly one compile per distinct key"
+    );
+    assert_eq!(
+        m.cache_hits.get() + m.cache_misses.get(),
+        total,
+        "every compile request either hit or missed"
+    );
+    assert_eq!(m.busy_rejections.get(), 0, "no client saw backpressure");
+    assert_eq!(m.errors.get(), 0);
+    assert_eq!(m.timeouts.get(), 0);
+    handle.shutdown();
+}
+
+/// Different artifact kinds from the same cached entry must also match
+/// their direct-compile renderings byte for byte.
+#[test]
+fn cached_artifacts_match_direct_renderings() {
+    let b = &benchmarks()[0];
+    let direct = roccc::compile(&b.source, b.func, &b.opts).expect("compiles");
+
+    let handle = start(ServerConfig::default()).expect("server starts");
+    let addr = handle.local_addr();
+
+    let (vhdl, cached) = expect_ok(
+        roundtrip(
+            addr,
+            &compile_req(&b.source, b.func, &b.opts, "vhdl"),
+            IO_TIMEOUT,
+        )
+        .unwrap(),
+    );
+    assert!(!cached, "first request is a cold compile");
+    assert_eq!(vhdl, direct.to_vhdl().into_bytes());
+
+    let (dot, cached) = expect_ok(
+        roundtrip(
+            addr,
+            &compile_req(&b.source, b.func, &b.opts, "dot"),
+            IO_TIMEOUT,
+        )
+        .unwrap(),
+    );
+    assert!(cached, "second request for the same key is served cached");
+    assert_eq!(dot, direct.to_dot().into_bytes());
+
+    let (ir, _) = expect_ok(
+        roundtrip(
+            addr,
+            &compile_req(&b.source, b.func, &b.opts, "ir"),
+            IO_TIMEOUT,
+        )
+        .unwrap(),
+    );
+    assert_eq!(ir, direct.ir.dump().into_bytes());
+    handle.shutdown();
+}
+
+/// A synthetic "huge" kernel: `n` chained straight-line statements. At
+/// a few thousand statements the real compiler takes well over 40 ms in
+/// both debug and release builds, which makes a 40 ms server budget a
+/// deterministic timeout.
+fn huge_kernel(n: usize) -> String {
+    let mut s = String::with_capacity(n * 40);
+    s.push_str("void huge(int a, int* out) {\n  int x0 = a * 3 + 1;\n");
+    for i in 1..n {
+        s.push_str(&format!(
+            "  int x{i} = x{} * 3 + x{} + {};\n",
+            i - 1,
+            i.saturating_sub(2),
+            i % 97
+        ));
+    }
+    s.push_str(&format!("  *out = x{};\n}}\n", n - 1));
+    s
+}
+
+/// A compile that blows the wall-clock budget gets a clean `timeout`
+/// reply (not a hang, not a dead worker) and the server keeps serving.
+#[test]
+fn huge_kernel_times_out_cleanly() {
+    let handle = start(ServerConfig {
+        timeout: Duration::from_millis(40),
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    let addr = handle.local_addr();
+
+    let source = huge_kernel(4000);
+    let resp = roundtrip(
+        addr,
+        &compile_req(&source, "huge", &CompileOptions::default(), "vhdl"),
+        IO_TIMEOUT,
+    )
+    .expect("roundtrip succeeds at the protocol level");
+    match resp {
+        Response::Timeout(msg) => {
+            assert!(msg.contains("wall-clock"), "explains the budget: {msg}")
+        }
+        other => panic!("expected timeout, got {other:?}"),
+    }
+    assert!(handle.metrics().timeouts.get() >= 1);
+
+    // The worker survived the abandoned compile.
+    let (pong, _) = expect_ok(roundtrip(addr, &Request::Ping, IO_TIMEOUT).unwrap());
+    assert_eq!(pong, b"pong\n");
+    handle.shutdown();
+}
+
+/// A gate the injected compiler blocks on until the test opens it.
+#[derive(Default)]
+struct Gate {
+    state: Mutex<(usize, bool)>, // (compiles entered, open?)
+    cv: Condvar,
+}
+
+impl Gate {
+    fn enter_and_wait(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.0 += 1;
+        self.cv.notify_all();
+        while !st.1 {
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+
+    fn wait_for_entries(&self, n: usize) {
+        let mut st = self.state.lock().unwrap();
+        while st.0 < n {
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+
+    fn open(&self) {
+        self.state.lock().unwrap().1 = true;
+        self.cv.notify_all();
+    }
+}
+
+/// With one worker and a one-slot queue, a third concurrent request is
+/// answered `busy` by admission control instead of queueing unboundedly;
+/// the admitted request still completes once the compiler unblocks.
+#[test]
+fn full_admission_queue_answers_busy() {
+    let gate = Arc::new(Gate::default());
+    let compiler: CompileFn = {
+        let gate = Arc::clone(&gate);
+        Arc::new(move |source, function, opts| {
+            gate.enter_and_wait();
+            roccc::compile_timed(source, function, opts)
+        })
+    };
+
+    let handle = start(ServerConfig {
+        workers: 1,
+        queue_cap: 1,
+        timeout: Duration::from_secs(120),
+        compiler: Some(compiler),
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    let addr = handle.local_addr();
+
+    // Admitted request: the single worker picks it up and its compile
+    // blocks on the gate.
+    let b = &benchmarks()[0];
+    let admitted = {
+        let req = compile_req(&b.source, b.func, &b.opts, "vhdl");
+        std::thread::spawn(move || roundtrip(addr, &req, IO_TIMEOUT))
+    };
+    gate.wait_for_entries(1);
+
+    // With the worker pinned, probes either fill the one queue slot (the
+    // read then times out client-side and we drop the connection, which
+    // keeps occupying the slot) or bounce off admission control with
+    // `busy`. Within two probes the second outcome is guaranteed.
+    let probe_timeout = Some(Duration::from_millis(300));
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    let rejected = loop {
+        match roundtrip(addr, &Request::Ping, probe_timeout) {
+            Ok(Response::Busy) => break true,
+            Ok(other) => panic!("worker is pinned, yet a probe got {other:?}"),
+            Err(_) if std::time::Instant::now() > deadline => break false,
+            Err(_queued_probe_timed_out) => {}
+        }
+    };
+    assert!(rejected, "no probe ever saw `busy` with a full queue");
+    assert!(handle.metrics().busy_rejections.get() >= 1);
+
+    gate.open();
+    let resp = admitted
+        .join()
+        .expect("client thread")
+        .expect("admitted roundtrip");
+    let (payload, _) = expect_ok(resp);
+    assert!(
+        !payload.is_empty(),
+        "admitted request completed after the gate opened"
+    );
+    handle.shutdown();
+}
+
+/// A panicking compile is isolated by `catch_unwind`: the client gets an
+/// error reply naming the panic, the panic counter increments, and the
+/// server goes on serving other requests from the same worker pool.
+#[test]
+fn compiler_panic_is_isolated() {
+    let compiler: CompileFn = Arc::new(|source, function, opts| {
+        if function == "boom" {
+            panic!("injected test panic");
+        }
+        roccc::compile_timed(source, function, opts)
+    });
+
+    let handle = start(ServerConfig {
+        workers: 2,
+        compiler: Some(compiler),
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    let addr = handle.local_addr();
+
+    let resp = roundtrip(
+        addr,
+        &compile_req("void boom() {}", "boom", &CompileOptions::default(), "vhdl"),
+        IO_TIMEOUT,
+    )
+    .expect("protocol roundtrip");
+    match resp {
+        Response::Err(msg) => {
+            assert!(msg.contains("panicked"), "reply names the panic: {msg}");
+            assert!(
+                msg.contains("injected test panic"),
+                "payload forwarded: {msg}"
+            );
+        }
+        other => panic!("expected err, got {other:?}"),
+    }
+    assert_eq!(handle.metrics().panics.get(), 1);
+
+    // The pool survived; a real kernel still compiles.
+    let b = &benchmarks()[0];
+    let (payload, _) = expect_ok(
+        roundtrip(
+            addr,
+            &compile_req(&b.source, b.func, &b.opts, "vhdl"),
+            IO_TIMEOUT,
+        )
+        .unwrap(),
+    );
+    assert!(!payload.is_empty());
+    handle.shutdown();
+}
