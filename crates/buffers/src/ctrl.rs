@@ -232,7 +232,7 @@ mod tests {
         let mut vc = ValidChain::new(latency);
         // The fake pipelined data path: a delay line of computed sums.
         let mut dp_pipe: std::collections::VecDeque<i64> =
-            std::iter::repeat(0).take(latency as usize).collect();
+            std::iter::repeat_n(0, latency as usize).collect();
 
         ctrl.start();
         let mut pending_window: Option<Vec<i64>> = None;

@@ -593,12 +593,7 @@ mod tests {
 
     #[test]
     fn rejects_mutual_recursion() {
-        let src = "int g(int x);
-          int f(int x) { return g(x); }
-          int g(int x) { return f(x); }";
         // Our subset has no prototypes, so write it as two defs calling each other.
-        let src = "int f(int x) { return g(x); } int g(int x) { return f(x); }";
-        let _ = src;
         let e =
             check_src("int f(int x) { return g(x); } int g(int x) { return f(x); }").unwrap_err();
         assert!(e.message.contains("recursion"));

@@ -442,7 +442,6 @@ mod tests {
         let mut sim = NetlistSim::new(&nl);
         let x: [i64; 5] = [10, -3, 7, 0, 22];
         let outs = sim.run_stream(&[x.to_vec()]).unwrap();
-        let mut fir_levels = 0u32;
         for (f, coeffs) in FIR_COEFFS.iter().enumerate() {
             let expect: i64 = coeffs.iter().zip(&x).map(|(c, v)| c * v).sum();
             assert_eq!(outs[0][f], expect, "filter {f}");

@@ -374,7 +374,7 @@ mod tests {
         arrays.insert("Y".to_string(), vec![0i64; w * w]);
         interp.call("wavelet", &[], &mut arrays).unwrap();
         let y = &arrays["Y"];
-        assert_eq!(y[1 * w + 1], 0, "HH of a flat image");
+        assert_eq!(y[w + 1], 0, "HH of a flat image");
         assert_eq!(y[0], 100, "LL of a flat image is the DC value");
     }
 }

@@ -13,6 +13,8 @@
 //!   --budget <slices>    pick the unroll factor by area budget
 //!   --emit <what>        vhdl | dot | stats | ir | c   (default stats)
 //!   -o <file>            write output to a file instead of stdout
+//!   --verify             run the phase-indexed static verifier (warn)
+//!   --deny-warnings      verifier + lint findings of any severity fail
 //!
 //! Client mode (talk to a running `roccc-serve` daemon instead of
 //! compiling locally; `table-row` is additionally accepted for --emit):
@@ -22,13 +24,42 @@
 //! ```
 //!
 //! On `--emit vhdl`, structural lint findings from `roccc-vhdl` are
-//! reported as warnings on stderr; the exit code stays 0.
+//! reported as warnings on stderr; the exit code stays 0 unless
+//! `--deny-warnings` is in effect. Verifier findings print with source
+//! spans where available and make the exit code nonzero on error.
 
 use roccc::proto::{self, Request, Response};
-use roccc::{compile, compile_with_area_budget, CompileOptions, Compiled, UnrollStrategy};
+use roccc::{
+    compile, compile_with_area_budget, CompileOptions, Compiled, UnrollStrategy, VerifyLevel,
+};
 use roccc_synth::{fast_estimate, map_netlist, VirtexII};
 use std::process::ExitCode;
 use std::time::Duration;
+
+const USAGE: &str = "usage: roccc <input.c> --function <name> [options]
+
+options:
+  --function, -f <name>  kernel function to compile (required)
+  --period <ns>          target clock period in ns (default 7.0)
+  --unroll <n|full>      unroll factor, or `full` for full unrolling
+  --fuse                 run loop fusion before extraction
+  --no-opt               skip SSA-level scalar optimizations
+  --no-narrow            skip backward bit-width narrowing
+  --budget <slices>      pick the unroll factor by area budget
+  --emit <what>          vhdl | dot | stats | ir | c (default stats)
+  -o <file>              write output to a file instead of stdout
+  --verify               run the phase-indexed static verifier: errors
+                         fail the compile, warnings print to stderr
+  --deny-warnings        like --verify, but any finding (verifier or
+                         VHDL lint) fails the compile
+  --help, -h             print this help
+
+client mode (requires a running roccc-serve daemon; adds `table-row`
+to the accepted --emit values):
+  --connect <host:port>  send the compile to the server
+  --metrics              (with --connect) print the server metrics
+  --shutdown             (with --connect) stop the server
+";
 
 struct Args {
     input: Option<String>,
@@ -40,6 +71,7 @@ struct Args {
     connect: Option<String>,
     metrics: bool,
     shutdown: bool,
+    help: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -53,6 +85,7 @@ fn parse_args() -> Result<Args, String> {
     let mut connect = None;
     let mut metrics = false;
     let mut shutdown = false;
+    let mut help = false;
 
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -91,18 +124,32 @@ fn parse_args() -> Result<Args, String> {
             "--connect" => connect = Some(args.next().ok_or("--connect needs host:port")?),
             "--metrics" => metrics = true,
             "--shutdown" => shutdown = true,
-            "--help" | "-h" => {
-                return Err("usage: roccc <input.c> --function <name> \
-                            [--period ns] [--unroll n|full] [--fuse] [--no-opt] \
-                            [--no-narrow] [--budget slices] \
-                            [--emit vhdl|dot|stats|ir|c] [-o file]\n\
-                            client mode: roccc [input.c --function name] \
-                            --connect host:port [--metrics] [--shutdown]"
-                    .to_string())
+            "--verify" => {
+                // --deny-warnings is the stricter request; don't relax it.
+                if opts.verify != VerifyLevel::Deny {
+                    opts.verify = VerifyLevel::Warn;
+                }
             }
+            "--deny-warnings" => opts.verify = VerifyLevel::Deny,
+            "--help" | "-h" => help = true,
             other if input.is_none() && !other.starts_with('-') => input = Some(other.to_string()),
             other => return Err(format!("unknown argument `{other}` (try --help)")),
         }
+    }
+    if help {
+        // Skip the required-argument checks: `roccc --help` alone is valid.
+        return Ok(Args {
+            input,
+            function,
+            opts,
+            budget,
+            emit,
+            output,
+            connect,
+            metrics,
+            shutdown,
+            help,
+        });
     }
     if (metrics || shutdown) && connect.is_none() {
         return Err("--metrics/--shutdown require --connect (try --help)".to_string());
@@ -124,6 +171,7 @@ fn parse_args() -> Result<Args, String> {
         connect,
         metrics,
         shutdown,
+        help,
     })
 }
 
@@ -252,6 +300,11 @@ fn main() -> ExitCode {
         }
     };
 
+    if args.help {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+
     if let Some(addr) = args.connect.clone() {
         return match run_client(&args, &addr) {
             Ok(()) => ExitCode::SUCCESS,
@@ -293,6 +346,12 @@ fn main() -> ExitCode {
         }
     };
 
+    // Non-fatal verifier findings (collected under --verify) print with
+    // source spans resolved against the input file.
+    for d in &hw.diagnostics {
+        eprintln!("{}", d.render(Some(&source)));
+    }
+
     let text = match render(&hw, &args.emit, factor) {
         Ok(t) => t,
         Err(e) => {
@@ -300,11 +359,20 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    // Lint the generated VHDL: findings are warnings (stderr), never a
-    // failure — the artifact is still emitted with exit code 0.
+    // Lint the generated VHDL: findings are warnings (stderr) and the
+    // artifact is still emitted — except under --deny-warnings, where
+    // any finding fails the run.
     if args.emit == "vhdl" {
-        for w in roccc_vhdl::lint::lint(&text) {
-            eprintln!("warning: {w}");
+        let findings = roccc_vhdl::lint::lint(&text);
+        for d in &findings {
+            eprintln!("{d}");
+        }
+        if args.opts.verify == VerifyLevel::Deny && !findings.is_empty() {
+            eprintln!(
+                "error: --deny-warnings set and the VHDL lint reported {} finding(s)",
+                findings.len()
+            );
+            return ExitCode::FAILURE;
         }
     }
     match deliver(&args.output, &text) {
@@ -319,6 +387,14 @@ fn main() -> ExitCode {
 fn render_error(e: &roccc::CompileError, source: &str) -> String {
     match e {
         roccc::CompileError::Front(c) => c.render(source),
+        roccc::CompileError::Verify(diags) => {
+            let mut s = format!("verification failed with {} finding(s):", diags.len());
+            for d in diags {
+                s.push_str("\n  ");
+                s.push_str(&d.render(Some(source)));
+            }
+            s
+        }
         other => other.to_string(),
     }
 }

@@ -73,6 +73,11 @@ pub struct CompileOptions {
     pub narrow: bool,
     /// Apply loop fusion before extraction.
     pub fuse: bool,
+    /// How strictly the phase-indexed static verifier (`roccc-verify`)
+    /// gates the pipeline. Defaults to [`VerifyLevel::Warn`] in debug
+    /// builds (tests get the verifier for free) and [`VerifyLevel::Off`]
+    /// in release builds.
+    pub verify: VerifyLevel,
 }
 
 impl Default for CompileOptions {
@@ -83,6 +88,7 @@ impl Default for CompileOptions {
             optimize: true,
             narrow: true,
             fuse: false,
+            verify: VerifyLevel::default(),
         }
     }
 }
@@ -108,6 +114,11 @@ impl CompileOptions {
         v.push(u8::from(self.optimize));
         v.push(u8::from(self.narrow));
         v.push(u8::from(self.fuse));
+        v.push(match self.verify {
+            VerifyLevel::Off => 0,
+            VerifyLevel::Warn => 1,
+            VerifyLevel::Deny => 2,
+        });
         v
     }
 }
@@ -173,6 +184,9 @@ pub struct Compiled {
     pub netlist: Netlist,
     /// The (transformed) program the kernel was extracted from.
     pub program: Program,
+    /// Non-fatal verifier findings collected during compilation (empty
+    /// when [`CompileOptions::verify`] is [`VerifyLevel::Off`]).
+    pub diagnostics: Vec<Diagnostic>,
 }
 
 impl Compiled {
@@ -243,6 +257,9 @@ pub enum CompileError {
     Front(CError),
     /// Structural error in data-path or netlist construction.
     Backend(String),
+    /// The phase-indexed static verifier rejected an intermediate
+    /// artifact (fatal findings under the requested [`VerifyLevel`]).
+    Verify(Vec<Diagnostic>),
 }
 
 impl fmt::Display for CompileError {
@@ -250,6 +267,13 @@ impl fmt::Display for CompileError {
         match self {
             CompileError::Front(e) => write!(f, "{e}"),
             CompileError::Backend(m) => write!(f, "backend error: {m}"),
+            CompileError::Verify(diags) => {
+                write!(f, "verification failed with {} finding(s):", diags.len())?;
+                for d in diags {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -354,6 +378,10 @@ pub fn compile_with_model_timed(
         optimize(&mut ir);
     }
     roccc_suifvm::verify_ssa(&ir).map_err(CompileError::Backend)?;
+    let mut diagnostics = Vec::new();
+    if opts.verify != VerifyLevel::Off {
+        gate_findings(opts.verify, roccc_verify::verify_ir(&ir), &mut diagnostics)?;
+    }
     timings.suifvm += t0.elapsed();
 
     // Data path.
@@ -364,12 +392,26 @@ pub fn compile_with_model_timed(
         narrow_widths(&mut datapath);
     }
     datapath.verify().map_err(CompileError::Backend)?;
+    if opts.verify != VerifyLevel::Off {
+        gate_findings(
+            opts.verify,
+            roccc_verify::verify_datapath(&datapath),
+            &mut diagnostics,
+        )?;
+    }
     timings.datapath += t0.elapsed();
 
     // RTL netlist.
     let t0 = Instant::now();
     let netlist = netlist_from_datapath(&datapath);
     netlist.verify().map_err(CompileError::Backend)?;
+    if opts.verify != VerifyLevel::Off {
+        gate_findings(
+            opts.verify,
+            roccc_verify::verify_netlist(&netlist),
+            &mut diagnostics,
+        )?;
+    }
     timings.netlist += t0.elapsed();
 
     Ok(Compiled {
@@ -378,7 +420,44 @@ pub fn compile_with_model_timed(
         datapath,
         netlist,
         program,
+        diagnostics,
     })
+}
+
+/// Applies a [`VerifyLevel`] to one phase's findings: fatal findings
+/// become a [`CompileError::Verify`], the rest are collected into the
+/// [`Compiled::diagnostics`] stream.
+fn gate_findings(
+    level: VerifyLevel,
+    findings: Vec<Diagnostic>,
+    collected: &mut Vec<Diagnostic>,
+) -> Result<(), CompileError> {
+    if findings.is_empty() {
+        return Ok(());
+    }
+    let fatal = match level {
+        VerifyLevel::Off => false,
+        VerifyLevel::Warn => findings.iter().any(|d| d.severity == Severity::Error),
+        VerifyLevel::Deny => true,
+    };
+    if fatal {
+        Err(CompileError::Verify(findings))
+    } else {
+        collected.extend(findings);
+        Ok(())
+    }
+}
+
+/// Re-runs every phase check of `roccc-verify` over an already-compiled
+/// artifact and returns all findings, independent of the
+/// [`VerifyLevel`] the compile ran at. `roccc-serve` uses this to count
+/// findings into its `verify_findings_total` metric even for compiles
+/// that ran with verification off.
+pub fn verify_compiled(c: &Compiled) -> Vec<Diagnostic> {
+    let mut v = roccc_verify::verify_ir(&c.ir);
+    v.extend(roccc_verify::verify_datapath(&c.datapath));
+    v.extend(roccc_verify::verify_netlist(&c.netlist));
+    v
 }
 
 /// Applies the option-selected loop transformations to `func` only.
@@ -513,6 +592,7 @@ pub fn compile_with_area_budget(
 pub use roccc_cparse::{interp::Interpreter, CResult};
 pub use roccc_datapath::graph::NodeKind;
 pub use roccc_netlist::{CompiledSim, NetlistSim};
+pub use roccc_verify::{Diagnostic, Loc, Phase, Severity, VerifyLevel};
 
 #[cfg(test)]
 mod tests {

@@ -30,7 +30,7 @@
 //! bounded queue is full and the request was never enqueued — clients
 //! should back off and retry.
 
-use crate::{CompileOptions, UnrollStrategy};
+use crate::{CompileOptions, UnrollStrategy, VerifyLevel};
 use std::fmt;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -188,6 +188,12 @@ pub fn write_request<W: Write>(w: &mut W, req: &Request) -> io::Result<()> {
             if opts.fuse {
                 writeln!(w, "fuse")?;
             }
+            // Only written when explicit, so a request serialized by a
+            // debug client parses back identically in a release server
+            // (the default level is profile-dependent).
+            if opts.verify != VerifyLevel::default() {
+                writeln!(w, "verify {}", opts.verify)?;
+            }
             writeln!(w, "source {}", escape(source))?;
             writeln!(w, "end")
         }
@@ -266,6 +272,11 @@ pub fn read_request<R: BufRead>(r: &mut R) -> Result<Request, ProtoError> {
                     "no-opt" => opts.optimize = false,
                     "no-narrow" => opts.narrow = false,
                     "fuse" => opts.fuse = true,
+                    "verify" => {
+                        opts.verify = value
+                            .parse()
+                            .map_err(|_| malformed(format!("bad verify level `{value}`")))?;
+                    }
                     other => return Err(malformed(format!("unknown field `{other}`"))),
                 }
             }
@@ -412,6 +423,7 @@ mod tests {
                 optimize: false,
                 narrow: false,
                 fuse: true,
+                verify: VerifyLevel::Deny,
             },
             emit: "vhdl".to_string(),
         };

@@ -9,7 +9,7 @@
 //! (a stamp scan — shards are small, so O(shard) eviction beats the
 //! bookkeeping of an intrusive list).
 
-use roccc::{Compiled, PhaseTimings};
+use roccc::{Compiled, Diagnostic, PhaseTimings};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -25,7 +25,11 @@ pub struct CacheEntry {
     /// the lint findings below).
     pub vhdl: String,
     /// `roccc-vhdl` lint findings over `vhdl` (empty = clean).
-    pub lint: Vec<String>,
+    pub lint: Vec<Diagnostic>,
+    /// `roccc-verify` findings over the compiled IR, data path and
+    /// netlist (always computed on a cache miss, independent of the
+    /// request's verify level; empty = clean).
+    pub verify: Vec<Diagnostic>,
     /// Per-phase compile timings (includes the VHDL rendering phase).
     pub timings: PhaseTimings,
 }
@@ -168,6 +172,7 @@ mod tests {
         Arc::new(CacheEntry {
             vhdl: String::new(),
             lint: Vec::new(),
+            verify: Vec::new(),
             timings: PhaseTimings::default(),
             compiled,
         })

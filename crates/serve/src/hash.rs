@@ -88,6 +88,7 @@ mod tests {
             optimize: true,
             narrow: true,
             fuse: false,
+            verify: roccc::VerifyLevel::default(),
         };
         assert_eq!(a, cache_key(src, "f", &opts));
     }
@@ -124,6 +125,10 @@ mod tests {
             },
             CompileOptions {
                 fuse: true,
+                ..base.clone()
+            },
+            CompileOptions {
+                verify: roccc::VerifyLevel::Deny,
                 ..base.clone()
             },
         ] {

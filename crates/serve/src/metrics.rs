@@ -25,6 +25,11 @@ impl Counter {
         self.0.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Current value.
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
@@ -118,6 +123,9 @@ pub struct Metrics {
     pub panics: Counter,
     /// Connections refused with `busy` by admission control.
     pub busy_rejections: Counter,
+    /// Verifier + VHDL lint findings across all actual compiles
+    /// (`roccc::verify_compiled` runs on every cache miss).
+    pub verify_findings: Counter,
     /// End-to-end request latency (all compile requests).
     pub request_latency: Histogram,
     /// Per-phase compile latency, indexed like [`PhaseTimings::PHASES`].
@@ -170,6 +178,11 @@ impl Metrics {
                 "roccc_busy_total",
                 "Connections rejected busy by admission control",
                 &self.busy_rejections,
+            ),
+            (
+                "roccc_verify_findings_total",
+                "Static verifier and VHDL lint findings across compiles",
+                &self.verify_findings,
             ),
         ] {
             s.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n"));

@@ -215,7 +215,7 @@ pub fn start(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
     let compiler: CompileFn = cfg
         .compiler
         .clone()
-        .unwrap_or_else(|| Arc::new(|s, f, o| roccc::compile_timed(s, f, o)));
+        .unwrap_or_else(|| Arc::new(roccc::compile_timed));
     let shared = Arc::new(Shared {
         cache: ShardedLru::new(cfg.cache_cap, cfg.cache_shards),
         disk,
@@ -417,11 +417,18 @@ fn render_stats(entry: &CacheEntry) -> String {
         full.luts, full.ffs, full.slices, full.fmax_mhz
     ));
     s.push_str(&format!(
+        "verify           : {} finding(s)\n",
+        entry.verify.len()
+    ));
+    for d in &entry.verify {
+        s.push_str(&format!("  {d}\n"));
+    }
+    s.push_str(&format!(
         "vhdl lint        : {} warning(s)\n",
         entry.lint.len()
     ));
     for w in &entry.lint {
-        s.push_str(&format!("  warning: {w}\n"));
+        s.push_str(&format!("  {w}\n"));
     }
     let t = &entry.timings;
     s.push_str(&format!(
@@ -572,20 +579,26 @@ fn spawn_compile(
                 let t0 = Instant::now();
                 let vhdl = compiled.to_vhdl();
                 timings.vhdl += t0.elapsed();
-                let lint = roccc_vhdl::lint::lint(&vhdl)
-                    .into_iter()
-                    .map(|e| e.to_string())
-                    .collect();
+                let lint = roccc_vhdl::lint::lint(&vhdl);
+                // Always re-verify the artifacts on a real compile so the
+                // daemon surfaces findings even for clients that did not
+                // ask for a verify level.
+                let verify = roccc::verify_compiled(&compiled);
                 Ok::<CacheEntry, CompileError>(CacheEntry {
                     compiled,
                     vhdl,
                     lint,
+                    verify,
                     timings,
                 })
             }));
             let outcome = match result {
                 Ok(Ok(entry)) => {
                     shared.metrics.observe_phases(&entry.timings);
+                    shared
+                        .metrics
+                        .verify_findings
+                        .add((entry.verify.len() + entry.lint.len()) as u64);
                     let entry = Arc::new(entry);
                     shared.cache.insert(key, Arc::clone(&entry));
                     shared.clear_inflight(key);

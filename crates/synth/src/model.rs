@@ -228,7 +228,7 @@ mod tests {
         let m = VirtexII::default();
         // 100 LUTs, 20 FFs → about 55 slices with packing 0.92.
         let s = m.slices(100, 20);
-        assert!(s >= 50 && s <= 60, "{s}");
+        assert!((50..=60).contains(&s), "{s}");
         // FF-dominated.
         assert!(m.slices(10, 200) >= 100);
     }

@@ -1,0 +1,436 @@
+//! Data-path-phase checks: acyclicity, staging and bit-width soundness.
+//!
+//! The pipelined data path (§4.2.2–§4.2.3) must stay a DAG — the one
+//! legal feedback loop, `LPR → … → SNX`, is latched through a
+//! [`Datapath::feedback`] slot and never appears as an operand edge —
+//! stages must be monotone along every edge, and the narrowed hardware
+//! widths must still satisfy every consumer's demand (§5's
+//! port-size-and-opcode narrowing, re-derived here independently).
+
+use crate::diag::{Diagnostic, Loc, Phase};
+use crate::ir::expected_arity;
+use roccc_datapath::{Datapath, Value};
+use roccc_suifvm::ir::Opcode;
+
+fn err(code: &'static str, op: u32, msg: String) -> Diagnostic {
+    Diagnostic::error(Phase::Datapath, code, Loc::Op(op), msg)
+}
+
+/// Runs every datapath-phase check over `dp` and returns the findings
+/// (empty = clean).
+///
+/// * `D001-comb-cycle` — an operand edge closes a combinational cycle
+///   (self or forward reference in the topological order). The only
+///   legal cycle is the latched `LPR→…→SNX` feedback loop, which lives
+///   in [`Datapath::feedback`], not in operand edges;
+/// * `D002-missing-ref` — an operand, node, LUT table, feedback slot,
+///   output or feedback value names something out of range;
+/// * `D003-stage-inversion` — a value consumed in an earlier stage than
+///   the one producing it;
+/// * `D004-stage-range` — an op staged at or beyond `num_stages`;
+/// * `D005-feedback-stage-split` — an `LPR` and the `SNX` source of the
+///   same slot placed in different stages (the latch would close over a
+///   partial iteration);
+/// * `D006-width-bounds` — `hw_bits` of 0 or wider than the exact type,
+///   or a comparison not exactly 1 bit;
+/// * `D007-width-demand` — a producer narrower than what one of its
+///   consumers observes, so narrowing changed the computed value;
+/// * `D008-bad-arity` — wrong operand count for the opcode.
+pub fn verify_datapath(dp: &Datapath) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let n = dp.ops.len();
+    let op_ok = |v: Value| match v {
+        Value::Op(o) => (o.0 as usize) < n,
+        Value::Input(k) => k < dp.inputs.len(),
+        Value::Const(_) => true,
+    };
+
+    // --- References and acyclicity (everything later depends on them) --
+    for (i, op) in dp.ops.iter().enumerate() {
+        for src in &op.srcs {
+            match *src {
+                Value::Op(o) if o.0 as usize >= i => out.push(err(
+                    "D001-comb-cycle",
+                    i as u32,
+                    format!(
+                        "op{i} ({}) consumes {o}, closing a combinational cycle; only the \
+                         latched LPR->SNX feedback loop may cycle, and it lives in feedback \
+                         slots, not operand edges",
+                        op.op
+                    ),
+                )),
+                v if !op_ok(v) => out.push(err(
+                    "D002-missing-ref",
+                    i as u32,
+                    format!("op{i} ({}) reads nonexistent {v:?}", op.op),
+                )),
+                _ => {}
+            }
+        }
+        if op.node.0 as usize >= dp.nodes.len() {
+            out.push(err(
+                "D002-missing-ref",
+                i as u32,
+                format!("op{i} belongs to missing {}", op.node),
+            ));
+        }
+        match op.op {
+            Opcode::Lut if op.imm < 0 || op.imm as usize >= dp.luts.len() => {
+                out.push(err(
+                    "D002-missing-ref",
+                    i as u32,
+                    format!("op{i} names LUT table {} of {}", op.imm, dp.luts.len()),
+                ));
+            }
+            Opcode::Lpr | Opcode::Snx if op.imm < 0 || op.imm as usize >= dp.feedback.len() => {
+                out.push(err(
+                    "D002-missing-ref",
+                    i as u32,
+                    format!(
+                        "op{i} ({}) names feedback slot {} of {}",
+                        op.op,
+                        op.imm,
+                        dp.feedback.len()
+                    ),
+                ));
+            }
+            _ => {}
+        }
+        let want = expected_arity(op.op);
+        if op.srcs.len() != want {
+            out.push(err(
+                "D008-bad-arity",
+                i as u32,
+                format!(
+                    "op{i} ({}) has {} operands, expected {want}",
+                    op.op,
+                    op.srcs.len()
+                ),
+            ));
+        }
+    }
+    for (k, port) in dp.outputs.iter().enumerate() {
+        if !op_ok(port.value) {
+            out.push(Diagnostic::error(
+                Phase::Datapath,
+                "D002-missing-ref",
+                Loc::None,
+                format!(
+                    "output port {k} ({}) driven by nonexistent {:?}",
+                    port.name, port.value
+                ),
+            ));
+        }
+    }
+    for (slot_idx, (slot, v)) in dp.feedback.iter().enumerate() {
+        if !op_ok(*v) {
+            out.push(Diagnostic::error(
+                Phase::Datapath,
+                "D002-missing-ref",
+                Loc::None,
+                format!(
+                    "feedback slot {slot_idx} ({}) latches nonexistent {v:?}",
+                    slot.name
+                ),
+            ));
+        }
+    }
+    // Staging and width logic below indexes through these references;
+    // bail while the graph shape itself is broken.
+    if !out.is_empty() {
+        return out;
+    }
+
+    // --- Stages ---------------------------------------------------------
+    for (i, op) in dp.ops.iter().enumerate() {
+        if op.stage >= dp.num_stages {
+            out.push(err(
+                "D004-stage-range",
+                i as u32,
+                format!(
+                    "op{i} staged at {} but the pipeline has {} stage(s)",
+                    op.stage, dp.num_stages
+                ),
+            ));
+            continue;
+        }
+        for src in &op.srcs {
+            let ps = dp.stage_of(*src);
+            if ps > op.stage {
+                out.push(err(
+                    "D003-stage-inversion",
+                    i as u32,
+                    format!(
+                        "op{i} at stage {} consumes {src:?} produced in later stage {ps}",
+                        op.stage
+                    ),
+                ));
+            }
+        }
+    }
+    // Latch balance: every LPR of a slot must sit in the stage where the
+    // SNX of that slot latches, otherwise one physical register would be
+    // read and written in different pipeline phases of the same iteration.
+    for (slot_idx, (slot, snx_src)) in dp.feedback.iter().enumerate() {
+        let snx_stage = dp.stage_of(*snx_src);
+        for (i, op) in dp.ops.iter().enumerate() {
+            if op.op == Opcode::Lpr && op.imm == slot_idx as i64 && op.stage != snx_stage {
+                out.push(err(
+                    "D005-feedback-stage-split",
+                    i as u32,
+                    format!(
+                        "feedback slot {slot_idx} ({}): LPR at stage {} but SNX latches at \
+                         stage {snx_stage}; the LPR->SNX path must land in a single stage",
+                        slot.name, op.stage
+                    ),
+                ));
+            }
+        }
+    }
+
+    // --- Widths ---------------------------------------------------------
+    for (i, op) in dp.ops.iter().enumerate() {
+        if op.hw_bits == 0 || op.hw_bits > op.ty.bits {
+            out.push(err(
+                "D006-width-bounds",
+                i as u32,
+                format!(
+                    "op{i} ({}) narrowed to {} bits outside 1..={} (exact type {})",
+                    op.op, op.hw_bits, op.ty.bits, op.ty
+                ),
+            ));
+        }
+        if op.op.is_comparison() && op.hw_bits != 1 {
+            out.push(err(
+                "D006-width-bounds",
+                i as u32,
+                format!(
+                    "op{i} ({}) is a comparison but is {} bits wide, expected 1",
+                    op.op, op.hw_bits
+                ),
+            ));
+        }
+    }
+    check_width_demand(dp, &mut out);
+
+    out
+}
+
+/// Re-derives the backward demand of every operation from the *actual*
+/// consumer widths (rather than trusting the narrowing pass) and flags
+/// any producer too narrow to satisfy it. The propagation rules mirror
+/// `roccc_datapath::narrow_widths` exactly — this is the independent
+/// soundness half of that optimization.
+fn check_width_demand(dp: &Datapath, out: &mut Vec<Diagnostic>) {
+    let n = dp.ops.len();
+    let mut demand: Vec<u8> = vec![0; n];
+    let demand_value = |demand: &mut Vec<u8>, v: Value, bits: u8| {
+        if let Value::Op(o) = v {
+            let i = o.0 as usize;
+            demand[i] = demand[i].max(bits);
+        }
+    };
+    let src_full = |v: &Value| -> u8 {
+        match v {
+            Value::Op(o) => dp.ops[o.0 as usize].ty.bits,
+            Value::Input(k) => dp.inputs[*k].1.bits,
+            Value::Const(c) => roccc_cparse::types::IntType::width_for(*c, *c < 0),
+        }
+    };
+
+    for port in &dp.outputs {
+        demand_value(&mut demand, port.value, port.ty.bits);
+    }
+    for (slot, v) in &dp.feedback {
+        demand_value(&mut demand, *v, slot.ty.bits);
+    }
+
+    for i in (0..n).rev() {
+        let op = &dp.ops[i];
+        // A comparison only ever produces 0 or 1, so 1 bit is always
+        // enough no matter how wide the observer; everything else must
+        // cover the demand up to its exact (never-wrapping) type width.
+        let cap = if op.op.is_comparison() { 1 } else { op.ty.bits };
+        let need = demand[i].min(cap).max(1);
+        if op.hw_bits < need {
+            out.push(err(
+                "D007-width-demand",
+                i as u32,
+                format!(
+                    "op{i} ({}) is {} bits wide but its consumers observe {need} bits; \
+                     narrowing changed the computed value",
+                    op.op, op.hw_bits
+                ),
+            ));
+        }
+
+        // Push this op's observation down to its operands, using the width
+        // it is actually built at.
+        let hw = op.hw_bits.max(1);
+        match op.op {
+            Opcode::Add
+            | Opcode::Sub
+            | Opcode::Mul
+            | Opcode::And
+            | Opcode::Or
+            | Opcode::Xor
+            | Opcode::Not
+            | Opcode::Neg
+            | Opcode::Mov => {
+                for s in &op.srcs {
+                    demand_value(&mut demand, *s, hw.min(src_full(s)));
+                }
+            }
+            Opcode::Shl => match op.srcs.get(1) {
+                Some(Value::Const(c)) if *c >= 0 => {
+                    demand_value(&mut demand, op.srcs[0], hw.saturating_sub(*c as u8).max(1));
+                }
+                _ => {
+                    for s in &op.srcs {
+                        demand_value(&mut demand, *s, src_full(s));
+                    }
+                }
+            },
+            Opcode::Shr => match op.srcs.get(1) {
+                Some(Value::Const(c)) if *c >= 0 => {
+                    let need = hw.saturating_add(*c as u8).min(src_full(&op.srcs[0]));
+                    demand_value(&mut demand, op.srcs[0], need);
+                }
+                _ => {
+                    for s in &op.srcs {
+                        demand_value(&mut demand, *s, src_full(s));
+                    }
+                }
+            },
+            Opcode::Cvt => demand_value(&mut demand, op.srcs[0], hw.min(op.ty.bits)),
+            Opcode::Mux => {
+                demand_value(&mut demand, op.srcs[0], 1);
+                demand_value(&mut demand, op.srcs[1], hw.min(src_full(&op.srcs[1])));
+                demand_value(&mut demand, op.srcs[2], hw.min(src_full(&op.srcs[2])));
+            }
+            // Exact-value consumers observe every bit of their operands.
+            Opcode::Div
+            | Opcode::Rem
+            | Opcode::Slt
+            | Opcode::Sle
+            | Opcode::Seq
+            | Opcode::Sne
+            | Opcode::Bool
+            | Opcode::Lut => {
+                for s in &op.srcs {
+                    demand_value(&mut demand, *s, src_full(s));
+                }
+            }
+            Opcode::Lpr | Opcode::Arg | Opcode::Ldc | Opcode::Snx => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roccc_cparse::parser::parse;
+    use roccc_datapath::{
+        build_datapath, narrow_widths, pipeline_datapath, DefaultDelayModel, OpId,
+    };
+    use roccc_suifvm::{lower_function, optimize, to_ssa};
+
+    fn dp_of(src: &str, func: &str, period: f64) -> Datapath {
+        let prog = parse(src).unwrap();
+        roccc_cparse::sema::check(&prog).unwrap();
+        let f = prog.function(func).unwrap();
+        let mut ir = lower_function(&prog, f, &[]).unwrap();
+        to_ssa(&mut ir);
+        optimize(&mut ir);
+        let mut dp = build_datapath(&ir).unwrap();
+        pipeline_datapath(&mut dp, period, &DefaultDelayModel);
+        narrow_widths(&mut dp);
+        dp
+    }
+
+    const DEEP: &str = "void f(int a, int b, int* o) { *o = (a * b) * (a + b) * 3 + a; }";
+
+    #[test]
+    fn clean_pipelined_datapath_passes() {
+        let dp = dp_of(DEEP, "f", 4.0);
+        assert!(dp.num_stages > 1, "want a multi-stage pipeline");
+        assert_eq!(verify_datapath(&dp), vec![]);
+    }
+
+    #[test]
+    fn forward_reference_is_a_comb_cycle() {
+        let mut dp = dp_of(DEEP, "f", 1000.0);
+        let last = OpId(dp.ops.len() as u32 - 1);
+        dp.ops[0].srcs[0] = Value::Op(last);
+        let diags = verify_datapath(&dp);
+        assert!(
+            diags.iter().any(|d| d.code == "D001-comb-cycle"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn stage_inversion_is_reported() {
+        let mut dp = dp_of(DEEP, "f", 4.0);
+        // Pull the last op (latest stage) into stage 0: its operands now
+        // come from later stages.
+        let last = dp.ops.len() - 1;
+        assert!(dp.ops[last].stage > 0);
+        dp.ops[last].stage = 0;
+        let diags = verify_datapath(&dp);
+        assert!(
+            diags.iter().any(|d| d.code == "D003-stage-inversion"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn stage_out_of_range_is_reported() {
+        let mut dp = dp_of(DEEP, "f", 1000.0);
+        let last = dp.ops.len() - 1;
+        dp.ops[last].stage = dp.num_stages + 3;
+        let diags = verify_datapath(&dp);
+        assert!(
+            diags.iter().any(|d| d.code == "D004-stage-range"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn over_narrowed_width_is_reported() {
+        let mut dp = dp_of(DEEP, "f", 1000.0);
+        // Shrink the op driving the 32-bit output below its demand.
+        let driven = match dp.outputs[0].value {
+            Value::Op(o) => o.0 as usize,
+            _ => panic!("expected op-driven output"),
+        };
+        dp.ops[driven].hw_bits = 3;
+        let diags = verify_datapath(&dp);
+        assert!(
+            diags.iter().any(|d| d.code == "D007-width-demand"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn zero_width_is_reported() {
+        let mut dp = dp_of(DEEP, "f", 1000.0);
+        dp.ops[0].hw_bits = 0;
+        let diags = verify_datapath(&dp);
+        assert!(
+            diags.iter().any(|d| d.code == "D006-width-bounds"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn missing_input_ref_is_reported() {
+        let mut dp = dp_of(DEEP, "f", 1000.0);
+        dp.ops[0].srcs[0] = Value::Input(99);
+        let diags = verify_datapath(&dp);
+        assert!(
+            diags.iter().any(|d| d.code == "D002-missing-ref"),
+            "{diags:?}"
+        );
+    }
+}

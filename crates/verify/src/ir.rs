@@ -1,0 +1,520 @@
+//! SUIFvm-phase checks: CFG well-formedness and SSA invariants.
+//!
+//! The paper's back end leans on two structural guarantees (§4.2.1):
+//! the CFG of a data-path function is a DAG of blocks with explicit
+//! terminators, and after SSA construction "every virtual register is
+//! assigned only once" with every use dominated by its definition.
+//! These checks make both machine-verifiable.
+
+use crate::diag::{Diagnostic, Loc, Phase};
+use roccc_suifvm::dom::DomInfo;
+use roccc_suifvm::ir::{BlockId, FunctionIr, Instr, Opcode, Terminator, VReg};
+use std::collections::HashMap;
+
+/// Where a register is defined inside its block.
+#[derive(Clone, Copy)]
+enum DefSite {
+    /// A phi node (phis execute before every instruction of the block).
+    Phi,
+    /// The `i`-th instruction of the block.
+    Instr(usize),
+}
+
+fn err(code: &'static str, loc: Loc, msg: String) -> Diagnostic {
+    Diagnostic::error(Phase::SuifVm, code, loc, msg)
+}
+
+/// The operand count an opcode requires, if fixed.
+pub(crate) fn expected_arity(op: Opcode) -> usize {
+    match op {
+        Opcode::Arg | Opcode::Ldc | Opcode::Lpr => 0,
+        Opcode::Mov
+        | Opcode::Cvt
+        | Opcode::Neg
+        | Opcode::Not
+        | Opcode::Bool
+        | Opcode::Lut
+        | Opcode::Snx => 1,
+        Opcode::Mux => 3,
+        _ => 2,
+    }
+}
+
+/// Runs every SuifVM-phase check over `f` and returns the findings
+/// (empty = clean). Checks marked *SSA* only run when `f.is_ssa`.
+///
+/// * `S001-bad-edge` — a terminator or phi argument names a block that
+///   does not exist;
+/// * `S002-block-id-mismatch` — a block's `id` disagrees with its index;
+/// * `S003-invalid-vreg` — a register was never allocated
+///   (`vreg_types` has no entry for it);
+/// * `S004-multiple-def` (*SSA*) — a register assigned more than once;
+/// * `S005-undefined-vreg` — a use (source, phi argument, branch
+///   condition or output register) with no definition anywhere;
+/// * `S006-undominated-use` (*SSA*) — a definition that does not
+///   dominate one of its uses;
+/// * `S007-phi-arity` — phi argument list disagrees with the block's
+///   predecessors;
+/// * `S008-missing-dst` — a value-producing instruction without a
+///   destination (only `SNX` may omit one);
+/// * `S009-bad-arity` — wrong operand count for the opcode;
+/// * `S010-bad-slot` — `LPR`/`SNX` feedback slot or `LUT` table index
+///   out of range;
+/// * `S011-unreachable-block` (warning) — a block the entry cannot reach.
+pub fn verify_ir(f: &FunctionIr) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let nblocks = f.blocks.len();
+    let nregs = f.vreg_types.len();
+    if nblocks == 0 {
+        out.push(err(
+            "S001-bad-edge",
+            Loc::None,
+            "function has no blocks (no entry)".into(),
+        ));
+        return out;
+    }
+
+    let block_ok = |b: BlockId| (b.0 as usize) < nblocks;
+    let reg_ok = |r: VReg| (r.0 as usize) < nregs;
+
+    // --- CFG shape -----------------------------------------------------
+    for (i, b) in f.blocks.iter().enumerate() {
+        let loc = Loc::Block(b.id.0);
+        if b.id.0 as usize != i {
+            out.push(err(
+                "S002-block-id-mismatch",
+                loc,
+                format!("block at index {i} carries id {}", b.id),
+            ));
+        }
+        for s in b.term.successors() {
+            if !block_ok(s) {
+                out.push(err(
+                    "S001-bad-edge",
+                    loc,
+                    format!("terminator of {} targets missing block {s}", b.id),
+                ));
+            }
+        }
+        for p in &b.phis {
+            for (pred, _) in &p.args {
+                if !block_ok(*pred) {
+                    out.push(err(
+                        "S001-bad-edge",
+                        loc,
+                        format!("phi {} in {} names missing block {pred}", p.dst, b.id),
+                    ));
+                }
+            }
+        }
+    }
+    // Later checks index blocks by id; bail out while the CFG itself is
+    // inconsistent rather than double-report from a corrupt shape.
+    if out
+        .iter()
+        .any(|d| d.code == "S001-bad-edge" || d.code == "S002-block-id-mismatch")
+    {
+        return out;
+    }
+
+    // --- Register validity and definition sites ------------------------
+    let mut defs: HashMap<VReg, (BlockId, DefSite)> = HashMap::new();
+    let report_invalid = |out: &mut Vec<Diagnostic>, r: VReg, what: &str, loc: Loc| {
+        if !reg_ok(r) {
+            out.push(err(
+                "S003-invalid-vreg",
+                loc,
+                format!("{what} names unallocated register {r}"),
+            ));
+            false
+        } else {
+            true
+        }
+    };
+    for b in &f.blocks {
+        let loc = Loc::Block(b.id.0);
+        for p in &b.phis {
+            if report_invalid(&mut out, p.dst, "phi destination", loc)
+                && f.is_ssa
+                && defs.insert(p.dst, (b.id, DefSite::Phi)).is_some()
+            {
+                out.push(err(
+                    "S004-multiple-def",
+                    loc,
+                    format!("{} defined more than once (phi in {})", p.dst, b.id),
+                ));
+            } else if !f.is_ssa {
+                defs.entry(p.dst).or_insert((b.id, DefSite::Phi));
+            }
+            for (_, a) in &p.args {
+                report_invalid(&mut out, *a, "phi argument", loc);
+            }
+        }
+        for (i, instr) in b.instrs.iter().enumerate() {
+            if let Some(d) = instr.dst {
+                if report_invalid(&mut out, d, "destination", loc) {
+                    if f.is_ssa {
+                        if defs.insert(d, (b.id, DefSite::Instr(i))).is_some() {
+                            out.push(err(
+                                "S004-multiple-def",
+                                loc,
+                                format!("{d} defined more than once (in {})", b.id),
+                            ));
+                        }
+                    } else {
+                        defs.entry(d).or_insert((b.id, DefSite::Instr(i)));
+                    }
+                }
+            }
+            for s in &instr.srcs {
+                report_invalid(&mut out, *s, "source operand", loc);
+            }
+            check_instr_shape(&mut out, instr, b.id, f);
+        }
+        if let Terminator::Branch { cond, .. } = &b.term {
+            report_invalid(&mut out, *cond, "branch condition", loc);
+        }
+    }
+    for r in &f.output_srcs {
+        report_invalid(&mut out, *r, "output register", Loc::None);
+    }
+
+    // --- Phi arity vs. predecessors ------------------------------------
+    let preds = f.predecessors();
+    for b in &f.blocks {
+        let loc = Loc::Block(b.id.0);
+        let bp = &preds[b.id.0 as usize];
+        for p in &b.phis {
+            if p.args.len() != bp.len() {
+                out.push(err(
+                    "S007-phi-arity",
+                    loc,
+                    format!(
+                        "phi {} in {} has {} arguments for {} predecessors",
+                        p.dst,
+                        b.id,
+                        p.args.len(),
+                        bp.len()
+                    ),
+                ));
+            } else {
+                for (pred, _) in &p.args {
+                    if !bp.contains(pred) {
+                        out.push(err(
+                            "S007-phi-arity",
+                            loc,
+                            format!(
+                                "phi {} in {} names {pred}, which is not a predecessor",
+                                p.dst, b.id
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    // --- Reachability ---------------------------------------------------
+    let mut reachable = vec![false; nblocks];
+    let mut stack = vec![f.entry()];
+    reachable[0] = true;
+    while let Some(b) = stack.pop() {
+        for s in f.block(b).term.successors() {
+            if !reachable[s.0 as usize] {
+                reachable[s.0 as usize] = true;
+                stack.push(s);
+            }
+        }
+    }
+    for b in &f.blocks {
+        if !reachable[b.id.0 as usize] {
+            out.push(Diagnostic::warning(
+                Phase::SuifVm,
+                "S011-unreachable-block",
+                Loc::Block(b.id.0),
+                format!("block {} is unreachable from the entry", b.id),
+            ));
+        }
+    }
+
+    // --- Uses: defined, and (SSA) dominated by their definition ---------
+    let dom = f.is_ssa.then(|| DomInfo::compute(f));
+    let check_use = |out: &mut Vec<Diagnostic>, r: VReg, block: BlockId, at: DefSite| {
+        if !reg_ok(r) {
+            return; // already reported as S003
+        }
+        let Some(&(def_block, def_site)) = defs.get(&r) else {
+            out.push(err(
+                "S005-undefined-vreg",
+                Loc::Block(block.0),
+                format!("{r} used in {block} but never defined"),
+            ));
+            return;
+        };
+        let Some(dom) = &dom else { return };
+        if !reachable[block.0 as usize] {
+            return; // dominance is meaningless off the reachable CFG
+        }
+        let dominated = if def_block == block {
+            match (def_site, at) {
+                (DefSite::Phi, _) => true,
+                (DefSite::Instr(_), DefSite::Phi) => false,
+                (DefSite::Instr(d), DefSite::Instr(u)) => d < u,
+            }
+        } else {
+            dom.dominates(def_block, block)
+        };
+        if !dominated {
+            out.push(err(
+                "S006-undominated-use",
+                Loc::Block(block.0),
+                format!(
+                    "{r} used in {block} but its definition in {def_block} does not dominate it"
+                ),
+            ));
+        }
+    };
+    for b in &f.blocks {
+        for p in &b.phis {
+            // A phi argument is really a use at the end of the incoming
+            // edge: the definition must dominate the predecessor.
+            for (pred, a) in &p.args {
+                check_use(&mut out, *a, *pred, DefSite::Instr(usize::MAX));
+            }
+        }
+        for (i, instr) in b.instrs.iter().enumerate() {
+            for s in &instr.srcs {
+                check_use(&mut out, *s, b.id, DefSite::Instr(i));
+            }
+        }
+        if let Terminator::Branch { cond, .. } = &b.term {
+            check_use(&mut out, *cond, b.id, DefSite::Instr(usize::MAX));
+        }
+    }
+    for r in &f.output_srcs {
+        if reg_ok(*r) && !defs.contains_key(r) {
+            out.push(err(
+                "S005-undefined-vreg",
+                Loc::None,
+                format!("output register {r} never defined"),
+            ));
+        }
+    }
+
+    out
+}
+
+/// Per-instruction shape checks (destination presence, operand count,
+/// immediate ranges).
+fn check_instr_shape(out: &mut Vec<Diagnostic>, instr: &Instr, block: BlockId, f: &FunctionIr) {
+    let loc = Loc::Block(block.0);
+    match (instr.op, instr.dst) {
+        (Opcode::Snx, Some(d)) => out.push(err(
+            "S008-missing-dst",
+            loc,
+            format!("snx in {block} must not produce a value, but writes {d}"),
+        )),
+        (Opcode::Snx, None) => {}
+        (op, None) => out.push(err(
+            "S008-missing-dst",
+            loc,
+            format!("{op} in {block} has no destination register"),
+        )),
+        _ => {}
+    }
+    let want = expected_arity(instr.op);
+    if instr.srcs.len() != want {
+        out.push(err(
+            "S009-bad-arity",
+            loc,
+            format!(
+                "{} in {block} has {} operands, expected {want}",
+                instr.op,
+                instr.srcs.len()
+            ),
+        ));
+    }
+    match instr.op {
+        Opcode::Lpr | Opcode::Snx if (instr.imm < 0 || instr.imm as usize >= f.feedback.len()) => {
+            out.push(err(
+                "S010-bad-slot",
+                loc,
+                format!(
+                    "{} in {block} names feedback slot {} of {}",
+                    instr.op,
+                    instr.imm,
+                    f.feedback.len()
+                ),
+            ));
+        }
+        Opcode::Lut if (instr.imm < 0 || instr.imm as usize >= f.luts.len()) => {
+            out.push(err(
+                "S010-bad-slot",
+                loc,
+                format!(
+                    "lut in {block} names table {} of {}",
+                    instr.imm,
+                    f.luts.len()
+                ),
+            ));
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roccc_cparse::parser::parse;
+    use roccc_suifvm::{lower_function, optimize, to_ssa};
+
+    fn ssa_ir(src: &str, func: &str) -> FunctionIr {
+        let prog = parse(src).unwrap();
+        roccc_cparse::sema::check(&prog).unwrap();
+        let f = prog.function(func).unwrap();
+        let mut ir = lower_function(&prog, f, &[]).unwrap();
+        to_ssa(&mut ir);
+        optimize(&mut ir);
+        ir
+    }
+
+    const BRANCHY: &str = "void f(int a, int b, int* o) {
+        int x;
+        if (a < b) { x = a * 3; } else { x = b - a; }
+        *o = x + 1; }";
+
+    #[test]
+    fn clean_ssa_ir_passes() {
+        let ir = ssa_ir(BRANCHY, "f");
+        assert_eq!(verify_ir(&ir), vec![]);
+    }
+
+    #[test]
+    fn bad_edge_is_reported() {
+        let mut ir = ssa_ir(BRANCHY, "f");
+        ir.blocks[0].term = Terminator::Jump(BlockId(99));
+        let codes: Vec<_> = verify_ir(&ir).iter().map(|d| d.code).collect();
+        assert!(codes.contains(&"S001-bad-edge"), "{codes:?}");
+    }
+
+    #[test]
+    fn double_definition_is_reported() {
+        let mut ir = ssa_ir(BRANCHY, "f");
+        // Duplicate the first value-producing instruction.
+        let dup = ir.blocks[0]
+            .instrs
+            .iter()
+            .find(|i| i.dst.is_some())
+            .unwrap()
+            .clone();
+        ir.blocks[0].instrs.push(dup);
+        let diags = verify_ir(&ir);
+        assert!(
+            diags.iter().any(|d| d.code == "S004-multiple-def"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn undominated_use_is_reported() {
+        let mut ir = ssa_ir(BRANCHY, "f");
+        // Find a register defined in a branch arm (bb != 0) and use it in
+        // the entry block, before the definition can dominate it.
+        let arm_def = ir
+            .blocks
+            .iter()
+            .skip(1)
+            .flat_map(|b| b.instrs.iter())
+            .find_map(|i| i.dst)
+            .expect("branchy kernel defines values in arms");
+        let ty = ir.ty(arm_def);
+        let d = ir.new_vreg(ty);
+        ir.blocks[0]
+            .instrs
+            .insert(0, Instr::new(Opcode::Mov, d, vec![arm_def], 0, ty));
+        let diags = verify_ir(&ir);
+        assert!(
+            diags.iter().any(|d| d.code == "S006-undominated-use"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn phi_arity_mismatch_is_reported() {
+        let mut ir = ssa_ir(BRANCHY, "f");
+        let join = ir
+            .blocks
+            .iter()
+            .position(|b| !b.phis.is_empty())
+            .expect("branchy kernel has a phi");
+        ir.blocks[join].phis[0].args.pop();
+        let diags = verify_ir(&ir);
+        assert!(
+            diags.iter().any(|d| d.code == "S007-phi-arity"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn undefined_vreg_is_reported() {
+        let mut ir = ssa_ir(BRANCHY, "f");
+        let ghost = ir.new_vreg(roccc_cparse::types::IntType::int());
+        let last = ir.blocks.len() - 1;
+        let dst = ir.new_vreg(roccc_cparse::types::IntType::int());
+        ir.blocks[last].instrs.push(Instr::new(
+            Opcode::Mov,
+            dst,
+            vec![ghost],
+            0,
+            roccc_cparse::types::IntType::int(),
+        ));
+        let diags = verify_ir(&ir);
+        assert!(
+            diags.iter().any(|d| d.code == "S005-undefined-vreg"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn invalid_vreg_and_arity_are_reported() {
+        let mut ir = ssa_ir("void g(int a, int* o) { *o = a + 2; }", "g");
+        let ty = roccc_cparse::types::IntType::int();
+        let d = ir.new_vreg(ty);
+        // A register index far beyond the allocator.
+        ir.blocks[0]
+            .instrs
+            .push(Instr::new(Opcode::Mov, d, vec![VReg(4096)], 0, ty));
+        let d2 = ir.new_vreg(ty);
+        // add with one operand.
+        ir.blocks[0]
+            .instrs
+            .push(Instr::new(Opcode::Add, d2, vec![d], 0, ty));
+        let codes: Vec<_> = verify_ir(&ir).iter().map(|d| d.code).collect();
+        assert!(codes.contains(&"S003-invalid-vreg"), "{codes:?}");
+        assert!(codes.contains(&"S009-bad-arity"), "{codes:?}");
+    }
+
+    #[test]
+    fn bad_feedback_slot_is_reported() {
+        let mut ir = ssa_ir("void g(int a, int* o) { *o = a + 2; }", "g");
+        let ty = roccc_cparse::types::IntType::int();
+        let d = ir.new_vreg(ty);
+        ir.blocks[0]
+            .instrs
+            .insert(0, Instr::new(Opcode::Lpr, d, vec![], 3, ty));
+        let diags = verify_ir(&ir);
+        assert!(diags.iter().any(|d| d.code == "S010-bad-slot"), "{diags:?}");
+    }
+
+    #[test]
+    fn unreachable_block_is_a_warning() {
+        let mut ir = ssa_ir("void g(int a, int* o) { *o = a + 2; }", "g");
+        ir.new_block(); // dangling, nothing jumps to it
+        let diags = verify_ir(&ir);
+        let hit = diags
+            .iter()
+            .find(|d| d.code == "S011-unreachable-block")
+            .expect("dangling block flagged");
+        assert_eq!(hit.severity, crate::Severity::Warning);
+    }
+}

@@ -1,0 +1,35 @@
+//! # roccc-verify — phase-indexed static verification
+//!
+//! The compile pipeline (§4 of the reproduced paper) only produces
+//! correct hardware because each phase preserves strong structural
+//! invariants: SSA single assignment in the IR, an acyclic latch-balanced
+//! data path whose one legal feedback loop (`LPR→…→SNX`) is registered,
+//! and a netlist where every wire has exactly one driver and every cycle
+//! crosses a register. This crate checks those invariants *after* each
+//! phase and reports violations as uniform [`Diagnostic`] values with
+//! stable codes (`S004-multiple-def`, `D001-comb-cycle`,
+//! `N003-comb-loop`, …), so a transform bug surfaces as a named finding
+//! instead of silently becoming wrong VHDL.
+//!
+//! * [`verify_ir`] — CFG well-formedness and SSA invariants (`S0xx`);
+//! * [`verify_datapath`] — acyclicity, stage monotonicity/latch balance,
+//!   bit-width soundness against the narrowing rules (`D0xx`);
+//! * [`verify_netlist`] — drivers, combinational loops, port widths,
+//!   dead cells (`N0xx`);
+//! * the VHDL linter in `roccc-vhdl` emits the same [`Diagnostic`] type
+//!   with `V0xx` codes.
+//!
+//! How strictly findings gate a compile is a [`VerifyLevel`]: `Off`,
+//! `Warn` (errors abort, warnings surface) or `Deny` (anything aborts).
+
+#![warn(missing_docs)]
+
+pub mod datapath;
+pub mod diag;
+pub mod ir;
+pub mod netlist;
+
+pub use datapath::verify_datapath;
+pub use diag::{Diagnostic, Loc, Phase, Severity, VerifyLevel};
+pub use ir::verify_ir;
+pub use netlist::verify_netlist;

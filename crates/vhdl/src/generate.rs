@@ -279,8 +279,8 @@ fn node_entity(dp: &Datapath, node: NodeId) -> Entity {
             Opcode::Seq => cmp_expr(&raw(0), &raw(1), "="),
             Opcode::Sne => cmp_expr(&raw(0), &raw(1), "/="),
             Opcode::Bool => format!(
-                "to_unsigned(1, 1) when ({} /= 0) else to_unsigned(0, 1)",
-                format!("to_integer({})", raw(0))
+                "to_unsigned(1, 1) when (to_integer({}) /= 0) else to_unsigned(0, 1)",
+                raw(0)
             ),
             Opcode::Mux => format!("{} when {}(0) = '1' else {}", opnd(1), raw(0), opnd(2)),
             Opcode::Mov | Opcode::Cvt => opnd(0),
@@ -609,79 +609,6 @@ fn top_entity(dp: &Datapath) -> Entity {
     e
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use roccc::{compile, CompileOptions};
-
-    fn vhdl_for(src: &str, func: &str) -> String {
-        let hw = compile(src, func, &CompileOptions::default()).unwrap();
-        generate_vhdl(&hw.kernel, &hw.datapath)
-    }
-
-    #[test]
-    fn cast_handles_all_signedness_combinations() {
-        assert_eq!(cast("x", &VhdlType::Signed(8), true, 8), "x");
-        assert_eq!(cast("x", &VhdlType::Signed(8), true, 12), "resize(x, 12)");
-        assert_eq!(
-            cast("x", &VhdlType::Unsigned(8), true, 12),
-            "signed(resize(x, 12))"
-        );
-        assert_eq!(
-            cast("x", &VhdlType::Signed(8), false, 4),
-            "unsigned(resize(x, 4))"
-        );
-    }
-
-    #[test]
-    fn top_entity_has_valid_chain_and_ports() {
-        let text = vhdl_for("void f(int a, int b, int* o) { *o = a * b + 1; }", "f");
-        assert!(text.contains("entity f_dp is"));
-        assert!(text.contains("ivalid : in  std_logic"));
-        assert!(text.contains("ovalid : out std_logic"));
-        assert!(text.contains("in_a : in  signed(31 downto 0)"));
-        assert!(text.contains("out_o : out signed(31 downto 0)"));
-        assert!(text.contains("valid_s0 <= ivalid;"));
-        assert!(text.contains("pipeline: process(clk)"));
-    }
-
-    #[test]
-    fn mux_node_entity_emitted_for_branches() {
-        let text = vhdl_for(
-            "void f(int a, int* o) { int x; if (a > 0) { x = a; } else { x = -a; } *o = x; }",
-            "f",
-        );
-        assert!(text.contains("mux"), "{text}");
-        assert!(text.contains("when"), "mux select expression");
-    }
-
-    #[test]
-    fn feedback_kernel_gets_gated_latch() {
-        let text = vhdl_for(
-            "void acc(int A[8], int* out) { int s = 0; int i;
-               for (i = 0; i < 8; i++) { s = s + A[i]; } *out = s; }",
-            "acc",
-        );
-        assert!(text.contains("fb_latch_s"), "{text}");
-        assert!(text.contains("if valid_s"), "latch gated by the valid bit");
-        // Streaming kernel also gets buffer + controller shells.
-        assert!(text.contains("smart_buffer"));
-        assert!(text.contains("controller"));
-    }
-
-    #[test]
-    fn rom_entities_are_padded_to_power_of_two() {
-        let text = vhdl_for(
-            "const uint8 t[5] = {1,2,3,4,5};
-             void f(uint3 i, uint8* o) { *o = ROCCC_lut(t, i); }",
-            "f",
-        );
-        // 5 entries pad to 8.
-        assert!(text.contains("array (0 to 7)"), "{text}");
-        assert!(text.contains("table(to_integer(addr))"));
-    }
-}
-
 /// Behavioral smart-buffer shell parameterized by the kernel's window.
 fn smart_buffer_entity(kernel: &Kernel, dp: &Datapath) -> Entity {
     let mut e = Entity::new(format!("{}_smart_buffer", dp.name.to_lowercase()));
@@ -827,4 +754,77 @@ fn controller_entity(kernel: &Kernel, dp: &Datapath) -> Entity {
         expr: format!("'1' when iter >= to_unsigned({total}, 32) else '0'"),
     });
     e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roccc::{compile, CompileOptions};
+
+    fn vhdl_for(src: &str, func: &str) -> String {
+        let hw = compile(src, func, &CompileOptions::default()).unwrap();
+        generate_vhdl(&hw.kernel, &hw.datapath)
+    }
+
+    #[test]
+    fn cast_handles_all_signedness_combinations() {
+        assert_eq!(cast("x", &VhdlType::Signed(8), true, 8), "x");
+        assert_eq!(cast("x", &VhdlType::Signed(8), true, 12), "resize(x, 12)");
+        assert_eq!(
+            cast("x", &VhdlType::Unsigned(8), true, 12),
+            "signed(resize(x, 12))"
+        );
+        assert_eq!(
+            cast("x", &VhdlType::Signed(8), false, 4),
+            "unsigned(resize(x, 4))"
+        );
+    }
+
+    #[test]
+    fn top_entity_has_valid_chain_and_ports() {
+        let text = vhdl_for("void f(int a, int b, int* o) { *o = a * b + 1; }", "f");
+        assert!(text.contains("entity f_dp is"));
+        assert!(text.contains("ivalid : in  std_logic"));
+        assert!(text.contains("ovalid : out std_logic"));
+        assert!(text.contains("in_a : in  signed(31 downto 0)"));
+        assert!(text.contains("out_o : out signed(31 downto 0)"));
+        assert!(text.contains("valid_s0 <= ivalid;"));
+        assert!(text.contains("pipeline: process(clk)"));
+    }
+
+    #[test]
+    fn mux_node_entity_emitted_for_branches() {
+        let text = vhdl_for(
+            "void f(int a, int* o) { int x; if (a > 0) { x = a; } else { x = -a; } *o = x; }",
+            "f",
+        );
+        assert!(text.contains("mux"), "{text}");
+        assert!(text.contains("when"), "mux select expression");
+    }
+
+    #[test]
+    fn feedback_kernel_gets_gated_latch() {
+        let text = vhdl_for(
+            "void acc(int A[8], int* out) { int s = 0; int i;
+               for (i = 0; i < 8; i++) { s = s + A[i]; } *out = s; }",
+            "acc",
+        );
+        assert!(text.contains("fb_latch_s"), "{text}");
+        assert!(text.contains("if valid_s"), "latch gated by the valid bit");
+        // Streaming kernel also gets buffer + controller shells.
+        assert!(text.contains("smart_buffer"));
+        assert!(text.contains("controller"));
+    }
+
+    #[test]
+    fn rom_entities_are_padded_to_power_of_two() {
+        let text = vhdl_for(
+            "const uint8 t[5] = {1,2,3,4,5};
+             void f(uint3 i, uint8* o) { *o = ROCCC_lut(t, i); }",
+            "f",
+        );
+        // 5 entries pad to 8.
+        assert!(text.contains("array (0 to 7)"), "{text}");
+        assert!(text.contains("table(to_integer(addr))"));
+    }
 }

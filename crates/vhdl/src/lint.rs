@@ -3,17 +3,16 @@
 //! Not a general VHDL front end — a checker for the specific shape this
 //! crate emits, used by the test-suite to catch unbound signals, missing
 //! entities and unbalanced constructs without an external simulator.
+//! Findings are reported as `roccc-verify` [`Diagnostic`] values
+//! (phase `vhdl`, codes `V001`–`V005`, warning severity) so the CLI and
+//! the compile daemon surface them uniformly with the IR/data-path/
+//! netlist verifier.
 
+use roccc_verify::{Diagnostic, Loc, Phase};
 use std::collections::{HashMap, HashSet};
 
-/// A lint finding.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct LintError(pub String);
-
-impl std::fmt::Display for LintError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "vhdl lint: {}", self.0)
-    }
+fn warn(code: &'static str, msg: String) -> Diagnostic {
+    Diagnostic::warning(Phase::Vhdl, code, Loc::None, msg)
 }
 
 #[derive(Debug, Default)]
@@ -26,7 +25,16 @@ struct EntityInfo {
 }
 
 /// Checks the generated VHDL text. Returns all findings (empty = clean).
-pub fn lint(text: &str) -> Vec<LintError> {
+///
+/// * `V001-unbound-signal` — an assignment target that is neither a
+///   declared signal nor an output port;
+/// * `V002-undriven-output` — an output port no statement drives;
+/// * `V003-unknown-entity` — an instantiation of an entity the file does
+///   not define;
+/// * `V004-unmapped-input` — an instance leaving a data input port of
+///   its entity unmapped;
+/// * `V005-arch-mismatch` — entity/architecture count imbalance.
+pub fn lint(text: &str) -> Vec<Diagnostic> {
     let mut errors = Vec::new();
     let mut entities: HashMap<String, EntityInfo> = HashMap::new();
     let mut current: Option<String> = None;
@@ -112,18 +120,20 @@ pub fn lint(text: &str) -> Vec<LintError> {
     }
 
     if entity_count != arch_count {
-        errors.push(LintError(format!(
-            "{entity_count} entities but {arch_count} architectures"
-        )));
+        errors.push(warn(
+            "V005-arch-mismatch",
+            format!("{entity_count} entities but {arch_count} architectures"),
+        ));
     }
 
     for (name, info) in &entities {
         // Every assignment target must be a signal or output port.
         for t in &info.assigned {
             if !info.signals.contains(t) && !info.out_ports.contains(t) {
-                errors.push(LintError(format!(
-                    "entity {name}: assignment to undeclared `{t}`"
-                )));
+                errors.push(warn(
+                    "V001-unbound-signal",
+                    format!("entity {name}: assignment to undeclared `{t}`"),
+                ));
             }
         }
         // Every output port must be driven.
@@ -138,27 +148,32 @@ pub fn lint(text: &str) -> Vec<LintError> {
                 // formals list only covers formals, so scan actuals too —
                 // conservatively skip this check when instances exist.
                 if info.instances.is_empty() {
-                    errors.push(LintError(format!(
-                        "entity {name}: output `{p}` never driven"
-                    )));
+                    errors.push(warn(
+                        "V002-undriven-output",
+                        format!("entity {name}: output `{p}` never driven"),
+                    ));
                 }
             }
         }
         // Instantiated entities must exist and all their in-ports be mapped.
         for (ent, formals) in &info.instances {
             match entities.get(ent) {
-                None => errors.push(LintError(format!(
-                    "entity {name}: instance of unknown entity `{ent}`"
-                ))),
+                None => errors.push(warn(
+                    "V003-unknown-entity",
+                    format!("entity {name}: instance of unknown entity `{ent}`"),
+                )),
                 Some(callee) => {
                     for p in &callee.in_ports {
                         if p == "clk" || p == "start" || p == "din_valid" || p == "ivalid" {
                             continue; // control pins optionally tied at board level
                         }
                         if !formals.contains(p) {
-                            errors.push(LintError(format!(
-                                "entity {name}: instance of `{ent}` leaves input `{p}` unmapped"
-                            )));
+                            errors.push(warn(
+                                "V004-unmapped-input",
+                                format!(
+                                    "entity {name}: instance of `{ent}` leaves input `{p}` unmapped"
+                                ),
+                            ));
                         }
                     }
                 }
@@ -172,6 +187,7 @@ pub fn lint(text: &str) -> Vec<LintError> {
 mod tests {
     use super::*;
     use crate::ast::{Entity, Port, PortDir, Signal, Stmt, VhdlType};
+    use roccc_verify::Severity;
 
     #[test]
     fn clean_entity_passes() {
@@ -203,7 +219,7 @@ mod tests {
         });
         let errs = lint(&e.render());
         assert!(
-            errs.iter().any(|e| e.0.contains("never driven")),
+            errs.iter().any(|e| e.code == "V002-undriven-output"),
             "{errs:?}"
         );
     }
@@ -216,7 +232,10 @@ mod tests {
             expr: "to_unsigned(0, 4)".into(),
         });
         let errs = lint(&e.render());
-        assert!(errs.iter().any(|e| e.0.contains("undeclared")), "{errs:?}");
+        assert!(
+            errs.iter().any(|e| e.code == "V001-unbound-signal"),
+            "{errs:?}"
+        );
     }
 
     #[test]
@@ -233,8 +252,23 @@ mod tests {
         });
         let errs = lint(&e.render());
         assert!(
-            errs.iter().any(|e| e.0.contains("unknown entity")),
+            errs.iter().any(|e| e.code == "V003-unknown-entity"),
             "{errs:?}"
         );
+    }
+
+    #[test]
+    fn findings_are_vhdl_phase_warnings() {
+        let mut e = Entity::new("bad");
+        e.ports.push(Port {
+            name: "y".into(),
+            dir: PortDir::Out,
+            ty: VhdlType::Unsigned(8),
+        });
+        for d in lint(&e.render()) {
+            assert_eq!(d.phase, Phase::Vhdl);
+            assert_eq!(d.severity, Severity::Warning);
+            assert!(d.code.starts_with('V'), "{}", d.code);
+        }
     }
 }

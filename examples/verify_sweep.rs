@@ -1,0 +1,60 @@
+//! Verify smoke: compiles every Table 1 kernel and a battery of generated
+//! kernels with the static verifier at its strictest level
+//! (`VerifyLevel::Deny` — any finding, even a warning, fails the
+//! compile), then exits nonzero if anything fired. `scripts/ci.sh` runs
+//! this as the verifier gate.
+//!
+//! ```sh
+//! cargo run --example verify_sweep
+//! ```
+
+use roccc_suite::roccc::{compile, compile_with_model, CompileOptions, VerifyLevel};
+use roccc_suite::synth::VirtexII;
+use roccc_suite::testrand::exprgen::gen_kernel_source;
+use roccc_suite::testrand::XorShift64;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut compiled = 0usize;
+    let mut failed = 0usize;
+
+    for b in roccc_suite::ipcores::table::benchmarks() {
+        let opts = CompileOptions {
+            verify: VerifyLevel::Deny,
+            ..b.opts.clone()
+        };
+        let model = VirtexII::with_mult_style(b.mult_style);
+        match compile_with_model(&b.source, b.func, &opts, &model) {
+            Ok(_) => compiled += 1,
+            Err(e) => {
+                eprintln!("verify sweep: {}: {e}", b.name);
+                failed += 1;
+            }
+        }
+    }
+
+    for case in 0..32u64 {
+        let mut rng = XorShift64::new(0x5eed + case);
+        let src = gen_kernel_source(&mut rng, 3);
+        let period = [1000.0f64, 6.0, 3.0][rng.gen_index(3)];
+        let opts = CompileOptions {
+            target_period_ns: period,
+            verify: VerifyLevel::Deny,
+            ..CompileOptions::default()
+        };
+        match compile(&src, "k", &opts) {
+            Ok(_) => compiled += 1,
+            Err(e) => {
+                eprintln!("verify sweep: generated case {case} ({src}): {e}");
+                failed += 1;
+            }
+        }
+    }
+
+    println!("verify sweep: {compiled} kernel(s) clean under deny, {failed} failed");
+    if failed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

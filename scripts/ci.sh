@@ -19,6 +19,28 @@ cargo build --release
 echo "==> cargo test (workspace)"
 cargo test --workspace --release -q
 
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets --release -- -D warnings
+
+echo "==> verify smoke (paper + generated kernels under deny)"
+cargo run --release --example verify_sweep
+verify_src="$(mktemp -t verify_smoke.XXXXXX.c)"
+cat >"${verify_src}" <<'EOF'
+void acc(int a, int b, int* q) {
+  *q = a * 3 + b;
+}
+EOF
+# The CLI gate: --deny-warnings must pass on a clean kernel ...
+./target/release/roccc "${verify_src}" --function acc --deny-warnings \
+  --emit stats >/dev/null
+# ... and unknown flags must be rejected with a nonzero exit.
+if ./target/release/roccc "${verify_src}" --function acc --no-such-flag \
+    >/dev/null 2>&1; then
+  echo "verify smoke: unknown flag was not rejected" >&2
+  exit 1
+fi
+rm -f "${verify_src}"
+
 echo "==> bench smoke (${BENCH_CYCLES} cycles, 3 runs)"
 out="$(mktemp -t bench_sim_smoke.XXXXXX.json)"
 cargo run --release -p roccc-bench --bin bench_sim -- \

@@ -17,4 +17,5 @@ pub use roccc_serve as serve;
 pub use roccc_suifvm as suifvm;
 pub use roccc_synth as synth;
 pub use roccc_testutil as testrand;
+pub use roccc_verify as verify;
 pub use roccc_vhdl as vhdl;

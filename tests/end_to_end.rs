@@ -149,7 +149,7 @@ fn bit_intrinsics_compile_and_match() {
        uint4 hi = ROCCC_bits(a, 7, 4);
        uint4 lo = ROCCC_bits(b, 3, 0);
        *o = ROCCC_cat(hi, lo, 4); }";
-    let hw = roccc_suite::roccc::compile(&src, "pack", &Default::default()).unwrap();
+    let hw = roccc_suite::roccc::compile(src, "pack", &Default::default()).unwrap();
     check_scalar_kernel(&hw, src, "pack", 64, 111);
 }
 

@@ -7,6 +7,7 @@ fn err_of(src: &str, func: &str) -> String {
     match compile(src, func, &CompileOptions::default()) {
         Err(CompileError::Front(e)) => e.message,
         Err(CompileError::Backend(m)) => m,
+        Err(CompileError::Verify(ds)) => panic!("expected front/backend error, got {ds:?}"),
         Ok(_) => panic!("expected `{func}` to be rejected"),
     }
 }
