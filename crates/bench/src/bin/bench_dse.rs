@@ -1,0 +1,176 @@
+//! Design-space exploration benchmark: sweeps the fir kernel's
+//! unroll × strip-mine space three ways and writes the tracked artifact
+//! `BENCH_dse.json`:
+//!
+//! 1. **sequential** — one worker, cold memo (the baseline);
+//! 2. **parallel** — bounded worker pool, cold memo;
+//! 3. **memoized re-run** — the parallel sweep again against its own
+//!    memo, measuring the content-hash cache.
+//!
+//! ```text
+//! cargo run --release -p roccc-bench --bin bench_dse [-- options]
+//!   --kernel <name>    Table-1 kernel to sweep (default fir)
+//!   --factors <csv>    unroll factors (default 1,2,4,8)
+//!   --strips <csv>     strip widths (default 0,4)
+//!   --workers <n>      parallel worker count (default min(candidates, 8))
+//!   --out <path>       JSON artifact path (default BENCH_dse.json)
+//!   --quick            tiny space for CI smoke (factors 1,2; strips 0)
+//! ```
+//!
+//! All wall-clock numbers are machine-dependent; the artifact also
+//! carries machine-independent sweep facts (candidate counts, frontier
+//! size, hit rate) that regressions can be judged against.
+
+use roccc::CompileOptions;
+use roccc_explore::{explore, ExploreConfig, Memo, Space};
+use roccc_ipcores::benchmarks;
+use std::time::Instant;
+
+struct Cfg {
+    kernel: String,
+    factors: Vec<u64>,
+    strips: Vec<u64>,
+    workers: usize,
+    out: String,
+}
+
+fn parse_csv(flag: &str, v: &str) -> Vec<u64> {
+    v.split(',')
+        .map(|p| {
+            p.trim()
+                .parse()
+                .unwrap_or_else(|_| panic!("{flag} expects comma-separated numbers, got `{p}`"))
+        })
+        .collect()
+}
+
+fn parse_args() -> Cfg {
+    let mut cfg = Cfg {
+        kernel: "fir".to_string(),
+        factors: vec![1, 2, 4, 8],
+        strips: vec![0, 4],
+        workers: 0,
+        out: "BENCH_dse.json".to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut need = |what: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{what} needs a value"))
+        };
+        match a.as_str() {
+            "--kernel" => cfg.kernel = need("--kernel"),
+            "--factors" => cfg.factors = parse_csv("--factors", &need("--factors")),
+            "--strips" => cfg.strips = parse_csv("--strips", &need("--strips")),
+            "--workers" => cfg.workers = need("--workers").parse().expect("--workers number"),
+            "--out" => cfg.out = need("--out"),
+            "--quick" => {
+                cfg.factors = vec![1, 2];
+                cfg.strips = vec![0];
+            }
+            other => panic!("unknown argument `{other}`"),
+        }
+    }
+    cfg
+}
+
+fn main() {
+    let cfg = parse_args();
+    let bench = benchmarks()
+        .into_iter()
+        .find(|b| b.name == cfg.kernel)
+        .unwrap_or_else(|| panic!("unknown kernel `{}` (see Table 1 rows)", cfg.kernel));
+    let base = CompileOptions::default();
+    let space = Space::new(&cfg.factors, &cfg.strips, false);
+    let n_candidates = space.candidates(&base).len();
+    let workers = if cfg.workers == 0 {
+        n_candidates.clamp(1, 8)
+    } else {
+        cfg.workers
+    };
+
+    let run = |workers: usize, memo: &Memo| {
+        let t0 = Instant::now();
+        let result = explore(
+            &bench.source,
+            bench.func,
+            &base,
+            &space,
+            &ExploreConfig {
+                workers,
+                budget_slices: None,
+                beam: None,
+                compiler: None,
+            },
+            memo,
+        );
+        (t0.elapsed().as_secs_f64(), result)
+    };
+
+    println!(
+        "bench_dse: kernel {} | space {:?} x {:?} = {} candidates | {} workers",
+        bench.name, cfg.factors, cfg.strips, n_candidates, workers
+    );
+
+    let (wall_seq, seq) = run(1, &Memo::new());
+    println!(
+        "  sequential : {wall_seq:.3} s ({} scored, {} skipped)",
+        seq.stats.scored, seq.stats.skipped
+    );
+
+    let par_memo = Memo::new();
+    let (wall_par, par) = run(workers, &par_memo);
+    println!(
+        "  parallel   : {wall_par:.3} s ({} scored, {} skipped)",
+        par.stats.scored, par.stats.skipped
+    );
+    assert_eq!(
+        seq.frontier, par.frontier,
+        "worker count must not change the frontier"
+    );
+
+    let (wall_rerun, rerun) = run(workers, &par_memo);
+    // A failed candidate memoizes its (deterministic) error, so re-run
+    // hits count both full scores and remembered failures.
+    let hits = rerun.stats.memo_hits + rerun.stats.skipped;
+    let hit_rate = hits as f64 / rerun.stats.candidates.max(1) as f64;
+    println!(
+        "  memoized   : {wall_rerun:.3} s ({} hits of {} candidates, rate {hit_rate:.2})",
+        hits, rerun.stats.candidates
+    );
+    assert_eq!(rerun.stats.scored, 0, "re-run must not recompile anything");
+
+    let speedup = if wall_par > 0.0 {
+        wall_seq / wall_par
+    } else {
+        0.0
+    };
+    let cps = if wall_par > 0.0 {
+        n_candidates as f64 / wall_par
+    } else {
+        0.0
+    };
+    let json = format!(
+        "{{\n  \"benchmark\": \"dse-sweep\",\n  \"kernel\": \"{}\",\n  \"unroll_factors\": {:?},\n  \"strip_widths\": {:?},\n  \"candidates\": {},\n  \"workers\": {},\n  \"scored\": {},\n  \"skipped\": {},\n  \"frontier_size\": {},\n  \"wall_seq_s\": {:.4},\n  \"wall_par_s\": {:.4},\n  \"parallel_speedup\": {:.2},\n  \"candidates_per_sec\": {:.2},\n  \"wall_rerun_s\": {:.4},\n  \"rerun_hit_rate\": {:.4}\n}}\n",
+        bench.name,
+        cfg.factors,
+        cfg.strips,
+        n_candidates,
+        workers,
+        par.stats.scored,
+        par.stats.skipped,
+        par.frontier.len(),
+        wall_seq,
+        wall_par,
+        speedup,
+        cps,
+        wall_rerun,
+        hit_rate,
+    );
+    std::fs::write(&cfg.out, &json).expect("write BENCH_dse.json");
+    println!(
+        "  speedup {speedup:.2}x | {cps:.1} candidates/s | frontier {} -> {}",
+        par.frontier.len(),
+        cfg.out
+    );
+}

@@ -1,0 +1,752 @@
+//! The staged, parallel exploration engine.
+//!
+//! Candidates flow through two phases, mirroring the paper's compile-time
+//! estimation loop:
+//!
+//! 1. **Estimate** (cheap, every candidate): compile through the pipeline
+//!    and run the fast area estimator on the data path. The paper's area
+//!    budget cuts here — a candidate whose *estimated* slice count
+//!    exceeds the budget is pruned before any expensive work — and beam
+//!    pruning keeps only the most promising estimates.
+//! 2. **Score** (expensive, survivors only): full technology mapping plus
+//!    a cycle-accurate system simulation with the candidate's bus width.
+//!
+//! Both phases run on a bounded `thread::scope` worker pool. Results are
+//! memoized by the content hash of `(source, function, options)` with
+//! single-flight claiming, so a re-run — or a concurrent sweep sharing
+//! the [`Memo`] — never compiles the same configuration twice.
+
+use crate::space::{Candidate, Space};
+use roccc::hash::cache_key;
+use roccc::{CompileError, CompileOptions, Compiled, PhaseTimings};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Pluggable compile function (the same shape as `roccc-serve`'s
+/// `CompileFn`); tests inject failure modes, the daemon passes its own
+/// override through.
+pub type CompileFn = Arc<
+    dyn Fn(&str, &str, &CompileOptions) -> Result<(Compiled, PhaseTimings), CompileError>
+        + Send
+        + Sync,
+>;
+
+/// Engine configuration.
+#[derive(Clone, Default)]
+pub struct ExploreConfig {
+    /// Worker threads (0 = one per candidate, capped at 8).
+    pub workers: usize,
+    /// Area budget in slices: candidates whose fast estimate exceeds it
+    /// are pruned before mapping/simulation.
+    pub budget_slices: Option<u64>,
+    /// Beam width: at most this many candidates (ranked by estimated
+    /// cycles, then estimated slices) proceed to full scoring. `None`
+    /// scores every survivor — exhaustive search.
+    pub beam: Option<usize>,
+    /// Compiler override (None = `roccc::compile_timed`).
+    pub compiler: Option<CompileFn>,
+}
+
+/// Measured qualities of one candidate. Estimated fields are always
+/// present; mapped/simulated fields are only meaningful when the
+/// candidate was fully scored.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Metrics {
+    /// Fast (pre-mapping) slice estimate.
+    pub est_slices: u64,
+    /// Cheap cycle estimate: loop iterations + pipeline depth.
+    pub est_cycles: u64,
+    /// Mapped 4-input LUTs.
+    pub luts: u64,
+    /// Mapped flip-flops.
+    pub ffs: u64,
+    /// Mapped occupied slices (the area axis of the frontier).
+    pub slices: u64,
+    /// Embedded multiplier blocks.
+    pub mult_blocks: u64,
+    /// Maximum clock frequency, MHz.
+    pub fmax_mhz: f64,
+    /// Achievable clock period, ns (the clock axis of the frontier).
+    pub clock_ns: f64,
+    /// Simulated cycles to completion (the latency axis).
+    pub cycles: u64,
+    /// Words written to output memories during the run.
+    pub outputs: u64,
+    /// Loop iterations of the transformed kernel (0 = straight-line).
+    pub iterations: u64,
+}
+
+/// What happened to a candidate during the sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Fully compiled, mapped, and simulated this run.
+    Scored,
+    /// Full metrics served from the memo without compiling.
+    MemoHit,
+    /// Estimated area exceeded the budget; not mapped or simulated.
+    PrunedBudget,
+    /// Outside the beam; not mapped or simulated.
+    PrunedBeam,
+    /// Compilation or simulation failed; see `error`.
+    Skipped,
+}
+
+impl Status {
+    /// Stable lower-case name used in artifacts.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Status::Scored => "scored",
+            Status::MemoHit => "memo-hit",
+            Status::PrunedBudget => "pruned-budget",
+            Status::PrunedBeam => "pruned-beam",
+            Status::Skipped => "skipped",
+        }
+    }
+}
+
+/// Per-candidate outcome.
+#[derive(Debug, Clone)]
+pub struct CandidateReport {
+    /// The configuration.
+    pub candidate: Candidate,
+    /// Content-hash key of `(source, function, options)`.
+    pub key: u64,
+    /// Outcome class.
+    pub status: Status,
+    /// Metrics: full for `Scored`/`MemoHit`, estimate-only for pruned
+    /// candidates (mapped/simulated fields are zero), absent for
+    /// `Skipped`.
+    pub metrics: Option<Metrics>,
+    /// Verifier findings surfaced for this candidate (non-fatal ones for
+    /// scored candidates, fatal ones for deny-skipped candidates).
+    pub diagnostics: Vec<String>,
+    /// The failure, for `Skipped` candidates.
+    pub error: Option<String>,
+}
+
+/// Sweep-level counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExploreStats {
+    /// Distinct configurations visited.
+    pub candidates: usize,
+    /// Compiled + mapped + simulated this run.
+    pub scored: usize,
+    /// Served entirely from the memo.
+    pub memo_hits: usize,
+    /// Pruned by the area budget.
+    pub pruned_budget: usize,
+    /// Pruned by the beam.
+    pub pruned_beam: usize,
+    /// Failed to compile or simulate.
+    pub skipped: usize,
+}
+
+/// The result of one sweep.
+#[derive(Debug, Clone)]
+pub struct ExploreResult {
+    /// Kernel function name.
+    pub function: String,
+    /// The normalized space that was enumerated.
+    pub space: Space,
+    /// Budget used (echoed into the artifact).
+    pub budget_slices: Option<u64>,
+    /// Beam used (echoed into the artifact).
+    pub beam: Option<usize>,
+    /// One report per candidate, in enumeration order.
+    pub reports: Vec<CandidateReport>,
+    /// Indices into `reports` forming the Pareto frontier over
+    /// (slices, cycles, clock_ns), sorted by ascending slices.
+    pub frontier: Vec<usize>,
+    /// Counters.
+    pub stats: ExploreStats,
+}
+
+// ---------------------------------------------------------------------------
+// Memoization with single-flight claiming.
+// ---------------------------------------------------------------------------
+
+/// A memoized outcome: either full metrics or a deterministic failure.
+/// Pruned candidates are never memoized — pruning depends on the sweep's
+/// budget and rivals, not on the configuration alone.
+#[derive(Debug, Clone)]
+pub enum MemoEntry {
+    /// Fully scored metrics plus surfaced diagnostics.
+    Scored(Metrics, Vec<String>),
+    /// Deterministic failure (compile or simulation) plus diagnostics.
+    Failed(String, Vec<String>),
+}
+
+#[derive(Default)]
+struct MemoInner {
+    map: HashMap<u64, Arc<MemoEntry>>,
+    inflight: HashSet<u64>,
+}
+
+/// Content-addressed memo shared across sweeps (the serve daemon keeps
+/// one per process). Single-flight: concurrent lookups of the same key
+/// block until the first claimant publishes.
+#[derive(Default)]
+pub struct Memo {
+    inner: Mutex<MemoInner>,
+    cv: Condvar,
+}
+
+/// RAII claim on a key; dropping without publishing (e.g. on unwind)
+/// releases the claim so waiters retry instead of deadlocking.
+struct Flight<'a> {
+    memo: &'a Memo,
+    key: u64,
+    published: bool,
+}
+
+impl Drop for Flight<'_> {
+    fn drop(&mut self) {
+        let mut inner = self.memo.inner.lock().expect("memo poisoned");
+        inner.inflight.remove(&self.key);
+        drop(inner);
+        self.memo.cv.notify_all();
+        let _ = self.published;
+    }
+}
+
+enum Lookup<'a> {
+    Hit(Arc<MemoEntry>),
+    Claimed(Flight<'a>),
+}
+
+impl Memo {
+    /// Fresh, empty memo.
+    pub fn new() -> Memo {
+        Memo::default()
+    }
+
+    /// Number of memoized entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("memo poisoned").map.len()
+    }
+
+    /// True when nothing is memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn lookup_or_claim(&self, key: u64) -> Lookup<'_> {
+        let mut inner = self.inner.lock().expect("memo poisoned");
+        loop {
+            if let Some(entry) = inner.map.get(&key) {
+                return Lookup::Hit(Arc::clone(entry));
+            }
+            if !inner.inflight.contains(&key) {
+                inner.inflight.insert(key);
+                return Lookup::Claimed(Flight {
+                    memo: self,
+                    key,
+                    published: false,
+                });
+            }
+            inner = self.cv.wait(inner).expect("memo poisoned");
+        }
+    }
+
+    fn publish(&self, flight: &mut Flight<'_>, entry: MemoEntry) -> Arc<MemoEntry> {
+        let entry = Arc::new(entry);
+        let mut inner = self.inner.lock().expect("memo poisoned");
+        inner.map.insert(flight.key, Arc::clone(&entry));
+        flight.published = true;
+        entry
+        // Flight::drop clears the in-flight mark and wakes waiters; the
+        // map entry is already visible at that point.
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker pool.
+// ---------------------------------------------------------------------------
+
+/// Runs `f(0..jobs)` on at most `workers` scoped threads, preserving
+/// result order. Work is claimed from a shared atomic counter, so the
+/// pool stays busy even when job costs are skewed.
+fn run_pool<T, F>(workers: usize, jobs: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if jobs == 0 {
+        return Vec::new();
+    }
+    let workers = workers.min(jobs).max(1);
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs {
+                    break;
+                }
+                let result = f(i);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("every job ran")
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// The sweep.
+// ---------------------------------------------------------------------------
+
+/// Phase-1 outcome kept between the estimate and score stages.
+enum Estimated {
+    /// Compiled this run; carries everything phase 2 needs.
+    Fresh {
+        compiled: Box<Compiled>,
+        est_slices: u64,
+        est_cycles: u64,
+        diagnostics: Vec<String>,
+    },
+    /// Full metrics straight from the memo.
+    Hit(Arc<MemoEntry>),
+    /// Compile failed this run (already memoized).
+    Failed(String, Vec<String>),
+}
+
+/// Runs one sweep of `space` over `function` in `source`.
+///
+/// Every candidate is reported — failures are skip-reported with their
+/// diagnostics, never allowed to abort the sweep.
+pub fn explore(
+    source: &str,
+    function: &str,
+    base: &CompileOptions,
+    space: &Space,
+    cfg: &ExploreConfig,
+    memo: &Memo,
+) -> ExploreResult {
+    let candidates = space.candidates(base);
+    let keys: Vec<u64> = candidates
+        .iter()
+        .map(|c| cache_key(source, function, &c.options(base)))
+        .collect();
+    let workers = if cfg.workers == 0 {
+        candidates.len().clamp(1, 8)
+    } else {
+        cfg.workers
+    };
+    let compiler: CompileFn = cfg
+        .compiler
+        .clone()
+        .unwrap_or_else(|| Arc::new(roccc::compile_timed));
+
+    // -- Phase 1: estimate every candidate in parallel ----------------------
+    let estimates = run_pool(workers, candidates.len(), |i| {
+        estimate_one(
+            source,
+            function,
+            base,
+            &candidates[i],
+            keys[i],
+            &compiler,
+            memo,
+        )
+    });
+
+    // -- Budget and beam cuts (sequential; pure ranking) --------------------
+    let budget_cut: Vec<bool> = estimates
+        .iter()
+        .map(|e| match (cfg.budget_slices, est_slices_of(e)) {
+            (Some(budget), Some(est)) => est > budget,
+            _ => false,
+        })
+        .collect();
+    let mut survivors: Vec<usize> = (0..candidates.len())
+        .filter(|&i| !budget_cut[i] && !matches!(estimates[i], Estimated::Failed(..)))
+        .collect();
+    // Rank by estimated latency, then estimated area, then id — a total
+    // order, so the beam is deterministic.
+    survivors.sort_by_key(|&i| {
+        (
+            est_cycles_of(&estimates[i]).unwrap_or(u64::MAX),
+            est_slices_of(&estimates[i]).unwrap_or(u64::MAX),
+            i,
+        )
+    });
+    let beam_cut: HashSet<usize> = match cfg.beam {
+        Some(beam) if survivors.len() > beam => survivors.split_off(beam).into_iter().collect(),
+        _ => HashSet::new(),
+    };
+
+    // -- Phase 2: fully score the survivors in parallel ---------------------
+    let to_score: Vec<usize> = survivors
+        .iter()
+        .copied()
+        .filter(|&i| matches!(estimates[i], Estimated::Fresh { .. }))
+        .collect();
+    let scored: HashMap<usize, Arc<MemoEntry>> = run_pool(workers, to_score.len(), |j| {
+        let i = to_score[j];
+        let Estimated::Fresh {
+            compiled,
+            est_slices,
+            est_cycles,
+            diagnostics,
+        } = &estimates[i]
+        else {
+            unreachable!("to_score holds only Fresh estimates");
+        };
+        let entry = score_one(
+            compiled,
+            &candidates[i],
+            *est_slices,
+            *est_cycles,
+            diagnostics.clone(),
+        );
+        // Publish under a fresh claim: phase 1 released its claim when it
+        // chose not to publish (Fresh is not memoizable alone).
+        let published = match memo.lookup_or_claim(keys[i]) {
+            Lookup::Hit(existing) => existing,
+            Lookup::Claimed(mut flight) => memo.publish(&mut flight, entry),
+        };
+        (i, published)
+    })
+    .into_iter()
+    .collect();
+
+    // -- Assemble reports ----------------------------------------------------
+    let mut stats = ExploreStats {
+        candidates: candidates.len(),
+        ..ExploreStats::default()
+    };
+    let reports: Vec<CandidateReport> = candidates
+        .iter()
+        .enumerate()
+        .map(|(i, &candidate)| {
+            let key = keys[i];
+            match &estimates[i] {
+                Estimated::Failed(error, diagnostics) => {
+                    stats.skipped += 1;
+                    CandidateReport {
+                        candidate,
+                        key,
+                        status: Status::Skipped,
+                        metrics: None,
+                        diagnostics: diagnostics.clone(),
+                        error: Some(error.clone()),
+                    }
+                }
+                Estimated::Hit(entry) => match entry.as_ref() {
+                    MemoEntry::Scored(metrics, diagnostics) => {
+                        if budget_cut[i] {
+                            stats.pruned_budget += 1;
+                        } else if beam_cut.contains(&i) {
+                            stats.pruned_beam += 1;
+                        } else {
+                            stats.memo_hits += 1;
+                        }
+                        CandidateReport {
+                            candidate,
+                            key,
+                            status: if budget_cut[i] {
+                                Status::PrunedBudget
+                            } else if beam_cut.contains(&i) {
+                                Status::PrunedBeam
+                            } else {
+                                Status::MemoHit
+                            },
+                            metrics: Some(*metrics),
+                            diagnostics: diagnostics.clone(),
+                            error: None,
+                        }
+                    }
+                    MemoEntry::Failed(error, diagnostics) => {
+                        stats.skipped += 1;
+                        CandidateReport {
+                            candidate,
+                            key,
+                            status: Status::Skipped,
+                            metrics: None,
+                            diagnostics: diagnostics.clone(),
+                            error: Some(error.clone()),
+                        }
+                    }
+                },
+                Estimated::Fresh {
+                    est_slices,
+                    est_cycles,
+                    diagnostics,
+                    ..
+                } => {
+                    let estimate_only = Metrics {
+                        est_slices: *est_slices,
+                        est_cycles: *est_cycles,
+                        luts: 0,
+                        ffs: 0,
+                        slices: 0,
+                        mult_blocks: 0,
+                        fmax_mhz: 0.0,
+                        clock_ns: 0.0,
+                        cycles: 0,
+                        outputs: 0,
+                        iterations: 0,
+                    };
+                    if budget_cut[i] {
+                        stats.pruned_budget += 1;
+                        return CandidateReport {
+                            candidate,
+                            key,
+                            status: Status::PrunedBudget,
+                            metrics: Some(estimate_only),
+                            diagnostics: diagnostics.clone(),
+                            error: None,
+                        };
+                    }
+                    if beam_cut.contains(&i) {
+                        stats.pruned_beam += 1;
+                        return CandidateReport {
+                            candidate,
+                            key,
+                            status: Status::PrunedBeam,
+                            metrics: Some(estimate_only),
+                            diagnostics: diagnostics.clone(),
+                            error: None,
+                        };
+                    }
+                    match scored.get(&i).map(|e| e.as_ref()) {
+                        Some(MemoEntry::Scored(metrics, diagnostics)) => {
+                            stats.scored += 1;
+                            CandidateReport {
+                                candidate,
+                                key,
+                                status: Status::Scored,
+                                metrics: Some(*metrics),
+                                diagnostics: diagnostics.clone(),
+                                error: None,
+                            }
+                        }
+                        Some(MemoEntry::Failed(error, diagnostics)) => {
+                            stats.skipped += 1;
+                            CandidateReport {
+                                candidate,
+                                key,
+                                status: Status::Skipped,
+                                metrics: None,
+                                diagnostics: diagnostics.clone(),
+                                error: Some(error.clone()),
+                            }
+                        }
+                        None => unreachable!("unpruned fresh candidates are always scored"),
+                    }
+                }
+            }
+        })
+        .collect();
+
+    let frontier = crate::pareto::frontier(&reports);
+    ExploreResult {
+        function: function.to_string(),
+        space: space.clone(),
+        budget_slices: cfg.budget_slices,
+        beam: cfg.beam,
+        reports,
+        frontier,
+        stats,
+    }
+}
+
+fn est_slices_of(e: &Estimated) -> Option<u64> {
+    match e {
+        Estimated::Fresh { est_slices, .. } => Some(*est_slices),
+        Estimated::Hit(entry) => match entry.as_ref() {
+            MemoEntry::Scored(m, _) => Some(m.est_slices),
+            MemoEntry::Failed(..) => None,
+        },
+        Estimated::Failed(..) => None,
+    }
+}
+
+fn est_cycles_of(e: &Estimated) -> Option<u64> {
+    match e {
+        Estimated::Fresh { est_cycles, .. } => Some(*est_cycles),
+        Estimated::Hit(entry) => match entry.as_ref() {
+            MemoEntry::Scored(m, _) => Some(m.est_cycles),
+            MemoEntry::Failed(..) => None,
+        },
+        Estimated::Failed(..) => None,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn estimate_one(
+    source: &str,
+    function: &str,
+    base: &CompileOptions,
+    candidate: &Candidate,
+    key: u64,
+    compiler: &CompileFn,
+    memo: &Memo,
+) -> Estimated {
+    let flight = match memo.lookup_or_claim(key) {
+        Lookup::Hit(entry) => return Estimated::Hit(entry),
+        Lookup::Claimed(flight) => flight,
+    };
+    let opts = candidate.options(base);
+    match compiler(source, function, &opts) {
+        Ok((compiled, _timings)) => {
+            let model = roccc_synth::VirtexII::default();
+            let est = roccc_synth::fast_estimate(&compiled.datapath, &model);
+            let iterations = compiled.kernel.total_iterations();
+            let est_cycles = iterations.max(1) + u64::from(compiled.datapath.num_stages);
+            let diagnostics = compiled.diagnostics.iter().map(|d| d.to_string()).collect();
+            // Not memoizable yet: the memo holds *full* scores, and this
+            // candidate may still be pruned. Dropping the flight releases
+            // the claim.
+            drop(flight);
+            Estimated::Fresh {
+                compiled: Box::new(compiled),
+                est_slices: est.slices,
+                est_cycles,
+                diagnostics,
+            }
+        }
+        Err(e) => {
+            let diagnostics = match &e {
+                CompileError::Verify(diags) => diags.iter().map(|d| d.to_string()).collect(),
+                _ => Vec::new(),
+            };
+            let error = e.to_string();
+            let mut flight = flight;
+            memo.publish(
+                &mut flight,
+                MemoEntry::Failed(error.clone(), diagnostics.clone()),
+            );
+            Estimated::Failed(error, diagnostics)
+        }
+    }
+}
+
+/// Full scoring: technology mapping plus cycle-accurate simulation with
+/// the candidate's bus width and synthesized inputs.
+fn score_one(
+    compiled: &Compiled,
+    candidate: &Candidate,
+    est_slices: u64,
+    est_cycles: u64,
+    diagnostics: Vec<String>,
+) -> MemoEntry {
+    let model = roccc_synth::VirtexII::default();
+    let full = roccc_synth::map_netlist(&compiled.netlist, &model);
+    let iterations = compiled.kernel.total_iterations();
+
+    let (cycles, outputs) = if compiled.kernel.dims.is_empty() {
+        // Straight-line kernel: one result after the pipeline fills.
+        (
+            u64::from(compiled.datapath.num_stages) + 1,
+            compiled.kernel.scalar_outputs.len() as u64,
+        )
+    } else {
+        let (arrays, scalars) = synthesize_inputs(compiled);
+        match compiled.run_with_bus(&arrays, &scalars, candidate.bus_elems()) {
+            Ok(run) => (run.cycles, run.mem_writes),
+            Err(e) => {
+                return MemoEntry::Failed(format!("simulation failed: {e}"), diagnostics);
+            }
+        }
+    };
+
+    MemoEntry::Scored(
+        Metrics {
+            est_slices,
+            est_cycles,
+            luts: full.luts,
+            ffs: full.ffs,
+            slices: full.slices,
+            mult_blocks: full.mult_blocks,
+            fmax_mhz: full.fmax_mhz,
+            clock_ns: full.critical_path_ns,
+            cycles,
+            outputs,
+            iterations,
+        },
+        diagnostics,
+    )
+}
+
+/// Deterministic input synthesis: every input window array gets a fixed
+/// pseudo-pattern folded into its element type's range, every scalar
+/// live-in gets a small constant. The same configuration therefore always
+/// simulates the same workload, keeping artifacts byte-stable.
+fn synthesize_inputs(compiled: &Compiled) -> (HashMap<String, Vec<i64>>, HashMap<String, i64>) {
+    let mut arrays = HashMap::new();
+    for w in &compiled.kernel.windows {
+        let n: usize = w.dims.iter().product();
+        let lo = i128::from(w.elem.min_value());
+        let hi = i128::from(w.elem.max_value());
+        let span = hi - lo + 1;
+        let data: Vec<i64> = (0..n as i64)
+            .map(|i| {
+                let pattern = i128::from((i * 31) % 47 - 11);
+                (lo + (pattern - lo).rem_euclid(span)) as i64
+            })
+            .collect();
+        arrays.insert(w.array.clone(), data);
+    }
+    let mut scalars = HashMap::new();
+    for (name, ty) in &compiled.kernel.scalar_inputs {
+        scalars.insert(name.clone(), 3i64.clamp(ty.min_value(), ty.max_value()));
+    }
+    (arrays, scalars)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_pool_preserves_order_and_runs_every_job() {
+        let results = run_pool(3, 17, |i| i * 2);
+        assert_eq!(results, (0..17).map(|i| i * 2).collect::<Vec<_>>());
+        assert!(run_pool(4, 0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn memo_single_flight_publishes_once() {
+        let memo = Memo::new();
+        let calls = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| match memo.lookup_or_claim(42) {
+                    Lookup::Hit(entry) => {
+                        assert!(matches!(entry.as_ref(), MemoEntry::Failed(..)));
+                    }
+                    Lookup::Claimed(mut flight) => {
+                        calls.fetch_add(1, Ordering::SeqCst);
+                        memo.publish(
+                            &mut flight,
+                            MemoEntry::Failed("once".to_string(), Vec::new()),
+                        );
+                    }
+                });
+            }
+        });
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "exactly one claimant");
+        assert_eq!(memo.len(), 1);
+    }
+
+    #[test]
+    fn abandoned_flight_releases_claim() {
+        let memo = Memo::new();
+        match memo.lookup_or_claim(7) {
+            Lookup::Claimed(flight) => drop(flight),
+            Lookup::Hit(_) => unreachable!(),
+        }
+        // A second claim must succeed instead of deadlocking.
+        assert!(matches!(memo.lookup_or_claim(7), Lookup::Claimed(_)));
+    }
+}

@@ -1,0 +1,168 @@
+//! Pareto frontier over (area, latency, clock).
+//!
+//! A candidate is on the frontier when no other fully-scored candidate
+//! is at least as good on every axis and strictly better on one:
+//! mapped slices (area), simulated cycles (latency), and achievable
+//! clock period in ns (clock) are all minimized. Pruned candidates are
+//! excluded — their mapped/simulated numbers were never produced — as
+//! are skipped ones.
+
+use crate::engine::{CandidateReport, Metrics, Status};
+
+/// The three minimized objectives of one candidate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// Mapped occupied slices.
+    pub slices: u64,
+    /// Simulated cycles to completion.
+    pub cycles: u64,
+    /// Achievable clock period, ns.
+    pub clock_ns: f64,
+}
+
+impl Point {
+    /// Extracts the objectives from full metrics.
+    pub fn of(m: &Metrics) -> Point {
+        Point {
+            slices: m.slices,
+            cycles: m.cycles,
+            clock_ns: m.clock_ns,
+        }
+    }
+
+    /// True when `self` dominates `other`: no worse on every axis,
+    /// strictly better on at least one.
+    pub fn dominates(&self, other: &Point) -> bool {
+        let no_worse = self.slices <= other.slices
+            && self.cycles <= other.cycles
+            && self.clock_ns <= other.clock_ns;
+        let better = self.slices < other.slices
+            || self.cycles < other.cycles
+            || self.clock_ns < other.clock_ns;
+        no_worse && better
+    }
+}
+
+/// Indices (into `reports`) of the non-dominated, fully-scored
+/// candidates, sorted by ascending slices then cycles then id. Duplicate
+/// objective triples keep only the lowest-id representative, so the
+/// frontier never lists the same design point twice.
+pub fn frontier(reports: &[CandidateReport]) -> Vec<usize> {
+    let scored: Vec<(usize, Point)> = reports
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| matches!(r.status, Status::Scored | Status::MemoHit))
+        .filter_map(|(i, r)| r.metrics.as_ref().map(|m| (i, Point::of(m))))
+        .collect();
+    let mut front: Vec<usize> = scored
+        .iter()
+        .filter(|(i, p)| {
+            // Dominated by anyone => out. Tied with a lower id => out.
+            !scored
+                .iter()
+                .any(|(j, q)| q.dominates(p) || (q == p && j < i))
+        })
+        .map(|(i, _)| *i)
+        .collect();
+    front.sort_by_key(|&i| {
+        let m = reports[i].metrics.as_ref().expect("frontier metrics");
+        (m.slices, m.cycles, i)
+    });
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::Candidate;
+
+    fn report(
+        id: usize,
+        status: Status,
+        slices: u64,
+        cycles: u64,
+        clock_ns: f64,
+    ) -> CandidateReport {
+        CandidateReport {
+            candidate: Candidate {
+                id,
+                unroll: 1,
+                strip: 0,
+                optimize: true,
+            },
+            key: id as u64,
+            status,
+            metrics: Some(Metrics {
+                est_slices: slices,
+                est_cycles: cycles,
+                luts: 0,
+                ffs: 0,
+                slices,
+                mult_blocks: 0,
+                fmax_mhz: 100.0,
+                clock_ns,
+                cycles,
+                outputs: 1,
+                iterations: 1,
+            }),
+            diagnostics: Vec::new(),
+            error: None,
+        }
+    }
+
+    #[test]
+    fn dominated_points_are_excluded() {
+        let reports = vec![
+            report(0, Status::Scored, 100, 50, 7.0),
+            report(1, Status::Scored, 200, 40, 7.0), // trades area for speed: on
+            report(2, Status::Scored, 300, 60, 7.0), // dominated by 0: off
+            report(3, Status::Scored, 100, 50, 6.0), // dominates 0 on clock: on, 0 off
+        ];
+        assert_eq!(frontier(&reports), vec![3, 1]);
+    }
+
+    #[test]
+    fn duplicate_points_keep_lowest_id() {
+        let reports = vec![
+            report(0, Status::Scored, 100, 50, 7.0),
+            report(1, Status::MemoHit, 100, 50, 7.0),
+        ];
+        assert_eq!(frontier(&reports), vec![0]);
+    }
+
+    #[test]
+    fn pruned_and_skipped_never_enter() {
+        let mut pruned = report(0, Status::PrunedBudget, 1, 1, 1.0);
+        pruned.status = Status::PrunedBudget;
+        let mut skipped = report(1, Status::Skipped, 1, 1, 1.0);
+        skipped.metrics = None;
+        let on = report(2, Status::Scored, 500, 500, 9.0);
+        assert_eq!(frontier(&[pruned, skipped, on]), vec![2]);
+    }
+
+    #[test]
+    fn frontier_is_mutually_non_dominating() {
+        let reports: Vec<CandidateReport> = (0..20)
+            .map(|i| {
+                report(
+                    i,
+                    Status::Scored,
+                    (i as u64 * 37) % 11 * 50 + 60,
+                    (i as u64 * 13) % 7 * 20 + 30,
+                    6.0 + (i as f64 * 1.7) % 3.0,
+                )
+            })
+            .collect();
+        let front = frontier(&reports);
+        assert!(!front.is_empty());
+        for &a in &front {
+            for &b in &front {
+                if a != b {
+                    let pa = Point::of(reports[a].metrics.as_ref().unwrap());
+                    let pb = Point::of(reports[b].metrics.as_ref().unwrap());
+                    assert!(!pa.dominates(&pb), "{a} dominates {b} inside the frontier");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! The transformation space: which configurations a sweep visits.
+//!
+//! A configuration is one point in unroll factor × strip-mine width ×
+//! scalar-optimization setting. Axis values are normalized before
+//! enumeration (factor 0/1 both mean "keep the loop", width 0/1 both mean
+//! "no strip-mining") and the cross product is deduplicated, so two
+//! spellings of the same configuration can never appear as two candidates
+//! — the content hash of their options would collide and the Pareto
+//! frontier would double-count one design.
+
+use roccc::{CompileOptions, UnrollStrategy};
+
+/// The swept axes of one exploration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Space {
+    /// Unroll factors (1 = keep the loop). Normalized: sorted, deduped.
+    pub unroll_factors: Vec<u64>,
+    /// Strip-mine widths (0 = none). Normalized: sorted, deduped.
+    pub strip_widths: Vec<u64>,
+    /// When true, every (factor, width) pair is tried with scalar
+    /// optimization both on and off; otherwise the base setting is used.
+    pub scalar_opt_both: bool,
+}
+
+impl Space {
+    /// Normalizes raw axis lists: factor `0` and `1` collapse to `1`,
+    /// width `0` and `1` collapse to `0`, each axis is sorted and
+    /// deduplicated, and empty axes fall back to the trivial value.
+    pub fn new(unroll_factors: &[u64], strip_widths: &[u64], scalar_opt_both: bool) -> Space {
+        let mut factors: Vec<u64> = unroll_factors.iter().map(|&f| f.max(1)).collect();
+        if factors.is_empty() {
+            factors.push(1);
+        }
+        factors.sort_unstable();
+        factors.dedup();
+        let mut strips: Vec<u64> = strip_widths
+            .iter()
+            .map(|&w| if w < 2 { 0 } else { w })
+            .collect();
+        if strips.is_empty() {
+            strips.push(0);
+        }
+        strips.sort_unstable();
+        strips.dedup();
+        Space {
+            unroll_factors: factors,
+            strip_widths: strips,
+            scalar_opt_both,
+        }
+    }
+
+    /// The trivial one-candidate space (baseline compile only).
+    pub fn baseline() -> Space {
+        Space::new(&[1], &[0], false)
+    }
+
+    /// Enumerates the cross product as candidates with stable ids
+    /// (row-major: factors outermost, then widths, then scalar settings).
+    pub fn candidates(&self, base: &CompileOptions) -> Vec<Candidate> {
+        let scalar_settings: Vec<bool> = if self.scalar_opt_both {
+            vec![true, false]
+        } else {
+            vec![base.optimize]
+        };
+        let mut out = Vec::new();
+        for &unroll in &self.unroll_factors {
+            for &strip in &self.strip_widths {
+                for &optimize in &scalar_settings {
+                    out.push(Candidate {
+                        id: out.len(),
+                        unroll,
+                        strip,
+                        optimize,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One point of the space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Candidate {
+    /// Stable index within the sweep (enumeration order).
+    pub id: usize,
+    /// Unroll factor (1 = keep).
+    pub unroll: u64,
+    /// Strip-mine width (0 = none). Doubles as the smart-buffer bus
+    /// width during scoring, matching the paper's "strip size = memory
+    /// bus width" rule.
+    pub strip: u64,
+    /// Scalar optimization (SSA constant propagation / CSE / dead-code).
+    pub optimize: bool,
+}
+
+impl Candidate {
+    /// The concrete compile options for this candidate on top of `base`
+    /// (period, narrowing, fusion, and verify level are inherited).
+    pub fn options(&self, base: &CompileOptions) -> CompileOptions {
+        CompileOptions {
+            unroll: if self.unroll <= 1 {
+                UnrollStrategy::Keep
+            } else {
+                UnrollStrategy::Partial(self.unroll)
+            },
+            stripmine: if self.strip < 2 {
+                None
+            } else {
+                Some(self.strip)
+            },
+            optimize: self.optimize,
+            ..base.clone()
+        }
+    }
+
+    /// The memory-bus width (elements per beat) this candidate is scored
+    /// with: the strip width, or 1 when not strip-mined.
+    pub fn bus_elems(&self) -> usize {
+        self.strip.max(1) as usize
+    }
+
+    /// Compact human label, e.g. `u4·s8·opt`.
+    pub fn label(&self) -> String {
+        format!(
+            "u{}·s{}·{}",
+            self.unroll,
+            self.strip,
+            if self.optimize { "opt" } else { "noopt" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roccc::hash::cache_key;
+
+    #[test]
+    fn normalization_collapses_aliases() {
+        let s = Space::new(&[4, 1, 0, 2, 4], &[1, 0, 8, 8], false);
+        assert_eq!(s.unroll_factors, vec![1, 2, 4]);
+        assert_eq!(s.strip_widths, vec![0, 8]);
+        let t = Space::new(&[], &[], false);
+        assert_eq!(t.unroll_factors, vec![1]);
+        assert_eq!(t.strip_widths, vec![0]);
+    }
+
+    #[test]
+    fn candidate_keys_never_alias() {
+        let base = CompileOptions::default();
+        let space = Space::new(&[1, 2, 4], &[0, 4], true);
+        let cands = space.candidates(&base);
+        assert_eq!(cands.len(), 12);
+        let mut keys: Vec<u64> = cands
+            .iter()
+            .map(|c| cache_key("void f() {}", "f", &c.options(&base)))
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), 12, "every configuration hashes distinctly");
+    }
+
+    #[test]
+    fn options_inherit_base_fields() {
+        let base = CompileOptions {
+            target_period_ns: 5.0,
+            fuse: true,
+            ..CompileOptions::default()
+        };
+        let c = Candidate {
+            id: 0,
+            unroll: 4,
+            strip: 8,
+            optimize: false,
+        };
+        let opts = c.options(&base);
+        assert_eq!(opts.target_period_ns, 5.0);
+        assert!(opts.fuse);
+        assert!(!opts.optimize);
+        assert_eq!(opts.unroll, UnrollStrategy::Partial(4));
+        assert_eq!(opts.stripmine, Some(8));
+        assert_eq!(c.bus_elems(), 8);
+    }
+}

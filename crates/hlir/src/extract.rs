@@ -47,6 +47,13 @@ pub fn extract_kernel(program: &Program, func_name: &str) -> CResult<Kernel> {
     let f = program
         .function(func_name)
         .ok_or_else(|| err(Span::dummy(), format!("unknown function `{func_name}`")))?;
+    // Transformations such as partial unrolling with a remainder wrap their
+    // result in a bare block; splice those so the loop partition below sees
+    // the loop (and reports accurate diagnostics for what surrounds it).
+    let f = &Function {
+        body: flatten_top_blocks(&f.body),
+        ..f.clone()
+    };
     let info = &sema.functions[func_name];
 
     // Partition top-level statements: prologue / loop / epilogue.
@@ -130,6 +137,22 @@ fn extract_straight_line(
         dp_func,
         rewritten: f.clone(),
     })
+}
+
+/// Splices bare `{ … }` statements into their parent at the top level only
+/// (loop and branch bodies are left alone).
+fn flatten_top_blocks(b: &Block) -> Block {
+    let mut stmts = Vec::new();
+    for s in &b.stmts {
+        match &s.kind {
+            StmtKind::Block(inner) => stmts.extend(flatten_top_blocks(inner).stmts),
+            _ => stmts.push(s.clone()),
+        }
+    }
+    Block {
+        stmts,
+        span: b.span,
+    }
 }
 
 fn contains_loop(b: &Block) -> bool {

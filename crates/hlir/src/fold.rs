@@ -78,6 +78,13 @@ fn fold_node(e: Expr) -> Expr {
             if let Some(simplified) = simplify_identity(*op, lhs, rhs, span) {
                 return simplified;
             }
+            // Reassociation: `(x ± c1) ± c2 → x ± c`. Unrolling substitutes
+            // `i → i + j` into window indices like `A[i + 1]`, producing
+            // `A[(i + j) + 1]`; collapsing the constants restores the
+            // `i + c` affine form the memory analysis requires.
+            if let Some(reassoc) = reassociate(*op, lhs, rhs, span) {
+                return reassoc;
+            }
             e
         }
         ExprKind::Cond {
@@ -221,6 +228,66 @@ fn simplify_identity(
     None
 }
 
+/// Collapses constant chains: `(x + c1) + c2 → x + (c1 + c2)`, with `Sub`
+/// variants and the commuted `c + (x + c1)` form. Only the outer constant
+/// and the inner right-or-left constant are combined; `c - x` shapes (base
+/// negated) are left alone.
+fn reassociate(op: BinOp, lhs: &Expr, rhs: &Expr, span: roccc_cparse::span::Span) -> Option<Expr> {
+    // Normalize the outer node to `inner + c_outer`.
+    let (inner, c_outer) = match op {
+        BinOp::Add => {
+            if let Some(c) = rhs.as_const() {
+                (lhs, c)
+            } else if let Some(c) = lhs.as_const() {
+                (rhs, c)
+            } else {
+                return None;
+            }
+        }
+        BinOp::Sub => (lhs, rhs.as_const()?.wrapping_neg()),
+        _ => return None,
+    };
+    // Normalize the inner node to `base + c_inner`.
+    let ExprKind::Binary {
+        op: iop,
+        lhs: ilhs,
+        rhs: irhs,
+    } = &inner.kind
+    else {
+        return None;
+    };
+    let (base, c_inner) = match iop {
+        BinOp::Add => {
+            if let Some(c) = irhs.as_const() {
+                (ilhs, c)
+            } else if let Some(c) = ilhs.as_const() {
+                (irhs, c)
+            } else {
+                return None;
+            }
+        }
+        BinOp::Sub => (ilhs, irhs.as_const()?.wrapping_neg()),
+        _ => return None,
+    };
+    let c = c_inner.wrapping_add(c_outer);
+    if c == 0 {
+        return Some((**base).clone());
+    }
+    let (op2, mag) = if c < 0 {
+        (BinOp::Sub, c.wrapping_neg())
+    } else {
+        (BinOp::Add, c)
+    };
+    Some(Expr {
+        kind: ExprKind::Binary {
+            op: op2,
+            lhs: base.clone(),
+            rhs: Box::new(Expr::int(mag, span)),
+        },
+        span,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -262,6 +329,19 @@ mod tests {
         assert_eq!(fold_ret("x & 0"), "0");
         assert_eq!(fold_ret("x | 0"), "x");
         assert_eq!(fold_ret("x ^ 0"), "x");
+    }
+
+    #[test]
+    fn reassociates_constant_chains() {
+        assert_eq!(fold_ret("(x + 1) + 2"), "(x + 3)");
+        assert_eq!(fold_ret("(x - 1) + 3"), "(x + 2)");
+        assert_eq!(fold_ret("(x + 5) - 2"), "(x + 3)");
+        assert_eq!(fold_ret("(x - 3) - 1"), "(x - 4)");
+        assert_eq!(fold_ret("(x + 2) - 2"), "x");
+        assert_eq!(fold_ret("2 + (x + 1)"), "(x + 3)");
+        assert_eq!(fold_ret("(1 + x) + 1"), "(x + 2)");
+        // `c - x` keeps its shape (base would be negated).
+        assert_eq!(fold_ret("(3 - x) + 1"), "((3 - x) + 1)");
     }
 
     #[test]

@@ -10,6 +10,104 @@ use crate::loops::{recognize, CanonLoop};
 use roccc_cparse::ast::*;
 use roccc_cparse::span::Span;
 
+/// Strip-mines every *innermost* canonical loop in `f` by `strip` and
+/// fully unrolls the strip, the composition the paper actually feeds the
+/// data-path builder: "the inner loop is then typically fully unrolled so
+/// that each outer iteration feeds a wide data-path fed from one
+/// smart-buffer line". The nested form produced by [`stripmine_function`]
+/// has a symbolic-start inner loop that kernel extraction cannot window,
+/// so this pass flattens the strip immediately: the result is a single
+/// loop stepping by `strip * step` whose body computes one whole strip
+/// (algebraically the same expansion as partial unrolling, which the
+/// flattening reuses — what distinguishes a strip-mined configuration is
+/// that the strip width is matched to the smart-buffer line / memory bus
+/// width downstream).
+///
+/// Loops that are not innermost, not canonical, or shorter than one strip
+/// are left untouched.
+pub fn stripmine_unroll_function(f: &Function, strip: u64) -> Function {
+    Function {
+        body: smu_block(&f.body, strip),
+        ..f.clone()
+    }
+}
+
+fn smu_block(b: &Block, strip: u64) -> Block {
+    Block {
+        stmts: b.stmts.iter().map(|s| smu_stmt(s, strip)).collect(),
+        span: b.span,
+    }
+}
+
+fn contains_loop(b: &Block) -> bool {
+    b.stmts.iter().any(|s| match &s.kind {
+        StmtKind::For { .. } | StmtKind::While { .. } => true,
+        StmtKind::If {
+            then_blk, else_blk, ..
+        } => contains_loop(then_blk) || else_blk.as_ref().is_some_and(contains_loop),
+        StmtKind::Block(inner) => contains_loop(inner),
+        _ => false,
+    })
+}
+
+fn smu_stmt(s: &Stmt, strip: u64) -> Stmt {
+    match &s.kind {
+        StmtKind::For { .. } => {
+            if let Some(l) = recognize(s) {
+                let body = smu_block(&l.body, strip);
+                if contains_loop(&body) {
+                    // Not innermost: keep the header, recurse only.
+                    if body == l.body {
+                        s.clone()
+                    } else {
+                        CanonLoop { body, ..l }.to_stmt()
+                    }
+                } else {
+                    let l = CanonLoop { body, ..l };
+                    match stripmine_unroll(&l, strip) {
+                        Some(flattened) => flattened,
+                        // Too short for one strip: leave the loop untouched.
+                        None => s.clone(),
+                    }
+                }
+            } else {
+                s.clone()
+            }
+        }
+        StmtKind::If {
+            cond,
+            then_blk,
+            else_blk,
+        } => Stmt {
+            kind: StmtKind::If {
+                cond: cond.clone(),
+                then_blk: smu_block(then_blk, strip),
+                else_blk: else_blk.as_ref().map(|b| smu_block(b, strip)),
+            },
+            span: s.span,
+        },
+        StmtKind::Block(b) => Stmt {
+            kind: StmtKind::Block(smu_block(b, strip)),
+            span: s.span,
+        },
+        _ => s.clone(),
+    }
+}
+
+/// Strip-mines one canonical loop and fully unrolls the strip (see
+/// [`stripmine_unroll_function`]). `None` when the trip count is unknown
+/// or smaller than the strip, or `strip < 2`.
+pub fn stripmine_unroll(l: &CanonLoop, strip: u64) -> Option<Stmt> {
+    let trips = l.trip_count()?;
+    if strip < 2 || trips < strip {
+        return None;
+    }
+    // stripmine(l, strip) followed by full unrolling of the inner loop
+    // yields exactly the partial-unroll expansion (strip copies offset by
+    // 0, step, …, with the same straight-line remainder), so delegate.
+    Some(crate::unroll::partially_unroll(l, strip))
+}
+
 /// Strip-mines every canonical loop in `f` by `strip`.
 pub fn stripmine_function(f: &Function, strip: u64) -> Function {
     Function {
@@ -255,5 +353,114 @@ mod tests {
         let src = "void f(int A[32], int B[32]) { int i;
           for (i = 0; i < 32; i += 2) { B[i] = A[i] * 2; } }";
         assert_equivalent(src, "f", 4);
+    }
+
+    fn assert_smu_equivalent(src: &str, func: &str, strip: u64) {
+        let prog = parse(src).unwrap();
+        let f = prog.function(func).unwrap();
+        let mined = stripmine_unroll_function(f, strip);
+        let mut prog2 = prog.clone();
+        for item in &mut prog2.items {
+            if let Item::Function(g) = item {
+                if g.name == func {
+                    *g = mined.clone();
+                }
+            }
+        }
+        let proto: HashMap<String, Vec<i64>> = f
+            .params
+            .iter()
+            .filter_map(|p| match &p.ty {
+                roccc_cparse::types::CType::Array(_, dims) => {
+                    let n: usize = dims.iter().product();
+                    Some((p.name.clone(), (0..n as i64).map(|x| 7 - x).collect()))
+                }
+                _ => None,
+            })
+            .collect();
+        let mut a1 = proto.clone();
+        let mut a2 = proto;
+        let o1 = Interpreter::new(&prog).call(func, &[], &mut a1).unwrap();
+        let o2 = Interpreter::new(&prog2).call(func, &[], &mut a2).unwrap();
+        assert_eq!(o1, o2);
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn stripmine_unroll_preserves_semantics() {
+        let src = "void f(int A[16], int B[16]) { int i;
+          for (i = 0; i < 16; i++) { B[i] = A[i] * 3 - 1; } }";
+        assert_smu_equivalent(src, "f", 4);
+        assert_smu_equivalent(src, "f", 8);
+        let rem = "void f(int A[13], int B[13]) { int i;
+          for (i = 0; i < 13; i++) { B[i] = A[i] + 5; } }";
+        assert_smu_equivalent(rem, "f", 4);
+    }
+
+    #[test]
+    fn stripmine_unroll_flattens_to_single_loop() {
+        let src = "void f(int A[16]) { int i; for (i = 0; i < 16; i++) { A[i] = 0; } }";
+        let prog = parse(src).unwrap();
+        let mined = stripmine_unroll_function(prog.function("f").unwrap(), 4);
+        let outer = mined
+            .body
+            .stmts
+            .iter()
+            .find(|s| matches!(s.kind, StmtKind::For { .. }))
+            .expect("loop survives");
+        match &outer.kind {
+            StmtKind::For { body, .. } => {
+                assert!(
+                    !contains_loop(body),
+                    "strip is flattened, no inner loop remains"
+                );
+                assert_eq!(body.stmts.len(), 4, "one copy per strip element");
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn stripmine_unroll_targets_innermost_only() {
+        let src = "void f(int A[64]) { int i; int j;
+          for (i = 0; i < 8; i++) { for (j = 0; j < 8; j++) { A[i * 8 + j] = i + j; } } }";
+        let prog = parse(src).unwrap();
+        let mined = stripmine_unroll_function(prog.function("f").unwrap(), 4);
+        // Outer loop header intact, inner loop flattened.
+        let outer = mined
+            .body
+            .stmts
+            .iter()
+            .find(|s| matches!(s.kind, StmtKind::For { .. }))
+            .expect("outer loop survives");
+        let l = recognize(outer).expect("outer still canonical");
+        assert_eq!(l.trip_count(), Some(8));
+        assert!(
+            !contains_loop(&l.body) || {
+                // The flattened inner strip loop is still a loop, but it must
+                // be the only depth below the outer header.
+                let inner = l
+                    .body
+                    .stmts
+                    .iter()
+                    .find(|s| matches!(s.kind, StmtKind::For { .. }))
+                    .unwrap();
+                match &inner.kind {
+                    StmtKind::For { body, .. } => !contains_loop(body),
+                    _ => false,
+                }
+            },
+            "inner strip fully flattened below the outer header"
+        );
+        assert_smu_equivalent(src, "f", 4);
+    }
+
+    #[test]
+    fn stripmine_unroll_leaves_short_loops_alone() {
+        let src = "void f(int A[3]) { int i; for (i = 0; i < 3; i++) { A[i] = 0; } }";
+        let prog = parse(src).unwrap();
+        let f = prog.function("f").unwrap();
+        let mined = stripmine_unroll_function(f, 8);
+        assert_eq!(&mined.body, &f.body);
     }
 }

@@ -1,0 +1,65 @@
+//! Content addressing for compile configurations.
+//!
+//! A 64-bit FNV-1a hash over `(source, function, canonical options)`
+//! identifies one compile configuration. FNV is not collision-resistant
+//! against adversaries, but every consumer treats the hash as an
+//! optimization, not a trust boundary: a collision serves a stale
+//! artifact to a local client, it does not corrupt the compiler. Length
+//! prefixes keep field boundaries unambiguous (`("ab","c")` must not
+//! collide with `("a","bc")`).
+//!
+//! The hash lives here (rather than in `roccc-serve`, where it
+//! originated) so that every layer that keys work by configuration —
+//! the serve daemon's artifact cache and the `roccc-explore`
+//! design-space-exploration memo — shares one definition and can never
+//! disagree about whether two configurations alias.
+
+use crate::CompileOptions;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental 64-bit FNV-1a hasher.
+#[derive(Debug, Clone)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64(FNV_OFFSET)
+    }
+}
+
+impl Fnv64 {
+    /// Fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorbs `bytes`.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs a length-prefixed field (8-byte LE length, then bytes).
+    pub fn write_field(&mut self, bytes: &[u8]) {
+        self.write(&(bytes.len() as u64).to_le_bytes());
+        self.write(bytes);
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// The content-addressed key of one compile configuration.
+pub fn cache_key(source: &str, function: &str, opts: &CompileOptions) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_field(source.as_bytes());
+    h.write_field(function.as_bytes());
+    h.write_field(&opts.canonical_bytes());
+    h.finish()
+}

@@ -44,6 +44,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::time::{Duration, Instant};
 
+pub mod hash;
 pub mod proto;
 
 /// How to treat loops before kernel extraction.
@@ -67,6 +68,13 @@ pub struct CompileOptions {
     pub target_period_ns: f64,
     /// Loop unrolling strategy.
     pub unroll: UnrollStrategy,
+    /// Strip-mine width: `Some(w)` (w ≥ 2) strip-mines every innermost
+    /// counted loop by `w` and fully unrolls the strip, so each remaining
+    /// iteration computes one whole strip fed from one smart-buffer line
+    /// (the paper's §2 strip-mining, with the strip matched to the memory
+    /// bus width). Applied before [`CompileOptions::unroll`]; `None` (and
+    /// widths < 2) leave loops untouched.
+    pub stripmine: Option<u64>,
     /// Run the SSA-level scalar optimizations.
     pub optimize: bool,
     /// Run backward bit-width narrowing.
@@ -85,6 +93,7 @@ impl Default for CompileOptions {
         CompileOptions {
             target_period_ns: 7.0,
             unroll: UnrollStrategy::Keep,
+            stripmine: None,
             optimize: true,
             narrow: true,
             fuse: false,
@@ -109,6 +118,16 @@ impl CompileOptions {
             UnrollStrategy::Partial(k) => {
                 v.push(2);
                 v.extend_from_slice(&k.to_le_bytes());
+            }
+        }
+        // Strip-mining is part of the key: two configurations differing
+        // only in strip width compile to different hardware, and the
+        // serve cache / DSE memo must never alias them.
+        match self.stripmine {
+            None => v.push(0),
+            Some(w) => {
+                v.push(1);
+                v.extend_from_slice(&w.to_le_bytes());
             }
         }
         v.push(u8::from(self.optimize));
@@ -470,6 +489,12 @@ fn transform_program(program: &Program, func: &str, opts: &CompileOptions) -> Pr
         if opts.fuse {
             f = roccc_hlir::fusion::fuse_function(&f);
         }
+        if let Some(w) = opts.stripmine {
+            if w >= 2 {
+                f = roccc_hlir::stripmine::stripmine_unroll_function(&f, w);
+                f = roccc_hlir::fold::fold_function(&f);
+            }
+        }
         match opts.unroll {
             UnrollStrategy::Keep => {}
             UnrollStrategy::Full => {
@@ -655,6 +680,57 @@ mod tests {
         let mut sim = NetlistSim::new(&hw.netlist);
         let outs = sim.run_stream(&[vec![1, 2, 3, 4]]).unwrap();
         assert_eq!(outs[0], vec![3 * (1 + 2 + 3 + 4)]);
+    }
+
+    #[test]
+    fn stripmine_option_matches_golden_and_cuts_cycles() {
+        // Strip-mining by 4 fully unrolls the strip, so the transformed
+        // kernel computes 4 outputs per iteration; fed through a 4-wide
+        // bus it must still match the golden interpreter on the original
+        // source, in fewer cycles than the un-mined baseline.
+        let src = "void fir(int A[20], int C[16]) { int i;
+          for (i = 0; i < 16; i = i + 1) {
+            C[i] = 3*A[i] + 5*A[i+1] + 7*A[i+2] + 9*A[i+3] - A[i+4]; } }";
+        let mined = compile(
+            src,
+            "fir",
+            &CompileOptions {
+                stripmine: Some(4),
+                ..CompileOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            mined.kernel.total_iterations(),
+            4,
+            "16 iterations / strip 4"
+        );
+
+        let a: Vec<i64> = (0..20).map(|x| (x * 13 % 31) - 9).collect();
+        let mut arrays = HashMap::new();
+        arrays.insert("A".to_string(), a.clone());
+        let run = mined.run_with_bus(&arrays, &HashMap::new(), 4).unwrap();
+
+        let prog = roccc_cparse::frontend(src).unwrap();
+        let mut golden_arrays = HashMap::new();
+        golden_arrays.insert("A".to_string(), a.clone());
+        golden_arrays.insert("C".to_string(), vec![0i64; 16]);
+        Interpreter::new(&prog)
+            .call("fir", &[], &mut golden_arrays)
+            .unwrap();
+        assert_eq!(run.arrays["C"], golden_arrays["C"]);
+
+        let baseline = compile(src, "fir", &CompileOptions::default()).unwrap();
+        let mut arrays2 = HashMap::new();
+        arrays2.insert("A".to_string(), a);
+        let base_run = baseline.run(&arrays2, &HashMap::new()).unwrap();
+        assert_eq!(base_run.arrays["C"], golden_arrays["C"]);
+        assert!(
+            run.cycles < base_run.cycles,
+            "strip-mined {} cycles vs baseline {}",
+            run.cycles,
+            base_run.cycles
+        );
     }
 
     #[test]

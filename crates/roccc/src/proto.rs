@@ -58,6 +58,32 @@ pub enum Request {
         /// Requested artifact kind.
         emit: String,
     },
+    /// Run a design-space exploration sweep over `function`: every
+    /// combination of `unroll_factors` × `strip_widths` (0 = no
+    /// strip-mining) × scalar-optimization settings, under the base
+    /// `opts`, returning the Pareto frontier rendered as `emit`
+    /// (`json|table`).
+    Explore {
+        /// C source text.
+        source: String,
+        /// Kernel function name.
+        function: String,
+        /// Base compilation options shared by every candidate.
+        opts: CompileOptions,
+        /// Unroll factors to sweep (1 = keep the loop).
+        unroll_factors: Vec<u64>,
+        /// Strip-mine widths to sweep (0 = no strip-mining).
+        strip_widths: Vec<u64>,
+        /// Sweep scalar optimization both on and off (otherwise the base
+        /// `opts.optimize` setting is used for every candidate).
+        scalar_opt_both: bool,
+        /// Area budget in slices: candidates estimated above it are pruned.
+        budget_slices: Option<u64>,
+        /// Beam width: keep only the best `beam` estimates for full scoring.
+        beam: Option<usize>,
+        /// Requested artifact kind.
+        emit: String,
+    },
     /// Fetch the Prometheus-style metrics text.
     Metrics,
     /// Liveness probe; the server answers `ok` with payload `pong`.
@@ -173,31 +199,131 @@ pub fn write_request<W: Write>(w: &mut W, req: &Request) -> io::Result<()> {
             writeln!(w, "compile")?;
             writeln!(w, "function {}", escape(function))?;
             writeln!(w, "emit {}", escape(emit))?;
-            writeln!(w, "period {}", opts.target_period_ns)?;
-            match opts.unroll {
-                UnrollStrategy::Keep => {}
-                UnrollStrategy::Full => writeln!(w, "unroll full")?,
-                UnrollStrategy::Partial(k) => writeln!(w, "unroll {k}")?,
+            write_opts(w, opts)?;
+            writeln!(w, "source {}", escape(source))?;
+            writeln!(w, "end")
+        }
+        Request::Explore {
+            source,
+            function,
+            opts,
+            unroll_factors,
+            strip_widths,
+            scalar_opt_both,
+            budget_slices,
+            beam,
+            emit,
+        } => {
+            writeln!(w, "explore")?;
+            writeln!(w, "function {}", escape(function))?;
+            writeln!(w, "emit {}", escape(emit))?;
+            write_opts(w, opts)?;
+            writeln!(w, "factors {}", csv(unroll_factors))?;
+            writeln!(w, "strips {}", csv(strip_widths))?;
+            if *scalar_opt_both {
+                writeln!(w, "scalar-both")?;
             }
-            if !opts.optimize {
-                writeln!(w, "no-opt")?;
+            if let Some(b) = budget_slices {
+                writeln!(w, "budget {b}")?;
             }
-            if !opts.narrow {
-                writeln!(w, "no-narrow")?;
-            }
-            if opts.fuse {
-                writeln!(w, "fuse")?;
-            }
-            // Only written when explicit, so a request serialized by a
-            // debug client parses back identically in a release server
-            // (the default level is profile-dependent).
-            if opts.verify != VerifyLevel::default() {
-                writeln!(w, "verify {}", opts.verify)?;
+            if let Some(b) = beam {
+                writeln!(w, "beam {b}")?;
             }
             writeln!(w, "source {}", escape(source))?;
             writeln!(w, "end")
         }
     }
+}
+
+fn csv(values: &[u64]) -> String {
+    values
+        .iter()
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn parse_csv(value: &str) -> Result<Vec<u64>, ProtoError> {
+    if value.is_empty() {
+        return Ok(Vec::new());
+    }
+    value
+        .split(',')
+        .map(|v| {
+            v.trim()
+                .parse()
+                .map_err(|_| malformed(format!("bad list element `{v}`")))
+        })
+        .collect()
+}
+
+/// Writes the option lines shared by `compile` and `explore`.
+fn write_opts<W: Write>(w: &mut W, opts: &CompileOptions) -> io::Result<()> {
+    writeln!(w, "period {}", opts.target_period_ns)?;
+    match opts.unroll {
+        UnrollStrategy::Keep => {}
+        UnrollStrategy::Full => writeln!(w, "unroll full")?,
+        UnrollStrategy::Partial(k) => writeln!(w, "unroll {k}")?,
+    }
+    if let Some(width) = opts.stripmine {
+        writeln!(w, "stripmine {width}")?;
+    }
+    if !opts.optimize {
+        writeln!(w, "no-opt")?;
+    }
+    if !opts.narrow {
+        writeln!(w, "no-narrow")?;
+    }
+    if opts.fuse {
+        writeln!(w, "fuse")?;
+    }
+    // Only written when explicit, so a request serialized by a
+    // debug client parses back identically in a release server
+    // (the default level is profile-dependent).
+    if opts.verify != VerifyLevel::default() {
+        writeln!(w, "verify {}", opts.verify)?;
+    }
+    Ok(())
+}
+
+/// Applies one `key value` option line to `opts`; `Ok(false)` when the key
+/// is not an option field.
+fn apply_opt_field(opts: &mut CompileOptions, key: &str, value: &str) -> Result<bool, ProtoError> {
+    match key {
+        "period" => {
+            opts.target_period_ns = value
+                .parse()
+                .map_err(|_| malformed(format!("bad period `{value}`")))?;
+        }
+        "unroll" => {
+            opts.unroll = if value == "full" {
+                UnrollStrategy::Full
+            } else {
+                UnrollStrategy::Partial(
+                    value
+                        .parse()
+                        .map_err(|_| malformed(format!("bad unroll `{value}`")))?,
+                )
+            };
+        }
+        "stripmine" => {
+            opts.stripmine = Some(
+                value
+                    .parse()
+                    .map_err(|_| malformed(format!("bad stripmine `{value}`")))?,
+            );
+        }
+        "no-opt" => opts.optimize = false,
+        "no-narrow" => opts.narrow = false,
+        "fuse" => opts.fuse = true,
+        "verify" => {
+            opts.verify = value
+                .parse()
+                .map_err(|_| malformed(format!("bad verify level `{value}`")))?;
+        }
+        _ => return Ok(false),
+    }
+    Ok(true)
 }
 
 fn read_line_capped<R: BufRead>(r: &mut R) -> Result<String, ProtoError> {
@@ -253,37 +379,76 @@ pub fn read_request<R: BufRead>(r: &mut R) -> Result<Request, ProtoError> {
                     "function" => function = Some(unescape(value)?),
                     "emit" => emit = unescape(value)?,
                     "source" => source = Some(unescape(value)?),
-                    "period" => {
-                        opts.target_period_ns = value
-                            .parse()
-                            .map_err(|_| malformed(format!("bad period `{value}`")))?;
+                    other => {
+                        if !apply_opt_field(&mut opts, other, value)? {
+                            return Err(malformed(format!("unknown field `{other}`")));
+                        }
                     }
-                    "unroll" => {
-                        opts.unroll = if value == "full" {
-                            UnrollStrategy::Full
-                        } else {
-                            UnrollStrategy::Partial(
-                                value
-                                    .parse()
-                                    .map_err(|_| malformed(format!("bad unroll `{value}`")))?,
-                            )
-                        };
-                    }
-                    "no-opt" => opts.optimize = false,
-                    "no-narrow" => opts.narrow = false,
-                    "fuse" => opts.fuse = true,
-                    "verify" => {
-                        opts.verify = value
-                            .parse()
-                            .map_err(|_| malformed(format!("bad verify level `{value}`")))?;
-                    }
-                    other => return Err(malformed(format!("unknown field `{other}`"))),
                 }
             }
             Ok(Request::Compile {
                 source: source.ok_or_else(|| malformed("compile without source"))?,
                 function: function.ok_or_else(|| malformed("compile without function"))?,
                 opts,
+                emit,
+            })
+        }
+        "explore" => {
+            let mut source = None;
+            let mut function = None;
+            let mut emit = "json".to_string();
+            let mut opts = CompileOptions::default();
+            let mut unroll_factors = vec![1];
+            let mut strip_widths = vec![0];
+            let mut scalar_opt_both = false;
+            let mut budget_slices = None;
+            let mut beam = None;
+            loop {
+                let line = read_line_capped(r)?;
+                if line == "end" {
+                    break;
+                }
+                let (key, value) = match line.split_once(' ') {
+                    Some((k, v)) => (k, v),
+                    None => (line.as_str(), ""),
+                };
+                match key {
+                    "function" => function = Some(unescape(value)?),
+                    "emit" => emit = unescape(value)?,
+                    "source" => source = Some(unescape(value)?),
+                    "factors" => unroll_factors = parse_csv(value)?,
+                    "strips" => strip_widths = parse_csv(value)?,
+                    "scalar-both" => scalar_opt_both = true,
+                    "budget" => {
+                        budget_slices = Some(
+                            value
+                                .parse()
+                                .map_err(|_| malformed(format!("bad budget `{value}`")))?,
+                        );
+                    }
+                    "beam" => {
+                        beam = Some(
+                            value
+                                .parse()
+                                .map_err(|_| malformed(format!("bad beam `{value}`")))?,
+                        );
+                    }
+                    other => {
+                        if !apply_opt_field(&mut opts, other, value)? {
+                            return Err(malformed(format!("unknown field `{other}`")));
+                        }
+                    }
+                }
+            }
+            Ok(Request::Explore {
+                source: source.ok_or_else(|| malformed("explore without source"))?,
+                function: function.ok_or_else(|| malformed("explore without function"))?,
+                opts,
+                unroll_factors,
+                strip_widths,
+                scalar_opt_both,
+                budget_slices,
+                beam,
                 emit,
             })
         }
@@ -420,6 +585,7 @@ mod tests {
             opts: CompileOptions {
                 target_period_ns: 5.25,
                 unroll: UnrollStrategy::Partial(4),
+                stripmine: Some(8),
                 optimize: false,
                 narrow: false,
                 fuse: true,
@@ -431,6 +597,54 @@ mod tests {
         write_request(&mut buf, &req).unwrap();
         let got = read_request(&mut Cursor::new(buf)).unwrap();
         assert_eq!(got, req);
+    }
+
+    #[test]
+    fn explore_request_roundtrips() {
+        let req = Request::Explore {
+            source: "void f(int A[8], int B[8]) {\n}".to_string(),
+            function: "f".to_string(),
+            opts: CompileOptions {
+                target_period_ns: 10.0,
+                verify: VerifyLevel::Warn,
+                ..CompileOptions::default()
+            },
+            unroll_factors: vec![1, 2, 4],
+            strip_widths: vec![0, 4],
+            scalar_opt_both: true,
+            budget_slices: Some(600),
+            beam: Some(6),
+            emit: "json".to_string(),
+        };
+        let mut buf = Vec::new();
+        write_request(&mut buf, &req).unwrap();
+        assert_eq!(read_request(&mut Cursor::new(buf)).unwrap(), req);
+
+        // Defaults: omitted sweep fields fall back to the trivial space.
+        let minimal = b"explore\nfunction f\nsource void f() {}\nend\n".to_vec();
+        match read_request(&mut Cursor::new(minimal)).unwrap() {
+            Request::Explore {
+                unroll_factors,
+                strip_widths,
+                scalar_opt_both,
+                budget_slices,
+                beam,
+                emit,
+                ..
+            } => {
+                assert_eq!(unroll_factors, vec![1]);
+                assert_eq!(strip_widths, vec![0]);
+                assert!(!scalar_opt_both);
+                assert_eq!(budget_slices, None);
+                assert_eq!(beam, None);
+                assert_eq!(emit, "json");
+            }
+            other => panic!("expected explore, got {other:?}"),
+        }
+        assert!(read_request(&mut Cursor::new(
+            b"explore\nfunction f\nfactors 1,banana\nsource x\nend\n".to_vec()
+        ))
+        .is_err());
     }
 
     #[test]

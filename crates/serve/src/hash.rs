@@ -1,66 +1,17 @@
 //! Content addressing for compile artifacts.
 //!
-//! A 64-bit FNV-1a hash over `(source, function, canonical options)`
-//! keys the cache. FNV is not collision-resistant against adversaries,
-//! but the cache is an optimization, not a trust boundary: a collision
-//! serves a stale artifact to a local client, it does not corrupt the
-//! compiler. Length prefixes keep field boundaries unambiguous
-//! (`("ab","c")` must not collide with `("a","bc")`).
+//! The FNV-1a hashing itself lives in [`roccc::hash`] so that the serve
+//! cache and the `roccc-explore` design-space-exploration memo share one
+//! key definition and can never disagree about whether two
+//! configurations alias; this module re-exports it under the historical
+//! path and keeps the behavioral tests.
 
-use roccc::CompileOptions;
-
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-
-/// Incremental 64-bit FNV-1a hasher.
-#[derive(Debug, Clone)]
-pub struct Fnv64(u64);
-
-impl Default for Fnv64 {
-    fn default() -> Self {
-        Fnv64(FNV_OFFSET)
-    }
-}
-
-impl Fnv64 {
-    /// Fresh hasher at the FNV offset basis.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Absorbs `bytes`.
-    pub fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 ^= u64::from(b);
-            self.0 = self.0.wrapping_mul(FNV_PRIME);
-        }
-    }
-
-    /// Absorbs a length-prefixed field (8-byte LE length, then bytes).
-    pub fn write_field(&mut self, bytes: &[u8]) {
-        self.write(&(bytes.len() as u64).to_le_bytes());
-        self.write(bytes);
-    }
-
-    /// The current hash value.
-    pub fn finish(&self) -> u64 {
-        self.0
-    }
-}
-
-/// The content-addressed cache key of one compile request.
-pub fn cache_key(source: &str, function: &str, opts: &CompileOptions) -> u64 {
-    let mut h = Fnv64::new();
-    h.write_field(source.as_bytes());
-    h.write_field(function.as_bytes());
-    h.write_field(&opts.canonical_bytes());
-    h.finish()
-}
+pub use roccc::hash::{cache_key, Fnv64};
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use roccc::UnrollStrategy;
+    use roccc::{CompileOptions, UnrollStrategy};
 
     #[test]
     fn fnv_matches_reference_vectors() {
@@ -85,6 +36,7 @@ mod tests {
         let opts = CompileOptions {
             target_period_ns: 7.0,
             unroll: UnrollStrategy::Keep,
+            stripmine: None,
             optimize: true,
             narrow: true,
             fuse: false,
@@ -113,6 +65,10 @@ mod tests {
             },
             CompileOptions {
                 unroll: UnrollStrategy::Full,
+                ..base.clone()
+            },
+            CompileOptions {
+                stripmine: Some(4),
                 ..base.clone()
             },
             CompileOptions {
@@ -164,5 +120,28 @@ mod tests {
         };
         assert_ne!(k1.canonical_bytes(), k2.canonical_bytes());
         assert_eq!(k1.canonical_bytes(), k1.canonical_bytes());
+    }
+
+    #[test]
+    fn canonical_bytes_distinguish_strip_widths() {
+        // DSE memoization correctness: strip-mined configurations must
+        // never alias the un-mined base or each other.
+        let base = CompileOptions::default();
+        let s4 = CompileOptions {
+            stripmine: Some(4),
+            ..base.clone()
+        };
+        let s8 = CompileOptions {
+            stripmine: Some(8),
+            ..base.clone()
+        };
+        assert_ne!(base.canonical_bytes(), s4.canonical_bytes());
+        assert_ne!(s4.canonical_bytes(), s8.canonical_bytes());
+        // And `stripmine: None` must not alias `Some(0)`-style encodings
+        // of other fields: the tag byte keeps boundaries unambiguous.
+        assert_eq!(
+            base.canonical_bytes(),
+            CompileOptions::default().canonical_bytes()
+        );
     }
 }

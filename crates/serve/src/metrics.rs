@@ -126,6 +126,16 @@ pub struct Metrics {
     /// Verifier + VHDL lint findings across all actual compiles
     /// (`roccc::verify_compiled` runs on every cache miss).
     pub verify_findings: Counter,
+    /// Design-space exploration requests served.
+    pub explore_requests: Counter,
+    /// Candidates visited across all explore sweeps.
+    pub explore_candidates: Counter,
+    /// Explore candidates served entirely from the DSE memo.
+    pub explore_memo_hits: Counter,
+    /// Explore candidates pruned by budget or beam.
+    pub explore_pruned: Counter,
+    /// Explore candidates skipped on compile/simulation failure.
+    pub explore_skipped: Counter,
     /// End-to-end request latency (all compile requests).
     pub request_latency: Histogram,
     /// Per-phase compile latency, indexed like [`PhaseTimings::PHASES`].
@@ -183,6 +193,31 @@ impl Metrics {
                 "roccc_verify_findings_total",
                 "Static verifier and VHDL lint findings across compiles",
                 &self.verify_findings,
+            ),
+            (
+                "roccc_explore_requests_total",
+                "Design-space exploration sweeps served",
+                &self.explore_requests,
+            ),
+            (
+                "roccc_explore_candidates_total",
+                "Candidates visited across explore sweeps",
+                &self.explore_candidates,
+            ),
+            (
+                "roccc_explore_memo_hits_total",
+                "Explore candidates served from the DSE memo",
+                &self.explore_memo_hits,
+            ),
+            (
+                "roccc_explore_pruned_total",
+                "Explore candidates pruned by budget or beam",
+                &self.explore_pruned,
+            ),
+            (
+                "roccc_explore_skipped_total",
+                "Explore candidates skipped on failure",
+                &self.explore_skipped,
             ),
         ] {
             s.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n"));

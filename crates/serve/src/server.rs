@@ -153,6 +153,9 @@ struct Shared {
     inflight_cv: Condvar,
     watchdog: Watchdog,
     stop: AtomicBool,
+    /// Process-wide DSE memo: repeated explore sweeps (or sweeps whose
+    /// spaces overlap) reuse fully-scored candidates by content hash.
+    explore_memo: roccc_explore::Memo,
 }
 
 /// A running server; dropping the handle does **not** stop it — call
@@ -229,6 +232,7 @@ pub fn start(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
             cv: Condvar::new(),
         },
         stop: AtomicBool::new(false),
+        explore_memo: roccc_explore::Memo::new(),
         compiler,
         cfg,
     });
@@ -354,6 +358,28 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
             opts,
             emit,
         } => handle_compile(shared, &source, &function, &opts, &emit),
+        Request::Explore {
+            source,
+            function,
+            opts,
+            unroll_factors,
+            strip_widths,
+            scalar_opt_both,
+            budget_slices,
+            beam,
+            emit,
+        } => handle_explore(
+            shared,
+            &source,
+            &function,
+            &opts,
+            &unroll_factors,
+            &strip_widths,
+            scalar_opt_both,
+            budget_slices,
+            beam,
+            &emit,
+        ),
     };
     if matches!(resp, Response::Err(_)) {
         shared.metrics.errors.inc();
@@ -544,6 +570,72 @@ fn handle_compile(
                 "compile exceeded the {:?} wall-clock budget",
                 shared.cfg.timeout
             ))
+        }
+    };
+    shared.metrics.request_latency.observe(start.elapsed());
+    resp
+}
+
+/// Runs a design-space exploration sweep inline on the worker. The
+/// engine already fans out over its own bounded `thread::scope` pool and
+/// skip-reports per-candidate failures, so the worker only has to guard
+/// against panics and account the sweep's counters.
+#[allow(clippy::too_many_arguments)]
+fn handle_explore(
+    shared: &Arc<Shared>,
+    source: &str,
+    function: &str,
+    opts: &CompileOptions,
+    unroll_factors: &[u64],
+    strip_widths: &[u64],
+    scalar_opt_both: bool,
+    budget_slices: Option<u64>,
+    beam: Option<usize>,
+    emit: &str,
+) -> Response {
+    let start = Instant::now();
+    shared.metrics.explore_requests.inc();
+    if !matches!(emit, "json" | "table") {
+        return Response::Err(format!("unknown explore emit `{emit}` (json|table)"));
+    }
+
+    let space = roccc_explore::Space::new(unroll_factors, strip_widths, scalar_opt_both);
+    let cfg = roccc_explore::ExploreConfig {
+        workers: shared.cfg.workers.max(1),
+        budget_slices,
+        beam,
+        compiler: Some(Arc::clone(&shared.compiler)),
+    };
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        roccc_explore::explore(source, function, opts, &space, &cfg, &shared.explore_memo)
+    }));
+    let resp = match result {
+        Ok(result) => {
+            let st = &result.stats;
+            shared.metrics.explore_candidates.add(st.candidates as u64);
+            shared.metrics.explore_memo_hits.add(st.memo_hits as u64);
+            shared
+                .metrics
+                .explore_pruned
+                .add((st.pruned_budget + st.pruned_beam) as u64);
+            shared.metrics.explore_skipped.add(st.skipped as u64);
+            let payload = match emit {
+                "table" => roccc_explore::render_table(&result),
+                _ => roccc_explore::render_json(&result),
+            };
+            Response::Ok {
+                payload: payload.into_bytes(),
+                cached: false,
+            }
+        }
+        Err(panic) => {
+            shared.metrics.panics.inc();
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "unknown panic payload".to_string());
+            Response::Err(format!("explore panicked: {msg}"))
         }
     };
     shared.metrics.request_latency.observe(start.elapsed());

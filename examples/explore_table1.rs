@@ -1,0 +1,61 @@
+//! Design-space exploration over the Table 1 kernels: sweeps unroll
+//! factor × strip-mine width per kernel and prints each kernel's Pareto
+//! frontier plus the configuration a latency-first and an area-first
+//! selection rule would choose. Regenerates the DSE table in
+//! EXPERIMENTS.md:
+//!
+//! ```sh
+//! cargo run --release --example explore_table1
+//! ```
+
+use roccc_suite::explore::{explore, ExploreConfig, Memo, Space, Status};
+use roccc_suite::ipcores::benchmarks;
+
+fn main() {
+    let space = Space::new(&[1, 2, 4], &[0, 2, 4], false);
+    println!(
+        "{:<16} {:>5} {:>7} {:>8} | {:<22} {:<22}",
+        "kernel", "cands", "scored", "frontier", "min-cycles config", "min-area config"
+    );
+    for b in benchmarks() {
+        let result = explore(
+            &b.source,
+            b.func,
+            &b.opts,
+            &space,
+            &ExploreConfig::default(),
+            &Memo::new(),
+        );
+        let pick = |key: fn(&roccc_suite::explore::Metrics) -> (u64, u64)| {
+            result
+                .frontier
+                .iter()
+                .min_by_key(|&&i| key(result.reports[i].metrics.as_ref().unwrap()))
+                .map(|&i| {
+                    let r = &result.reports[i];
+                    let m = r.metrics.unwrap();
+                    format!(
+                        "{} ({} sl, {} cyc)",
+                        r.candidate.label(),
+                        m.slices,
+                        m.cycles
+                    )
+                })
+                .unwrap_or_else(|| "-".to_string())
+        };
+        let scored = result
+            .reports
+            .iter()
+            .filter(|r| matches!(r.status, Status::Scored | Status::MemoHit))
+            .count();
+        println!(
+            "{:<16} {:>5} {:>7} {:>8} | {:<22} {:<22}",
+            b.name,
+            result.stats.candidates,
+            scored,
+            result.frontier.len(),
+            pick(|m| (m.cycles, m.slices)),
+            pick(|m| (m.slices, m.cycles)),
+        );
+    }
+}

@@ -89,6 +89,36 @@ esac
 wait "${serve_pid}"
 rm -f "${serve_log}" "${smoke_src}"
 
+echo "==> explore smoke (fir, tiny space, table + json)"
+explore_src="$(mktemp -t explore_smoke.XXXXXX.c)"
+cat >"${explore_src}" <<'EOF'
+void fir(int16 A[36], int16 Y[32]) {
+  int i;
+  for (i = 0; i < 32; i = i + 1) {
+    Y[i] = 3*A[i] + 5*A[i+1] + 7*A[i+2] + 5*A[i+3] + 3*A[i+4];
+  }
+}
+EOF
+./target/release/roccc "${explore_src}" --function fir --explore \
+  --unroll-factors 1,2 --strip-widths 0,2 \
+  | grep -q '^frontier: [1-9]' \
+  || { echo "explore smoke: empty frontier" >&2; exit 1; }
+./target/release/roccc "${explore_src}" --function fir --explore \
+  --unroll-factors 1,2 --strip-widths 0 --emit json \
+  | grep -q '"schema": "roccc-explore-v1"' \
+  || { echo "explore smoke: bad JSON artifact" >&2; exit 1; }
+rm -f "${explore_src}"
+
+echo "==> bench_dse smoke (quick space)"
+dse_out="$(mktemp -t bench_dse_smoke.XXXXXX.json)"
+cargo run --release -p roccc-bench --bin bench_dse -- \
+  --quick --out "${dse_out}" >/dev/null
+grep -q '"benchmark": "dse-sweep"' "${dse_out}" \
+  || { echo "bench_dse smoke: bad JSON" >&2; exit 1; }
+grep -q '"rerun_hit_rate": 1.0000' "${dse_out}" \
+  || { echo "bench_dse smoke: memo re-run did not hit" >&2; exit 1; }
+rm -f "${dse_out}"
+
 echo "==> loadgen smoke (4 clients x 8 requests, in-process server)"
 lg_out="$(mktemp -t bench_serve_smoke.XXXXXX.json)"
 cargo run --release -p roccc-bench --bin loadgen -- \

@@ -7,6 +7,7 @@
 //!   --function <name>    kernel function to compile (required)
 //!   --period <ns>        target clock period (default 7.0)
 //!   --unroll <n|full>    unroll factor or full unrolling
+//!   --stripmine <w>      strip-mine width (strip fully unrolled)
 //!   --fuse               run loop fusion first
 //!   --no-opt             skip SSA-level scalar optimizations
 //!   --no-narrow          skip bit-width narrowing
@@ -15,6 +16,17 @@
 //!   -o <file>            write output to a file instead of stdout
 //!   --verify             run the phase-indexed static verifier (warn)
 //!   --deny-warnings      verifier + lint findings of any severity fail
+//!
+//! Design-space exploration (sweeps unroll × strip-mine × scalar-opt
+//! configurations and reports the Pareto frontier; `--emit` becomes
+//! `table` (default) or `json`):
+//!   --explore              run the DSE sweep instead of one compile
+//!   --unroll-factors <csv> unroll factors to sweep (default 1,2,4)
+//!   --strip-widths <csv>   strip-mine widths to sweep (default 0,2,4)
+//!   --scalar-both          sweep scalar optimization on AND off
+//!   --budget-slices <n>    prune candidates whose estimated area
+//!                          exceeds the budget (the paper's cut)
+//!   --beam <n>             fully score at most n candidates
 //!
 //! Client mode (talk to a running `roccc-serve` daemon instead of
 //! compiling locally; `table-row` is additionally accepted for --emit):
@@ -42,6 +54,8 @@ options:
   --function, -f <name>  kernel function to compile (required)
   --period <ns>          target clock period in ns (default 7.0)
   --unroll <n|full>      unroll factor, or `full` for full unrolling
+  --stripmine <w>        strip-mine width w; the strip is fully
+                         unrolled and w drives the smart-buffer bus
   --fuse                 run loop fusion before extraction
   --no-opt               skip SSA-level scalar optimizations
   --no-narrow            skip backward bit-width narrowing
@@ -54,8 +68,21 @@ options:
                          VHDL lint) fails the compile
   --help, -h             print this help
 
+design-space exploration (--emit becomes table (default) | json):
+  --explore              sweep unroll x strip-mine x scalar-opt and
+                         report the (slices, cycles, clock) Pareto
+                         frontier; infeasible configs are skip-reported
+  --unroll-factors <csv> unroll factors to sweep (default 1,2,4)
+  --strip-widths <csv>   strip-mine widths to sweep, 0 = none
+                         (default 0,2,4)
+  --scalar-both          sweep scalar optimization both on and off
+  --budget-slices <n>    prune candidates whose fast area estimate
+                         exceeds n slices before mapping/simulation
+  --beam <n>             fully score at most the n most promising
+                         estimates (omit for exhaustive search)
+
 client mode (requires a running roccc-serve daemon; adds `table-row`
-to the accepted --emit values):
+to the accepted --emit values; --explore works over --connect too):
   --connect <host:port>  send the compile to the server
   --metrics              (with --connect) print the server metrics
   --shutdown             (with --connect) stop the server
@@ -66,12 +93,29 @@ struct Args {
     function: Option<String>,
     opts: CompileOptions,
     budget: Option<u64>,
-    emit: String,
+    emit: Option<String>,
     output: Option<String>,
     connect: Option<String>,
     metrics: bool,
     shutdown: bool,
+    explore: bool,
+    unroll_factors: Vec<u64>,
+    strip_widths: Vec<u64>,
+    scalar_both: bool,
+    budget_slices: Option<u64>,
+    beam: Option<usize>,
     help: bool,
+}
+
+/// Parses a comma-separated list of unsigned integers.
+fn parse_csv_u64(flag: &str, v: &str) -> Result<Vec<u64>, String> {
+    v.split(',')
+        .map(|p| {
+            p.trim()
+                .parse()
+                .map_err(|_| format!("{flag} expects comma-separated numbers, got `{p}`"))
+        })
+        .collect()
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -80,11 +124,17 @@ fn parse_args() -> Result<Args, String> {
     let mut function = None;
     let mut opts = CompileOptions::default();
     let mut budget = None;
-    let mut emit = "stats".to_string();
+    let mut emit = None;
     let mut output = None;
     let mut connect = None;
     let mut metrics = false;
     let mut shutdown = false;
+    let mut explore = false;
+    let mut unroll_factors = vec![1, 2, 4];
+    let mut strip_widths = vec![0, 2, 4];
+    let mut scalar_both = false;
+    let mut budget_slices = None;
+    let mut beam = None;
     let mut help = false;
 
     while let Some(a) = args.next() {
@@ -119,8 +169,42 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|_| "--budget expects a number")?,
                 )
             }
-            "--emit" => emit = args.next().ok_or("--emit needs vhdl|dot|stats|ir|c")?,
+            "--emit" => emit = Some(args.next().ok_or("--emit needs vhdl|dot|stats|ir|c")?),
             "-o" => output = Some(args.next().ok_or("-o needs a path")?),
+            "--stripmine" => {
+                opts.stripmine = Some(
+                    args.next()
+                        .ok_or("--stripmine needs a width")?
+                        .parse()
+                        .map_err(|_| "--stripmine expects a number")?,
+                )
+            }
+            "--explore" => explore = true,
+            "--unroll-factors" => {
+                let v = args.next().ok_or("--unroll-factors needs a CSV list")?;
+                unroll_factors = parse_csv_u64("--unroll-factors", &v)?;
+            }
+            "--strip-widths" => {
+                let v = args.next().ok_or("--strip-widths needs a CSV list")?;
+                strip_widths = parse_csv_u64("--strip-widths", &v)?;
+            }
+            "--scalar-both" => scalar_both = true,
+            "--budget-slices" => {
+                budget_slices = Some(
+                    args.next()
+                        .ok_or("--budget-slices needs a slice count")?
+                        .parse()
+                        .map_err(|_| "--budget-slices expects a number")?,
+                )
+            }
+            "--beam" => {
+                beam = Some(
+                    args.next()
+                        .ok_or("--beam needs a width")?
+                        .parse()
+                        .map_err(|_| "--beam expects a number")?,
+                )
+            }
             "--connect" => connect = Some(args.next().ok_or("--connect needs host:port")?),
             "--metrics" => metrics = true,
             "--shutdown" => shutdown = true,
@@ -148,11 +232,22 @@ fn parse_args() -> Result<Args, String> {
             connect,
             metrics,
             shutdown,
+            explore,
+            unroll_factors,
+            strip_widths,
+            scalar_both,
+            budget_slices,
+            beam,
             help,
         });
     }
     if (metrics || shutdown) && connect.is_none() {
         return Err("--metrics/--shutdown require --connect (try --help)".to_string());
+    }
+    if explore && budget.is_some() {
+        return Err(
+            "--explore and --budget are mutually exclusive (use --budget-slices)".to_string(),
+        );
     }
     let control = metrics || shutdown;
     if !control && input.is_none() {
@@ -171,8 +266,23 @@ fn parse_args() -> Result<Args, String> {
         connect,
         metrics,
         shutdown,
+        explore,
+        unroll_factors,
+        strip_widths,
+        scalar_both,
+        budget_slices,
+        beam,
         help,
     })
+}
+
+/// The effective `--emit` value: defaults depend on the mode.
+fn effective_emit(args: &Args) -> String {
+    match &args.emit {
+        Some(e) => e.clone(),
+        None if args.explore => "table".to_string(),
+        None => "stats".to_string(),
+    }
 }
 
 fn render(hw: &Compiled, emit: &str, factor: Option<u64>) -> Result<String, String> {
@@ -254,6 +364,42 @@ fn deliver(output: &Option<String>, text: &str) -> Result<(), String> {
     }
 }
 
+/// Local design-space exploration: sweep the configured space and emit
+/// the frontier artifact. An empty frontier (every candidate failed or
+/// was pruned away) is an error.
+fn run_explore(args: &Args, source: &str, function: &str) -> Result<(), String> {
+    let emit = effective_emit(args);
+    if !matches!(emit.as_str(), "table" | "json") {
+        return Err(format!(
+            "unknown --emit `{emit}` for --explore (table|json)"
+        ));
+    }
+    let space =
+        roccc_explore::Space::new(&args.unroll_factors, &args.strip_widths, args.scalar_both);
+    let cfg = roccc_explore::ExploreConfig {
+        workers: 0, // one per candidate, capped
+        budget_slices: args.budget_slices,
+        beam: args.beam,
+        compiler: None,
+    };
+    let memo = roccc_explore::Memo::new();
+    let result = roccc_explore::explore(source, function, &args.opts, &space, &cfg, &memo);
+    let text = match emit.as_str() {
+        "json" => roccc_explore::render_json(&result),
+        _ => roccc_explore::render_table(&result),
+    };
+    deliver(&args.output, &text)?;
+    if result.frontier.is_empty() {
+        return Err(format!(
+            "exploration produced an empty frontier: {} candidate(s), {} skipped, {} pruned",
+            result.stats.candidates,
+            result.stats.skipped,
+            result.stats.pruned_budget + result.stats.pruned_beam
+        ));
+    }
+    Ok(())
+}
+
 /// Client mode: ship the request to a `roccc-serve` daemon.
 fn run_client(args: &Args, addr: &str) -> Result<(), String> {
     let io_timeout = Some(Duration::from_secs(120));
@@ -268,14 +414,29 @@ fn run_client(args: &Args, addr: &str) -> Result<(), String> {
         if args.budget.is_some() {
             return Err("--budget is not supported in --connect mode".to_string());
         }
-        Request::Compile {
-            source,
-            function: args
-                .function
-                .clone()
-                .expect("parse_args checked --function"),
-            opts: args.opts.clone(),
-            emit: args.emit.clone(),
+        let function = args
+            .function
+            .clone()
+            .expect("parse_args checked --function");
+        if args.explore {
+            Request::Explore {
+                source,
+                function,
+                opts: args.opts.clone(),
+                unroll_factors: args.unroll_factors.clone(),
+                strip_widths: args.strip_widths.clone(),
+                scalar_opt_both: args.scalar_both,
+                budget_slices: args.budget_slices,
+                beam: args.beam,
+                emit: effective_emit(args),
+            }
+        } else {
+            Request::Compile {
+                source,
+                function,
+                opts: args.opts.clone(),
+                emit: effective_emit(args),
+            }
         }
     };
     match proto::roundtrip(addr, &req, io_timeout).map_err(|e| e.to_string())? {
@@ -328,6 +489,16 @@ fn main() -> ExitCode {
         }
     };
 
+    if args.explore {
+        return match run_explore(&args, &source, function) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
     let (hw, factor) = if let Some(budget) = args.budget {
         match compile_with_area_budget(&source, function, &args.opts, budget) {
             Ok(b) => (b.compiled, Some(b.factor)),
@@ -352,7 +523,8 @@ fn main() -> ExitCode {
         eprintln!("{}", d.render(Some(&source)));
     }
 
-    let text = match render(&hw, &args.emit, factor) {
+    let emit = effective_emit(&args);
+    let text = match render(&hw, &emit, factor) {
         Ok(t) => t,
         Err(e) => {
             eprintln!("{e}");
@@ -362,7 +534,7 @@ fn main() -> ExitCode {
     // Lint the generated VHDL: findings are warnings (stderr) and the
     // artifact is still emitted — except under --deny-warnings, where
     // any finding fails the run.
-    if args.emit == "vhdl" {
+    if emit == "vhdl" {
         let findings = roccc_vhdl::lint::lint(&text);
         for d in &findings {
             eprintln!("{d}");

@@ -10,6 +10,7 @@ pub use roccc;
 pub use roccc_buffers as buffers;
 pub use roccc_cparse as cparse;
 pub use roccc_datapath as datapath;
+pub use roccc_explore as explore;
 pub use roccc_hlir as hlir;
 pub use roccc_ipcores as ipcores;
 pub use roccc_netlist as netlist;

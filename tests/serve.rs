@@ -342,3 +342,93 @@ fn compiler_panic_is_isolated() {
     assert!(!payload.is_empty());
     handle.shutdown();
 }
+
+/// The `explore` protocol verb: a sweep returns the stable JSON artifact
+/// with a non-empty frontier, the explore counters account every
+/// candidate, and a repeat of the same sweep is served from the daemon's
+/// process-wide DSE memo (zero new compiles).
+#[test]
+fn explore_verb_sweeps_and_memoizes() {
+    let handle = start(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    let addr = handle.local_addr();
+
+    let fir = roccc_suite::ipcores::kernels::fir_source();
+    let req = Request::Explore {
+        source: fir.clone(),
+        function: "fir".to_string(),
+        opts: CompileOptions::default(),
+        unroll_factors: vec![1, 2],
+        strip_widths: vec![0, 2],
+        scalar_opt_both: false,
+        budget_slices: None,
+        beam: None,
+        emit: "json".to_string(),
+    };
+
+    let (payload, cached) = expect_ok(roundtrip(addr, &req, IO_TIMEOUT).expect("roundtrip"));
+    assert!(!cached);
+    let text = String::from_utf8(payload).expect("json artifact is utf-8");
+    assert!(text.contains("\"schema\": \"roccc-explore-v1\""));
+    assert!(
+        !text.contains("\"frontier\": [\n  ]"),
+        "frontier is non-empty:\n{text}"
+    );
+
+    let m = handle.metrics();
+    assert_eq!(m.explore_requests.get(), 1);
+    assert_eq!(m.explore_candidates.get(), 4, "1,2 x 0,2 = 4 candidates");
+    assert_eq!(m.explore_memo_hits.get(), 0, "cold memo on the first sweep");
+
+    // The same sweep again: statuses flip to `memo-hit` but the frontier
+    // (and every metric) is unchanged, and nothing recompiles.
+    let (payload2, _) = expect_ok(roundtrip(addr, &req, IO_TIMEOUT).expect("roundtrip"));
+    let text2 = String::from_utf8(payload2).unwrap();
+    let frontier_of = |t: &str| {
+        t[t.find("\"frontier\"")
+            .expect("artifact has a frontier section")..]
+            .to_string()
+    };
+    assert_eq!(
+        frontier_of(&text),
+        frontier_of(&text2),
+        "memo hits change no metrics"
+    );
+    assert!(text2.contains("\"status\":\"memo-hit\""), "{text2}");
+    assert!(
+        !text2.contains("\"status\":\"scored\""),
+        "nothing recompiled:\n{text2}"
+    );
+    assert_eq!(m.explore_candidates.get(), 8);
+    assert_eq!(
+        m.explore_memo_hits.get() + m.explore_skipped.get() / 2 + m.explore_pruned.get() / 2,
+        4,
+        "the repeat sweep was served entirely from the memo"
+    );
+
+    // A bogus emit is rejected without running the sweep.
+    let bad = Request::Explore {
+        emit: "vhdl".to_string(),
+        source: fir,
+        function: "fir".to_string(),
+        opts: CompileOptions::default(),
+        unroll_factors: vec![1],
+        strip_widths: vec![0],
+        scalar_opt_both: false,
+        budget_slices: None,
+        beam: None,
+    };
+    match roundtrip(addr, &bad, IO_TIMEOUT).expect("roundtrip") {
+        Response::Err(msg) => assert!(msg.contains("json|table"), "{msg}"),
+        other => panic!("expected err, got {other:?}"),
+    }
+    assert_eq!(
+        m.explore_requests.get(),
+        3,
+        "rejected requests still counted"
+    );
+    handle.shutdown();
+}
