@@ -1,0 +1,85 @@
+//! Width-narrowing impact bench: demand-only vs. range-driven narrowing
+//! on every Table 1 kernel.
+//!
+//! ```text
+//! cargo run --release -p roccc-bench --bin bench_width -- [--out PATH]
+//! ```
+//!
+//! For each row the kernel is compiled twice — once with the default
+//! backward-demand narrowing, once with `range_narrow` on — and the
+//! total operator bits, the bits the range analysis shaved, and the
+//! fast slice estimates of both configurations are written to
+//! `BENCH_width.json` so the area trajectory is tracked PR over PR.
+
+use roccc::{compile, CompileOptions, Compiled};
+use roccc_ipcores::benchmarks;
+use roccc_synth::{fast_estimate, VirtexII};
+use std::fmt::Write as _;
+
+fn parse_out() -> String {
+    let mut out = "BENCH_width.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out = args.next().expect("--out needs a path"),
+            "--help" | "-h" => {
+                eprintln!("usage: bench_width [--out PATH]");
+                std::process::exit(0);
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    out
+}
+
+fn op_bits(c: &Compiled) -> u64 {
+    c.datapath.ops.iter().map(|o| o.hw_bits as u64).sum()
+}
+
+fn main() {
+    let out = parse_out();
+    let model = VirtexII::default();
+
+    let mut rows = Vec::new();
+    for b in benchmarks() {
+        let plain = compile(&b.source, b.func, &b.opts).expect("baseline compiles");
+        let ranged_opts = CompileOptions {
+            range_narrow: true,
+            ..b.opts.clone()
+        };
+        let ranged = compile(&b.source, b.func, &ranged_opts).expect("range-narrow compiles");
+        let plain_bits = op_bits(&plain);
+        let ranged_bits = op_bits(&ranged);
+        let plain_slices = fast_estimate(&plain.datapath, &model).slices;
+        let ranged_slices = fast_estimate(&ranged.datapath, &model).slices;
+        println!(
+            "{:16} op bits {:5} -> {:5} ({:5} saved)   slices {:5} -> {:5}",
+            b.name,
+            plain_bits,
+            ranged_bits,
+            plain_bits - ranged_bits,
+            plain_slices,
+            ranged_slices
+        );
+        rows.push((b.name, plain_bits, ranged_bits, plain_slices, ranged_slices));
+    }
+
+    // The bench JSON schema is bespoke to this harness (the shared
+    // renderer is simulation-throughput shaped), so write it by hand.
+    let mut s = String::new();
+    s.push_str("{\n  \"benchmark\": \"width-narrowing\",\n  \"unit\": \"operator bits\",\n  \"results\": [\n");
+    for (i, (name, pb, rb, ps, rs)) in rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"kernel\": \"{name}\", \"plain_bits\": {pb}, \"ranged_bits\": {rb}, \
+             \"bits_saved\": {}, \"plain_slices\": {ps}, \"ranged_slices\": {rs}}}",
+            pb - rb
+        );
+        s.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    std::fs::write(&out, &s).expect("write bench json");
+
+    let improved = rows.iter().filter(|(_, pb, rb, _, _)| rb < pb).count();
+    println!("\n{improved}/{} kernels improved; wrote {out}", rows.len());
+}

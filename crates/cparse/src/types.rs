@@ -121,14 +121,42 @@ impl IntType {
     }
 
     /// Smallest width (of the given signedness) that represents `value`.
+    ///
+    /// Closed-form and audited at the edges (this is the single helper
+    /// every width computation — forward typing, constant cells, and the
+    /// range→bits conversion in [`IntType::width_for_range`] — funnels
+    /// through):
+    ///
+    /// * signed: `0` and `-1` need 1 bit, `127`/`-128` need 8,
+    ///   `i64::MIN`/`i64::MAX` need 64 (a value `v < 0` fits `bits` iff
+    ///   `v >= -2^(bits-1)`, i.e. the magnitude bits of `!v` plus a sign
+    ///   bit);
+    /// * unsigned: `0` needs 1 bit and `i64::MAX` needs 63 (matching
+    ///   [`IntType::max_value`], which saturates at `i64::MAX` from 63
+    ///   bits up); a *negative* value is not representable at any
+    ///   unsigned width, so the result saturates at [`IntType::MAX_BITS`]
+    ///   — callers treat that as "demand everything".
     pub fn width_for(value: i64, signed: bool) -> u8 {
-        for bits in 1..=Self::MAX_BITS {
-            let t = IntType { signed, bits };
-            if t.contains(value) {
-                return bits;
-            }
+        let magnitude_bits = |v: i64| (64 - v.leading_zeros()) as u8;
+        match (signed, value < 0) {
+            (true, false) => magnitude_bits(value) + 1,
+            (true, true) => magnitude_bits(!value) + 1,
+            (false, false) => magnitude_bits(value).max(1),
+            (false, true) => Self::MAX_BITS,
         }
-        Self::MAX_BITS
+    }
+
+    /// Smallest width (of the given signedness) that represents every
+    /// value in `lo..=hi` — the range→bits conversion used by the
+    /// forward-range narrowing pass and its verifier mirror. Shares the
+    /// audited [`IntType::width_for`] edge-case handling; an inverted
+    /// (`lo > hi`) or unsigned-negative range saturates at
+    /// [`IntType::MAX_BITS`].
+    pub fn width_for_range(lo: i64, hi: i64, signed: bool) -> u8 {
+        if lo > hi {
+            return Self::MAX_BITS;
+        }
+        Self::width_for(lo, signed).max(Self::width_for(hi, signed))
     }
 
     /// The usual arithmetic conversion for a binary operation: the wider
@@ -275,6 +303,69 @@ mod tests {
         assert_eq!(IntType::width_for(-1, true), 1);
         assert_eq!(IntType::width_for(-128, true), 8);
         assert_eq!(IntType::width_for(127, true), 8);
+    }
+
+    #[test]
+    fn width_for_edge_cases() {
+        // Zero is one bit under either signedness.
+        assert_eq!(IntType::width_for(0, true), 1);
+        assert_eq!(IntType::width_for(0, false), 1);
+        // Signed extremes saturate exactly at 64 bits.
+        assert_eq!(IntType::width_for(i64::MIN, true), 64);
+        assert_eq!(IntType::width_for(i64::MAX, true), 64);
+        // Unsigned tops out at 63 because max_value saturates at i64::MAX.
+        assert_eq!(IntType::width_for(i64::MAX, false), 63);
+        // A negative value has no unsigned width; saturate, don't lie.
+        assert_eq!(IntType::width_for(-1, false), IntType::MAX_BITS);
+        assert_eq!(IntType::width_for(i64::MIN, false), IntType::MAX_BITS);
+        // Power-of-two boundaries on both sides of the sign bit.
+        assert_eq!(IntType::width_for(-129, true), 9);
+        assert_eq!(IntType::width_for(128, true), 9);
+        assert_eq!(IntType::width_for(256, false), 9);
+    }
+
+    #[test]
+    fn width_for_matches_contains_exhaustively() {
+        // The closed form must agree with the semantic definition: the
+        // smallest width whose type contains the value.
+        let by_search = |value: i64, signed: bool| -> u8 {
+            (1..=IntType::MAX_BITS)
+                .find(|&bits| IntType { signed, bits }.contains(value))
+                .unwrap_or(IntType::MAX_BITS)
+        };
+        let samples: Vec<i64> = (-70..=70)
+            .chain((0..63).flat_map(|b| {
+                let p = 1i64 << b;
+                [p - 1, p, p + 1, -p - 1, -p, -p + 1]
+            }))
+            .chain([i64::MIN, i64::MIN + 1, i64::MAX - 1, i64::MAX])
+            .collect();
+        for v in samples {
+            for signed in [false, true] {
+                assert_eq!(
+                    IntType::width_for(v, signed),
+                    by_search(v, signed),
+                    "width_for({v}, {signed})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn width_for_range_covers_both_ends() {
+        assert_eq!(IntType::width_for_range(0, 255, false), 8);
+        assert_eq!(IntType::width_for_range(0, 255, true), 9);
+        assert_eq!(IntType::width_for_range(-128, 127, true), 8);
+        assert_eq!(IntType::width_for_range(-1, 1, true), 2);
+        assert_eq!(IntType::width_for_range(5, 5, false), 3);
+        // Inverted and unsigned-negative ranges saturate.
+        assert_eq!(IntType::width_for_range(1, 0, true), IntType::MAX_BITS);
+        assert_eq!(IntType::width_for_range(-4, 8, false), IntType::MAX_BITS);
+        // Every value in the range must fit the reported width.
+        let w = IntType::width_for_range(-300, 77, true);
+        let t = IntType::signed(w);
+        assert!(t.contains(-300) && t.contains(77));
+        assert!(!IntType::signed(w - 1).contains(-300));
     }
 
     #[test]

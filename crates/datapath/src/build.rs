@@ -20,6 +20,7 @@ use crate::graph::*;
 use roccc_suifvm::dataflow::liveness;
 use roccc_suifvm::dom::DomInfo;
 use roccc_suifvm::ir::{BlockId, FunctionIr, Opcode, Terminator, VReg};
+use roccc_suifvm::range::RangeMap;
 use std::collections::HashMap;
 
 /// Builds the (un-pipelined, un-narrowed) data path from SSA IR.
@@ -29,6 +30,18 @@ use std::collections::HashMap;
 /// afterwards. Fails on IR that is not in SSA form or whose joins merge
 /// more than two ways (the C subset only produces two-way joins).
 pub fn build_datapath(ir: &FunctionIr) -> Result<Datapath, String> {
+    build_datapath_ranged(ir, None)
+}
+
+/// [`build_datapath`], additionally stamping each operation with the
+/// proven value range of its defining register from a `suifvm::range`
+/// analysis of the same IR. The annotations feed the range-aware arm of
+/// [`crate::narrow::narrow_widths`] and the `W0xx` verifier checks.
+pub fn build_datapath_ranged(
+    ir: &FunctionIr,
+    ranges: Option<&RangeMap>,
+) -> Result<Datapath, String> {
+    let range_of = |r: VReg| ranges.and_then(|m| m.get(r)).copied();
     if !ir.is_ssa {
         return Err("data-path building requires SSA form".to_string());
     }
@@ -118,6 +131,7 @@ pub fn build_datapath(ir: &FunctionIr) -> Result<Datapath, String> {
                         imm: 0,
                         node,
                         stage: 0,
+                        range: range_of(r),
                     });
                     map.insert(r, Value::Op(id));
                     // The copy now "lives" at the join.
@@ -167,6 +181,7 @@ pub fn build_datapath(ir: &FunctionIr) -> Result<Datapath, String> {
                         imm: 0,
                         node,
                         stage: 0,
+                        range: range_of(phi.dst),
                     });
                     map.insert(phi.dst, Value::Op(id));
                     def_block.insert(phi.dst, bid);
@@ -238,6 +253,7 @@ pub fn build_datapath(ir: &FunctionIr) -> Result<Datapath, String> {
                         imm: i.imm,
                         node: node.expect("block with real instrs has a node"),
                         stage: 0,
+                        range: range_of(dst),
                     });
                     map.insert(dst, Value::Op(id));
                     def_block.insert(dst, bid);

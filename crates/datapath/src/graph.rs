@@ -15,6 +15,7 @@
 
 use roccc_cparse::types::IntType;
 use roccc_suifvm::ir::{FeedbackSlot, LutTable, Opcode};
+use roccc_suifvm::range::ValueRange;
 use std::fmt;
 
 /// Identifies an operation in the data path.
@@ -65,6 +66,10 @@ pub struct DpOp {
     pub node: NodeId,
     /// Pipeline stage (0-based).
     pub stage: u32,
+    /// Proven value range of the *exact* (unwrapped) result, stamped from
+    /// the `suifvm::range` analysis when compiling with `range_narrow`;
+    /// `None` when the analysis did not run or did not reach this value.
+    pub range: Option<ValueRange>,
 }
 
 /// The role a structural node plays.
@@ -323,6 +328,7 @@ mod tests {
                 imm: 0,
                 node: NodeId(0),
                 stage: 0,
+                range: None,
             }],
             nodes: vec![DpNode {
                 id: NodeId(0),
@@ -361,6 +367,7 @@ mod tests {
             imm: 0,
             node: NodeId(0),
             stage: 1,
+            range: None,
         });
         dp.ops[0].stage = 1;
         dp.ops[1].stage = 0;
@@ -397,6 +404,7 @@ mod tests {
             imm: 0,
             node: NodeId(0),
             stage: 2,
+            range: None,
         });
         assert_eq!(dp.regs_on_edge(Value::Op(OpId(0)), OpId(1)), 2);
         assert_eq!(dp.regs_on_edge(Value::Input(0), OpId(0)), 0);

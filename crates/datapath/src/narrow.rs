@@ -7,13 +7,28 @@
 //! (§5): "We derive bit width only based on port size and opcodes. More
 //! aggressive bit narrowing … may reduce device utilization" — this is
 //! exactly that port-size-and-opcode narrowing.
+//!
+//! When the data path carries range annotations (see
+//! [`crate::build::build_datapath_ranged`]), the pass is the "more
+//! aggressive" variant the paper stops short of: each op's width becomes
+//! `min(demand, bits_needed(range))`, and *exact-value* consumers
+//! (comparisons, divides, LUT indices, variable shifts) demand only the
+//! bits their operand's proven range needs rather than the full forward
+//! width. Soundness invariant, maintained inductively along the reverse
+//! walk: every wire is congruent to its exact IR value modulo `2^hw_bits`,
+//! and a wire whose op has a range fitting `hw_bits` holds the exact value
+//! itself — which is precisely what the exact-value consumers need.
 
 use crate::graph::*;
+use roccc_cparse::types::IntType;
 use roccc_suifvm::ir::Opcode;
 
-/// Narrows `hw_bits` of every operation based on downstream demand.
+/// Narrows `hw_bits` of every operation based on downstream demand and
+/// (when present) proven value ranges.
 /// Safe: the observable output bits are unchanged (verified by the
-/// differential tests in `roccc-netlist`).
+/// differential tests in `roccc-netlist` and the workspace property
+/// suite); without range annotations the result is identical to the
+/// demand-only narrowing of earlier revisions.
 pub fn narrow_widths(dp: &mut Datapath) {
     let n = dp.ops.len();
     let mut demand: Vec<u8> = vec![0; n];
@@ -39,10 +54,17 @@ pub fn narrow_widths(dp: &mut Datapath) {
         let op = dp.ops[i].clone();
         let full = op.ty.bits;
         let d = demand[i].min(full).max(1);
+        // A proven range caps the width below demand: the wrapped wire
+        // still holds the exact value because the value fits.
+        let range_bits = op
+            .range
+            .map(|r| r.bits(op.ty.signed))
+            .unwrap_or(full)
+            .max(1);
         let hw = match op.op {
             // Comparisons/bool produce 1 bit regardless of demand.
             _ if op.op.is_comparison() => 1,
-            _ => d,
+            _ => d.min(range_bits),
         };
         dp.ops[i].hw_bits = hw;
 
@@ -51,7 +73,22 @@ pub fn narrow_widths(dp: &mut Datapath) {
             match v {
                 Value::Op(o) => dp.ops[o.0 as usize].ty.bits,
                 Value::Input(k) => dp.inputs[*k].1.bits,
-                Value::Const(c) => roccc_cparse::types::IntType::width_for(*c, *c < 0),
+                Value::Const(c) => IntType::width_for(*c, *c < 0),
+            }
+        };
+        // What an exact-value consumer must demand of `v`: the full
+        // forward width, unless `v`'s proven range fits fewer bits — then
+        // that many bits already pin the exact value on the wire.
+        let exact_demand = |v: &Value| -> u8 {
+            let full = src_full(v);
+            match v {
+                Value::Op(o) => {
+                    let src = &dp.ops[o.0 as usize];
+                    src.range
+                        .map(|r| r.bits(src.ty.signed).max(1).min(full))
+                        .unwrap_or(full)
+                }
+                _ => full,
             }
         };
         match op.op {
@@ -78,8 +115,9 @@ pub fn narrow_widths(dp: &mut Datapath) {
                         demand_value(&mut demand, op.srcs[0], hw.saturating_sub(k).max(1));
                     }
                     None => {
-                        demand_value(&mut demand, op.srcs[0], src_full(&op.srcs[0]));
-                        demand_value(&mut demand, op.srcs[1], src_full(&op.srcs[1]));
+                        // Variable shifts need exact operand values.
+                        demand_value(&mut demand, op.srcs[0], exact_demand(&op.srcs[0]));
+                        demand_value(&mut demand, op.srcs[1], exact_demand(&op.srcs[1]));
                     }
                 }
             }
@@ -90,12 +128,17 @@ pub fn narrow_widths(dp: &mut Datapath) {
                 };
                 match k {
                     Some(k) => {
-                        let need = hw.saturating_add(k).min(src_full(&op.srcs[0]));
+                        let need = hw
+                            .saturating_add(k)
+                            .min(src_full(&op.srcs[0]))
+                            // The operand's exact width is always enough:
+                            // a wrap-free wire shifts to the exact result.
+                            .min(exact_demand(&op.srcs[0]).max(hw));
                         demand_value(&mut demand, op.srcs[0], need);
                     }
                     None => {
-                        demand_value(&mut demand, op.srcs[0], src_full(&op.srcs[0]));
-                        demand_value(&mut demand, op.srcs[1], src_full(&op.srcs[1]));
+                        demand_value(&mut demand, op.srcs[0], exact_demand(&op.srcs[0]));
+                        demand_value(&mut demand, op.srcs[1], exact_demand(&op.srcs[1]));
                     }
                 }
             }
@@ -107,7 +150,10 @@ pub fn narrow_widths(dp: &mut Datapath) {
                 demand_value(&mut demand, op.srcs[1], hw.min(src_full(&op.srcs[1])));
                 demand_value(&mut demand, op.srcs[2], hw.min(src_full(&op.srcs[2])));
             }
-            // Exact-value consumers: demand the full forward width.
+            // Exact-value consumers: demand enough bits to pin the exact
+            // operand value — the full forward width, or fewer when the
+            // operand's proven range fits a narrower wire (this is what
+            // lets comparisons over range-bounded temporaries shrink).
             Opcode::Div
             | Opcode::Rem
             | Opcode::Slt
@@ -117,7 +163,7 @@ pub fn narrow_widths(dp: &mut Datapath) {
             | Opcode::Bool
             | Opcode::Lut => {
                 for s in &op.srcs {
-                    demand_value(&mut demand, *s, src_full(s));
+                    demand_value(&mut demand, *s, exact_demand(s));
                 }
             }
             Opcode::Lpr | Opcode::Arg | Opcode::Ldc | Opcode::Snx => {}
@@ -165,6 +211,16 @@ pub fn register_bits(dp: &Datapath) -> u64 {
         bits += slot.ty.bits as u64;
     }
     bits
+}
+
+/// Total operator bits shaved off by narrowing: Σ over ops of
+/// `ty.bits − hw_bits`. Zero before [`narrow_widths`] runs; the serve
+/// daemon accumulates this into `roccc_width_bits_saved_total`.
+pub fn width_bits_saved(dp: &Datapath) -> u64 {
+    dp.ops
+        .iter()
+        .map(|op| u64::from(op.ty.bits.saturating_sub(op.hw_bits)))
+        .sum()
 }
 
 #[cfg(test)]

@@ -96,7 +96,10 @@ pub struct Candidate {
 
 impl Candidate {
     /// The concrete compile options for this candidate on top of `base`
-    /// (period, narrowing, fusion, and verify level are inherited).
+    /// (period, narrowing, fusion, and verify level are inherited —
+    /// including `range_narrow`, so a sweep launched with the range
+    /// analysis on ranks its frontier by the range-narrowed slice
+    /// estimates).
     pub fn options(&self, base: &CompileOptions) -> CompileOptions {
         CompileOptions {
             unroll: if self.unroll <= 1 {

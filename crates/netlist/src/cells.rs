@@ -8,6 +8,7 @@
 
 use roccc_cparse::types::IntType;
 use roccc_suifvm::ir::{LutTable, Opcode};
+use roccc_suifvm::range::ValueRange;
 use std::fmt;
 
 /// Identifies a cell (and its output net).
@@ -86,6 +87,12 @@ pub struct Netlist {
     pub latency: u32,
     /// Nets that are feedback registers, with their slot names.
     pub feedback_regs: Vec<(String, CellId)>,
+    /// Wrap-free proven value ranges, parallel to `cells`: `ranges[i]` is
+    /// `Some(r)` only when cell `i`'s wire provably carries the exact
+    /// (pre-wrap) value of the computation it implements and that value
+    /// lies in `r`. Stamped by `netlist_from_datapath` from the data
+    /// path's range annotations; checked by `W005` in `roccc-verify`.
+    pub ranges: Vec<Option<ValueRange>>,
 }
 
 impl Netlist {
@@ -98,7 +105,22 @@ impl Netlist {
     pub fn add(&mut self, cell: Cell) -> CellId {
         let id = CellId(self.cells.len() as u32);
         self.cells.push(cell);
+        self.ranges.push(None);
         id
+    }
+
+    /// Annotates `c` with a wrap-free proven range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    pub fn set_range(&mut self, c: CellId, r: ValueRange) {
+        self.ranges[c.0 as usize] = Some(r);
+    }
+
+    /// The wrap-free proven range of `c`, if annotated.
+    pub fn range_of(&self, c: CellId) -> Option<&ValueRange> {
+        self.ranges.get(c.0 as usize).and_then(|o| o.as_ref())
     }
 
     /// Adds a constant.

@@ -205,6 +205,40 @@ pub fn netlist_from_datapath(dp: &Datapath) -> Netlist {
         nl.connect_reg(fb_regs[slot_idx], d);
     }
 
+    // Range annotations: an op cell whose hardware width covers its
+    // proven range is wrap-free — its wire carries the exact value.
+    // (LPRs share the feedback register, whose value over time includes
+    // the power-on init, so they stay unannotated.)
+    for (i, op) in dp.ops.iter().enumerate() {
+        if op.op == Opcode::Lpr {
+            continue;
+        }
+        if let Some(r) = op.range {
+            if op.hw_bits >= r.bits(op.ty.signed).max(1) {
+                nl.set_range(base[i], r);
+            }
+        }
+    }
+    // Propagate through pipeline balancing registers: a gateless register
+    // wide enough for its annotated source carries the same exact value
+    // one cycle later. Registers appear after their `d` source, so one
+    // forward pass covers whole chains.
+    for i in 0..nl.cells.len() {
+        if let CellKind::Reg {
+            d: Some(d),
+            stage_gate: None,
+            ..
+        } = nl.cells[i].kind
+        {
+            if let Some(r) = nl.range_of(d).copied() {
+                let cell = &nl.cells[i];
+                if cell.width >= r.bits(cell.signed).max(1) {
+                    nl.set_range(CellId(i as u32), r);
+                }
+            }
+        }
+    }
+
     // Output ports: value at the final stage, then one output register.
     let last_stage = dp.num_stages - 1;
     for out in &dp.outputs {

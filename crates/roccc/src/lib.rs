@@ -34,7 +34,8 @@
 use roccc_cparse::ast::{Function, Item, Program};
 use roccc_cparse::error::CError;
 use roccc_datapath::{
-    build_datapath, narrow_widths, pipeline_datapath, Datapath, DefaultDelayModel, DelayModel,
+    build_datapath_ranged, narrow_widths, pipeline_datapath, Datapath, DefaultDelayModel,
+    DelayModel,
 };
 use roccc_hlir::extract::extract_kernel;
 use roccc_hlir::kernel::Kernel;
@@ -79,6 +80,13 @@ pub struct CompileOptions {
     pub optimize: bool,
     /// Run backward bit-width narrowing.
     pub narrow: bool,
+    /// Run the forward value-range / known-bits analysis and let the
+    /// narrowing pass combine its proven intervals with backward demand
+    /// (`hw_bits = demand.min(range_bits)`), fold range-proven constants,
+    /// and stamp every data-path op with its range for the `W0xx`
+    /// soundness checks. Off by default: it is a strictly-more-aggressive
+    /// mode and changes the emitted hardware.
+    pub range_narrow: bool,
     /// Apply loop fusion before extraction.
     pub fuse: bool,
     /// How strictly the phase-indexed static verifier (`roccc-verify`)
@@ -96,6 +104,7 @@ impl Default for CompileOptions {
             stripmine: None,
             optimize: true,
             narrow: true,
+            range_narrow: false,
             fuse: false,
             verify: VerifyLevel::default(),
         }
@@ -133,6 +142,7 @@ impl CompileOptions {
         v.push(u8::from(self.optimize));
         v.push(u8::from(self.narrow));
         v.push(u8::from(self.fuse));
+        v.push(u8::from(self.range_narrow));
         v.push(match self.verify {
             VerifyLevel::Off => 0,
             VerifyLevel::Warn => 1,
@@ -203,6 +213,9 @@ pub struct Compiled {
     pub netlist: Netlist,
     /// The (transformed) program the kernel was extracted from.
     pub program: Program,
+    /// Per-register value ranges computed by the forward analysis
+    /// (`Some` iff the compile ran with [`CompileOptions::range_narrow`]).
+    pub ranges: Option<roccc_suifvm::RangeMap>,
     /// Non-fatal verifier findings collected during compilation (empty
     /// when [`CompileOptions::verify`] is [`VerifyLevel::Off`]).
     pub diagnostics: Vec<Diagnostic>,
@@ -266,6 +279,49 @@ impl Compiled {
     /// simulator cannot execute.
     pub fn sim_plan(&self) -> Result<SimPlan, SystemError> {
         SimPlan::compile(&self.netlist).map_err(SystemError::from)
+    }
+
+    /// Human-readable report of the value-range analysis and the widths
+    /// it bought (the `--emit ranges` payload). Covers the per-register
+    /// IR ranges and, per data-path op, declared vs. hardware width.
+    pub fn range_report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        match &self.ranges {
+            None => {
+                s.push_str("no range analysis (compile with range_narrow)\n");
+            }
+            Some(map) => {
+                let mut regs: Vec<_> = map.iter().collect();
+                regs.sort_by_key(|(r, _)| r.0);
+                let _ = writeln!(s, "ir ranges ({}):", regs.len());
+                for (reg, r) in regs {
+                    let _ = write!(s, "  {reg}: [{}, {}]", r.lo, r.hi);
+                    if r.known_zero != 0 {
+                        let _ = write!(s, " known-zero {:#x}", r.known_zero);
+                    }
+                    s.push('\n');
+                }
+            }
+        }
+        let _ = writeln!(s, "datapath widths ({} ops):", self.datapath.ops.len());
+        for (i, op) in self.datapath.ops.iter().enumerate() {
+            let _ = write!(
+                s,
+                "  op{i} {:?}: {} -> {} bits",
+                op.op, op.ty.bits, op.hw_bits
+            );
+            if let Some(r) = op.range {
+                let _ = write!(s, "  range [{}, {}]", r.lo, r.hi);
+            }
+            s.push('\n');
+        }
+        let _ = writeln!(
+            s,
+            "total width bits saved: {}",
+            roccc_datapath::width_bits_saved(&self.datapath)
+        );
+        s
     }
 }
 
@@ -401,11 +457,46 @@ pub fn compile_with_model_timed(
     if opts.verify != VerifyLevel::Off {
         gate_findings(opts.verify, roccc_verify::verify_ir(&ir), &mut diagnostics)?;
     }
+
+    // Value-range analysis: seed input ports that carry counted-loop
+    // indices with their trip bounds, analyze, fold range-proven
+    // constants, and re-analyze over the folded IR so downstream stamps
+    // describe the code that actually lowers.
+    let mut ranges = None;
+    if opts.range_narrow {
+        let input_ranges: Vec<Option<(i64, i64)>> = ir
+            .inputs
+            .iter()
+            .map(|(name, _)| {
+                kernel.dims.iter().find(|d| d.var == *name).and_then(|d| {
+                    let trip = i64::try_from(d.trip).ok()?.checked_sub(1)?;
+                    let last = d.step.checked_mul(trip)?.checked_add(d.start)?;
+                    Some((d.start.min(last), d.start.max(last)))
+                })
+            })
+            .collect();
+        let mut map = roccc_suifvm::analyze_with_inputs(&ir, &input_ranges);
+        if roccc_suifvm::fold_constant_ranges(&mut ir, &map) {
+            if opts.optimize {
+                optimize(&mut ir);
+            }
+            roccc_suifvm::verify_ssa(&ir).map_err(CompileError::Backend)?;
+            map = roccc_suifvm::analyze_with_inputs(&ir, &input_ranges);
+        }
+        if opts.verify != VerifyLevel::Off {
+            gate_findings(
+                opts.verify,
+                roccc_verify::verify_ranges(&ir, &map),
+                &mut diagnostics,
+            )?;
+        }
+        ranges = Some(map);
+    }
     timings.suifvm += t0.elapsed();
 
     // Data path.
     let t0 = Instant::now();
-    let mut datapath = build_datapath(&ir)?;
+    let mut datapath = build_datapath_ranged(&ir, ranges.as_ref())?;
     pipeline_datapath(&mut datapath, opts.target_period_ns, model);
     if opts.narrow {
         narrow_widths(&mut datapath);
@@ -439,6 +530,7 @@ pub fn compile_with_model_timed(
         datapath,
         netlist,
         program,
+        ranges,
         diagnostics,
     })
 }
@@ -474,6 +566,9 @@ fn gate_findings(
 /// that ran with verification off.
 pub fn verify_compiled(c: &Compiled) -> Vec<Diagnostic> {
     let mut v = roccc_verify::verify_ir(&c.ir);
+    if let Some(map) = &c.ranges {
+        v.extend(roccc_verify::verify_ranges(&c.ir, map));
+    }
     v.extend(roccc_verify::verify_datapath(&c.datapath));
     v.extend(roccc_verify::verify_netlist(&c.netlist));
     v
@@ -616,7 +711,9 @@ pub fn compile_with_area_budget(
 
 pub use roccc_cparse::{interp::Interpreter, CResult};
 pub use roccc_datapath::graph::NodeKind;
+pub use roccc_datapath::width_bits_saved;
 pub use roccc_netlist::{CompiledSim, NetlistSim};
+pub use roccc_suifvm::{RangeMap, ValueRange};
 pub use roccc_verify::{Diagnostic, Loc, Phase, Severity, VerifyLevel};
 
 #[cfg(test)]

@@ -277,6 +277,9 @@ fn write_opts<W: Write>(w: &mut W, opts: &CompileOptions) -> io::Result<()> {
     if opts.fuse {
         writeln!(w, "fuse")?;
     }
+    if opts.range_narrow {
+        writeln!(w, "range-narrow")?;
+    }
     // Only written when explicit, so a request serialized by a
     // debug client parses back identically in a release server
     // (the default level is profile-dependent).
@@ -316,6 +319,7 @@ fn apply_opt_field(opts: &mut CompileOptions, key: &str, value: &str) -> Result<
         "no-opt" => opts.optimize = false,
         "no-narrow" => opts.narrow = false,
         "fuse" => opts.fuse = true,
+        "range-narrow" => opts.range_narrow = true,
         "verify" => {
             opts.verify = value
                 .parse()
@@ -588,6 +592,7 @@ mod tests {
                 stripmine: Some(8),
                 optimize: false,
                 narrow: false,
+                range_narrow: true,
                 fuse: true,
                 verify: VerifyLevel::Deny,
             },

@@ -39,6 +39,7 @@ mod tests {
             stripmine: None,
             optimize: true,
             narrow: true,
+            range_narrow: false,
             fuse: false,
             verify: roccc::VerifyLevel::default(),
         };
@@ -81,6 +82,10 @@ mod tests {
             },
             CompileOptions {
                 fuse: true,
+                ..base.clone()
+            },
+            CompileOptions {
+                range_narrow: true,
                 ..base.clone()
             },
             CompileOptions {

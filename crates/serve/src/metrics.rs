@@ -126,6 +126,9 @@ pub struct Metrics {
     /// Verifier + VHDL lint findings across all actual compiles
     /// (`roccc::verify_compiled` runs on every cache miss).
     pub verify_findings: Counter,
+    /// Operator bits shaved by width narrowing, summed over all actual
+    /// compiles (`roccc_datapath::width_bits_saved` per cache miss).
+    pub width_bits_saved: Counter,
     /// Design-space exploration requests served.
     pub explore_requests: Counter,
     /// Candidates visited across all explore sweeps.
@@ -193,6 +196,11 @@ impl Metrics {
                 "roccc_verify_findings_total",
                 "Static verifier and VHDL lint findings across compiles",
                 &self.verify_findings,
+            ),
+            (
+                "roccc_width_bits_saved_total",
+                "Operator bits saved by width narrowing across compiles",
+                &self.width_bits_saved,
             ),
             (
                 "roccc_explore_requests_total",

@@ -400,6 +400,7 @@ fn render_artifact(entry: &CacheEntry, emit: &str) -> Result<Vec<u8>, String> {
         )
         .into_bytes()),
         "stats" => Ok(render_stats(entry).into_bytes()),
+        "ranges" => Ok(entry.compiled.range_report().into_bytes()),
         "table-row" => {
             let model = roccc_synth::VirtexII::default();
             let r = roccc_synth::map_netlist(&entry.compiled.netlist, &model);
@@ -410,7 +411,7 @@ fn render_artifact(entry: &CacheEntry, emit: &str) -> Result<Vec<u8>, String> {
             .into_bytes())
         }
         other => Err(format!(
-            "unknown emit `{other}` (stats|vhdl|dot|ir|c|table-row)"
+            "unknown emit `{other}` (stats|vhdl|dot|ir|c|ranges|table-row)"
         )),
     }
 }
@@ -483,9 +484,12 @@ fn handle_compile(
 
     // Validate the artifact kind up front so a bogus `emit` never costs
     // a compile.
-    if !matches!(emit, "stats" | "vhdl" | "dot" | "ir" | "c" | "table-row") {
+    if !matches!(
+        emit,
+        "stats" | "vhdl" | "dot" | "ir" | "c" | "ranges" | "table-row"
+    ) {
         return Response::Err(format!(
-            "unknown emit `{emit}` (stats|vhdl|dot|ir|c|table-row)"
+            "unknown emit `{emit}` (stats|vhdl|dot|ir|c|ranges|table-row)"
         ));
     }
 
@@ -691,6 +695,10 @@ fn spawn_compile(
                         .metrics
                         .verify_findings
                         .add((entry.verify.len() + entry.lint.len()) as u64);
+                    shared
+                        .metrics
+                        .width_bits_saved
+                        .add(roccc::width_bits_saved(&entry.compiled.datapath));
                     let entry = Arc::new(entry);
                     shared.cache.insert(key, Arc::clone(&entry));
                     shared.clear_inflight(key);

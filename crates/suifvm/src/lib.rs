@@ -35,10 +35,12 @@ pub mod interp;
 pub mod ir;
 pub mod lower;
 pub mod opt;
+pub mod range;
 pub mod ssa;
 
 pub use interp::IrMachine;
 pub use ir::{Block, BlockId, FunctionIr, Instr, Opcode, Phi, Terminator, VReg};
 pub use lower::lower_function;
 pub use opt::optimize;
+pub use range::{analyze, analyze_with_inputs, fold_constant_ranges, RangeMap, ValueRange};
 pub use ssa::{to_ssa, verify_ssa};

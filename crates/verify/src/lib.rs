@@ -12,6 +12,8 @@
 //! instead of silently becoming wrong VHDL.
 //!
 //! * [`verify_ir`] — CFG well-formedness and SSA invariants (`S0xx`);
+//! * [`verify_ranges`] — consistency of value-range annotations against
+//!   the SSA IR they describe (`W0xx`, IR half);
 //! * [`verify_datapath`] — acyclicity, stage monotonicity/latch balance,
 //!   bit-width soundness against the narrowing rules (`D0xx`);
 //! * [`verify_netlist`] — drivers, combinational loops, port widths,
@@ -28,8 +30,10 @@ pub mod datapath;
 pub mod diag;
 pub mod ir;
 pub mod netlist;
+pub mod ranges;
 
 pub use datapath::verify_datapath;
 pub use diag::{Diagnostic, Loc, Phase, Severity, VerifyLevel};
 pub use ir::verify_ir;
 pub use netlist::verify_netlist;
+pub use ranges::{verify_fresh_ranges, verify_ranges};

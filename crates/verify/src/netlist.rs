@@ -39,7 +39,11 @@ fn err(code: &'static str, cell: u32, msg: String) -> Diagnostic {
 /// * `N007-dead-cell` (warning) — a cell that no output port or
 ///   feedback register transitively reads (unused input-port cells are
 ///   exempt: every port is instantiated by convention);
-/// * `N008-duplicate-port` — two input or output ports sharing a name.
+/// * `N008-duplicate-port` — two input or output ports sharing a name;
+/// * `W005-cell-wraps-range` — a cell annotated as wrap-free (its wire
+///   carries an exact value inside a proven range) but too narrow to
+///   hold every value of that range, or annotated with an empty range.
+///   Only emitted when range narrowing stamped annotations.
 pub fn verify_netlist(nl: &Netlist) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     let n = nl.cells.len();
@@ -219,6 +223,38 @@ pub fn verify_netlist(nl: &Netlist) -> Vec<Diagnostic> {
         }
     }
 
+    // --- Range annotations (wrap-freedom of narrowed cells) --------------
+    // An annotation asserts the cell's wire carries an exact value inside
+    // the range; a width too small to hold the whole range would wrap it.
+    // Silent when the compile ran without range narrowing (no
+    // annotations).
+    for (i, c) in nl.cells.iter().enumerate() {
+        let Some(r) = nl.range_of(CellId(i as u32)) else {
+            continue;
+        };
+        if r.lo > r.hi {
+            out.push(err(
+                "W005-cell-wraps-range",
+                i as u32,
+                format!("cell n{i} annotated with empty range [{}, {}]", r.lo, r.hi),
+            ));
+        } else if c.width < r.bits(c.signed).max(1) {
+            out.push(err(
+                "W005-cell-wraps-range",
+                i as u32,
+                format!(
+                    "cell n{i} is {} bits wide but its wrap-free range [{}, {}] needs {} \
+                     bits ({})",
+                    c.width,
+                    r.lo,
+                    r.hi,
+                    r.bits(c.signed),
+                    if c.signed { "signed" } else { "unsigned" },
+                ),
+            ));
+        }
+    }
+
     // --- Liveness ---------------------------------------------------------
     let mut live = vec![false; n];
     let mut work: Vec<usize> = nl
@@ -312,6 +348,43 @@ mod tests {
     fn clean_netlist_passes() {
         assert_eq!(verify_netlist(&nl_of(DEEP, "f", 4.0)), vec![]);
         assert_eq!(verify_netlist(&nl_of(DEEP, "f", 1000.0)), vec![]);
+    }
+
+    #[test]
+    fn ranged_netlist_passes_and_catches_wrapping_annotation() {
+        // Build with range annotations (inputs pinned so narrowing bites).
+        let prog = parse("void f(int a, int b, int* o) { *o = (a + b < 12) ? a : b; }").unwrap();
+        roccc_cparse::sema::check(&prog).unwrap();
+        let f = prog.function("f").unwrap();
+        let mut ir = lower_function(&prog, f, &[]).unwrap();
+        to_ssa(&mut ir);
+        optimize(&mut ir);
+        let ranges = roccc_suifvm::range::analyze_with_inputs(&ir, &[Some((0, 7)), Some((0, 7))]);
+        let mut dp = roccc_datapath::build_datapath_ranged(&ir, Some(&ranges)).unwrap();
+        pipeline_datapath(&mut dp, 1000.0, &DefaultDelayModel);
+        narrow_widths(&mut dp);
+        let nl = netlist_from_datapath(&dp);
+        assert!(
+            nl.ranges.iter().any(|r| r.is_some()),
+            "expected wrap-free annotations"
+        );
+        assert_eq!(verify_netlist(&nl), vec![]);
+
+        // Corrupt fixture: shrink an annotated multi-bit cell below its
+        // range — the wire can no longer hold every value it claims.
+        let mut bad = nl.clone();
+        let i = bad
+            .cells
+            .iter()
+            .zip(&bad.ranges)
+            .position(|(c, r)| r.is_some_and(|r| r.bits(c.signed).max(1) > 1))
+            .expect("an annotated cell needing more than one bit");
+        bad.cells[i].width = 1;
+        let diags = verify_netlist(&bad);
+        assert!(
+            diags.iter().any(|d| d.code == "W005-cell-wraps-range"),
+            "{diags:?}"
+        );
     }
 
     #[test]

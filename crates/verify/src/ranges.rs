@@ -1,0 +1,239 @@
+//! Range-annotation checks over the SSA IR (`W0xx` family, IR half).
+//!
+//! The range analysis (`roccc_suifvm::range`) claims, per virtual
+//! register, a sound interval plus known-zero bits over the register's
+//! *exact* `i64` value. Downstream consumers — range-driven narrowing,
+//! constant folding, the datapath `W003`/`W004` checks — trust those
+//! claims, so this module re-checks their internal consistency against
+//! the IR they describe:
+//!
+//! * `W001-range-malformed` — an empty interval (`lo > hi`), a
+//!   known-zero mask on a possibly-negative range (negative values
+//!   sign-extend ones into every high bit), an upper bound above the
+//!   mask-implied cap, or an interval escaping the defining
+//!   instruction's declared sub-64-bit type (forward width inference is
+//!   value-preserving below the 64-bit saturation cap, so the exact
+//!   value always fits);
+//! * `W002-range-const-mismatch` — an `LDC` destination whose range
+//!   does not contain the loaded immediate: the one case where the
+//!   exact value is known syntactically, so any sound range must
+//!   contain it.
+
+use crate::diag::{Diagnostic, Loc, Phase};
+use roccc_cparse::types::IntType;
+use roccc_suifvm::ir::{FunctionIr, Opcode, VReg};
+use roccc_suifvm::range::RangeMap;
+use std::collections::HashMap;
+
+fn rerr(block: u32, reg: VReg, msg: String) -> Diagnostic {
+    Diagnostic::error(
+        Phase::SuifVm,
+        "W001-range-malformed",
+        Loc::Block(block),
+        format!("{reg}: {msg}"),
+    )
+}
+
+/// Checks every range annotation in `map` against the IR it describes.
+/// Returns the findings (empty = clean). Registers without annotations
+/// are never findings: the analysis is partial by design.
+pub fn verify_ranges(ir: &FunctionIr, map: &RangeMap) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    // Where (block, type) each register is defined: instruction
+    // destinations and phi destinations.
+    let mut def: HashMap<VReg, (u32, IntType)> = HashMap::new();
+    for b in &ir.blocks {
+        for phi in &b.phis {
+            def.insert(phi.dst, (b.id.0, phi.ty));
+        }
+        for ins in &b.instrs {
+            if let Some(d) = ins.dst {
+                def.insert(d, (b.id.0, ins.ty));
+            }
+        }
+    }
+
+    for (reg, r) in map.iter() {
+        let (block, ty) = match def.get(&reg) {
+            Some(&(b, t)) => (b, Some(t)),
+            None => (0, None),
+        };
+        if r.lo > r.hi {
+            out.push(rerr(
+                block,
+                reg,
+                format!("empty range [{}, {}]", r.lo, r.hi),
+            ));
+            continue;
+        }
+        if r.lo < 0 && r.known_zero != 0 {
+            out.push(rerr(
+                block,
+                reg,
+                format!(
+                    "range [{}, {}] may go negative but claims known-zero bits {:#x}",
+                    r.lo, r.hi, r.known_zero
+                ),
+            ));
+        } else if r.lo >= 0 && r.hi > (!r.known_zero & (i64::MAX as u64)) as i64 {
+            out.push(rerr(
+                block,
+                reg,
+                format!(
+                    "upper bound {} exceeds the cap implied by known-zero mask {:#x}",
+                    r.hi, r.known_zero
+                ),
+            ));
+        }
+        if let Some(ty) = ty {
+            if ty.bits < IntType::MAX_BITS && (r.lo < ty.min_value() || r.hi > ty.max_value()) {
+                out.push(rerr(
+                    block,
+                    reg,
+                    format!("range [{}, {}] escapes the defining type {ty}", r.lo, r.hi),
+                ));
+            }
+        }
+    }
+
+    // LDC destinations: the exact value is the immediate itself.
+    for b in &ir.blocks {
+        for ins in &b.instrs {
+            if ins.op != Opcode::Ldc {
+                continue;
+            }
+            let Some(d) = ins.dst else { continue };
+            let Some(r) = map.get(d) else { continue };
+            if !r.contains(ins.imm) {
+                out.push(Diagnostic::error(
+                    Phase::SuifVm,
+                    "W002-range-const-mismatch",
+                    Loc::Block(b.id.0),
+                    format!(
+                        "{d}: LDC loads {} but its range [{}, {}] excludes it",
+                        ins.imm, r.lo, r.hi
+                    ),
+                ));
+            }
+        }
+    }
+
+    out
+}
+
+/// Convenience: analyze `ir` and verify the result in one step (used by
+/// the pipeline gate and the tests).
+pub fn verify_fresh_ranges(ir: &FunctionIr) -> (RangeMap, Vec<Diagnostic>) {
+    let map = roccc_suifvm::range::analyze(ir);
+    let diags = verify_ranges(ir, &map);
+    (map, diags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roccc_cparse::parser::parse;
+    use roccc_suifvm::range::{analyze, ValueRange};
+    use roccc_suifvm::{lower_function, optimize, to_ssa};
+
+    fn ir_of(src: &str, func: &str) -> FunctionIr {
+        let prog = parse(src).unwrap();
+        roccc_cparse::sema::check(&prog).unwrap();
+        let f = prog.function(func).unwrap();
+        let mut ir = lower_function(&prog, f, &[]).unwrap();
+        to_ssa(&mut ir);
+        optimize(&mut ir);
+        ir
+    }
+
+    const SRC: &str = "void f(int a, int b, int* o) { *o = (a + b) * 3 + (a & 15); }";
+
+    #[test]
+    fn fresh_analysis_is_clean() {
+        let ir = ir_of(SRC, "f");
+        let (map, diags) = verify_fresh_ranges(&ir);
+        assert!(!map.is_empty());
+        assert_eq!(diags, vec![]);
+    }
+
+    #[test]
+    fn empty_interval_is_w001() {
+        let ir = ir_of(SRC, "f");
+        let mut map = analyze(&ir);
+        let reg = map.iter().next().unwrap().0;
+        map.set(
+            reg,
+            ValueRange {
+                lo: 5,
+                hi: 4,
+                known_zero: 0,
+            },
+        );
+        let diags = verify_ranges(&ir, &map);
+        assert!(
+            diags.iter().any(|d| d.code == "W001-range-malformed"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn negative_range_with_mask_is_w001() {
+        let ir = ir_of(SRC, "f");
+        let mut map = analyze(&ir);
+        let reg = map.iter().next().unwrap().0;
+        map.set(
+            reg,
+            ValueRange {
+                lo: -1,
+                hi: 4,
+                known_zero: 0x8,
+            },
+        );
+        let diags = verify_ranges(&ir, &map);
+        assert!(
+            diags.iter().any(|d| d.code == "W001-range-malformed"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn type_escape_is_w001() {
+        // `a & 15` has a 4-bit unsigned declared type; a range claiming
+        // values beyond 15 escapes it.
+        let ir = ir_of(SRC, "f");
+        let mut map = analyze(&ir);
+        let and_dst = ir
+            .blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .find(|i| i.op == Opcode::And)
+            .and_then(|i| i.dst)
+            .expect("an AND instruction");
+        map.set(and_dst, ValueRange::interval(0, 99));
+        let diags = verify_ranges(&ir, &map);
+        assert!(
+            diags.iter().any(|d| d.code == "W001-range-malformed"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn ldc_exclusion_is_w002() {
+        let ir = ir_of(SRC, "f");
+        let mut map = analyze(&ir);
+        let ldc_dst = ir
+            .blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .find(|i| i.op == Opcode::Ldc)
+            .and_then(|i| i.dst)
+            .expect("an LDC instruction");
+        map.set(ldc_dst, ValueRange::interval(1000, 2000));
+        let diags = verify_ranges(&ir, &map);
+        assert!(
+            diags.iter().any(|d| d.code == "W002-range-const-mismatch"),
+            "{diags:?}"
+        );
+    }
+}

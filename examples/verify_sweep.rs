@@ -18,17 +18,25 @@ fn main() -> ExitCode {
     let mut compiled = 0usize;
     let mut failed = 0usize;
 
+    // Every Table 1 row, both with demand-only narrowing and with the
+    // range analysis on (which arms the W0xx checks end to end).
     for b in roccc_suite::ipcores::table::benchmarks() {
-        let opts = CompileOptions {
-            verify: VerifyLevel::Deny,
-            ..b.opts.clone()
-        };
-        let model = VirtexII::with_mult_style(b.mult_style);
-        match compile_with_model(&b.source, b.func, &opts, &model) {
-            Ok(_) => compiled += 1,
-            Err(e) => {
-                eprintln!("verify sweep: {}: {e}", b.name);
-                failed += 1;
+        for range_narrow in [false, true] {
+            let opts = CompileOptions {
+                verify: VerifyLevel::Deny,
+                range_narrow,
+                ..b.opts.clone()
+            };
+            let model = VirtexII::with_mult_style(b.mult_style);
+            match compile_with_model(&b.source, b.func, &opts, &model) {
+                Ok(_) => compiled += 1,
+                Err(e) => {
+                    eprintln!(
+                        "verify sweep: {} (range_narrow {range_narrow}): {e}",
+                        b.name
+                    );
+                    failed += 1;
+                }
             }
         }
     }
@@ -37,16 +45,22 @@ fn main() -> ExitCode {
         let mut rng = XorShift64::new(0x5eed + case);
         let src = gen_kernel_source(&mut rng, 3);
         let period = [1000.0f64, 6.0, 3.0][rng.gen_index(3)];
-        let opts = CompileOptions {
-            target_period_ns: period,
-            verify: VerifyLevel::Deny,
-            ..CompileOptions::default()
-        };
-        match compile(&src, "k", &opts) {
-            Ok(_) => compiled += 1,
-            Err(e) => {
-                eprintln!("verify sweep: generated case {case} ({src}): {e}");
-                failed += 1;
+        for range_narrow in [false, true] {
+            let opts = CompileOptions {
+                target_period_ns: period,
+                verify: VerifyLevel::Deny,
+                range_narrow,
+                ..CompileOptions::default()
+            };
+            match compile(&src, "k", &opts) {
+                Ok(_) => compiled += 1,
+                Err(e) => {
+                    eprintln!(
+                        "verify sweep: generated case {case} \
+                         (range_narrow {range_narrow}, {src}): {e}"
+                    );
+                    failed += 1;
+                }
             }
         }
     }

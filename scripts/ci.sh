@@ -33,6 +33,13 @@ EOF
 # The CLI gate: --deny-warnings must pass on a clean kernel ...
 ./target/release/roccc "${verify_src}" --function acc --deny-warnings \
   --emit stats >/dev/null
+# ... including with the range analysis on (every W0xx check under deny),
+# and the range report must actually carry interval claims.
+./target/release/roccc "${verify_src}" --function acc --deny-warnings \
+  --range-narrow --emit stats >/dev/null
+./target/release/roccc "${verify_src}" --function acc --range-narrow \
+  --emit ranges | grep -q 'ir ranges' \
+  || { echo "verify smoke: --emit ranges produced no report" >&2; exit 1; }
 # ... and unknown flags must be rejected with a nonzero exit.
 if ./target/release/roccc "${verify_src}" --function acc --no-such-flag \
     >/dev/null 2>&1; then
@@ -50,6 +57,14 @@ rm -f "${out}"
 
 echo "==> table1 smoke"
 cargo run --release -p roccc-bench --bin table1 >/dev/null
+
+echo "==> bench_width smoke (range-driven narrowing on Table 1)"
+width_out="$(mktemp -t bench_width_smoke.XXXXXX.json)"
+cargo run --release -p roccc-bench --bin bench_width -- --out "${width_out}" \
+  >/dev/null
+grep -q '"benchmark": "width-narrowing"' "${width_out}" \
+  || { echo "bench_width smoke: bad JSON" >&2; exit 1; }
+rm -f "${width_out}"
 
 echo "==> roccc-serve smoke (daemon + client + metrics + shutdown)"
 serve_log="$(mktemp -t roccc_serve_smoke.XXXXXX.log)"

@@ -11,8 +11,9 @@
 //!   --fuse               run loop fusion first
 //!   --no-opt             skip SSA-level scalar optimizations
 //!   --no-narrow          skip bit-width narrowing
+//!   --range-narrow       value-range analysis drives extra narrowing
 //!   --budget <slices>    pick the unroll factor by area budget
-//!   --emit <what>        vhdl | dot | stats | ir | c   (default stats)
+//!   --emit <what>        vhdl | dot | stats | ir | c | ranges   (default stats)
 //!   -o <file>            write output to a file instead of stdout
 //!   --verify             run the phase-indexed static verifier (warn)
 //!   --deny-warnings      verifier + lint findings of any severity fail
@@ -59,8 +60,11 @@ options:
   --fuse                 run loop fusion before extraction
   --no-opt               skip SSA-level scalar optimizations
   --no-narrow            skip backward bit-width narrowing
+  --range-narrow         run the forward value-range analysis and let
+                         proven intervals narrow widths further
   --budget <slices>      pick the unroll factor by area budget
-  --emit <what>          vhdl | dot | stats | ir | c (default stats)
+  --emit <what>          vhdl | dot | stats | ir | c | ranges
+                         (default stats)
   -o <file>              write output to a file instead of stdout
   --verify               run the phase-indexed static verifier: errors
                          fail the compile, warnings print to stderr
@@ -161,6 +165,7 @@ fn parse_args() -> Result<Args, String> {
             "--fuse" => opts.fuse = true,
             "--no-opt" => opts.optimize = false,
             "--no-narrow" => opts.narrow = false,
+            "--range-narrow" => opts.range_narrow = true,
             "--budget" => {
                 budget = Some(
                     args.next()
@@ -169,7 +174,12 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|_| "--budget expects a number")?,
                 )
             }
-            "--emit" => emit = Some(args.next().ok_or("--emit needs vhdl|dot|stats|ir|c")?),
+            "--emit" => {
+                emit = Some(
+                    args.next()
+                        .ok_or("--emit needs vhdl|dot|stats|ir|c|ranges")?,
+                )
+            }
             "-o" => output = Some(args.next().ok_or("-o needs a path")?),
             "--stripmine" => {
                 opts.stripmine = Some(
@@ -295,6 +305,7 @@ fn render(hw: &Compiled, emit: &str, factor: Option<u64>) -> Result<String, Stri
             hw.kernel.rewritten.to_c(),
             hw.kernel.dp_func.to_c()
         )),
+        "ranges" => Ok(hw.range_report()),
         "stats" => {
             let model = VirtexII::default();
             let full = map_netlist(&hw.netlist, &model);
@@ -349,7 +360,9 @@ fn render(hw: &Compiled, emit: &str, factor: Option<u64>) -> Result<String, Stri
             ));
             Ok(s)
         }
-        other => Err(format!("unknown --emit `{other}` (vhdl|dot|stats|ir|c)")),
+        other => Err(format!(
+            "unknown --emit `{other}` (vhdl|dot|stats|ir|c|ranges)"
+        )),
     }
 }
 
