@@ -1,0 +1,30 @@
+use roccc_cparse::types::IntType;
+use roccc_suifvm::ir::*;
+
+#[test]
+fn shl_variable_amount_soundness() {
+    let mut f = FunctionIr::new("s");
+    f.inputs.push(("i".into(), IntType::unsigned(3)));
+    let b0 = f.new_block();
+    let i = f.new_vreg(IntType::unsigned(3));
+    let one = f.new_vreg(IntType::unsigned(1));
+    let sh = f.new_vreg(IntType::unsigned(9));
+    f.block_mut(b0).instrs = vec![
+        Instr::new(Opcode::Arg, i, vec![], 0, IntType::unsigned(3)),
+        Instr::new(Opcode::Ldc, one, vec![], 1, IntType::unsigned(1)),
+        Instr::new(Opcode::Shl, sh, vec![one, i], 0, IntType::unsigned(9)),
+    ];
+    f.block_mut(b0).term = Terminator::Ret;
+    f.outputs.push(("o".into(), IntType::unsigned(9)));
+    f.output_srcs.push(sh);
+    f.is_ssa = true;
+    let map = roccc_suifvm::range::analyze(&f);
+    let r = map.get(sh).unwrap();
+    assert!(
+        r.contains(128),
+        "UNSOUND: range [{}, {}] kz={:#x} excludes 128 (= 1 << 7)",
+        r.lo,
+        r.hi,
+        r.known_zero
+    );
+}
