@@ -21,6 +21,7 @@ use std::hint::black_box;
 struct Config {
     cycles: u64,
     runs: usize,
+    lanes: usize,
     out: String,
 }
 
@@ -28,6 +29,7 @@ fn parse_args() -> Config {
     let mut cfg = Config {
         cycles: 200_000,
         runs: 5,
+        lanes: 64,
         out: "BENCH_sim.json".to_string(),
     };
     let mut args = std::env::args().skip(1);
@@ -39,9 +41,10 @@ fn parse_args() -> Config {
         match a.as_str() {
             "--cycles" => cfg.cycles = grab("--cycles").parse().expect("--cycles: integer"),
             "--runs" => cfg.runs = grab("--runs").parse().expect("--runs: integer"),
+            "--lanes" => cfg.lanes = grab("--lanes").parse().expect("--lanes: integer"),
             "--out" => cfg.out = grab("--out"),
             "--help" | "-h" => {
-                eprintln!("usage: bench_sim [--cycles N] [--runs R] [--out PATH]");
+                eprintln!("usage: bench_sim [--cycles N] [--runs R] [--lanes L] [--out PATH]");
                 std::process::exit(0);
             }
             other => panic!("unknown argument {other}"),
@@ -80,8 +83,8 @@ fn main() {
         cfg.cycles, cfg.runs
     );
     println!(
-        "{:<10} {:>16} {:>16} {:>9}",
-        "kernel", "reference c/s", "compiled c/s", "speedup"
+        "{:<10} {:>16} {:>16} {:>9} {:>16} {:>9}",
+        "kernel", "reference c/s", "compiled c/s", "speedup", "batched c/s", "speedup"
     );
 
     let mut results: Vec<BenchResult> = Vec::new();
@@ -143,16 +146,36 @@ fn main() {
             black_box(acc) as u64
         });
 
+        // Batched: SoA lane engine over the same argument stream, every
+        // iteration valid (the lane driver packs the stream densely, so
+        // its unit is iterations == pipeline cycles per lane-pass).
+        let mut batch_out: Vec<i64> = Vec::new();
+        let batch_secs = time_median(cfg.runs, || {
+            batch_out.clear();
+            let rows = plan
+                .run_batch_lanes(&flat_args, cfg.cycles as usize, cfg.lanes, &mut batch_out)
+                .expect("batched run");
+            black_box(rows as u64 ^ batch_out.first().copied().unwrap_or(0) as u64)
+        });
+
         let mut reference = bench_result(name, "reference", cfg.cycles, ref_secs);
         let mut compiled = bench_result(name, "compiled", cfg.cycles, comp_secs);
+        let mut batched = bench_result(name, "batched", cfg.cycles, batch_secs);
         compiled.speedup = compiled.cycles_per_sec / reference.cycles_per_sec;
+        batched.speedup = batched.cycles_per_sec / compiled.cycles_per_sec;
         reference.speedup = 1.0;
         println!(
-            "{:<10} {:>16.0} {:>16.0} {:>8.2}x",
-            name, reference.cycles_per_sec, compiled.cycles_per_sec, compiled.speedup
+            "{:<10} {:>16.0} {:>16.0} {:>8.2}x {:>16.0} {:>8.2}x",
+            name,
+            reference.cycles_per_sec,
+            compiled.cycles_per_sec,
+            compiled.speedup,
+            batched.cycles_per_sec,
+            batched.speedup
         );
         results.push(reference);
         results.push(compiled);
+        results.push(batched);
     }
 
     // Cross-check the engines agree on a short differential stream before
@@ -194,4 +217,15 @@ fn verify_engines_agree() {
     let a = NetlistSim::new(&hw.netlist).run_stream(&iters).unwrap();
     let b = CompiledSim::new(&plan).run_stream(&iters).unwrap();
     assert_eq!(a, b, "engines disagree — refusing to write BENCH_sim.json");
+    // The lane-batched engine must be bit-exact too, remainder lanes
+    // included (64 iterations over 7 lanes).
+    let flat: Vec<i64> = iters.iter().flatten().copied().collect();
+    let mut batched = Vec::new();
+    plan.run_batch_lanes(&flat, iters.len(), 7, &mut batched)
+        .unwrap();
+    let flattened: Vec<i64> = a.into_iter().flatten().collect();
+    assert_eq!(
+        batched, flattened,
+        "batched engine disagrees — refusing to write BENCH_sim.json"
+    );
 }

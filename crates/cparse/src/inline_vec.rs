@@ -1,0 +1,236 @@
+//! Inline small-vector storage for IR operand lists.
+//!
+//! Every three-address instruction, data-path op, and netlist cell used
+//! to carry its operands in a `Vec` — one heap allocation per node, per
+//! clone, per compile, multiplied by every candidate of a design-space
+//! sweep. No ROCCC operation has more than three operands (`MUX` is the
+//! widest), so [`InlineVec`] stores them inline in the node itself: no
+//! allocation, no pointer chase, `Copy` when the element is `Copy`, and
+//! cache-friendly iteration during simulation-plan compilation.
+//!
+//! The API mirrors the subset of `Vec` the compiler actually uses
+//! (`push`, indexing, iteration, slice access), plus `From`/`FromIterator`
+//! conversions so `vec![a, b]`-style call sites keep working via `.into()`.
+
+use std::fmt;
+
+/// A fixed-capacity vector of at most `N` elements stored inline.
+///
+/// # Panics
+///
+/// [`InlineVec::push`] and the `From`/`FromIterator` conversions panic if
+/// more than `N` elements are inserted — operand arity is a structural IR
+/// invariant, so overflow is a compiler bug, not a recoverable condition.
+#[derive(Clone, Copy)]
+pub struct InlineVec<T, const N: usize> {
+    buf: [T; N],
+    len: u8,
+}
+
+impl<T: Copy + Default, const N: usize> InlineVec<T, N> {
+    /// An empty list.
+    pub fn new() -> Self {
+        InlineVec {
+            buf: [T::default(); N],
+            len: 0,
+        }
+    }
+
+    /// Appends an element.
+    pub fn push(&mut self, v: T) {
+        assert!((self.len as usize) < N, "InlineVec capacity {N} exceeded");
+        self.buf[self.len as usize] = v;
+        self.len += 1;
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// The elements as a slice.
+    pub fn as_slice(&self) -> &[T] {
+        &self.buf[..self.len as usize]
+    }
+
+    /// The elements as a mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.buf[..self.len as usize]
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Default for InlineVec<T, N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> std::ops::Deref for InlineVec<T, N> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> std::ops::DerefMut for InlineVec<T, N> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        self.as_mut_slice()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> FromIterator<T> for InlineVec<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut v = InlineVec::new();
+        for x in iter {
+            v.push(x);
+        }
+        v
+    }
+}
+
+impl<T: Copy + Default, const N: usize> From<Vec<T>> for InlineVec<T, N> {
+    fn from(v: Vec<T>) -> Self {
+        v.into_iter().collect()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> From<&[T]> for InlineVec<T, N> {
+    fn from(v: &[T]) -> Self {
+        v.iter().copied().collect()
+    }
+}
+
+impl<T: Copy + Default, const N: usize, const M: usize> From<[T; M]> for InlineVec<T, N> {
+    fn from(v: [T; M]) -> Self {
+        v.into_iter().collect()
+    }
+}
+
+impl<'a, T: Copy + Default, const N: usize> IntoIterator for &'a InlineVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl<'a, T: Copy + Default, const N: usize> IntoIterator for &'a mut InlineVec<T, N> {
+    type Item = &'a mut T;
+    type IntoIter = std::slice::IterMut<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_mut_slice().iter_mut()
+    }
+}
+
+/// Owned iteration yields the elements by value (they are `Copy`).
+pub struct IntoIter<T, const N: usize> {
+    v: InlineVec<T, N>,
+    pos: u8,
+}
+
+impl<T: Copy + Default, const N: usize> Iterator for IntoIter<T, N> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        if self.pos < self.v.len {
+            let x = self.v.buf[self.pos as usize];
+            self.pos += 1;
+            Some(x)
+        } else {
+            None
+        }
+    }
+}
+
+impl<T: Copy + Default, const N: usize> IntoIterator for InlineVec<T, N> {
+    type Item = T;
+    type IntoIter = IntoIter<T, N>;
+    fn into_iter(self) -> Self::IntoIter {
+        IntoIter { v: self, pos: 0 }
+    }
+}
+
+impl<T: Copy + Default + PartialEq, const N: usize> PartialEq for InlineVec<T, N> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Default + Eq, const N: usize> Eq for InlineVec<T, N> {}
+
+impl<T: Copy + Default + PartialEq, const N: usize> PartialEq<Vec<T>> for InlineVec<T, N> {
+    fn eq(&self, other: &Vec<T>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Default + PartialEq, const N: usize> PartialEq<[T]> for InlineVec<T, N> {
+    fn eq(&self, other: &[T]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl<T: Copy + Default + PartialEq, const N: usize, const M: usize> PartialEq<[T; M]>
+    for InlineVec<T, N>
+{
+    fn eq(&self, other: &[T; M]) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Default + std::hash::Hash, const N: usize> std::hash::Hash for InlineVec<T, N> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl<T: Copy + Default + fmt::Debug, const N: usize> fmt::Debug for InlineVec<T, N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_index_iterate() {
+        let mut v: InlineVec<u32, 3> = InlineVec::new();
+        assert!(v.is_empty());
+        v.push(4);
+        v.push(5);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0], 4);
+        assert_eq!(v.iter().copied().collect::<Vec<_>>(), vec![4, 5]);
+        assert_eq!(v.into_iter().collect::<Vec<_>>(), vec![4, 5]);
+    }
+
+    #[test]
+    fn conversions_and_equality() {
+        let v: InlineVec<u32, 3> = vec![1, 2, 3].into();
+        assert_eq!(v, vec![1, 2, 3]);
+        assert_eq!(v, [1, 2, 3]);
+        let w: InlineVec<u32, 3> = [1, 2].into();
+        assert_ne!(v, w);
+        let z: InlineVec<u32, 3> = (0..2).collect();
+        assert_eq!(z, [0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn overflow_panics() {
+        let mut v: InlineVec<u32, 2> = InlineVec::new();
+        v.push(1);
+        v.push(2);
+        v.push(3);
+    }
+
+    #[test]
+    fn hash_matches_slice_semantics() {
+        use std::collections::HashMap;
+        let mut m: HashMap<InlineVec<u32, 3>, i32> = HashMap::new();
+        m.insert(vec![1, 2].into(), 10);
+        assert_eq!(m.get(&InlineVec::from(vec![1, 2])), Some(&10));
+        assert_eq!(m.get(&InlineVec::from(vec![2, 1])), None);
+    }
+}

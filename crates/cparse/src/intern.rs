@@ -1,0 +1,230 @@
+//! Global string interning for compiler symbols.
+//!
+//! The pipeline used to carry every port, feedback-slot, and kernel name
+//! as an owned `String`, re-allocated on each clone as IR flowed from
+//! `suifvm` through the data path to the netlist — and `roccc-explore`
+//! compiles the *same source* dozens of times per sweep, so identical
+//! names were allocated once per candidate per phase. A [`Symbol`] is a
+//! `u32` ticket into a process-wide interner instead: interning is one
+//! sharded-lock lookup, clones are `Copy`, equality is an integer
+//! compare, and the backing `str` lives for the life of the process, so
+//! `Symbol::as_str` hands out `&'static str` with no reference counting.
+//!
+//! The interner is deliberately global (not per-function): parallel
+//! design-space sweeps share one symbol table across candidates, which is
+//! the point — the second candidate's `"fir"` costs a hash lookup, not an
+//! allocation. Leaked storage is bounded by the number of *distinct*
+//! symbols ever interned, which for a compiler is small and stable.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// Number of lock shards; symbols hash to a shard, so concurrent
+/// candidate compiles rarely contend on the same lock.
+const SHARDS: usize = 16;
+
+struct Shard {
+    /// Interned string → id. Values index `strings`.
+    ids: HashMap<&'static str, u32>,
+}
+
+struct Interner {
+    shards: [Mutex<Shard>; SHARDS],
+    /// All interned strings, indexed by symbol id. Appends only; the
+    /// `Mutex` is held briefly to push, reads go through the pointer
+    /// stored in the per-shard map or the id table snapshot.
+    strings: Mutex<Vec<&'static str>>,
+}
+
+fn interner() -> &'static Interner {
+    static INTERNER: OnceLock<Interner> = OnceLock::new();
+    INTERNER.get_or_init(|| Interner {
+        shards: std::array::from_fn(|_| {
+            Mutex::new(Shard {
+                ids: HashMap::new(),
+            })
+        }),
+        strings: Mutex::new(Vec::new()),
+    })
+}
+
+fn shard_of(s: &str) -> usize {
+    // FNV-1a over the bytes; cheap and good enough to spread shards.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in s.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h as usize) % SHARDS
+}
+
+/// An interned string: a `Copy` ticket whose text lives for the life of
+/// the process. Two symbols are equal iff their text is equal.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// Interns `s` (a no-op returning the existing ticket when the text
+    /// was seen before, from any thread).
+    pub fn new(s: &str) -> Symbol {
+        let it = interner();
+        let mut shard = it.shards[shard_of(s)].lock().expect("interner poisoned");
+        if let Some(&id) = shard.ids.get(s) {
+            return Symbol(id);
+        }
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        let mut strings = it.strings.lock().expect("interner poisoned");
+        let id = u32::try_from(strings.len()).expect("interner full");
+        strings.push(leaked);
+        drop(strings);
+        shard.ids.insert(leaked, id);
+        Symbol(id)
+    }
+
+    /// The interned text.
+    pub fn as_str(self) -> &'static str {
+        let it = interner();
+        it.strings.lock().expect("interner poisoned")[self.0 as usize]
+    }
+}
+
+impl std::ops::Deref for Symbol {
+    type Target = str;
+    fn deref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl AsRef<str> for Symbol {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+// NOTE: no `Borrow<str>` impl on purpose. `Hash` is derived over the
+// `u32` ticket (hashing the text would take the interner lock on every
+// map probe), and `Borrow` requires borrowed and owned forms to hash
+// identically — probe `Symbol`-keyed maps with `Symbol::new(name)`,
+// which is itself just a shard lookup.
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::new(s)
+    }
+}
+
+impl From<&String> for Symbol {
+    fn from(s: &String) -> Symbol {
+        Symbol::new(s)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(s: String) -> Symbol {
+        Symbol::new(&s)
+    }
+}
+
+impl From<Symbol> for String {
+    fn from(s: Symbol) -> String {
+        s.as_str().to_owned()
+    }
+}
+
+impl PartialEq<str> for Symbol {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for Symbol {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl PartialEq<String> for Symbol {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl PartialEq<Symbol> for str {
+    fn eq(&self, other: &Symbol) -> bool {
+        self == other.as_str()
+    }
+}
+
+impl PartialEq<Symbol> for &str {
+    fn eq(&self, other: &Symbol) -> bool {
+        *self == other.as_str()
+    }
+}
+
+impl PartialEq<Symbol> for String {
+    fn eq(&self, other: &Symbol) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_text_same_ticket() {
+        let a = Symbol::new("fir");
+        let b = Symbol::new("fir");
+        let c = Symbol::new("dct");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.as_str(), "fir");
+        assert_eq!(a, "fir");
+        assert_eq!("fir", a);
+        assert_eq!(a, "fir".to_string());
+    }
+
+    #[test]
+    fn concurrent_interning_converges() {
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    (0..64)
+                        .map(|i| Symbol::new(&format!("sym{}", (i + t) % 32)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let all: Vec<Vec<Symbol>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for row in &all {
+            for s in row {
+                let again = Symbol::new(s.as_str());
+                assert_eq!(*s, again, "re-interning must return the same ticket");
+            }
+        }
+    }
+
+    #[test]
+    fn symbol_keyed_maps_probe_by_interning() {
+        use std::collections::HashMap;
+        let mut m: HashMap<Symbol, i32> = HashMap::new();
+        m.insert(Symbol::new("x"), 7);
+        // Interning the probe text yields the same ticket, so lookups hit
+        // without a `Borrow<str>` bridge (see the note on the impl block).
+        assert_eq!(m.get(&Symbol::new("x")), Some(&7));
+        assert_eq!(m.get(&Symbol::new("y")), None);
+    }
+}

@@ -33,6 +33,8 @@
 
 pub mod ast;
 pub mod error;
+pub mod inline_vec;
+pub mod intern;
 pub mod interp;
 pub mod lexer;
 pub mod parser;
@@ -43,6 +45,8 @@ pub mod types;
 
 pub use ast::Program;
 pub use error::{CError, CResult};
+pub use inline_vec::InlineVec;
+pub use intern::Symbol;
 pub use interp::{ExecOutcome, Interpreter};
 pub use parser::parse;
 pub use sema::check;

@@ -21,7 +21,6 @@ use roccc_suifvm::dataflow::liveness;
 use roccc_suifvm::dom::DomInfo;
 use roccc_suifvm::ir::{BlockId, FunctionIr, Opcode, Terminator, VReg};
 use roccc_suifvm::range::RangeMap;
-use std::collections::HashMap;
 
 /// Builds the (un-pipelined, un-narrowed) data path from SSA IR.
 ///
@@ -51,7 +50,7 @@ pub fn build_datapath_ranged(
     let rpo = ir.reverse_postorder();
 
     let mut dp = Datapath {
-        name: ir.name.clone(),
+        name: ir.name,
         inputs: ir.inputs.clone(),
         outputs: Vec::new(),
         ops: Vec::new(),
@@ -63,16 +62,22 @@ pub fn build_datapath_ranged(
         achieved_period_ns: 0.0,
     };
 
-    // SNX sources resolved at the end (slot → value).
-    let mut snx_src: HashMap<i64, Value> = HashMap::new();
+    // All tables below are dense: registers, blocks, and feedback slots
+    // all carry contiguous `u32`/index ids, so flat vecs replace hashing
+    // on the hottest per-candidate path of an explore sweep.
+    let n_regs = ir.vreg_types.len();
+    let n_blocks = ir.blocks.len();
 
-    let mut map: HashMap<VReg, Value> = HashMap::new();
-    let mut def_block: HashMap<VReg, BlockId> = HashMap::new();
+    // SNX sources resolved at the end (slot → value).
+    let mut snx_src: Vec<Option<Value>> = vec![None; ir.feedback.len()];
+
+    let mut map: Vec<Option<Value>> = vec![None; n_regs];
+    let mut def_block: Vec<Option<BlockId>> = vec![None; n_regs];
     let mut soft_count = 0usize;
 
     // The branch condition register of each fork block.
-    let mut fork_cond: HashMap<BlockId, VReg> = HashMap::new();
-    let mut fork_then: HashMap<BlockId, BlockId> = HashMap::new();
+    let mut fork_cond: Vec<Option<VReg>> = vec![None; n_blocks];
+    let mut fork_then: Vec<Option<BlockId>> = vec![None; n_blocks];
     for b in &ir.blocks {
         if let Terminator::Branch {
             cond,
@@ -80,8 +85,8 @@ pub fn build_datapath_ranged(
             else_b: _,
         } = &b.term
         {
-            fork_cond.insert(b.id, *cond);
-            fork_then.insert(b.id, *then_b);
+            fork_cond[b.id.0 as usize] = Some(*cond);
+            fork_then[b.id.0 as usize] = Some(*then_b);
         }
     }
 
@@ -91,24 +96,20 @@ pub fn build_datapath_ranged(
         // --- pipe + mux nodes for joins -----------------------------------
         if preds[bid.0 as usize].len() >= 2 {
             let fork = dom.idom[bid.0 as usize];
-            let cond_reg = *fork_cond
-                .get(&fork)
+            let cond_reg = fork_cond[fork.0 as usize]
                 .ok_or_else(|| format!("join {bid} not dominated by a branch"))?;
-            let cond_val = *map
-                .get(&cond_reg)
+            let cond_val = map[cond_reg.0 as usize]
                 .ok_or_else(|| format!("branch condition {cond_reg} unmapped"))?;
-            let then_head = fork_then[&fork];
+            let then_head = fork_then[fork.0 as usize].expect("fork has a then head");
 
             // Pipe node: live-through values defined at or above the fork.
             let mut pipe_regs: Vec<VReg> = live.live_in[bid.0 as usize]
                 .iter()
                 .copied()
                 .filter(|r| {
-                    def_block
-                        .get(r)
-                        .is_some_and(|db| dom.dominates(*db, fork))
+                    def_block[r.0 as usize].is_some_and(|db| dom.dominates(db, fork))
                         // Constants are tied to VCC/GND: no copy needed.
-                        && !matches!(map.get(r), Some(Value::Const(_)))
+                        && !matches!(map[r.0 as usize], Some(Value::Const(_)))
                 })
                 .collect();
             pipe_regs.sort();
@@ -117,15 +118,15 @@ pub fn build_datapath_ranged(
                 dp.nodes.push(DpNode {
                     id: node,
                     kind: NodeKind::Pipe,
-                    label: format!("pipe {}", dp.nodes.len() + 1),
+                    label: format!("pipe {}", dp.nodes.len() + 1).into(),
                 });
                 for r in pipe_regs {
-                    let src = map[&r];
+                    let src = map[r.0 as usize].expect("pipe reg is mapped");
                     let ty = ir.ty(r);
                     let id = OpId(dp.ops.len() as u32);
                     dp.ops.push(DpOp {
                         op: Opcode::Mov,
-                        srcs: vec![src],
+                        srcs: [src].into(),
                         ty,
                         hw_bits: ty.bits,
                         imm: 0,
@@ -133,9 +134,9 @@ pub fn build_datapath_ranged(
                         stage: 0,
                         range: range_of(r),
                     });
-                    map.insert(r, Value::Op(id));
+                    map[r.0 as usize] = Some(Value::Op(id));
                     // The copy now "lives" at the join.
-                    def_block.insert(r, bid);
+                    def_block[r.0 as usize] = Some(bid);
                 }
             }
 
@@ -145,7 +146,7 @@ pub fn build_datapath_ranged(
                 dp.nodes.push(DpNode {
                     id: node,
                     kind: NodeKind::Mux,
-                    label: format!("mux {}", dp.nodes.len() + 1),
+                    label: format!("mux {}", dp.nodes.len() + 1).into(),
                 });
                 for phi in &block.phis {
                     if phi.args.len() != 2 {
@@ -160,12 +161,10 @@ pub fn build_datapath_ranged(
                         let (p0, a0) = phi.args[0];
                         let (_p1, a1) = phi.args[1];
                         let p0_then = p0 == then_head || dom.dominates(then_head, p0);
-                        let v0 = *map
-                            .get(&a0)
-                            .ok_or_else(|| format!("phi arg {a0} unmapped"))?;
-                        let v1 = *map
-                            .get(&a1)
-                            .ok_or_else(|| format!("phi arg {a1} unmapped"))?;
+                        let v0 =
+                            map[a0.0 as usize].ok_or_else(|| format!("phi arg {a0} unmapped"))?;
+                        let v1 =
+                            map[a1.0 as usize].ok_or_else(|| format!("phi arg {a1} unmapped"))?;
                         if p0_then {
                             (v0, v1)
                         } else {
@@ -175,7 +174,7 @@ pub fn build_datapath_ranged(
                     let id = OpId(dp.ops.len() as u32);
                     dp.ops.push(DpOp {
                         op: Opcode::Mux,
-                        srcs: vec![cond_val, then_val, else_val],
+                        srcs: [cond_val, then_val, else_val].into(),
                         ty: phi.ty,
                         hw_bits: phi.ty.bits,
                         imm: 0,
@@ -183,8 +182,8 @@ pub fn build_datapath_ranged(
                         stage: 0,
                         range: range_of(phi.dst),
                     });
-                    map.insert(phi.dst, Value::Op(id));
-                    def_block.insert(phi.dst, bid);
+                    map[phi.dst.0 as usize] = Some(Value::Op(id));
+                    def_block[phi.dst.0 as usize] = Some(bid);
                 }
             }
         }
@@ -201,7 +200,7 @@ pub fn build_datapath_ranged(
             dp.nodes.push(DpNode {
                 id: node,
                 kind: NodeKind::Soft,
-                label: format!("node {soft_count}"),
+                label: format!("node {soft_count}").into(),
             });
             Some(node)
         } else {
@@ -212,37 +211,31 @@ pub fn build_datapath_ranged(
             let Some(dst) = i.dst else {
                 // SNX: record the latched value.
                 debug_assert_eq!(i.op, Opcode::Snx);
-                let v = *map
-                    .get(&i.srcs[0])
+                let v = map[i.srcs[0].0 as usize]
                     .ok_or_else(|| format!("SNX source {} unmapped", i.srcs[0]))?;
-                snx_src.insert(i.imm, v);
+                snx_src[i.imm as usize] = Some(v);
                 continue;
             };
             match i.op {
                 Opcode::Arg => {
-                    map.insert(dst, Value::Input(i.imm as usize));
-                    def_block.insert(dst, bid);
+                    map[dst.0 as usize] = Some(Value::Input(i.imm as usize));
+                    def_block[dst.0 as usize] = Some(bid);
                 }
                 Opcode::Ldc => {
-                    map.insert(dst, Value::Const(i.imm));
-                    def_block.insert(dst, bid);
+                    map[dst.0 as usize] = Some(Value::Const(i.imm));
+                    def_block[dst.0 as usize] = Some(bid);
                 }
                 Opcode::Mov => {
-                    let v = *map
-                        .get(&i.srcs[0])
+                    let v = map[i.srcs[0].0 as usize]
                         .ok_or_else(|| format!("MOV source {} unmapped", i.srcs[0]))?;
-                    map.insert(dst, v);
-                    def_block.insert(dst, bid);
+                    map[dst.0 as usize] = Some(v);
+                    def_block[dst.0 as usize] = Some(bid);
                 }
                 _ => {
-                    let srcs: Vec<Value> = i
+                    let srcs: crate::graph::Vals = i
                         .srcs
                         .iter()
-                        .map(|s| {
-                            map.get(s)
-                                .copied()
-                                .ok_or_else(|| format!("source {s} unmapped"))
-                        })
+                        .map(|s| map[s.0 as usize].ok_or_else(|| format!("source {s} unmapped")))
                         .collect::<Result<_, _>>()?;
                     let id = OpId(dp.ops.len() as u32);
                     dp.ops.push(DpOp {
@@ -255,8 +248,8 @@ pub fn build_datapath_ranged(
                         stage: 0,
                         range: range_of(dst),
                     });
-                    map.insert(dst, Value::Op(id));
-                    def_block.insert(dst, bid);
+                    map[dst.0 as usize] = Some(Value::Op(id));
+                    def_block[dst.0 as usize] = Some(bid);
                 }
             }
         }
@@ -264,11 +257,9 @@ pub fn build_datapath_ranged(
 
     // Outputs.
     for ((name, ty), reg) in ir.outputs.iter().zip(&ir.output_srcs) {
-        let value = *map
-            .get(reg)
-            .ok_or_else(|| format!("output register {reg} unmapped"))?;
+        let value = map[reg.0 as usize].ok_or_else(|| format!("output register {reg} unmapped"))?;
         dp.outputs.push(OutputPort {
-            name: name.clone(),
+            name: *name,
             ty: *ty,
             value,
         });
@@ -276,9 +267,7 @@ pub fn build_datapath_ranged(
 
     // Feedback.
     for (slot_idx, slot) in ir.feedback.iter().enumerate() {
-        let v = snx_src
-            .get(&(slot_idx as i64))
-            .copied()
+        let v = snx_src[slot_idx]
             .ok_or_else(|| format!("feedback slot `{}` has no SNX store", slot.name))?;
         dp.feedback.push((slot.clone(), v));
     }

@@ -203,7 +203,7 @@ mod tests {
             let mut m = DpMachine::new(&dp);
             let hw = m.step(args).unwrap();
             for (k, out) in dp.outputs.iter().enumerate() {
-                let expect = golden.outputs[&out.name];
+                let expect = golden.outputs[out.name.as_str()];
                 assert_eq!(
                     hw[k],
                     expect,

@@ -13,6 +13,8 @@
 //!   backward narrowing ("the compiler … narrows inner signals' bit
 //!   sizes", §6).
 
+use roccc_cparse::inline_vec::InlineVec;
+use roccc_cparse::intern::Symbol;
 use roccc_cparse::types::IntType;
 use roccc_suifvm::ir::{FeedbackSlot, LutTable, Opcode};
 use roccc_suifvm::range::ValueRange;
@@ -38,6 +40,10 @@ impl fmt::Display for NodeId {
     }
 }
 
+/// Inline operand list of a data-path operation (`MUX` is the widest at
+/// three), stored in the op itself — no per-op heap allocation.
+pub type Vals = InlineVec<Value, 3>;
+
 /// An operand of a data-path operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Value {
@@ -49,13 +55,21 @@ pub enum Value {
     Const(i64),
 }
 
+impl Default for Value {
+    /// A harmless placeholder (`InlineVec` slack slots); never observable
+    /// through the length-bounded slice API.
+    fn default() -> Value {
+        Value::Const(0)
+    }
+}
+
 /// One hardware operation.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DpOp {
     /// What it computes (a subset of the VM opcodes; no control flow).
     pub op: Opcode,
-    /// Operands.
-    pub srcs: Vec<Value>,
+    /// Operands (inline; at most three).
+    pub srcs: Vals,
     /// Exact (value-preserving) result type from forward inference.
     pub ty: IntType,
     /// Hardware width in bits after backward narrowing (`≤ ty.bits`).
@@ -91,15 +105,15 @@ pub struct DpNode {
     /// Soft or hard.
     pub kind: NodeKind,
     /// Human-readable label (`node 1`, `mux 7`, …) used in DOT output and
-    /// VHDL component names.
-    pub label: String,
+    /// VHDL component names (interned: labels repeat across candidates).
+    pub label: Symbol,
 }
 
 /// An output port of the data path.
 #[derive(Debug, Clone, PartialEq)]
 pub struct OutputPort {
     /// Port name.
-    pub name: String,
+    pub name: Symbol,
     /// Declared port type.
     pub ty: IntType,
     /// The value driving the port.
@@ -110,9 +124,9 @@ pub struct OutputPort {
 #[derive(Debug, Clone, PartialEq)]
 pub struct Datapath {
     /// Kernel name.
-    pub name: String,
+    pub name: Symbol,
     /// Input ports in order.
-    pub inputs: Vec<(String, IntType)>,
+    pub inputs: Vec<(Symbol, IntType)>,
     /// Output ports.
     pub outputs: Vec<OutputPort>,
     /// Operations in topological order (operands precede users).
@@ -322,7 +336,7 @@ mod tests {
             }],
             ops: vec![DpOp {
                 op: Opcode::Add,
-                srcs: vec![Value::Input(0), Value::Input(1)],
+                srcs: [Value::Input(0), Value::Input(1)].into(),
                 ty: IntType::unsigned(9),
                 hw_bits: 9,
                 imm: 0,
@@ -361,7 +375,7 @@ mod tests {
         dp.num_stages = 2;
         dp.ops.push(DpOp {
             op: Opcode::Not,
-            srcs: vec![Value::Op(OpId(0))],
+            srcs: [Value::Op(OpId(0))].into(),
             ty: IntType::signed(10),
             hw_bits: 10,
             imm: 0,
@@ -398,7 +412,7 @@ mod tests {
         dp.num_stages = 3;
         dp.ops.push(DpOp {
             op: Opcode::Not,
-            srcs: vec![Value::Op(OpId(0))],
+            srcs: [Value::Op(OpId(0))].into(),
             ty: IntType::signed(10),
             hw_bits: 10,
             imm: 0,

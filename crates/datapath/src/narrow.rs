@@ -51,7 +51,7 @@ pub fn narrow_widths(dp: &mut Datapath) {
     // Reverse-topological walk: finalize each op's width, then push
     // demands to its operands.
     for i in (0..n).rev() {
-        let op = dp.ops[i].clone();
+        let op = dp.ops[i];
         let full = op.ty.bits;
         let d = demand[i].min(full).max(1);
         // A proven range caps the width below demand: the wrapped wire

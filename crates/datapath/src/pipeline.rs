@@ -113,7 +113,7 @@ pub fn pipeline_datapath(
     // Greedy ASAP stage assignment with per-op arrival times.
     let mut arrival = vec![0.0f64; n];
     for i in 0..n {
-        let op = dp.ops[i].clone();
+        let op = dp.ops[i];
         let mut stage = 0u32;
         for s in &op.srcs {
             stage = stage.max(dp.stage_of(*s));
@@ -201,7 +201,7 @@ pub fn pipeline_datapath(
         let mut changed = false;
         for i in 0..n {
             let mut min_stage = dp.ops[i].stage;
-            for s in dp.ops[i].srcs.clone() {
+            for s in dp.ops[i].srcs {
                 min_stage = min_stage.max(dp.stage_of(s));
             }
             if min_stage != dp.ops[i].stage {
@@ -217,7 +217,7 @@ pub fn pipeline_datapath(
     // Recompute arrivals and the achieved period.
     let mut achieved = 0.0f64;
     for i in 0..n {
-        let op = dp.ops[i].clone();
+        let op = dp.ops[i];
         let mut ready = 0.0f64;
         for s in &op.srcs {
             if let Value::Op(o) = s {

@@ -25,7 +25,7 @@ impl NetBuilder {
     /// Declares an input port.
     pub fn input(&mut self, name: &str, ty: IntType) -> CellId {
         let k = self.nl.inputs.len();
-        self.nl.inputs.push((name.to_string(), ty));
+        self.nl.inputs.push((name.into(), ty));
         self.nl.add(Cell {
             kind: CellKind::Input(k),
             width: ty.bits,
@@ -41,7 +41,11 @@ impl NetBuilder {
     /// A binary/unary operation producing a `(signed, bits)` result.
     pub fn op(&mut self, op: Opcode, srcs: Vec<CellId>, signed: bool, bits: u8) -> CellId {
         self.nl.add(Cell {
-            kind: CellKind::Op { op, srcs, imm: 0 },
+            kind: CellKind::Op {
+                op,
+                srcs: srcs.into(),
+                imm: 0,
+            },
             width: bits,
             signed,
         })
@@ -51,14 +55,14 @@ impl NetBuilder {
     pub fn rom(&mut self, name: &str, elem: IntType, data: Vec<i64>, addr: CellId) -> CellId {
         let imm = self.nl.roms.len() as i64;
         self.nl.roms.push(LutTable {
-            name: name.to_string(),
+            name: name.into(),
             elem,
             data,
         });
         self.nl.add(Cell {
             kind: CellKind::Op {
                 op: Opcode::Lut,
-                srcs: vec![addr],
+                srcs: [addr].into(),
                 imm,
             },
             width: elem.bits,
@@ -68,7 +72,7 @@ impl NetBuilder {
 
     /// A free-running pipeline register.
     pub fn reg(&mut self, d: CellId) -> CellId {
-        let cell = self.nl.cells[d.0 as usize].clone();
+        let cell = self.nl.cells[d.0 as usize];
         self.nl.add(Cell {
             kind: CellKind::Reg {
                 d: Some(d),
@@ -91,7 +95,7 @@ impl NetBuilder {
             width: ty.bits,
             signed: ty.signed,
         });
-        self.nl.feedback_regs.push((name.to_string(), id));
+        self.nl.feedback_regs.push((name.into(), id));
         id
     }
 
@@ -232,7 +236,7 @@ impl NetBuilder {
             width: ty.bits,
             signed: ty.signed,
         });
-        self.nl.outputs.push((name.to_string(), ty, reg));
+        self.nl.outputs.push((name.into(), ty, reg));
     }
 
     /// Finishes the netlist with the given pipeline latency.

@@ -6,14 +6,19 @@
 //! (`roccc-synth`) maps to Virtex-II resources and the cycle-accurate
 //! simulator executes.
 
+use roccc_cparse::inline_vec::InlineVec;
+use roccc_cparse::intern::Symbol;
 use roccc_cparse::types::IntType;
 use roccc_suifvm::ir::{LutTable, Opcode};
 use roccc_suifvm::range::ValueRange;
 use std::fmt;
 
 /// Identifies a cell (and its output net).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct CellId(pub u32);
+
+/// Inline source-net list of a combinational cell (at most three).
+pub type CellSrcs = InlineVec<CellId, 3>;
 
 impl fmt::Display for CellId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -22,7 +27,7 @@ impl fmt::Display for CellId {
 }
 
 /// What a cell does.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum CellKind {
     /// Constant driver.
     Const(i64),
@@ -32,8 +37,8 @@ pub enum CellKind {
     Op {
         /// Operation.
         op: Opcode,
-        /// Input nets.
-        srcs: Vec<CellId>,
+        /// Input nets (inline; at most three).
+        srcs: CellSrcs,
         /// ROM index for `Lut`.
         imm: i64,
     },
@@ -52,7 +57,7 @@ pub enum CellKind {
 }
 
 /// A cell with its output net type.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Cell {
     /// Behaviour.
     pub kind: CellKind,
@@ -78,15 +83,15 @@ pub struct Netlist {
     /// All cells; combinational sources of a cell always precede it.
     pub cells: Vec<Cell>,
     /// Input ports `(name, type)`; `CellKind::Input(k)` refers to these.
-    pub inputs: Vec<(String, IntType)>,
+    pub inputs: Vec<(Symbol, IntType)>,
     /// Output ports `(name, type, net)`.
-    pub outputs: Vec<(String, IntType, CellId)>,
+    pub outputs: Vec<(Symbol, IntType, CellId)>,
     /// ROMs referenced by `Lut` cells.
     pub roms: Vec<LutTable>,
     /// Pipeline depth in clock cycles from input to output port.
     pub latency: u32,
     /// Nets that are feedback registers, with their slot names.
-    pub feedback_regs: Vec<(String, CellId)>,
+    pub feedback_regs: Vec<(Symbol, CellId)>,
     /// Wrap-free proven value ranges, parallel to `cells`: `ranges[i]` is
     /// `Some(r)` only when cell `i`'s wire provably carries the exact
     /// (pre-wrap) value of the computation it implements and that value
@@ -231,7 +236,7 @@ mod tests {
         let sum = nl.add(Cell {
             kind: CellKind::Op {
                 op: Opcode::Add,
-                srcs: vec![a, one],
+                srcs: [a, one].into(),
                 imm: 0,
             },
             width: 9,
@@ -289,7 +294,7 @@ mod tests {
         let sum = nl.add(Cell {
             kind: CellKind::Op {
                 op: Opcode::Add,
-                srcs: vec![reg, x],
+                srcs: [reg, x].into(),
                 imm: 0,
             },
             width: 8,
@@ -307,7 +312,7 @@ mod tests {
         nl.add(Cell {
             kind: CellKind::Op {
                 op: Opcode::Not,
-                srcs: vec![bogus],
+                srcs: [bogus].into(),
                 imm: 0,
             },
             width: 8,

@@ -55,7 +55,7 @@ pub fn netlist_from_datapath(dp: &Datapath) -> Netlist {
             width: slot.ty.bits,
             signed: slot.ty.signed,
         });
-        nl.feedback_regs.push((slot.name.clone(), reg));
+        nl.feedback_regs.push((slot.name, reg));
         fb_regs.push(reg);
     }
 
@@ -130,7 +130,7 @@ pub fn netlist_from_datapath(dp: &Datapath) -> Netlist {
                 nl.add(Cell {
                     kind: CellKind::Op {
                         op: Opcode::Cvt,
-                        srcs: vec![src],
+                        srcs: [src].into(),
                         imm: 0,
                     },
                     width: op.hw_bits,
@@ -138,7 +138,7 @@ pub fn netlist_from_datapath(dp: &Datapath) -> Netlist {
                 })
             }
             _ => {
-                let srcs: Vec<CellId> = op
+                let srcs: crate::cells::CellSrcs = op
                     .srcs
                     .iter()
                     .map(|s| {
@@ -193,7 +193,7 @@ pub fn netlist_from_datapath(dp: &Datapath) -> Netlist {
             nl.add(Cell {
                 kind: CellKind::Op {
                     op: Opcode::Cvt,
-                    srcs: vec![src],
+                    srcs: [src].into(),
                     imm: 0,
                 },
                 width: slot.ty.bits,
@@ -261,7 +261,7 @@ pub fn netlist_from_datapath(dp: &Datapath) -> Netlist {
             width: out.ty.bits,
             signed: out.ty.signed,
         });
-        nl.outputs.push((out.name.clone(), out.ty, reg));
+        nl.outputs.push((out.name, out.ty, reg));
     }
 
     nl

@@ -31,6 +31,7 @@
 
 use crate::cells::{CellKind, Netlist};
 use crate::sim::SimError;
+use roccc_cparse::intern::Symbol;
 use roccc_cparse::types::IntType;
 use roccc_suifvm::ir::Opcode;
 
@@ -54,14 +55,15 @@ impl Wrap {
         }
     }
 
+    /// Branchless truncate-and-sign-extend: `(t ^ s) - s` flips the sign
+    /// bit out and subtracts it back in, which is the identity for
+    /// non-negative values and the two's-complement extension otherwise.
+    /// No data-dependent branch, so the lane-batched engine's inner loops
+    /// auto-vectorize through it.
     #[inline(always)]
     fn apply(self, v: i64) -> i64 {
         let t = (v as u64) & self.mask;
-        if t & self.sign != 0 {
-            (t | !self.mask) as i64
-        } else {
-            t as i64
-        }
+        (t ^ self.sign).wrapping_sub(self.sign) as i64
     }
 }
 
@@ -196,9 +198,9 @@ pub struct SimPlan {
     /// Pre-wrapped ROM tables.
     roms: Vec<Vec<i64>>,
     /// Output ports: `(name, value slot, port wrap)`.
-    outputs: Vec<(String, u32, Wrap)>,
+    outputs: Vec<(Symbol, u32, Wrap)>,
     /// Feedback registers by slot name.
-    feedback: Vec<(String, u32)>,
+    feedback: Vec<(Symbol, u32)>,
     /// Pipeline depth (occupancy length).
     latency: u32,
     /// Input port count and wraps.
@@ -286,15 +288,98 @@ impl SimPlan {
             }
         }
 
+        // Renumber value slots: non-instruction cells (constants, folded
+        // ops, registers) first, then instruction destinations in stream
+        // order. Combinational sources already precede their consumers in
+        // the stream, so afterwards every instruction's sources sit
+        // strictly below its destination — the invariant that lets the
+        // batched engine split the value buffer and write destinations in
+        // place without a scratch copy.
+        let mut is_dst = vec![false; n];
+        for ins in &instrs {
+            is_dst[ins.dst as usize] = true;
+        }
+        let mut remap = vec![0u32; n];
+        let mut next = 0u32;
+        for (i, d) in is_dst.iter().enumerate() {
+            if !d {
+                remap[i] = next;
+                next += 1;
+            }
+        }
+        for ins in &mut instrs {
+            let new = next;
+            next += 1;
+            remap[ins.dst as usize] = new;
+        }
+        for ins in &mut instrs {
+            ins.dst = remap[ins.dst as usize];
+            ins.a = remap[ins.a as usize];
+            ins.b = remap[ins.b as usize];
+            ins.c = remap[ins.c as usize];
+            debug_assert!(
+                matches!(ins.op, SimOp::Input { .. })
+                    || (ins.a < ins.dst && ins.b < ins.dst && ins.c < ins.dst),
+                "slot renumbering broke the sources-below-destination invariant"
+            );
+        }
+        for e in &mut edges {
+            e.reg = remap[e.reg as usize];
+            e.d = remap[e.d as usize];
+        }
+        let mut permuted = vec![0i64; n];
+        for (i, &v) in init_vals.iter().enumerate() {
+            permuted[remap[i] as usize] = v;
+        }
+        let init_vals = permuted;
+
+        // Order clock edges downstream-first: when edge `j` reads the
+        // register edge `i` writes (a pipeline delay chain r1 -> r2),
+        // commit `j` before `i` so a fused single-pass commit still sees
+        // pre-edge values along the chain. Cyclic register loops can't be
+        // ordered; they stay in place and the batched engine detects that
+        // and falls back to its two-phase commit.
+        {
+            let m = edges.len();
+            let mut writer = std::collections::HashMap::with_capacity(m);
+            for (k, e) in edges.iter().enumerate() {
+                writer.insert(e.reg, k);
+            }
+            let mut succ: Vec<Option<usize>> = vec![None; m];
+            let mut indeg = vec![0usize; m];
+            for (j, e) in edges.iter().enumerate() {
+                if let Some(&i) = writer.get(&e.d) {
+                    if i != j {
+                        succ[j] = Some(i);
+                        indeg[i] += 1;
+                    }
+                }
+            }
+            let mut order: Vec<usize> = (0..m).filter(|&k| indeg[k] == 0).collect();
+            let mut head = 0;
+            while head < order.len() {
+                if let Some(i) = succ[order[head]] {
+                    indeg[i] -= 1;
+                    if indeg[i] == 0 {
+                        order.push(i);
+                    }
+                }
+                head += 1;
+            }
+            if order.len() == m {
+                edges = order.into_iter().map(|k| edges[k]).collect();
+            }
+        }
+
         let outputs = nl
             .outputs
             .iter()
-            .map(|(name, ty, net)| (name.clone(), net.0, Wrap::from_ty(*ty)))
+            .map(|(name, ty, net)| (*name, remap[net.0 as usize], Wrap::from_ty(*ty)))
             .collect();
         let feedback = nl
             .feedback_regs
             .iter()
-            .map(|(name, id)| (name.clone(), id.0))
+            .map(|(name, id)| (*name, remap[id.0 as usize]))
             .collect();
         let input_wraps = nl.inputs.iter().map(|(_, t)| Wrap::from_ty(*t)).collect();
 
@@ -339,6 +424,103 @@ impl SimPlan {
     /// Output port names in port order.
     pub fn output_names(&self) -> impl Iterator<Item = &str> {
         self.outputs.iter().map(|(n, _, _)| n.as_str())
+    }
+
+    /// Whether the plan carries loop-carried state (feedback registers).
+    /// Lane-batched execution splits the iteration stream into independent
+    /// chunks, which would break feedback chains, so stateful plans run
+    /// single-lane.
+    pub fn has_feedback(&self) -> bool {
+        !self.feedback.is_empty() || self.edges.iter().any(|e| e.gate != GATE_NONE)
+    }
+
+    /// The lane count [`SimPlan::run_batch_lanes`] will actually use for
+    /// a requested `lanes`: clamped to ≥1, and to 1 for stateful plans.
+    pub fn effective_lanes(&self, lanes: usize) -> usize {
+        if self.has_feedback() {
+            1
+        } else {
+            lanes.max(1)
+        }
+    }
+
+    /// Streams `iters` iterations (row-major in `flat_args`, as in
+    /// [`CompiledSim::run_batch`]) through a [`BatchedSim`] with up to
+    /// `lanes` lanes, appending output rows to `out_flat` in the original
+    /// iteration order. Returns the number of output rows.
+    ///
+    /// Iterations are assigned to lanes round-robin, so every simulation
+    /// pass consumes `lanes` *consecutive* rows of `flat_args` — a
+    /// zero-copy tile — and, `latency` passes later, produces `lanes`
+    /// consecutive output rows. Both streams stay sequential in memory,
+    /// which is what keeps the driver overhead below the lane engine's
+    /// gain. Lane counts that do not divide `iters` are fine: the final
+    /// partial tile pads with bubble lanes. Stateful plans (feedback
+    /// registers) are automatically clamped to a single lane —
+    /// interleaving would corrupt the loop-carried state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] under the same conditions as
+    /// [`CompiledSim::step`] (valid-lane division by zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat_args.len() != iters * num_inputs`.
+    pub fn run_batch_lanes(
+        &self,
+        flat_args: &[i64],
+        iters: usize,
+        lanes: usize,
+        out_flat: &mut Vec<i64>,
+    ) -> Result<usize, SimError> {
+        let n_in = self.input_wraps.len();
+        let n_out = self.outputs.len();
+        assert_eq!(flat_args.len(), iters * n_in, "batch arity");
+        let lanes = self.effective_lanes(lanes).min(iters.max(1));
+
+        let full = iters / lanes;
+        let rem = iters % lanes;
+        let tiles = full + usize::from(rem > 0);
+        let total = tiles + self.latency as usize + 2;
+
+        let out_start = out_flat.len();
+        out_flat.resize(out_start + iters * n_out, 0);
+
+        let mut sim = BatchedSim::new(self, lanes);
+        let all_valid = vec![true; lanes];
+        let none_valid = vec![false; lanes];
+        // The one partial tile (if any) gets a padded copy of the last
+        // `rem` rows; bubble lanes carry zeros.
+        let mut edge_valid = vec![false; lanes];
+        let mut edge_rows = vec![0i64; lanes * n_in];
+        if rem > 0 {
+            edge_valid[..rem].fill(true);
+            edge_rows[..rem * n_in].copy_from_slice(&flat_args[full * lanes * n_in..]);
+        }
+        let zero_rows = vec![0i64; lanes * n_in];
+
+        let mut drained = 0usize;
+        for t in 0..total {
+            if t < full {
+                let rb = t * lanes * n_in;
+                sim.step_lanes(&flat_args[rb..rb + lanes * n_in], &all_valid)?;
+            } else if t == full && rem > 0 {
+                sim.step_lanes(&edge_rows, &edge_valid)?;
+            } else {
+                sim.step_lanes(&zero_rows, &none_valid)?;
+            }
+            // Tiles exit in entry order; lane 0 is valid in every real
+            // tile (full tiles entirely, the partial tile by `rem >= 1`).
+            if sim.lane_out_valid(0) {
+                let n_rows = lanes.min(iters - drained);
+                let dst = out_start + drained * n_out;
+                sim.read_output_rows(n_rows, &mut out_flat[dst..dst + n_rows * n_out]);
+                drained += n_rows;
+            }
+        }
+        debug_assert_eq!(drained, iters);
+        Ok(iters)
     }
 }
 
@@ -704,6 +886,421 @@ impl<'p> CompiledSim<'p> {
     }
 }
 
+/// A lane-batched compiled simulation: structure-of-arrays state that
+/// advances `lanes` independent input vectors per instruction pass.
+///
+/// Where [`CompiledSim`] walks the instruction stream once per clock for a
+/// single iteration pipeline, `BatchedSim` keeps the value buffer
+/// **slot-major** (`vals[slot * lanes + lane]`) so each instruction's
+/// opcode dispatch is paid once and the per-lane arithmetic runs as a
+/// tight, auto-vectorizable inner loop over contiguous memory. Lanes are
+/// fully independent — lane `l` simulates its own copy of the datapath —
+/// which is exactly the shape differential suites and throughput drivers
+/// need: N test vectors through the same netlist.
+///
+/// Bit-exactness: each lane computes precisely what a dedicated
+/// [`CompiledSim`] would, including wrap semantics, divider bubble
+/// gating (per-lane occupancy), and two-phase register commit.
+#[derive(Debug, Clone)]
+pub struct BatchedSim<'p> {
+    plan: &'p SimPlan,
+    lanes: usize,
+    /// Slot-major SoA value buffer: `vals[slot * lanes + lane]`.
+    vals: Vec<i64>,
+    /// Per-lane next-state scratch for the two-phase register commit
+    /// (`reg_next[edge * lanes + lane]`).
+    reg_next: Vec<i64>,
+    /// Per-lane pipeline occupancy, stage-major
+    /// (`occ[stage * lanes + lane]`; stage 0 = newest).
+    occ: Vec<bool>,
+    /// Per-instruction compute scratch (one word per lane), so the inner
+    /// loops read `vals` immutably and write disjoint scratch — the
+    /// pattern LLVM vectorizes.
+    tmp: Vec<i64>,
+    /// Whether the edge list, in commit order, has an edge reading a
+    /// register an earlier edge already overwrote (only cyclic register
+    /// loops, since the plan orders delay chains downstream-first). Only
+    /// then does the clock edge need the full two-phase commit through
+    /// `reg_next`; otherwise each edge commits independently, halving the
+    /// edge traffic.
+    chained_regs: bool,
+    cycles: u64,
+}
+
+impl<'p> BatchedSim<'p> {
+    /// Creates a `lanes`-wide simulation, every lane at power-on state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero.
+    pub fn new(plan: &'p SimPlan, lanes: usize) -> Self {
+        assert!(lanes > 0, "at least one lane");
+        let n_slots = plan.init_vals.len();
+        let mut vals = vec![0i64; n_slots * lanes];
+        for (slot, &v) in plan.init_vals.iter().enumerate() {
+            vals[slot * lanes..(slot + 1) * lanes].fill(v);
+        }
+        // Single-pass commit is sound iff no edge reads a register an
+        // earlier edge in commit order already overwrote (compile() orders
+        // chains downstream-first, so this only stays true for cyclic
+        // register loops).
+        let mut committed = vec![false; n_slots];
+        let mut chained_regs = false;
+        for e in &plan.edges {
+            if committed[e.d as usize] {
+                chained_regs = true;
+                break;
+            }
+            committed[e.reg as usize] = true;
+        }
+        BatchedSim {
+            plan,
+            lanes,
+            vals,
+            reg_next: vec![0; plan.edges.len() * lanes],
+            occ: vec![false; plan.latency as usize * lanes],
+            tmp: vec![0; lanes],
+            chained_regs,
+            cycles: 0,
+        }
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Cycles simulated so far (each step advances every lane one cycle).
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Whether lane `l`'s post-edge outputs correspond to a valid
+    /// iteration.
+    #[inline]
+    pub fn lane_out_valid(&self, l: usize) -> bool {
+        let last = (self.plan.latency as usize - 1) * self.lanes;
+        self.occ[last + l]
+    }
+
+    /// Post-edge value of output port `k` in lane `l`.
+    #[inline]
+    pub fn output_lane(&self, k: usize, l: usize) -> i64 {
+        let (_, idx, wrap) = &self.plan.outputs[k];
+        wrap.apply(self.vals[*idx as usize * self.lanes + l])
+    }
+
+    /// Copies lane `l`'s post-edge output-port values into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` differs from the output-port count.
+    pub fn read_outputs_lane(&self, l: usize, out: &mut [i64]) {
+        assert_eq!(out.len(), self.plan.outputs.len(), "output arity");
+        for (slot, (_, idx, wrap)) in out.iter_mut().zip(&self.plan.outputs) {
+            *slot = wrap.apply(self.vals[*idx as usize * self.lanes + l]);
+        }
+    }
+
+    /// Copies the post-edge outputs of the first `n_rows` lanes into `out`
+    /// row-major (`out[lane * num_outputs + port]`) — the bulk drain used
+    /// by [`SimPlan::run_batch_lanes`] when a whole tile retires at once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_rows` exceeds the lane count or `out.len()` differs
+    /// from `n_rows * num_outputs`.
+    pub fn read_output_rows(&self, n_rows: usize, out: &mut [i64]) {
+        let n_out = self.plan.outputs.len();
+        assert!(n_rows <= self.lanes, "row count");
+        assert_eq!(out.len(), n_rows * n_out, "output arity");
+        for (k, (_, idx, wrap)) in self.plan.outputs.iter().enumerate() {
+            let base = *idx as usize * self.lanes;
+            for l in 0..n_rows {
+                out[l * n_out + k] = wrap.apply(self.vals[base + l]);
+            }
+        }
+    }
+
+    /// Simulates one clock cycle in every lane. `args_rows` is row-major —
+    /// `args_rows[lane * num_inputs + port]`, i.e. `lanes` consecutive
+    /// iteration rows exactly as they sit in a flat batch buffer, so
+    /// callers feed input slices with no transpose. `valid[l]` marks lane
+    /// `l`'s inputs as a real iteration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if any lane divides by zero while a valid
+    /// iteration occupies that divider's stage in that lane (bubble lanes
+    /// produce benign zeros), or mirrors of the other
+    /// [`CompiledSim::step`] fault conditions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `args_rows.len() != num_inputs * lanes` or
+    /// `valid.len() != lanes`.
+    pub fn step_lanes(&mut self, args_rows: &[i64], valid: &[bool]) -> Result<(), SimError> {
+        assert_eq!(
+            args_rows.len(),
+            self.plan.input_wraps.len() * self.lanes,
+            "input arity"
+        );
+        assert_eq!(valid.len(), self.lanes, "valid arity");
+        // Dispatch on the common lane widths with a literal count so each
+        // monomorphized body sees a constant trip count: the lane loops
+        // then unroll to exact full-width vector ops with no remainder
+        // handling.
+        match self.lanes {
+            4 => self.step_impl(args_rows, valid, 4),
+            8 => self.step_impl(args_rows, valid, 8),
+            16 => self.step_impl(args_rows, valid, 16),
+            32 => self.step_impl(args_rows, valid, 32),
+            64 => self.step_impl(args_rows, valid, 64),
+            n => self.step_impl(args_rows, valid, n),
+        }
+    }
+
+    #[inline(always)]
+    fn step_impl(
+        &mut self,
+        args_rows: &[i64],
+        valid: &[bool],
+        lanes: usize,
+    ) -> Result<(), SimError> {
+        debug_assert_eq!(lanes, self.lanes);
+        self.cycles += 1;
+
+        // Advance occupancy: stage-major, so shifting all lanes of all
+        // stages is one contiguous copy by `lanes`.
+        let occ_len = self.occ.len();
+        self.occ.copy_within(0..occ_len - lanes, lanes);
+        self.occ[..lanes].copy_from_slice(valid);
+
+        // Combinational settle: one opcode dispatch per instruction, one
+        // vectorizable lane loop per dispatch. Slot numbering puts every
+        // source strictly below the destination (see the renumbering in
+        // [`SimPlan::compile`]), so the value buffer splits into a
+        // read-only source region and an in-place destination — no scratch
+        // copy. The truncation wrap is branchless and fused into each
+        // loop; the zipped exact-length slices elide every bounds check.
+        let n_in = self.plan.input_wraps.len();
+        for ins in &self.plan.instrs {
+            let db = ins.dst as usize * lanes;
+            let (src, rest) = self.vals.split_at_mut(db);
+            let dst = &mut rest[..lanes];
+            let ab = ins.a as usize * lanes;
+            let bb = ins.b as usize * lanes;
+            let cb = ins.c as usize * lanes;
+            let w = ins.wrap;
+            match ins.op {
+                SimOp::Input { port } => {
+                    // Row-major tile: the transpose into lane order is this
+                    // strided read, fused with the port wrap (the tile is
+                    // L1-resident, so the stride costs little).
+                    let p = port as usize;
+                    for (l, t) in dst.iter_mut().enumerate() {
+                        *t = w.apply(args_rows[l * n_in + p]);
+                    }
+                }
+                SimOp::Add => {
+                    let (a, b) = (&src[ab..ab + lanes], &src[bb..bb + lanes]);
+                    for ((t, &x), &y) in dst.iter_mut().zip(a).zip(b) {
+                        *t = w.apply(x.wrapping_add(y));
+                    }
+                }
+                SimOp::Sub => {
+                    let (a, b) = (&src[ab..ab + lanes], &src[bb..bb + lanes]);
+                    for ((t, &x), &y) in dst.iter_mut().zip(a).zip(b) {
+                        *t = w.apply(x.wrapping_sub(y));
+                    }
+                }
+                SimOp::Mul => {
+                    let (a, b) = (&src[ab..ab + lanes], &src[bb..bb + lanes]);
+                    for ((t, &x), &y) in dst.iter_mut().zip(a).zip(b) {
+                        *t = w.apply(x.wrapping_mul(y));
+                    }
+                }
+                SimOp::Div { stage } => {
+                    let (a, b) = (&src[ab..ab + lanes], &src[bb..bb + lanes]);
+                    let ob = stage as usize * lanes;
+                    for (l, ((t, &x), &d)) in dst.iter_mut().zip(a).zip(b).enumerate() {
+                        *t = if d == 0 {
+                            if self.occ.get(ob + l).copied().unwrap_or(false) {
+                                return Err(SimError("division by zero".into()));
+                            }
+                            0
+                        } else {
+                            w.apply(x.wrapping_div(d))
+                        };
+                    }
+                }
+                SimOp::Rem { stage } => {
+                    let (a, b) = (&src[ab..ab + lanes], &src[bb..bb + lanes]);
+                    let ob = stage as usize * lanes;
+                    for (l, ((t, &x), &d)) in dst.iter_mut().zip(a).zip(b).enumerate() {
+                        *t = if d == 0 {
+                            if self.occ.get(ob + l).copied().unwrap_or(false) {
+                                return Err(SimError("remainder by zero".into()));
+                            }
+                            0
+                        } else {
+                            w.apply(x.wrapping_rem(d))
+                        };
+                    }
+                }
+                SimOp::Neg => {
+                    let a = &src[ab..ab + lanes];
+                    for (t, &x) in dst.iter_mut().zip(a) {
+                        *t = w.apply(x.wrapping_neg());
+                    }
+                }
+                SimOp::Not => {
+                    let a = &src[ab..ab + lanes];
+                    for (t, &x) in dst.iter_mut().zip(a) {
+                        *t = w.apply(!x);
+                    }
+                }
+                SimOp::Shl => {
+                    let (a, b) = (&src[ab..ab + lanes], &src[bb..bb + lanes]);
+                    for ((t, &x), &y) in dst.iter_mut().zip(a).zip(b) {
+                        *t = w.apply(x.wrapping_shl(y.clamp(0, 63) as u32));
+                    }
+                }
+                SimOp::Shr => {
+                    let (a, b) = (&src[ab..ab + lanes], &src[bb..bb + lanes]);
+                    for ((t, &x), &y) in dst.iter_mut().zip(a).zip(b) {
+                        *t = w.apply(x.wrapping_shr(y.clamp(0, 63) as u32));
+                    }
+                }
+                SimOp::And => {
+                    let (a, b) = (&src[ab..ab + lanes], &src[bb..bb + lanes]);
+                    for ((t, &x), &y) in dst.iter_mut().zip(a).zip(b) {
+                        *t = w.apply(x & y);
+                    }
+                }
+                SimOp::Or => {
+                    let (a, b) = (&src[ab..ab + lanes], &src[bb..bb + lanes]);
+                    for ((t, &x), &y) in dst.iter_mut().zip(a).zip(b) {
+                        *t = w.apply(x | y);
+                    }
+                }
+                SimOp::Xor => {
+                    let (a, b) = (&src[ab..ab + lanes], &src[bb..bb + lanes]);
+                    for ((t, &x), &y) in dst.iter_mut().zip(a).zip(b) {
+                        *t = w.apply(x ^ y);
+                    }
+                }
+                SimOp::Slt => {
+                    let (a, b) = (&src[ab..ab + lanes], &src[bb..bb + lanes]);
+                    for ((t, &x), &y) in dst.iter_mut().zip(a).zip(b) {
+                        *t = (x < y) as i64;
+                    }
+                }
+                SimOp::Sle => {
+                    let (a, b) = (&src[ab..ab + lanes], &src[bb..bb + lanes]);
+                    for ((t, &x), &y) in dst.iter_mut().zip(a).zip(b) {
+                        *t = (x <= y) as i64;
+                    }
+                }
+                SimOp::Seq => {
+                    let (a, b) = (&src[ab..ab + lanes], &src[bb..bb + lanes]);
+                    for ((t, &x), &y) in dst.iter_mut().zip(a).zip(b) {
+                        *t = (x == y) as i64;
+                    }
+                }
+                SimOp::Sne => {
+                    let (a, b) = (&src[ab..ab + lanes], &src[bb..bb + lanes]);
+                    for ((t, &x), &y) in dst.iter_mut().zip(a).zip(b) {
+                        *t = (x != y) as i64;
+                    }
+                }
+                SimOp::Bool => {
+                    let a = &src[ab..ab + lanes];
+                    for (t, &x) in dst.iter_mut().zip(a) {
+                        *t = (x != 0) as i64;
+                    }
+                }
+                SimOp::Mux => {
+                    let (a, b, c) = (
+                        &src[ab..ab + lanes],
+                        &src[bb..bb + lanes],
+                        &src[cb..cb + lanes],
+                    );
+                    for (((t, &s), &x), &y) in dst.iter_mut().zip(a).zip(b).zip(c) {
+                        *t = w.apply(if s != 0 { x } else { y });
+                    }
+                }
+                SimOp::Copy => {
+                    let a = &src[ab..ab + lanes];
+                    for (t, &x) in dst.iter_mut().zip(a) {
+                        *t = w.apply(x);
+                    }
+                }
+                SimOp::Lut { rom } => {
+                    let a = &src[ab..ab + lanes];
+                    let rom = &self.plan.roms[rom as usize];
+                    for (t, &x) in dst.iter_mut().zip(a) {
+                        *t = if x < 0 {
+                            0
+                        } else {
+                            w.apply(rom.get(x as usize).copied().unwrap_or(0))
+                        };
+                    }
+                }
+            }
+        }
+
+        // Clock edge. When no register feeds another register directly,
+        // every edge reads a combinational slot the commit cannot disturb,
+        // so each commits independently (wrap into scratch, one copy).
+        // Register-to-register chains need the classic two-phase commit
+        // through `reg_next` to read pre-edge values.
+        if !self.chained_regs {
+            let tmp = &mut self.tmp[..lanes];
+            for edge in &self.plan.edges {
+                let db = edge.d as usize * lanes;
+                for (t, &x) in tmp.iter_mut().zip(&self.vals[db..db + lanes]) {
+                    *t = edge.wrap.apply(x);
+                }
+                let rb = edge.reg as usize * lanes;
+                if edge.gate == GATE_NONE {
+                    self.vals[rb..rb + lanes].copy_from_slice(tmp);
+                } else {
+                    let ob = edge.gate as usize * lanes;
+                    for (l, &t) in tmp.iter().enumerate() {
+                        if self.occ.get(ob + l).copied().unwrap_or(false) {
+                            self.vals[rb + l] = t;
+                        }
+                    }
+                }
+            }
+            return Ok(());
+        }
+        for (e, edge) in self.plan.edges.iter().enumerate() {
+            let db = edge.d as usize * lanes;
+            let nb = e * lanes;
+            for l in 0..lanes {
+                self.reg_next[nb + l] = edge.wrap.apply(self.vals[db + l]);
+            }
+        }
+        for (e, edge) in self.plan.edges.iter().enumerate() {
+            let rb = edge.reg as usize * lanes;
+            let nb = e * lanes;
+            if edge.gate == GATE_NONE {
+                self.vals[rb..rb + lanes].copy_from_slice(&self.reg_next[nb..nb + lanes]);
+            } else {
+                let ob = edge.gate as usize * lanes;
+                for l in 0..lanes {
+                    if self.occ.get(ob + l).copied().unwrap_or(false) {
+                        self.vals[rb + l] = self.reg_next[nb + l];
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -828,6 +1425,90 @@ mod tests {
         sim.reset();
         assert_eq!(sim.feedback_value("s"), Some(0));
         assert_eq!(sim.cycles(), 0);
+    }
+
+    #[test]
+    fn batched_lanes_match_single_lane() {
+        let src = "void f(int a, int b, int* o) { *o = (a * b) * (a + b) + a * 3; }";
+        let dp = dp_for(src, "f", 4.0);
+        let nl = netlist_from_datapath(&dp);
+        let plan = SimPlan::compile(&nl).unwrap();
+        let iters: Vec<Vec<i64>> = (0..37)
+            .map(|i| vec![(i * 31) % 211 - 100, (i * 17) % 97 - 48])
+            .collect();
+        let flat: Vec<i64> = iters.iter().flatten().copied().collect();
+        let mut single = CompiledSim::new(&plan);
+        let mut want = Vec::new();
+        single.run_batch(&flat, iters.len(), &mut want).unwrap();
+        // Lane counts that do and do not divide 37, plus over-provisioned.
+        for lanes in [1, 2, 8, 37, 64] {
+            let mut got = Vec::new();
+            let rows = plan
+                .run_batch_lanes(&flat, iters.len(), lanes, &mut got)
+                .unwrap();
+            assert_eq!(rows, iters.len(), "{lanes} lanes");
+            assert_eq!(got, want, "{lanes} lanes");
+        }
+    }
+
+    #[test]
+    fn feedback_plans_clamp_to_one_lane() {
+        let src = "void acc(int t0, int* t1) {
+           int s; int c = ROCCC_load_prev(s) + t0;
+           ROCCC_store2next(s, c);
+           *t1 = c; }";
+        let prog = roccc_cparse::parser::parse(src).unwrap();
+        let f = prog.function("acc").unwrap();
+        let fb = vec![roccc_hlir::kernel::FeedbackVar {
+            name: "s".into(),
+            ty: roccc_cparse::types::IntType::int(),
+            init: 0,
+        }];
+        let mut ir = roccc_suifvm::lower_function(&prog, f, &fb).unwrap();
+        roccc_suifvm::to_ssa(&mut ir);
+        roccc_suifvm::optimize(&mut ir);
+        let mut dp = roccc_datapath::build_datapath(&ir).unwrap();
+        roccc_datapath::pipeline_datapath(&mut dp, 100.0, &roccc_datapath::DefaultDelayModel);
+        roccc_datapath::narrow_widths(&mut dp);
+        let nl = netlist_from_datapath(&dp);
+        let plan = SimPlan::compile(&nl).unwrap();
+        assert!(plan.has_feedback());
+        assert_eq!(plan.effective_lanes(8), 1);
+        // And the driver still produces the exact running-sum sequence.
+        let flat: Vec<i64> = (1..=10).collect();
+        let mut out = Vec::new();
+        plan.run_batch_lanes(&flat, 10, 8, &mut out).unwrap();
+        let want: Vec<i64> = (1..=10)
+            .scan(0i64, |s, x| {
+                *s += x;
+                Some(*s)
+            })
+            .collect();
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn batched_divider_bubbles_are_per_lane() {
+        // Remainder lanes drain as bubbles carrying zero divisors; only a
+        // *valid* lane with a zero divisor may fault.
+        let src = "void d(int a, int b, int* o) { *o = (a * a + b) / b; }";
+        let dp = dp_for(src, "d", 4.0);
+        let nl = netlist_from_datapath(&dp);
+        let plan = SimPlan::compile(&nl).unwrap();
+        // 5 iterations over 3 lanes: chunks of 2/2/1 — lane 2 bubbles
+        // early while others are mid-flight. All divisors nonzero.
+        let iters: Vec<Vec<i64>> = (0..5).map(|i| vec![i + 10, i + 1]).collect();
+        let flat: Vec<i64> = iters.iter().flatten().copied().collect();
+        let mut out = Vec::new();
+        plan.run_batch_lanes(&flat, 5, 3, &mut out).unwrap();
+        let mut single = CompiledSim::new(&plan);
+        let mut want = Vec::new();
+        single.run_batch(&flat, 5, &mut want).unwrap();
+        assert_eq!(out, want);
+        // A valid zero divisor faults in the batched engine too.
+        let bad: Vec<i64> = vec![4, 2, 9, 0, 5, 1];
+        let mut out2 = Vec::new();
+        assert!(plan.run_batch_lanes(&bad, 3, 2, &mut out2).is_err());
     }
 
     #[test]

@@ -249,7 +249,11 @@ mod tests {
             let mut interp = Interpreter::new(&prog);
             let golden = interp.call(func, args, &mut HashMap::new()).unwrap();
             for ((name, _, _), v) in nl.outputs.iter().zip(hw) {
-                assert_eq!(*v, golden.outputs[name], "output {name} args {args:?}");
+                assert_eq!(
+                    *v,
+                    golden.outputs[name.as_str()],
+                    "output {name} args {args:?}"
+                );
             }
         }
     }

@@ -109,24 +109,37 @@ pub fn liveness(f: &FunctionIr) -> Liveness {
 /// All registers used anywhere (sources, phi args, branch conditions,
 /// outputs). Complements defs for dead-code analysis.
 pub fn all_uses(f: &FunctionIr) -> HashSet<VReg> {
-    let mut used = HashSet::new();
+    let marks = use_marks(f);
+    marks
+        .iter()
+        .enumerate()
+        .filter(|&(_, &u)| u)
+        .map(|(i, _)| VReg(i as u32))
+        .collect()
+}
+
+/// Dense variant of [`all_uses`]: `use_marks(f)[r.0]` is true iff `r` is
+/// used anywhere. Registers are dense ids, so the optimizer's DCE loop
+/// probes this flat vec instead of hashing each candidate.
+pub fn use_marks(f: &FunctionIr) -> Vec<bool> {
+    let mut used = vec![false; f.vreg_types.len()];
     for b in &f.blocks {
         for p in &b.phis {
             for (_, a) in &p.args {
-                used.insert(*a);
+                used[a.0 as usize] = true;
             }
         }
         for i in &b.instrs {
             for s in &i.srcs {
-                used.insert(*s);
+                used[s.0 as usize] = true;
             }
         }
         if let Terminator::Branch { cond, .. } = &b.term {
-            used.insert(*cond);
+            used[cond.0 as usize] = true;
         }
     }
     for r in &f.output_srcs {
-        used.insert(*r);
+        used[r.0 as usize] = true;
     }
     used
 }

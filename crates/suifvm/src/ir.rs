@@ -10,11 +10,18 @@
 //! so the CFG is a DAG of straight-line blocks and if/else diamonds
 //! (Figure 5/6 in the paper).
 
+use roccc_cparse::inline_vec::InlineVec;
+use roccc_cparse::intern::Symbol;
 use roccc_cparse::types::IntType;
 use std::fmt;
 
+/// Inline operand list of an instruction: at most three sources (`MUX`
+/// is the widest opcode), stored in the instruction itself — no per-node
+/// heap allocation.
+pub type Srcs = InlineVec<VReg, 3>;
+
 /// A virtual register.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct VReg(pub u32);
 
 impl fmt::Display for VReg {
@@ -154,14 +161,14 @@ impl fmt::Display for Opcode {
 }
 
 /// A three-address instruction.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Instr {
     /// Operation.
     pub op: Opcode,
     /// Destination register (`None` only for `SNX`).
     pub dst: Option<VReg>,
-    /// Source registers.
-    pub srcs: Vec<VReg>,
+    /// Source registers (inline; at most three).
+    pub srcs: Srcs,
     /// Immediate payload: constant for `LDC`, parameter index for `ARG`,
     /// feedback slot for `LPR`/`SNX`, table index for `LUT`.
     pub imm: i64,
@@ -171,11 +178,11 @@ pub struct Instr {
 
 impl Instr {
     /// Creates an instruction with a destination.
-    pub fn new(op: Opcode, dst: VReg, srcs: Vec<VReg>, imm: i64, ty: IntType) -> Self {
+    pub fn new(op: Opcode, dst: VReg, srcs: impl Into<Srcs>, imm: i64, ty: IntType) -> Self {
         Instr {
             op,
             dst: Some(dst),
-            srcs,
+            srcs: srcs.into(),
             imm,
             ty,
         }
@@ -259,7 +266,7 @@ pub struct Block {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LutTable {
     /// Table name (the C global).
-    pub name: String,
+    pub name: Symbol,
     /// Element type.
     pub elem: IntType,
     /// Contents.
@@ -278,7 +285,7 @@ impl LutTable {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FeedbackSlot {
     /// Original variable name.
-    pub name: String,
+    pub name: Symbol,
     /// Register type.
     pub ty: IntType,
     /// Initial latched value.
@@ -289,15 +296,15 @@ pub struct FeedbackSlot {
 #[derive(Debug, Clone, PartialEq)]
 pub struct FunctionIr {
     /// Function name.
-    pub name: String,
+    pub name: Symbol,
     /// Blocks; `blocks[0]` is the entry.
     pub blocks: Vec<Block>,
     /// Input ports in order: `(name, type)` — defined by `ARG` instructions.
-    pub inputs: Vec<(String, IntType)>,
+    pub inputs: Vec<(Symbol, IntType)>,
     /// Output ports in order: `(name, type)`; the registers holding each
     /// output at exit are listed in `output_srcs`, maintained by every
     /// pass that rewrites uses.
-    pub outputs: Vec<(String, IntType)>,
+    pub outputs: Vec<(Symbol, IntType)>,
     /// Registers carrying each output at function exit (parallel to
     /// `outputs`).
     pub output_srcs: Vec<VReg>,
@@ -313,7 +320,7 @@ pub struct FunctionIr {
 
 impl FunctionIr {
     /// Creates an empty function.
-    pub fn new(name: impl Into<String>) -> Self {
+    pub fn new(name: impl Into<Symbol>) -> Self {
         FunctionIr {
             name: name.into(),
             blocks: Vec::new(),

@@ -169,7 +169,7 @@ pub fn lower_function(
                     data.resize(len, 0);
                     lut_index.insert(g.name.clone(), ir.luts.len() as i64);
                     ir.luts.push(LutTable {
-                        name: g.name.clone(),
+                        name: g.name.as_str().into(),
                         elem: *t,
                         data,
                     });
@@ -183,7 +183,7 @@ pub fn lower_function(
     for fv in feedback {
         fb_index.insert(fv.name.clone(), ir.feedback.len() as i64);
         ir.feedback.push(FeedbackSlot {
-            name: fv.name.clone(),
+            name: fv.name.as_str().into(),
             ty: fv.ty,
             init: fv.init,
         });
@@ -209,7 +209,7 @@ pub fn lower_function(
                     .block_mut(entry)
                     .instrs
                     .push(Instr::new(Opcode::Arg, r, vec![], arg_idx, *t));
-                cx.ir.inputs.push((p.name.clone(), *t));
+                cx.ir.inputs.push((p.name.as_str().into(), *t));
                 cx.vars.insert(p.name.clone(), (r, *t));
                 arg_idx += 1;
             }
@@ -239,7 +239,7 @@ pub fn lower_function(
         let (home, _) = cx.vars[&format!("*{name}")];
         let out = cx.ir.new_vreg(t);
         cx.emit(Instr::new(Opcode::Mov, out, vec![home], 0, t));
-        cx.ir.outputs.push((name, t));
+        cx.ir.outputs.push((name.as_str().into(), t));
         output_srcs.push(out);
     }
     cx.ir.output_srcs = output_srcs;
@@ -408,7 +408,7 @@ impl Lowerer {
         self.emit(Instr {
             op,
             dst: Some(home),
-            srcs: vec![v],
+            srcs: [v].into(),
             imm: 0,
             ty: t,
         });
@@ -577,7 +577,7 @@ impl Lowerer {
                         self.emit(Instr {
                             op: Opcode::Snx,
                             dst: None,
-                            srcs: vec![v],
+                            srcs: [v].into(),
                             imm: slot,
                             ty,
                         });

@@ -6,7 +6,7 @@
 //! reduction (multiplications and divisions by powers of two become shifts
 //! — essential on FPGAs where a shift by a constant is free wiring).
 
-use crate::dataflow::all_uses;
+use crate::dataflow::use_marks;
 use crate::dom::DomInfo;
 use crate::ir::*;
 use roccc_cparse::types::IntType;
@@ -42,14 +42,16 @@ pub fn optimize(f: &mut FunctionIr) {
     }
 }
 
-/// Map from register to the constant it holds, for `LDC` results.
-fn constants(f: &FunctionIr) -> HashMap<VReg, i64> {
-    let mut m = HashMap::new();
+/// Dense per-register table: `constants(f)[r.0]` is the constant `r`
+/// holds when its definition is an `LDC`, else `None`. Registers are
+/// dense `u32` ids, so a flat vec beats hashing on every probe.
+fn constants(f: &FunctionIr) -> Vec<Option<i64>> {
+    let mut m = vec![None; f.vreg_types.len()];
     for b in &f.blocks {
         for i in &b.instrs {
             if i.op == Opcode::Ldc {
                 if let Some(d) = i.dst {
-                    m.insert(d, i.imm);
+                    m[d.0 as usize] = Some(i.imm);
                 }
             }
         }
@@ -57,14 +59,18 @@ fn constants(f: &FunctionIr) -> HashMap<VReg, i64> {
     m
 }
 
+/// A dense register-to-register substitution: `map[r.0]` is the
+/// replacement for `r`, or `None` to leave it alone.
+type RegMap = Vec<Option<VReg>>;
+
 /// Rewrites every use of the keys in `map` to the mapped register.
-fn replace_uses(f: &mut FunctionIr, map: &HashMap<VReg, VReg>) {
-    if map.is_empty() {
+fn replace_uses(f: &mut FunctionIr, map: &RegMap) {
+    if map.iter().all(Option::is_none) {
         return;
     }
     let resolve = |mut r: VReg| -> VReg {
         let mut guard = 0;
-        while let Some(&n) = map.get(&r) {
+        while let Some(n) = map.get(r.0 as usize).copied().flatten() {
             r = n;
             guard += 1;
             if guard > map.len() {
@@ -98,13 +104,13 @@ fn replace_uses(f: &mut FunctionIr, map: &HashMap<VReg, VReg>) {
 pub fn constant_fold(f: &mut FunctionIr) -> bool {
     let consts = constants(f);
     let mut changed = false;
-    let mut copies: HashMap<VReg, VReg> = HashMap::new();
+    let mut copies: RegMap = vec![None; f.vreg_types.len()];
 
     for bi in 0..f.blocks.len() {
         for ii in 0..f.blocks[bi].instrs.len() {
-            let i = f.blocks[bi].instrs[ii].clone();
+            let i = f.blocks[bi].instrs[ii];
             let Some(dst) = i.dst else { continue };
-            let c = |k: usize| i.srcs.get(k).and_then(|r| consts.get(r)).copied();
+            let c = |k: usize| i.srcs.get(k).and_then(|r| consts[r.0 as usize]);
 
             // Full constant evaluation.
             let folded: Option<i64> = match i.op {
@@ -189,7 +195,7 @@ pub fn constant_fold(f: &mut FunctionIr) -> bool {
                 // value, so substitute when the source type fits.
                 let st = f.ty(src);
                 if fits_in(st, i.ty) {
-                    copies.insert(dst, src);
+                    copies[dst.0 as usize] = Some(src);
                     f.blocks[bi].instrs[ii] = Instr::new(Opcode::Mov, dst, vec![src], 0, st);
                     changed = true;
                     continue;
@@ -226,25 +232,28 @@ fn fits_in(small: IntType, big: IntType) -> bool {
 
 /// Eliminates `MOV`s and value-preserving `CVT`s by forwarding their source.
 pub fn copy_propagate(f: &mut FunctionIr) -> bool {
-    let mut map: HashMap<VReg, VReg> = HashMap::new();
+    let mut map: RegMap = vec![None; f.vreg_types.len()];
+    let mut any = false;
     for b in &f.blocks {
         for i in &b.instrs {
             let Some(dst) = i.dst else { continue };
             match i.op {
                 Opcode::Mov => {
-                    map.insert(dst, i.srcs[0]);
+                    map[dst.0 as usize] = Some(i.srcs[0]);
+                    any = true;
                 }
                 Opcode::Cvt => {
                     let st = f.ty(i.srcs[0]);
                     if fits_in(st, i.ty) {
-                        map.insert(dst, i.srcs[0]);
+                        map[dst.0 as usize] = Some(i.srcs[0]);
+                        any = true;
                     }
                 }
                 _ => {}
             }
         }
     }
-    if map.is_empty() {
+    if !any {
         return false;
     }
     replace_uses(f, &map);
@@ -261,19 +270,20 @@ pub fn strength_reduce(f: &mut FunctionIr) -> bool {
 
     for bi in 0..f.blocks.len() {
         for ii in 0..f.blocks[bi].instrs.len() {
-            let i = f.blocks[bi].instrs[ii].clone();
+            let i = f.blocks[bi].instrs[ii];
             let Some(dst) = i.dst else { continue };
             match i.op {
                 Opcode::Mul => {
-                    let (var, k) = match (consts.get(&i.srcs[0]), consts.get(&i.srcs[1])) {
-                        (None, Some(&c)) if c > 1 && c.count_ones() == 1 => {
-                            (i.srcs[0], c.trailing_zeros() as i64)
-                        }
-                        (Some(&c), None) if c > 1 && c.count_ones() == 1 => {
-                            (i.srcs[1], c.trailing_zeros() as i64)
-                        }
-                        _ => continue,
-                    };
+                    let (var, k) =
+                        match (consts[i.srcs[0].0 as usize], consts[i.srcs[1].0 as usize]) {
+                            (None, Some(c)) if c > 1 && c.count_ones() == 1 => {
+                                (i.srcs[0], c.trailing_zeros() as i64)
+                            }
+                            (Some(c), None) if c > 1 && c.count_ones() == 1 => {
+                                (i.srcs[1], c.trailing_zeros() as i64)
+                            }
+                            _ => continue,
+                        };
                     let amt = f.new_vreg(IntType::unsigned(7));
                     pending_ldc.push((bi, ii, k, amt));
                     f.blocks[bi].instrs[ii] = Instr::new(Opcode::Shl, dst, vec![var, amt], 0, i.ty);
@@ -284,7 +294,7 @@ pub fn strength_reduce(f: &mut FunctionIr) -> bool {
                     if lt.signed {
                         continue; // C division truncates toward zero, not −∞.
                     }
-                    if let Some(&c) = consts.get(&i.srcs[1]) {
+                    if let Some(c) = consts[i.srcs[1].0 as usize] {
                         if c > 1 && c.count_ones() == 1 {
                             let amt = f.new_vreg(IntType::unsigned(7));
                             pending_ldc.push((bi, ii, c.trailing_zeros() as i64, amt));
@@ -299,7 +309,7 @@ pub fn strength_reduce(f: &mut FunctionIr) -> bool {
                     if lt.signed {
                         continue;
                     }
-                    if let Some(&c) = consts.get(&i.srcs[1]) {
+                    if let Some(c) = consts[i.srcs[1].0 as usize] {
                         if c > 1 && c.count_ones() == 1 {
                             let mask = f.new_vreg(IntType::unsigned(63.min(lt.bits)));
                             pending_ldc.push((bi, ii, c - 1, mask));
@@ -330,48 +340,48 @@ pub fn strength_reduce(f: &mut FunctionIr) -> bool {
 pub fn value_number(f: &mut FunctionIr) -> bool {
     let dom = DomInfo::compute(f);
     let children = dom.dom_tree_children();
-    let mut map: HashMap<VReg, VReg> = HashMap::new();
-    let mut table: HashMap<(Opcode, Vec<VReg>, i64), VReg> = HashMap::new();
+    let mut map: RegMap = vec![None; f.vreg_types.len()];
+    let mut table: HashMap<(Opcode, Srcs, i64), VReg> = HashMap::new();
     let mut changed = false;
 
     fn walk(
         b: BlockId,
         f: &mut FunctionIr,
         children: &[Vec<BlockId>],
-        table: &mut HashMap<(Opcode, Vec<VReg>, i64), VReg>,
-        map: &mut HashMap<VReg, VReg>,
+        table: &mut HashMap<(Opcode, Srcs, i64), VReg>,
+        map: &mut RegMap,
         changed: &mut bool,
     ) {
-        let mut added: Vec<(Opcode, Vec<VReg>, i64)> = Vec::new();
+        let mut added: Vec<(Opcode, Srcs, i64)> = Vec::new();
         let ninstr = f.block(b).instrs.len();
         for ii in 0..ninstr {
-            let mut i = f.block(b).instrs[ii].clone();
+            let mut i = f.block(b).instrs[ii];
             // Resolve operands through the replacement map first.
             for s in &mut i.srcs {
-                while let Some(&n) = map.get(s) {
+                while let Some(n) = map[s.0 as usize] {
                     *s = n;
                 }
             }
-            f.block_mut(b).instrs[ii].srcs = i.srcs.clone();
+            f.block_mut(b).instrs[ii].srcs = i.srcs;
             let Some(dst) = i.dst else { continue };
             // Impure or structural ops are not value-numbered.
             if matches!(i.op, Opcode::Arg | Opcode::Lpr | Opcode::Snx | Opcode::Mov) {
                 continue;
             }
-            let mut key_srcs = i.srcs.clone();
+            let mut key_srcs = i.srcs;
             if i.op.is_commutative() {
                 key_srcs.sort();
             }
             let key = (i.op, key_srcs, i.imm);
             match table.get(&key) {
                 Some(&prev) if f.ty(prev) == i.ty => {
-                    map.insert(dst, prev);
+                    map[dst.0 as usize] = Some(prev);
                     // Neutralize: becomes a Mov, removed by DCE.
                     f.block_mut(b).instrs[ii] = Instr::new(Opcode::Mov, dst, vec![prev], 0, i.ty);
                     *changed = true;
                 }
                 _ => {
-                    table.insert(key.clone(), dst);
+                    table.insert(key, dst);
                     added.push(key);
                 }
             }
@@ -394,18 +404,18 @@ pub fn value_number(f: &mut FunctionIr) -> bool {
 pub fn eliminate_dead(f: &mut FunctionIr) -> bool {
     let mut changed_any = false;
     loop {
-        let used = all_uses(f);
+        let used = use_marks(f);
         let mut changed = false;
         for b in &mut f.blocks {
             let before = b.instrs.len() + b.phis.len();
             b.instrs.retain(|i| {
                 i.op.has_side_effects()
                     || match i.dst {
-                        Some(d) => used.contains(&d),
+                        Some(d) => used[d.0 as usize],
                         None => true,
                     }
             });
-            b.phis.retain(|p| used.contains(&p.dst));
+            b.phis.retain(|p| used[p.dst.0 as usize]);
             if b.instrs.len() + b.phis.len() != before {
                 changed = true;
             }

@@ -779,7 +779,17 @@ fn shl_range(a: &ValueRange, amt: &ValueRange) -> ValueRange {
     }
     let mut r = ValueRange::interval(lo, hi);
     if a.lo >= 0 {
-        r.known_zero |= (a.known_zero << klo) & !((1u64 << klo) - 1) & NONNEG_MASK;
+        // Result bits below the minimum shift amount are always zero.
+        // The operand's known-zero mask shifts up only when the amount
+        // is exactly known: under a variable amount the same result bit
+        // is fed by a *different* operand bit per amount, so shifting
+        // the mask by `klo` alone would claim zeros that `1 << k` for
+        // k > klo plainly violates.
+        let mut kz = ((1u64 << klo) - 1) & NONNEG_MASK;
+        if klo == khi {
+            kz |= (a.known_zero << klo) & NONNEG_MASK;
+        }
+        r.known_zero |= kz;
         r.reknow();
     }
     r
@@ -1017,7 +1027,16 @@ mod tests {
         assert_eq!((r.lo, r.hi), (0, 7));
         let r = rem_range(&vr(-50, 50), &vr(10, 10));
         assert_eq!((r.lo, r.hi), (-9, 9));
-        assert_eq!(shl_range(&vr(0, 3), &vr(2, 2)), vr(0, 12));
+        // Exact amount: the low `klo` bits are provably zero on top of
+        // the width-implied mask.
+        let r = shl_range(&vr(0, 3), &vr(2, 2));
+        assert_eq!((r.lo, r.hi), (0, 12));
+        assert_eq!(r.known_zero, vr(0, 12).known_zero | 0b11);
+        // Variable amount: bits reachable by *any* amount stay unknown —
+        // `1 << [0,7]` must keep 128 in range (soundness regression).
+        let r = shl_range(&vr(1, 1), &vr(0, 7));
+        assert_eq!((r.lo, r.hi), (1, 128));
+        assert!(r.contains(128));
         assert_eq!(shr_range(&vr(-8, 100), &vr(1, 3)), vr(-4, 50));
     }
 
@@ -1074,7 +1093,7 @@ mod tests {
             Instr {
                 op: Opcode::Snx,
                 dst: None,
-                srcs: vec![nxt],
+                srcs: [nxt].into(),
                 imm: 0,
                 ty: u4,
             },

@@ -7,7 +7,6 @@
 
 use crate::dom::DomInfo;
 use crate::ir::*;
-use std::collections::{HashMap, HashSet};
 
 /// Converts `f` into SSA form in place.
 ///
@@ -36,7 +35,7 @@ pub fn to_ssa(f: &mut FunctionIr) {
     // 2. Phi insertion on iterated dominance frontiers for every register
     //    defined in more than one block (single-block multi-def registers
     //    are handled by renaming alone).
-    let mut phi_for: HashMap<(BlockId, u32), usize> = HashMap::new();
+    let mut placed = vec![false; f.blocks.len()];
     for (reg, blocks) in def_blocks.iter().enumerate() {
         if blocks.len() < 2 {
             continue;
@@ -44,17 +43,16 @@ pub fn to_ssa(f: &mut FunctionIr) {
         let reg = VReg(reg as u32);
         let ty = f.ty(reg);
         let mut work: Vec<BlockId> = blocks.clone();
-        let mut placed: HashSet<BlockId> = HashSet::new();
+        placed.iter_mut().for_each(|p| *p = false);
         while let Some(b) = work.pop() {
             for &df in &dom.frontier[b.0 as usize] {
-                if placed.insert(df) {
-                    let idx = f.block(df).phis.len();
+                if !placed[df.0 as usize] {
+                    placed[df.0 as usize] = true;
                     f.block_mut(df).phis.push(Phi {
                         dst: reg, // renamed below
                         args: preds[df.0 as usize].iter().map(|&p| (p, reg)).collect(),
                         ty,
                     });
-                    phi_for.insert((df, reg.0), idx);
                     if !def_blocks[reg.0 as usize].contains(&df) {
                         work.push(df);
                     }
@@ -107,7 +105,7 @@ impl<'a> Renamer<'a> {
         // Instructions: rewrite uses, then define new names.
         let instr_count = self.f.block(b).instrs.len();
         for ii in 0..instr_count {
-            let srcs: Vec<VReg> = self.f.block(b).instrs[ii]
+            let srcs: crate::ir::Srcs = self.f.block(b).instrs[ii]
                 .srcs
                 .iter()
                 .map(|&s| self.current(s))
@@ -180,16 +178,20 @@ impl<'a> Renamer<'a> {
 /// argument counts match predecessor counts. Returns a description of the
 /// first violation.
 pub fn verify_ssa(f: &FunctionIr) -> Result<(), String> {
-    let mut defined: HashSet<VReg> = HashSet::new();
+    let mut defined = vec![false; f.vreg_types.len()];
+    let mut define = |r: VReg| -> bool {
+        let slot = &mut defined[r.0 as usize];
+        !std::mem::replace(slot, true)
+    };
     for b in &f.blocks {
         for p in &b.phis {
-            if !defined.insert(p.dst) {
+            if !define(p.dst) {
                 return Err(format!("{} defined more than once (phi)", p.dst));
             }
         }
         for i in &b.instrs {
             if let Some(d) = i.dst {
-                if !defined.insert(d) {
+                if !define(d) {
                     return Err(format!("{d} defined more than once"));
                 }
             }
@@ -212,21 +214,21 @@ pub fn verify_ssa(f: &FunctionIr) -> Result<(), String> {
     for b in &f.blocks {
         for i in &b.instrs {
             for s in &i.srcs {
-                if !defined.contains(s) {
+                if !defined[s.0 as usize] {
                     return Err(format!("{s} used in {} but never defined", b.id));
                 }
             }
         }
         for p in &b.phis {
             for (_, a) in &p.args {
-                if !defined.contains(a) {
+                if !defined[a.0 as usize] {
                     return Err(format!("{a} used by phi in {} but never defined", b.id));
                 }
             }
         }
     }
     for r in &f.output_srcs {
-        if !defined.contains(r) {
+        if !defined[r.0 as usize] {
             return Err(format!("output register {r} never defined"));
         }
     }

@@ -401,12 +401,11 @@ mod tests {
     fn double_definition_is_reported() {
         let mut ir = ssa_ir(BRANCHY, "f");
         // Duplicate the first value-producing instruction.
-        let dup = ir.blocks[0]
+        let dup = *ir.blocks[0]
             .instrs
             .iter()
             .find(|i| i.dst.is_some())
-            .unwrap()
-            .clone();
+            .unwrap();
         ir.blocks[0].instrs.push(dup);
         let diags = verify_ir(&ir);
         assert!(

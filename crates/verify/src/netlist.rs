@@ -415,7 +415,7 @@ mod tests {
         nl.add(Cell {
             kind: CellKind::Op {
                 op: Opcode::Not,
-                srcs: vec![b],
+                srcs: vec![b].into(),
                 imm: 0,
             },
             width: 8,
@@ -424,7 +424,7 @@ mod tests {
         nl.add(Cell {
             kind: CellKind::Op {
                 op: Opcode::Not,
-                srcs: vec![a],
+                srcs: vec![a].into(),
                 imm: 0,
             },
             width: 8,
@@ -482,7 +482,7 @@ mod tests {
         nl.add(Cell {
             kind: CellKind::Op {
                 op: Opcode::Not,
-                srcs: vec![x],
+                srcs: vec![x].into(),
                 imm: 0,
             },
             width: 4,
@@ -500,7 +500,7 @@ mod tests {
     #[test]
     fn duplicate_output_port_is_reported() {
         let mut nl = nl_of(DEEP, "f", 1000.0);
-        let dup = nl.outputs[0].clone();
+        let dup = nl.outputs[0];
         nl.outputs.push(dup);
         let diags = verify_netlist(&nl);
         assert!(
@@ -515,7 +515,7 @@ mod tests {
         nl.add(Cell {
             kind: CellKind::Op {
                 op: Opcode::Not,
-                srcs: vec![CellId(9999)],
+                srcs: vec![CellId(9999)].into(),
                 imm: 0,
             },
             width: 4,

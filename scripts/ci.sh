@@ -13,8 +13,8 @@ BENCH_CYCLES="${BENCH_CYCLES:-5000}"
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
-echo "==> cargo build --release"
-cargo build --release
+echo "==> cargo build --release (workspace)"
+cargo build --release --workspace
 
 echo "==> cargo test (workspace)"
 cargo test --workspace --release -q
@@ -40,6 +40,10 @@ EOF
 ./target/release/roccc "${verify_src}" --function acc --range-narrow \
   --emit ranges | grep -q 'ir ranges' \
   || { echo "verify smoke: --emit ranges produced no report" >&2; exit 1; }
+# ... and --emit timings must report a per-phase breakdown.
+./target/release/roccc "${verify_src}" --function acc --emit timings \
+  | grep -q '^total' \
+  || { echo "verify smoke: --emit timings produced no breakdown" >&2; exit 1; }
 # ... and unknown flags must be rejected with a nonzero exit.
 if ./target/release/roccc "${verify_src}" --function acc --no-such-flag \
     >/dev/null 2>&1; then
@@ -133,6 +137,25 @@ grep -q '"benchmark": "dse-sweep"' "${dse_out}" \
 grep -q '"rerun_hit_rate": 1.0000' "${dse_out}" \
   || { echo "bench_dse smoke: memo re-run did not hit" >&2; exit 1; }
 rm -f "${dse_out}"
+
+echo "==> batched-sim differential smoke"
+cargo test --release -q --test batched_sim
+
+echo "==> explore parallel smoke (worker pool must not lose to sequential)"
+host_cpus="$(nproc 2>/dev/null || echo 1)"
+if [ "${host_cpus}" -ge 2 ]; then
+  par_out="$(mktemp -t bench_dse_par.XXXXXX.json)"
+  cargo run --release -p roccc-bench --bin bench_dse -- \
+    --kernels fir --factors 1,2,3,4 --strips 0,2 --out "${par_out}" >/dev/null
+  # First parallel_speedup in the file is the aggregate (per-kernel rows
+  # follow it).
+  speedup="$(sed -n 's/^  "parallel_speedup": \([0-9.]*\),$/\1/p' "${par_out}" | head -1)"
+  awk "BEGIN { exit !(${speedup:-0} >= 1.0) }" \
+    || { echo "explore parallel smoke: speedup ${speedup} < 1.0 on a ${host_cpus}-CPU host" >&2; exit 1; }
+  rm -f "${par_out}"
+else
+  echo "    (single-CPU host: 8 workers on 1 core only add contention; gate skipped)"
+fi
 
 echo "==> loadgen smoke (4 clients x 8 requests, in-process server)"
 lg_out="$(mktemp -t bench_serve_smoke.XXXXXX.json)"

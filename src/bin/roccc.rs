@@ -13,7 +13,8 @@
 //!   --no-narrow          skip bit-width narrowing
 //!   --range-narrow       value-range analysis drives extra narrowing
 //!   --budget <slices>    pick the unroll factor by area budget
-//!   --emit <what>        vhdl | dot | stats | ir | c | ranges   (default stats)
+//!   --emit <what>        vhdl | dot | stats | ir | c | ranges | timings
+//!                        (default stats)
 //!   -o <file>            write output to a file instead of stdout
 //!   --verify             run the phase-indexed static verifier (warn)
 //!   --deny-warnings      verifier + lint findings of any severity fail
@@ -63,8 +64,9 @@ options:
   --range-narrow         run the forward value-range analysis and let
                          proven intervals narrow widths further
   --budget <slices>      pick the unroll factor by area budget
-  --emit <what>          vhdl | dot | stats | ir | c | ranges
-                         (default stats)
+  --emit <what>          vhdl | dot | stats | ir | c | ranges | timings
+                         (default stats; `timings` prints the per-phase
+                         compile wall-clock breakdown)
   -o <file>              write output to a file instead of stdout
   --verify               run the phase-indexed static verifier: errors
                          fail the compile, warnings print to stderr
@@ -177,7 +179,7 @@ fn parse_args() -> Result<Args, String> {
             "--emit" => {
                 emit = Some(
                     args.next()
-                        .ok_or("--emit needs vhdl|dot|stats|ir|c|ranges")?,
+                        .ok_or("--emit needs vhdl|dot|stats|ir|c|ranges|timings")?,
                 )
             }
             "-o" => output = Some(args.next().ok_or("-o needs a path")?),
@@ -361,9 +363,47 @@ fn render(hw: &Compiled, emit: &str, factor: Option<u64>) -> Result<String, Stri
             Ok(s)
         }
         other => Err(format!(
-            "unknown --emit `{other}` (vhdl|dot|stats|ir|c|ranges)"
+            "unknown --emit `{other}` (vhdl|dot|stats|ir|c|ranges|timings)"
         )),
     }
+}
+
+/// The `timings` artifact: one instrumented compile (VHDL rendering
+/// charged too) and the per-phase wall-clock breakdown, formatted like
+/// the serve daemon's stats line but one row per phase.
+fn render_timings(source: &str, function: &str, args: &Args) -> Result<String, String> {
+    if args.budget.is_some() {
+        return Err(
+            "--emit timings does not combine with --budget (the budget search \
+             compiles several candidates; time one configuration at a time)"
+                .to_string(),
+        );
+    }
+    let (hw, mut timings) =
+        roccc::compile_timed(source, function, &args.opts).map_err(|e| render_error(&e, source))?;
+    for d in &hw.diagnostics {
+        eprintln!("{}", d.render(Some(source)));
+    }
+    let v0 = std::time::Instant::now();
+    let vhdl = hw.to_vhdl();
+    timings.vhdl = v0.elapsed();
+
+    let total = timings.total().as_secs_f64().max(1e-12);
+    let mut s = format!(
+        "kernel           : {}\nvhdl artifact    : {} bytes\n",
+        hw.kernel.name,
+        vhdl.len()
+    );
+    for (i, phase) in roccc::PhaseTimings::PHASES.iter().enumerate() {
+        let d = timings.get(i).as_secs_f64();
+        s.push_str(&format!(
+            "{phase:<17}: {:>9.3} ms  ({:>5.1}%)\n",
+            d * 1e3,
+            d / total * 100.0
+        ));
+    }
+    s.push_str(&format!("total            : {:>9.3} ms\n", total * 1e3));
+    Ok(s)
 }
 
 /// Writes `text` to `-o file` or stdout.
@@ -426,6 +466,13 @@ fn run_client(args: &Args, addr: &str) -> Result<(), String> {
             std::fs::read_to_string(input).map_err(|e| format!("cannot read {input}: {e}"))?;
         if args.budget.is_some() {
             return Err("--budget is not supported in --connect mode".to_string());
+        }
+        if effective_emit(args) == "timings" {
+            return Err(
+                "--emit timings is local-only; served compiles report per-phase \
+                 timings in the `--emit stats` artifact"
+                    .to_string(),
+            );
         }
         let function = args
             .function
@@ -504,6 +551,20 @@ fn main() -> ExitCode {
 
     if args.explore {
         return match run_explore(&args, &source, function) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    // `timings` needs the instrumented compile entry point, so it takes
+    // its own path instead of flowing through `render`.
+    if effective_emit(&args) == "timings" {
+        return match render_timings(&source, function, &args)
+            .and_then(|text| deliver(&args.output, &text))
+        {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("{e}");

@@ -39,7 +39,8 @@ fn check_scalar_kernel(hw: &Compiled, source: &str, func: &str, iters: usize, se
             .expect("golden model runs");
         for ((name, _, _), v) in hw.netlist.outputs.iter().zip(hw_out) {
             assert_eq!(
-                *v, golden.outputs[name],
+                *v,
+                golden.outputs[name.as_str()],
                 "{func}: output {name} for args {args:?}"
             );
         }

@@ -149,12 +149,11 @@ fn corrupt_ir_out_of_range_vreg_fires_s003() {
 fn corrupt_ir_duplicate_def_fires_s004() {
     let mut ir = compile(SCALAR, "k", &deny(1000.0)).unwrap().ir;
     assert!(ir.is_ssa, "pipeline output is SSA");
-    let victim = ir.blocks[0]
+    let victim = *ir.blocks[0]
         .instrs
         .iter()
         .find(|i| i.dst.is_some())
-        .expect("a defining instruction")
-        .clone();
+        .expect("a defining instruction");
     ir.blocks[0].instrs.push(victim);
     assert!(has(&verify_ir(&ir), "S004-multiple-def"));
 }
