@@ -22,8 +22,10 @@
 //! stable run-to-run (a single 8-candidate sweep finishes in tens of
 //! milliseconds — pure measurement noise). Wall-clock numbers are
 //! machine-dependent (in particular, `parallel_speedup` tracks the host
-//! core count); the machine-independent sweep facts (candidate counts,
-//! frontier sizes, hit rates) travel alongside for regression judging.
+//! core count, and is `null` on a single-CPU host where the ratio
+//! measures scheduler contention rather than parallelism); the
+//! machine-independent sweep facts (candidate counts, frontier sizes,
+//! hit rates) travel alongside for regression judging.
 
 use roccc::CompileOptions;
 use roccc_explore::{explore, ExploreConfig, ExploreResult, Memo, Space};
@@ -165,6 +167,18 @@ fn main() {
     let space = Space::new(&cfg.factors, &cfg.strips, false);
     let per_kernel = space.candidates(&base).len();
     let workers = cfg.workers.max(1);
+    let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // On a single-CPU host the parallel pool measures scheduler
+    // contention, not speedup; the ratio is noise in either direction, so
+    // the artifact reports `null` rather than a misleading number (the
+    // ci.sh parallel gate skips on the same condition).
+    let speedup_json = |seq: f64, par: f64| -> String {
+        if host_cpus < 2 {
+            "null".to_string()
+        } else {
+            format!("{:.2}", seq / par.max(1e-12))
+        }
+    };
 
     println!(
         "bench_dse: kernels {:?} | space {:?} x {:?} = {} candidates/kernel | {} workers",
@@ -184,11 +198,7 @@ fn main() {
     let wall_par: f64 = rows.iter().map(|r| r.wall_par).sum();
     let wall_rerun: f64 = rows.iter().map(|r| r.wall_rerun).sum();
     let hits: usize = rows.iter().map(|r| r.hits).sum();
-    let speedup = if wall_par > 0.0 {
-        wall_seq / wall_par
-    } else {
-        0.0
-    };
+    let speedup = speedup_json(wall_seq, wall_par);
     let cps = if wall_par > 0.0 {
         total as f64 / wall_par
     } else {
@@ -200,7 +210,7 @@ fn main() {
         .iter()
         .map(|r| {
             format!(
-                "    {{\n      \"kernel\": \"{}\",\n      \"candidates\": {},\n      \"scored\": {},\n      \"skipped\": {},\n      \"frontier_size\": {},\n      \"wall_seq_s\": {:.4},\n      \"wall_par_s\": {:.4},\n      \"parallel_speedup\": {:.2},\n      \"candidates_per_sec\": {:.2},\n      \"wall_rerun_s\": {:.4}\n    }}",
+                "    {{\n      \"kernel\": \"{}\",\n      \"candidates\": {},\n      \"scored\": {},\n      \"skipped\": {},\n      \"frontier_size\": {},\n      \"wall_seq_s\": {:.4},\n      \"wall_par_s\": {:.4},\n      \"parallel_speedup\": {},\n      \"candidates_per_sec\": {:.2},\n      \"wall_rerun_s\": {:.4}\n    }}",
                 r.name,
                 r.candidates,
                 r.scored,
@@ -208,7 +218,7 @@ fn main() {
                 r.frontier,
                 r.wall_seq,
                 r.wall_par,
-                r.wall_seq / r.wall_par.max(1e-12),
+                speedup_json(r.wall_seq, r.wall_par),
                 r.candidates as f64 / r.wall_par.max(1e-12),
                 r.wall_rerun,
             )
@@ -216,13 +226,13 @@ fn main() {
         .collect();
 
     let json = format!(
-        "{{\n  \"benchmark\": \"dse-sweep\",\n  \"kernels_swept\": {:?},\n  \"unroll_factors\": {:?},\n  \"strip_widths\": {:?},\n  \"candidates\": {},\n  \"workers\": {},\n  \"host_cpus\": {},\n  \"scored\": {},\n  \"skipped\": {},\n  \"wall_seq_s\": {:.4},\n  \"wall_par_s\": {:.4},\n  \"parallel_speedup\": {:.2},\n  \"candidates_per_sec\": {:.2},\n  \"wall_rerun_s\": {:.4},\n  \"rerun_hit_rate\": {:.4},\n  \"per_kernel\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"benchmark\": \"dse-sweep\",\n  \"kernels_swept\": {:?},\n  \"unroll_factors\": {:?},\n  \"strip_widths\": {:?},\n  \"candidates\": {},\n  \"workers\": {},\n  \"host_cpus\": {},\n  \"scored\": {},\n  \"skipped\": {},\n  \"wall_seq_s\": {:.4},\n  \"wall_par_s\": {:.4},\n  \"parallel_speedup\": {},\n  \"candidates_per_sec\": {:.2},\n  \"wall_rerun_s\": {:.4},\n  \"rerun_hit_rate\": {:.4},\n  \"per_kernel\": [\n{}\n  ]\n}}\n",
         cfg.kernels,
         cfg.factors,
         cfg.strips,
         total,
         workers,
-        std::thread::available_parallelism().map_or(1, |n| n.get()),
+        host_cpus,
         scored,
         skipped,
         wall_seq,
@@ -235,7 +245,7 @@ fn main() {
     );
     std::fs::write(&cfg.out, &json).expect("write BENCH_dse.json");
     println!(
-        "  aggregate: {total} candidates | speedup {speedup:.2}x | {cps:.1} candidates/s -> {}",
+        "  aggregate: {total} candidates | speedup {speedup}x | {cps:.1} candidates/s -> {}",
         cfg.out
     );
 }

@@ -1,0 +1,199 @@
+//! Streaming-pipeline benchmark: compiles the wavelet | threshold |
+//! encode demo pipeline, co-simulates the whole process network, and
+//! contrasts it with the store-and-forward baseline (each stage run to
+//! completion on its own, outputs handed over as whole arrays). Writes
+//! the tracked artifact `BENCH_stream.json`.
+//!
+//! ```text
+//! cargo run --release -p roccc-bench --bin bench_stream [-- options]
+//!   --out <path>   JSON artifact path (default BENCH_stream.json)
+//!   --quick        tiny 2-stage pipeline for CI smoke
+//! ```
+//!
+//! The headline number is `overlap_speedup` = sum of standalone stage
+//! cycles / whole-pipeline cycles: how much latency the FIFO-coupled
+//! network hides by letting consumers start before producers finish.
+//! Cycle counts are machine-independent; wall-clock fields are not.
+
+use roccc::CompileOptions;
+use roccc_stream::{compile_pipeline, parse_spec, run_cosim, CompiledPipeline};
+use std::collections::HashMap;
+use std::time::Instant;
+
+const QUICK_SOURCE: &str = "void scale(int A[64], int B[64]) {\n\
+                            \x20 for (int i = 0; i < 64; i = i + 1) { B[i] = A[i] * 3; }\n\
+                            }\n\
+                            void offset(int B[64], int C[64]) {\n\
+                            \x20 for (int i = 0; i < 64; i = i + 1) { C[i] = B[i] + 7; }\n\
+                            }\n";
+const QUICK_SPEC: &str = "name quick_duo\npipeline scale | offset\n";
+
+/// Reproducible external inputs: pseudo-random words for every
+/// non-channel-fed input array, 1 for every scalar live-in.
+fn synth_inputs(cp: &CompiledPipeline) -> (HashMap<String, Vec<i64>>, HashMap<String, i64>) {
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state % 201) as i64 - 100
+    };
+    let mut arrays = HashMap::new();
+    let mut scalars = HashMap::new();
+    for (si, st) in cp.stages.iter().enumerate() {
+        for c in &st.rates.consumes {
+            let channel_fed = cp
+                .channels
+                .iter()
+                .any(|ch| ch.to_stage == si && ch.to_array == c.array);
+            if !channel_fed {
+                arrays.insert(
+                    format!("{}.{}", st.name, c.array),
+                    (0..c.len).map(|_| next()).collect(),
+                );
+            }
+        }
+        for (name, _) in &st.compiled.kernel.scalar_inputs {
+            scalars.insert(format!("{}.{name}", st.name), 1);
+        }
+    }
+    (arrays, scalars)
+}
+
+/// Store-and-forward baseline: run every stage standalone in pipeline
+/// order, handing finished output arrays to channel-fed consumers.
+/// Returns the per-stage cycle counts.
+fn sum_of_stages(
+    cp: &CompiledPipeline,
+    external: &HashMap<String, Vec<i64>>,
+    scalars: &HashMap<String, i64>,
+) -> Vec<u64> {
+    let bus = cp.spec.bus_elems.max(1);
+    let mut produced: HashMap<String, Vec<i64>> = HashMap::new();
+    let mut cycles = Vec::with_capacity(cp.stages.len());
+    for (si, st) in cp.stages.iter().enumerate() {
+        let kernel = &st.compiled.kernel;
+        let mut arrays = HashMap::new();
+        for w in &kernel.windows {
+            let key = format!("{}.{}", st.name, w.array);
+            let data = match cp
+                .channels
+                .iter()
+                .find(|ch| ch.to_stage == si && ch.to_array == w.array)
+            {
+                Some(ch) => produced
+                    [&format!("{}.{}", cp.stages[ch.from_stage].name, ch.from_array)]
+                    .clone(),
+                None => external[&key].clone(),
+            };
+            arrays.insert(w.array.clone(), data);
+        }
+        let mut stage_scalars = HashMap::new();
+        for (name, _) in &kernel.scalar_inputs {
+            stage_scalars.insert(name.clone(), scalars[&format!("{}.{name}", st.name)]);
+        }
+        let run = st
+            .compiled
+            .run_with_bus(&arrays, &stage_scalars, bus)
+            .expect("standalone stage run");
+        for o in &kernel.outputs {
+            let size: usize = o.dims.iter().product();
+            let mut data = run.arrays.get(&o.array).cloned().unwrap_or_default();
+            data.resize(size, 0);
+            produced.insert(format!("{}.{}", st.name, o.array), data);
+        }
+        cycles.push(run.cycles);
+    }
+    cycles
+}
+
+fn main() {
+    let mut out = "BENCH_stream.json".to_string();
+    let mut quick = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out = args.next().expect("--out needs a path"),
+            "--quick" => quick = true,
+            other => panic!("unknown argument `{other}`"),
+        }
+    }
+
+    let (source, spec_text) = if quick {
+        (QUICK_SOURCE.to_string(), QUICK_SPEC.to_string())
+    } else {
+        (
+            roccc_ipcores::kernels::wavelet_pipeline_source(),
+            roccc_ipcores::kernels::wavelet_pipeline_spec(),
+        )
+    };
+    let spec = parse_spec(&spec_text).expect("pipeline spec parses");
+    let t0 = Instant::now();
+    let cp =
+        compile_pipeline(&source, &spec, &CompileOptions::default()).expect("pipeline compiles");
+    let wall_compile = t0.elapsed().as_secs_f64();
+
+    let (arrays, scalars) = synth_inputs(&cp);
+    let t1 = Instant::now();
+    let run = run_cosim(&cp, std::slice::from_ref(&arrays), &scalars).expect("cosim runs");
+    let wall_cosim = t1.elapsed().as_secs_f64();
+    let stage_cycles = sum_of_stages(&cp, &arrays, &scalars);
+    let sum_cycles: u64 = stage_cycles.iter().sum();
+    let overlap = sum_cycles as f64 / run.cycles.max(1) as f64;
+
+    println!(
+        "bench_stream: pipeline `{}` | cosim {} cycles vs sum-of-stages {} cycles \
+         ({overlap:.2}x overlap) | {:.4} outputs/cycle",
+        cp.spec.name,
+        run.cycles,
+        sum_cycles,
+        run.throughput(),
+    );
+
+    let per_stage: Vec<String> = cp
+        .stages
+        .iter()
+        .zip(&run.stages)
+        .zip(&stage_cycles)
+        .map(|((st, ss), solo)| {
+            format!(
+                "    {{\n      \"stage\": \"{}\",\n      \"standalone_cycles\": {},\n      \"fired\": {},\n      \"stall_cycles\": {},\n      \"starve_cycles\": {}\n    }}",
+                st.name, solo, ss.fired, ss.stall_cycles, ss.starve_cycles
+            )
+        })
+        .collect();
+    let fifos: Vec<String> = cp
+        .channels
+        .iter()
+        .zip(&run.fifo_peaks)
+        .map(|(c, peak)| {
+            format!(
+                "    {{\n      \"channel\": \"{}.{} -> {}.{}\",\n      \"min_depth\": {},\n      \"depth\": {},\n      \"peak_occupancy\": {}\n    }}",
+                cp.stages[c.from_stage].name,
+                c.from_array,
+                cp.stages[c.to_stage].name,
+                c.to_array,
+                c.min_depth,
+                c.depth,
+                peak
+            )
+        })
+        .collect();
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"stream-pipeline\",\n  \"pipeline\": \"{}\",\n  \"stages\": {:?},\n  \"cosim_cycles\": {},\n  \"sum_stage_cycles\": {},\n  \"overlap_speedup\": {:.4},\n  \"outputs_per_cycle\": {:.4},\n  \"output_words\": {},\n  \"wall_compile_s\": {:.4},\n  \"wall_cosim_s\": {:.4},\n  \"per_stage\": [\n{}\n  ],\n  \"fifos\": [\n{}\n  ]\n}}\n",
+        cp.spec.name,
+        cp.stages.iter().map(|s| s.name.as_str()).collect::<Vec<_>>(),
+        run.cycles,
+        sum_cycles,
+        overlap,
+        run.throughput(),
+        run.mem_writes,
+        wall_compile,
+        wall_cosim,
+        per_stage.join(",\n"),
+        fifos.join(",\n"),
+    );
+    std::fs::write(&out, &json).expect("write BENCH_stream.json");
+    println!("  -> {out}");
+}

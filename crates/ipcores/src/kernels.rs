@@ -228,6 +228,68 @@ pub fn wavelet_source() -> String {
     s
 }
 
+/// C source of the coefficient-threshold stage: zeroes wavelet
+/// coefficients whose magnitude is at most 8, passing the significant
+/// ones through unchanged. Elementwise (1×1 window), so it consumes the
+/// wavelet's output stream in flat-address order.
+pub fn threshold_source() -> String {
+    let w = crate::baselines::WAVELET_ROW_WIDTH;
+    format!(
+        "void threshold(int16 Y[{w}][{w}], int16 T[{w}][{w}]) {{\n\
+         \x20 int i;\n\
+         \x20 int j;\n\
+         \x20 for (i = 0; i < {w}; i = i + 1) {{\n\
+         \x20   for (j = 0; j < {w}; j = j + 1) {{\n\
+         \x20     int v = Y[i][j];\n\
+         \x20     int m = v >> 15;\n\
+         \x20     int mag = (v + m) ^ m;\n\
+         \x20     int keep = 0;\n\
+         \x20     if (mag > 8) {{ keep = v; }}\n\
+         \x20     T[i][j] = keep;\n\
+         \x20   }}\n\
+         \x20 }}\n\
+         }}\n"
+    )
+}
+
+/// C source of the zig-zag encode stage: folds the signed thresholded
+/// coefficients onto non-negative codes (`v >= 0 → 2v`, `v < 0 →
+/// -2v-1`), the usual front half of an entropy coder.
+pub fn encode_source() -> String {
+    let w = crate::baselines::WAVELET_ROW_WIDTH;
+    format!(
+        "void encode(int16 T[{w}][{w}], int16 E[{w}][{w}]) {{\n\
+         \x20 int i;\n\
+         \x20 int j;\n\
+         \x20 for (i = 0; i < {w}; i = i + 1) {{\n\
+         \x20   for (j = 0; j < {w}; j = j + 1) {{\n\
+         \x20     int v = T[i][j];\n\
+         \x20     int m = v >> 15;\n\
+         \x20     E[i][j] = (((v + m) ^ m) << 1) + m;\n\
+         \x20   }}\n\
+         \x20 }}\n\
+         }}\n"
+    )
+}
+
+/// The three-kernel image pipeline source: the Table 1 wavelet engine
+/// followed by coefficient thresholding and zig-zag encoding, sharing
+/// one translation unit so `wavelet | threshold | encode` compiles each
+/// stage from the same text.
+pub fn wavelet_pipeline_source() -> String {
+    format!(
+        "{}{}{}",
+        wavelet_source(),
+        threshold_source(),
+        encode_source()
+    )
+}
+
+/// The matching pipeline description for [`wavelet_pipeline_source`].
+pub fn wavelet_pipeline_spec() -> String {
+    "name wavelet_pipe\npipeline wavelet | threshold | encode\n".to_string()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -247,6 +309,9 @@ mod tests {
             ("fir", fir_source()),
             ("dct", dct_source()),
             ("wavelet", wavelet_source()),
+            ("threshold", threshold_source()),
+            ("encode", encode_source()),
+            ("wavelet_pipeline", wavelet_pipeline_source()),
         ] {
             frontend(&src).unwrap_or_else(|e| panic!("{name}: {}", e.render(&src)));
         }
@@ -376,5 +441,31 @@ mod tests {
         let y = &arrays["Y"];
         assert_eq!(y[w + 1], 0, "HH of a flat image");
         assert_eq!(y[0], 100, "LL of a flat image is the DC value");
+    }
+
+    #[test]
+    fn threshold_and_encode_stages_run_in_software() {
+        let w = crate::baselines::WAVELET_ROW_WIDTH;
+        let prog = frontend(&wavelet_pipeline_source()).unwrap();
+
+        let mut arrays = HashMap::new();
+        let mut y = vec![0i64; w * w];
+        y[0] = 100; // significant, kept
+        y[1] = -3; // small, zeroed
+        y[2] = -20; // significant negative, kept
+        y[3] = 8; // boundary magnitude, zeroed
+        arrays.insert("Y".to_string(), y);
+        arrays.insert("T".to_string(), vec![0i64; w * w]);
+        Interpreter::new(&prog)
+            .call("threshold", &[], &mut arrays)
+            .unwrap();
+        assert_eq!(arrays["T"][..4], [100, 0, -20, 0]);
+
+        arrays.insert("E".to_string(), vec![0i64; w * w]);
+        Interpreter::new(&prog)
+            .call("encode", &[], &mut arrays)
+            .unwrap();
+        // Zig-zag: v >= 0 → 2v, v < 0 → -2v-1.
+        assert_eq!(arrays["E"][..4], [200, 0, 39, 0]);
     }
 }

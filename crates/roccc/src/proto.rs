@@ -84,6 +84,21 @@ pub enum Request {
         /// Requested artifact kind.
         emit: String,
     },
+    /// Compile a multi-kernel streaming pipeline: `pipeline` is the
+    /// pipeline-description text (the `--pipeline` file format) naming
+    /// kernels defined in `source`; the reply is the artifact selected
+    /// by `emit` (`stats|vhdl`). Co-simulation stays client-side: it
+    /// needs lane input data, which the wire protocol does not carry.
+    Pipeline {
+        /// C source text holding every stage kernel.
+        source: String,
+        /// Pipeline-description text (stages, bindings, FIFO overrides).
+        pipeline: String,
+        /// Base compilation options shared by every stage.
+        opts: CompileOptions,
+        /// Requested artifact kind.
+        emit: String,
+    },
     /// Fetch the Prometheus-style metrics text.
     Metrics,
     /// Liveness probe; the server answers `ok` with payload `pong`.
@@ -200,6 +215,19 @@ pub fn write_request<W: Write>(w: &mut W, req: &Request) -> io::Result<()> {
             writeln!(w, "function {}", escape(function))?;
             writeln!(w, "emit {}", escape(emit))?;
             write_opts(w, opts)?;
+            writeln!(w, "source {}", escape(source))?;
+            writeln!(w, "end")
+        }
+        Request::Pipeline {
+            source,
+            pipeline,
+            opts,
+            emit,
+        } => {
+            writeln!(w, "pipeline")?;
+            writeln!(w, "emit {}", escape(emit))?;
+            write_opts(w, opts)?;
+            writeln!(w, "spec {}", escape(pipeline))?;
             writeln!(w, "source {}", escape(source))?;
             writeln!(w, "end")
         }
@@ -393,6 +421,38 @@ pub fn read_request<R: BufRead>(r: &mut R) -> Result<Request, ProtoError> {
             Ok(Request::Compile {
                 source: source.ok_or_else(|| malformed("compile without source"))?,
                 function: function.ok_or_else(|| malformed("compile without function"))?,
+                opts,
+                emit,
+            })
+        }
+        "pipeline" => {
+            let mut source = None;
+            let mut pipeline = None;
+            let mut emit = "stats".to_string();
+            let mut opts = CompileOptions::default();
+            loop {
+                let line = read_line_capped(r)?;
+                if line == "end" {
+                    break;
+                }
+                let (key, value) = match line.split_once(' ') {
+                    Some((k, v)) => (k, v),
+                    None => (line.as_str(), ""),
+                };
+                match key {
+                    "emit" => emit = unescape(value)?,
+                    "spec" => pipeline = Some(unescape(value)?),
+                    "source" => source = Some(unescape(value)?),
+                    other => {
+                        if !apply_opt_field(&mut opts, other, value)? {
+                            return Err(malformed(format!("unknown field `{other}`")));
+                        }
+                    }
+                }
+            }
+            Ok(Request::Pipeline {
+                source: source.ok_or_else(|| malformed("pipeline without source"))?,
+                pipeline: pipeline.ok_or_else(|| malformed("pipeline without spec"))?,
                 opts,
                 emit,
             })
@@ -650,6 +710,37 @@ mod tests {
             b"explore\nfunction f\nfactors 1,banana\nsource x\nend\n".to_vec()
         ))
         .is_err());
+    }
+
+    #[test]
+    fn pipeline_request_roundtrips() {
+        let req = Request::Pipeline {
+            source: "void a(int X[8], int Y[8]) {\n}\nvoid b(int Y[8], int Z[8]) {\n}".to_string(),
+            pipeline: "name demo\npipeline a | b\nfifo b.Y depth=9\n".to_string(),
+            opts: CompileOptions {
+                target_period_ns: 8.0,
+                verify: VerifyLevel::Deny,
+                ..CompileOptions::default()
+            },
+            emit: "vhdl".to_string(),
+        };
+        let mut buf = Vec::new();
+        write_request(&mut buf, &req).unwrap();
+        assert_eq!(read_request(&mut Cursor::new(buf)).unwrap(), req);
+
+        // The spec line is mandatory; emit defaults to stats.
+        assert!(read_request(&mut Cursor::new(
+            b"pipeline\nsource void a() {}\nend\n".to_vec()
+        ))
+        .is_err());
+        match read_request(&mut Cursor::new(
+            b"pipeline\nspec pipeline a\nsource void a() {}\nend\n".to_vec(),
+        ))
+        .unwrap()
+        {
+            Request::Pipeline { emit, .. } => assert_eq!(emit, "stats"),
+            other => panic!("expected pipeline, got {other:?}"),
+        }
     }
 
     #[test]

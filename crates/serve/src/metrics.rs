@@ -129,6 +129,10 @@ pub struct Metrics {
     /// Operator bits shaved by width narrowing, summed over all actual
     /// compiles (`roccc_datapath::width_bits_saved` per cache miss).
     pub width_bits_saved: Counter,
+    /// Streaming-pipeline compile requests served.
+    pub pipeline_requests: Counter,
+    /// Pipeline requests answered from the pipeline cache.
+    pub pipeline_cache_hits: Counter,
     /// Design-space exploration requests served.
     pub explore_requests: Counter,
     /// Candidates visited across all explore sweeps.
@@ -201,6 +205,16 @@ impl Metrics {
                 "roccc_width_bits_saved_total",
                 "Operator bits saved by width narrowing across compiles",
                 &self.width_bits_saved,
+            ),
+            (
+                "roccc_pipeline_requests_total",
+                "Streaming-pipeline compiles served",
+                &self.pipeline_requests,
+            ),
+            (
+                "roccc_pipeline_cache_hits_total",
+                "Pipeline requests served from the pipeline cache",
+                &self.pipeline_cache_hits,
             ),
             (
                 "roccc_explore_requests_total",

@@ -156,6 +156,60 @@ struct Shared {
     /// Process-wide DSE memo: repeated explore sweeps (or sweeps whose
     /// spaces overlap) reuse fully-scored candidates by content hash.
     explore_memo: roccc_explore::Memo,
+    /// Bounded cache of compiled pipelines, keyed by
+    /// [`roccc_stream::pipeline_cache_key`]. The key space is
+    /// domain-separated from single-kernel compile keys, and the entries
+    /// are kept apart from [`Shared::cache`] so a burst of pipeline
+    /// requests cannot evict hot single-kernel artifacts (or vice versa).
+    pipeline_cache: Mutex<PipelineCache>,
+}
+
+/// One cached pipeline compile: both renderable artifacts, produced once
+/// when the compile lands.
+struct PipelineEntry {
+    stats: String,
+    vhdl: String,
+}
+
+/// Tiny bounded LRU for pipeline entries. Pipelines are far rarer than
+/// single-kernel compiles, so one mutex and a stamp scan is enough.
+struct PipelineCache {
+    map: std::collections::HashMap<u64, (Arc<PipelineEntry>, u64)>,
+    cap: usize,
+    clock: u64,
+}
+
+impl PipelineCache {
+    fn new(cap: usize) -> Self {
+        PipelineCache {
+            map: std::collections::HashMap::new(),
+            cap: cap.max(1),
+            clock: 0,
+        }
+    }
+
+    fn get(&mut self, key: u64) -> Option<Arc<PipelineEntry>> {
+        self.clock += 1;
+        let stamp = self.clock;
+        let (entry, last_used) = self.map.get_mut(&key)?;
+        *last_used = stamp;
+        Some(Arc::clone(entry))
+    }
+
+    fn insert(&mut self, key: u64, entry: Arc<PipelineEntry>) {
+        self.clock += 1;
+        if !self.map.contains_key(&key) && self.map.len() >= self.cap {
+            if let Some(victim) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| *k)
+            {
+                self.map.remove(&victim);
+            }
+        }
+        self.map.insert(key, (entry, self.clock));
+    }
 }
 
 /// A running server; dropping the handle does **not** stop it — call
@@ -233,6 +287,7 @@ pub fn start(cfg: ServerConfig) -> std::io::Result<ServerHandle> {
         },
         stop: AtomicBool::new(false),
         explore_memo: roccc_explore::Memo::new(),
+        pipeline_cache: Mutex::new(PipelineCache::new(cfg.cache_cap.max(1).div_ceil(4))),
         compiler,
         cfg,
     });
@@ -358,6 +413,12 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
             opts,
             emit,
         } => handle_compile(shared, &source, &function, &opts, &emit),
+        Request::Pipeline {
+            source,
+            pipeline,
+            opts,
+            emit,
+        } => handle_pipeline(shared, &source, &pipeline, &opts, &emit),
         Request::Explore {
             source,
             function,
@@ -640,6 +701,89 @@ fn handle_explore(
                 .or_else(|| panic.downcast_ref::<String>().cloned())
                 .unwrap_or_else(|| "unknown panic payload".to_string());
             Response::Err(format!("explore panicked: {msg}"))
+        }
+    };
+    shared.metrics.request_latency.observe(start.elapsed());
+    resp
+}
+
+/// Compiles a streaming pipeline inline on the worker. A pipeline is a
+/// handful of ordinary kernel compiles plus plain-data composition
+/// checks, so it reuses the worker's panic isolation rather than the
+/// detached-thread watchdog machinery; both artifacts (`stats` and
+/// `vhdl`) are rendered once and cached under the topology-hashed key.
+fn handle_pipeline(
+    shared: &Arc<Shared>,
+    source: &str,
+    pipeline: &str,
+    opts: &CompileOptions,
+    emit: &str,
+) -> Response {
+    let start = Instant::now();
+    shared.metrics.pipeline_requests.inc();
+    if !matches!(emit, "stats" | "vhdl") {
+        return Response::Err(format!("unknown pipeline emit `{emit}` (stats|vhdl)"));
+    }
+    let spec = match roccc_stream::parse_spec(pipeline) {
+        Ok(s) => s,
+        Err(e) => return Response::Err(e.to_string()),
+    };
+    let key = match roccc_stream::pipeline_cache_key(source, &spec, opts) {
+        Ok(k) => k,
+        Err(e) => return Response::Err(e.to_string()),
+    };
+
+    let render = |entry: &PipelineEntry| match emit {
+        "vhdl" => entry.vhdl.clone().into_bytes(),
+        _ => entry.stats.clone().into_bytes(),
+    };
+
+    if let Some(entry) = shared
+        .pipeline_cache
+        .lock()
+        .expect("pipeline cache poisoned")
+        .get(key)
+    {
+        shared.metrics.pipeline_cache_hits.inc();
+        shared.metrics.request_latency.observe(start.elapsed());
+        return Response::Ok {
+            payload: render(&entry),
+            cached: true,
+        };
+    }
+
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        roccc_stream::compile_pipeline(source, &spec, opts)
+    }));
+    let resp = match result {
+        Ok(Ok(cp)) => {
+            shared
+                .metrics
+                .verify_findings
+                .add(cp.diagnostics.len() as u64);
+            let entry = Arc::new(PipelineEntry {
+                stats: roccc_stream::stats_report(&cp),
+                vhdl: roccc_stream::generate_pipeline_vhdl(&cp),
+            });
+            shared
+                .pipeline_cache
+                .lock()
+                .expect("pipeline cache poisoned")
+                .insert(key, Arc::clone(&entry));
+            Response::Ok {
+                payload: render(&entry),
+                cached: false,
+            }
+        }
+        Ok(Err(e)) => Response::Err(e.to_string()),
+        Err(panic) => {
+            shared.metrics.panics.inc();
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "unknown panic payload".to_string());
+            Response::Err(format!("pipeline compile panicked: {msg}"))
         }
     };
     shared.metrics.request_latency.observe(start.elapsed());

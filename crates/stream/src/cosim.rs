@@ -1,0 +1,782 @@
+//! Whole-pipeline co-simulation.
+//!
+//! Drives every stage's compiled data path (`BatchedSim`, one lane per
+//! independent input set) through the sized [`ChannelFifo`] channels,
+//! cycle by cycle:
+//!
+//! 1. **land** — external BRAM reads arrive in the smart buffers;
+//!    channel pops (up to `bus` per cycle) feed consumer smart buffers,
+//!    discarding flat addresses outside the window scan;
+//! 2. **fire** — a stage lane fires when every input window is staged
+//!    *and* every output channel can reserve a full burst
+//!    (credit-based backpressure: a full FIFO stalls the producer and
+//!    the bubble propagates upstream as starvation);
+//! 3. **step** — all lanes of the stage advance one clock;
+//! 4. **retire** — lanes whose pipeline output is valid push their burst
+//!    into the output channels (at the statically derived store
+//!    addresses) and external output BRAMs;
+//! 5. **fetch** — external input BRAM reads are issued for next cycle.
+//!
+//! The run ends when every stage has fired all its iterations, every
+//! external output is fully written and every channel is drained. If no
+//! stage makes progress for longer than the deepest pipeline could
+//! possibly hide, the engine reports a deadlock naming the stuck
+//! channels — the dynamic counterpart of the static
+//! `P003-undersized-fifo` check.
+
+use crate::fifo::ChannelFifo;
+use crate::rate::output_addr_gens;
+use crate::{CompiledPipeline, StreamError};
+use roccc_buffers::addr::{AddressGen1d, AddressGen2d, DimScan, OutputAddressGen};
+use roccc_buffers::bram::BramModel;
+use roccc_buffers::smart::{SmartBuffer1d, SmartBuffer2d};
+use roccc_hlir::kernel::{Kernel, WindowSpec};
+use roccc_netlist::{BatchedSim, SimPlan};
+use std::collections::HashMap;
+
+/// Per-stage counters of one co-simulation.
+#[derive(Debug, Clone, Default)]
+pub struct StageStats {
+    /// Stage name.
+    pub name: String,
+    /// Iterations fired, summed over lanes.
+    pub fired: u64,
+    /// Lane-cycles a stage was ready to fire but an output channel had
+    /// no room (backpressure).
+    pub stall_cycles: u64,
+    /// Lane-cycles a stage could not fire for lack of staged input
+    /// (bubbles propagating downstream).
+    pub starve_cycles: u64,
+}
+
+/// Result of [`run_cosim`].
+#[derive(Debug, Clone, Default)]
+pub struct CosimRun {
+    /// Total clock cycles until the pipeline drained.
+    pub cycles: u64,
+    /// Per-stage counters.
+    pub stages: Vec<StageStats>,
+    /// Peak occupancy per channel (max over lanes), parallel to
+    /// `CompiledPipeline::channels`.
+    pub fifo_peaks: Vec<usize>,
+    /// Per lane: external output arrays keyed `stage.array`.
+    pub lane_arrays: Vec<HashMap<String, Vec<i64>>>,
+    /// Total external output words written (all lanes).
+    pub mem_writes: u64,
+}
+
+impl CosimRun {
+    /// Output words per cycle, averaged over the run and all lanes.
+    pub fn throughput(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.mem_writes as f64 / self.cycles as f64
+    }
+}
+
+enum AnyBuffer {
+    One(SmartBuffer1d),
+    Two(SmartBuffer2d),
+}
+
+/// An input window fed from an external array through a BRAM model.
+struct ExtInLane {
+    bram: BramModel,
+    addrs: Box<dyn Iterator<Item = i64>>,
+    buffer: AnyBuffer,
+    port_map: Vec<(usize, usize)>,
+    staged: Option<Vec<i64>>,
+}
+
+/// An input window fed from a channel.
+struct FifoInLane {
+    chan: usize,
+    /// Needed flat addresses, increasing; `None` once exhausted.
+    next_needed: Option<i64>,
+    addrs: Box<dyn Iterator<Item = i64>>,
+    buffer: AnyBuffer,
+    port_map: Vec<(usize, usize)>,
+    staged: Option<Vec<i64>>,
+}
+
+/// An output array streamed into a channel.
+struct ChanOutLane {
+    chan: usize,
+    /// `(data-path output port, store address generator)` per write.
+    ports: Vec<(usize, OutputAddressGen)>,
+    remaining: u64,
+}
+
+/// An output array retired into an external BRAM.
+struct ExtOutLane {
+    key: String,
+    bram: BramModel,
+    addrs: OutputAddressGen,
+    port: usize,
+    remaining: u64,
+}
+
+/// All per-lane state of one stage.
+struct StageLane {
+    ext_in: Vec<ExtInLane>,
+    fifo_in: Vec<FifoInLane>,
+    chan_out: Vec<ChanOutLane>,
+    ext_out: Vec<ExtOutLane>,
+    fired: u64,
+}
+
+/// Looks up `stage.array`-qualified data with a bare-name fallback.
+fn lookup<'m, T>(map: &'m HashMap<String, T>, stage: &str, name: &str) -> Option<&'m T> {
+    map.get(&format!("{stage}.{name}"))
+        .or_else(|| map.get(name))
+}
+
+fn window_scans(kernel: &Kernel, w: &WindowSpec) -> Result<Vec<DimScan>, StreamError> {
+    let ndim = w
+        .reads
+        .first()
+        .map(|r| r.index.len())
+        .ok_or_else(|| StreamError::Sim(format!("window `{}` has no reads", w.array)))?;
+    if ndim > 2 {
+        return Err(StreamError::Sim(format!(
+            "{ndim}-dimensional windows unsupported"
+        )));
+    }
+    let extent = w.extent();
+    let mut scans = Vec::new();
+    for (d, ext) in extent.iter().enumerate().take(ndim) {
+        let var = w.reads[0].index[d]
+            .var
+            .clone()
+            .ok_or_else(|| StreamError::Sim("constant window dimensions unsupported".into()))?;
+        let ld = kernel
+            .dims
+            .iter()
+            .find(|l| l.var == var)
+            .ok_or_else(|| StreamError::Sim(format!("window index var `{var}` unknown")))?;
+        let mo = w.reads.iter().map(|r| r.index[d].offset).min().unwrap_or(0);
+        scans.push(DimScan {
+            start: ld.start + mo,
+            bound: ld.bound + mo,
+            step: ld.step,
+            extent: *ext,
+        });
+    }
+    Ok(scans)
+}
+
+/// Address iterator + smart buffer + `(window slot, data-path port)`
+/// map for one input window.
+type WindowPlumbing = (
+    Box<dyn Iterator<Item = i64>>,
+    AnyBuffer,
+    Vec<(usize, usize)>,
+);
+
+/// Builds the `(window slot, data-path port)` map and the smart buffer +
+/// address iterator for one window (mirrors the single-kernel system
+/// simulation so windows stage identically).
+fn window_plumbing(
+    kernel: &Kernel,
+    w: &WindowSpec,
+    port_index: &HashMap<&str, usize>,
+) -> Result<WindowPlumbing, StreamError> {
+    let scans = window_scans(kernel, w)?;
+    let ndim = scans.len();
+    let extent = w.extent();
+    let mut min_off = Vec::new();
+    for d in 0..ndim {
+        min_off.push(w.reads.iter().map(|r| r.index[d].offset).min().unwrap_or(0));
+    }
+    let mut port_map = Vec::new();
+    for r in &w.reads {
+        let slot = match ndim {
+            1 => (r.index[0].offset - min_off[0]) as usize,
+            _ => {
+                let dr = (r.index[0].offset - min_off[0]) as usize;
+                let dc = (r.index[1].offset - min_off[1]) as usize;
+                dr * extent[1] + dc
+            }
+        };
+        let port = *port_index
+            .get(r.scalar.as_str())
+            .ok_or_else(|| StreamError::Sim(format!("no input port for `{}`", r.scalar)))?;
+        port_map.push((slot, port));
+    }
+    let (addrs, buffer): (Box<dyn Iterator<Item = i64>>, AnyBuffer) = match ndim {
+        1 => (
+            Box::new(AddressGen1d::new(scans[0])),
+            AnyBuffer::One(SmartBuffer1d::new(
+                extent[0],
+                scans[0].step as usize,
+                scans[0].start,
+            )),
+        ),
+        _ => {
+            let row_width = if w.dims.len() == 2 { w.dims[1] } else { 1 };
+            (
+                Box::new(AddressGen2d::new(scans[0], scans[1], row_width)),
+                AnyBuffer::Two(SmartBuffer2d::new(
+                    extent[0],
+                    extent[1],
+                    scans[0].step as usize,
+                    scans[1].step as usize,
+                    scans[0].start,
+                    scans[0].bound,
+                    scans[1].start,
+                    scans[1].bound,
+                    row_width,
+                )),
+            )
+        }
+    };
+    Ok((addrs, buffer, port_map))
+}
+
+fn push_into(buffer: &mut AnyBuffer, addr: i64, v: i64) {
+    match buffer {
+        AnyBuffer::One(sb) => sb.push(addr, v),
+        AnyBuffer::Two(sb) => sb.push_flat(addr, v),
+    }
+}
+
+fn stage_window(buffer: &mut AnyBuffer) -> Option<Vec<i64>> {
+    match buffer {
+        AnyBuffer::One(sb) => sb.pop_window(),
+        AnyBuffer::Two(sb) => sb.pop_window(),
+    }
+}
+
+/// Builds one stage's per-lane plumbing.
+#[allow(clippy::too_many_arguments)]
+fn build_stage_lane(
+    cp: &CompiledPipeline,
+    si: usize,
+    inputs: &HashMap<String, Vec<i64>>,
+) -> Result<StageLane, StreamError> {
+    let stage = &cp.stages[si];
+    let kernel = &stage.compiled.kernel;
+    let ports = kernel.input_ports();
+    let port_index: HashMap<&str, usize> = ports
+        .iter()
+        .enumerate()
+        .map(|(i, (n, _))| (n.as_str(), i))
+        .collect();
+
+    let mut ext_in = Vec::new();
+    let mut fifo_in = Vec::new();
+    for w in &kernel.windows {
+        let chan = cp
+            .channels
+            .iter()
+            .position(|c| c.to_stage == si && c.to_array == w.array);
+        let (mut addrs, buffer, port_map) = window_plumbing(kernel, w, &port_index)?;
+        match chan {
+            Some(ci) => {
+                let next_needed = addrs.next();
+                fifo_in.push(FifoInLane {
+                    chan: ci,
+                    next_needed,
+                    addrs,
+                    buffer,
+                    port_map,
+                    staged: None,
+                });
+            }
+            None => {
+                let data = lookup(inputs, &stage.name, &w.array).ok_or_else(|| {
+                    StreamError::Sim(format!(
+                        "missing external input array `{}.{}`",
+                        stage.name, w.array
+                    ))
+                })?;
+                let want: usize = w.dims.iter().product();
+                if data.len() != want {
+                    return Err(StreamError::Sim(format!(
+                        "external input `{}.{}` has {} elements, expected {want}",
+                        stage.name,
+                        w.array,
+                        data.len()
+                    )));
+                }
+                ext_in.push(ExtInLane {
+                    bram: BramModel::new(data.clone()),
+                    addrs,
+                    buffer,
+                    port_map,
+                    staged: None,
+                });
+            }
+        }
+    }
+
+    let out_ports = kernel.output_ports();
+    let mut chan_out = Vec::new();
+    let mut ext_out = Vec::new();
+    for o in &kernel.outputs {
+        let chan = cp
+            .channels
+            .iter()
+            .position(|c| c.from_stage == si && c.from_array == o.array);
+        match chan {
+            Some(ci) => {
+                let gens = output_addr_gens(kernel, o).map_err(StreamError::Sim)?;
+                let mut pg = Vec::new();
+                for (wr, gen) in o.writes.iter().zip(gens) {
+                    let port = out_ports
+                        .iter()
+                        .position(|(n, _)| n == &wr.scalar)
+                        .ok_or_else(|| {
+                            StreamError::Sim(format!("no output port for `{}`", wr.scalar))
+                        })?;
+                    pg.push((port, gen));
+                }
+                let remaining = kernel.total_iterations();
+                chan_out.push(ChanOutLane {
+                    chan: ci,
+                    ports: pg,
+                    remaining,
+                });
+            }
+            None => {
+                // One BRAM lane per write, exactly like `run_system`.
+                for wr in &o.writes {
+                    let port = out_ports
+                        .iter()
+                        .position(|(n, _)| n == &wr.scalar)
+                        .ok_or_else(|| {
+                            StreamError::Sim(format!("no output port for `{}`", wr.scalar))
+                        })?;
+                    let mut dims = Vec::new();
+                    for ai in &wr.index {
+                        let var = ai.var.as_ref().ok_or_else(|| {
+                            StreamError::Sim("constant store indices are not supported".into())
+                        })?;
+                        let ld = kernel.dims.iter().find(|l| &l.var == var).ok_or_else(|| {
+                            StreamError::Sim(format!("store index var `{var}` unknown"))
+                        })?;
+                        dims.push(DimScan {
+                            start: ld.start + ai.offset,
+                            bound: ld.bound + ai.offset,
+                            step: ld.step,
+                            extent: 1,
+                        });
+                    }
+                    let row_width = if o.dims.len() == 2 { o.dims[1] } else { 1 };
+                    let gen = OutputAddressGen::new(dims, 0, row_width);
+                    let total = gen.total();
+                    let size: usize = o.dims.iter().product();
+                    ext_out.push(ExtOutLane {
+                        key: format!("{}.{}", stage.name, o.array),
+                        bram: BramModel::zeroed(size),
+                        addrs: gen,
+                        port,
+                        remaining: total,
+                    });
+                }
+            }
+        }
+    }
+
+    Ok(StageLane {
+        ext_in,
+        fifo_in,
+        chan_out,
+        ext_out,
+        fired: 0,
+    })
+}
+
+/// Co-simulates the whole pipeline over `lane_inputs.len()` independent
+/// lanes. Each lane supplies its own external input arrays (keyed
+/// `stage.array`, bare `array` accepted when unambiguous); `scalars`
+/// supplies scalar live-ins shared by all lanes.
+///
+/// # Errors
+///
+/// [`StreamError::Sim`] on missing/malformed inputs, simulation faults
+/// in any stage (e.g. division by zero — faults propagate out of the
+/// whole pipeline, not just one stage), detected deadlock, or failure
+/// to converge.
+pub fn run_cosim(
+    cp: &CompiledPipeline,
+    lane_inputs: &[HashMap<String, Vec<i64>>],
+    scalars: &HashMap<String, i64>,
+) -> Result<CosimRun, StreamError> {
+    let lanes = lane_inputs.len();
+    if lanes == 0 {
+        return Err(StreamError::Sim("at least one input lane required".into()));
+    }
+    let bus = cp.spec.bus_elems.max(1);
+
+    // Compile every stage's netlist once.
+    let plans: Vec<SimPlan> = cp
+        .stages
+        .iter()
+        .map(|s| {
+            SimPlan::compile(&s.compiled.netlist)
+                .map_err(|e| StreamError::Sim(format!("stage `{}`: {e}", s.name)))
+        })
+        .collect::<Result<_, _>>()?;
+    let mut sims: Vec<BatchedSim> = plans.iter().map(|p| BatchedSim::new(p, lanes)).collect();
+
+    // Per-stage constant scalar inputs.
+    let mut const_inputs: Vec<Vec<(usize, i64)>> = Vec::new();
+    for stage in &cp.stages {
+        let kernel = &stage.compiled.kernel;
+        let ports = kernel.input_ports();
+        let mut consts = Vec::new();
+        for (name, _) in &kernel.scalar_inputs {
+            let v = *lookup(scalars, &stage.name, name).ok_or_else(|| {
+                StreamError::Sim(format!("missing scalar input `{}.{name}`", stage.name))
+            })?;
+            let port = ports
+                .iter()
+                .position(|(n, _)| n == name)
+                .expect("scalar input is a port");
+            consts.push((port, v));
+        }
+        const_inputs.push(consts);
+    }
+
+    // Per-channel, per-lane FIFOs.
+    let mut fifos: Vec<Vec<ChannelFifo>> = cp
+        .channels
+        .iter()
+        .map(|c| {
+            (0..lanes)
+                .map(|_| ChannelFifo::new(c.depth, c.len, c.write_mask.clone()))
+                .collect()
+        })
+        .collect();
+
+    // Per-stage, per-lane plumbing.
+    let mut stage_lanes: Vec<Vec<StageLane>> = Vec::new();
+    for si in 0..cp.stages.len() {
+        let mut per_lane = Vec::with_capacity(lanes);
+        for inputs in lane_inputs {
+            per_lane.push(build_stage_lane(cp, si, inputs)?);
+        }
+        stage_lanes.push(per_lane);
+    }
+
+    let mut stats: Vec<StageStats> = cp
+        .stages
+        .iter()
+        .map(|s| StageStats {
+            name: s.name.clone(),
+            ..StageStats::default()
+        })
+        .collect();
+
+    let totals: Vec<u64> = cp
+        .stages
+        .iter()
+        .map(|s| s.compiled.kernel.total_iterations())
+        .collect();
+    let max_latency = plans.iter().map(|p| p.latency()).max().unwrap_or(0) as u64;
+    let safety: u64 = totals
+        .iter()
+        .map(|t| 16 * t + 4096)
+        .sum::<u64>()
+        .saturating_mul(lanes as u64)
+        + cp.channels.iter().map(|c| c.len as u64).sum::<u64>() / bus as u64;
+
+    let mut cycles = 0u64;
+    let mut idle_streak = 0u64;
+    // Scratch buffers reused every cycle.
+    let mut args_rows: Vec<Vec<i64>> = plans
+        .iter()
+        .map(|p| vec![0i64; p.num_inputs() * lanes])
+        .collect();
+    let mut valid: Vec<bool> = vec![false; lanes];
+
+    loop {
+        // Done when everything fired, retired, and every channel drained.
+        let all_done = stage_lanes.iter().enumerate().all(|(si, per_lane)| {
+            per_lane.iter().all(|sl| {
+                sl.fired >= totals[si]
+                    && sl.ext_out.iter().all(|o| o.remaining == 0)
+                    && sl.chan_out.iter().all(|o| o.remaining == 0)
+            })
+        }) && fifos.iter().flatten().all(ChannelFifo::drained);
+        if all_done {
+            break;
+        }
+        cycles += 1;
+        if cycles > safety {
+            return Err(StreamError::Sim(format!(
+                "pipeline did not converge after {cycles} cycles"
+            )));
+        }
+
+        let mut progress = false;
+        for si in 0..cp.stages.len() {
+            let num_inputs = plans[si].num_inputs();
+            let args = &mut args_rows[si];
+            args.fill(0);
+            for l in 0..lanes {
+                let sl = &mut stage_lanes[si][l];
+
+                // 1. Land external beats and channel pops. A landing
+                // external beat counts as progress: deep smart buffers
+                // (e.g. a 5x5 window at one word per beat) legitimately
+                // spend hundreds of cycles filling before the first
+                // firing, and that must not read as a deadlock.
+                for lane in &mut sl.ext_in {
+                    for (addr, v) in lane.bram.clock_all() {
+                        push_into(&mut lane.buffer, addr as i64, v);
+                        progress = true;
+                    }
+                    if lane.staged.is_none() {
+                        lane.staged = stage_window(&mut lane.buffer);
+                    }
+                }
+                for lane in &mut sl.fifo_in {
+                    let fifo = &mut fifos[lane.chan][l];
+                    for _ in 0..bus {
+                        let Some((addr, v)) = fifo.pop() else { break };
+                        progress = true;
+                        if lane.next_needed == Some(addr as i64) {
+                            push_into(&mut lane.buffer, addr as i64, v);
+                            lane.next_needed = lane.addrs.next();
+                        }
+                        // Unneeded addresses are popped and discarded so
+                        // the producer can always finish its stream.
+                    }
+                    if lane.staged.is_none() {
+                        lane.staged = stage_window(&mut lane.buffer);
+                    }
+                }
+
+                // 2. Fire decision (inputs staged + output credit).
+                let work_left = sl.fired < totals[si];
+                let inputs_ready = sl.ext_in.iter().all(|x| x.staged.is_some())
+                    && sl.fifo_in.iter().all(|x| x.staged.is_some())
+                    && (!sl.ext_in.is_empty() || !sl.fifo_in.is_empty());
+                let credit = sl
+                    .chan_out
+                    .iter()
+                    .all(|o| fifos[o.chan][l].can_reserve(o.ports.len()));
+                valid[l] = false;
+                if work_left {
+                    if !inputs_ready {
+                        stats[si].starve_cycles += 1;
+                    } else if !credit {
+                        stats[si].stall_cycles += 1;
+                    } else {
+                        for lane in &mut sl.ext_in {
+                            let win = lane.staged.take().expect("staged");
+                            for (slot, port) in &lane.port_map {
+                                args[l * num_inputs + *port] = win[*slot];
+                            }
+                        }
+                        for lane in &mut sl.fifo_in {
+                            let win = lane.staged.take().expect("staged");
+                            for (slot, port) in &lane.port_map {
+                                args[l * num_inputs + *port] = win[*slot];
+                            }
+                        }
+                        for (port, v) in &const_inputs[si] {
+                            args[l * num_inputs + *port] = *v;
+                        }
+                        for o in &sl.chan_out {
+                            fifos[o.chan][l].reserve(o.ports.len());
+                        }
+                        sl.fired += 1;
+                        stats[si].fired += 1;
+                        valid[l] = true;
+                        progress = true;
+                    }
+                }
+            }
+
+            // 3. Step all lanes of this stage one clock.
+            sims[si]
+                .step_lanes(args, &valid)
+                .map_err(|e| StreamError::Sim(format!("stage `{}`: {e}", cp.stages[si].name)))?;
+
+            // 4. Retire valid lanes.
+            for l in 0..lanes {
+                if !sims[si].lane_out_valid(l) {
+                    continue;
+                }
+                let sl = &mut stage_lanes[si][l];
+                for o in &mut sl.chan_out {
+                    if o.remaining == 0 {
+                        continue;
+                    }
+                    for (port, gen) in &mut o.ports {
+                        let addr = gen
+                            .next()
+                            .ok_or_else(|| StreamError::Sim("output address underflow".into()))?;
+                        fifos[o.chan][l].push(addr as usize, sims[si].output_lane(*port, l));
+                    }
+                    o.remaining -= 1;
+                    progress = true;
+                }
+                for o in &mut sl.ext_out {
+                    if o.remaining == 0 {
+                        continue;
+                    }
+                    let addr = o
+                        .addrs
+                        .next()
+                        .ok_or_else(|| StreamError::Sim("output address underflow".into()))?;
+                    o.bram.write(addr as usize, sims[si].output_lane(o.port, l));
+                    o.remaining -= 1;
+                    progress = true;
+                }
+            }
+
+            // 5. Issue next external reads.
+            for sl in &mut stage_lanes[si] {
+                for lane in &mut sl.ext_in {
+                    for _ in 0..bus {
+                        match lane.addrs.next() {
+                            Some(a) => lane.bram.issue_read(a as usize),
+                            None => break,
+                        }
+                    }
+                }
+            }
+        }
+
+        if progress {
+            idle_streak = 0;
+        } else {
+            idle_streak += 1;
+            if idle_streak > max_latency + 16 {
+                let mut stuck = String::new();
+                for (ci, c) in cp.channels.iter().enumerate() {
+                    for (l, f) in fifos[ci].iter().enumerate() {
+                        if !f.drained() {
+                            use std::fmt::Write as _;
+                            let _ = write!(
+                                stuck,
+                                " [{}.{} -> {}.{} lane {l}: occupancy {}/{} read_ptr {}]",
+                                cp.stages[c.from_stage].name,
+                                c.from_array,
+                                cp.stages[c.to_stage].name,
+                                c.to_array,
+                                f.occupancy(),
+                                c.depth,
+                                f.read_ptr(),
+                            );
+                        }
+                    }
+                }
+                return Err(StreamError::Sim(format!(
+                    "deadlock after {cycles} cycles: no stage made progress for {idle_streak} \
+                     cycles; stuck channels:{stuck}"
+                )));
+            }
+        }
+    }
+
+    // Collect external outputs.
+    let mut lane_arrays = Vec::with_capacity(lanes);
+    let mut mem_writes = 0u64;
+    for l in 0..lanes {
+        let mut arrays: HashMap<String, Vec<i64>> = HashMap::new();
+        for per_lane in &mut stage_lanes {
+            let sl = &mut per_lane[l];
+            for o in &mut sl.ext_out {
+                let (_, w) = o.bram.traffic();
+                mem_writes += w;
+                let entry = arrays
+                    .entry(o.key.clone())
+                    .or_insert_with(|| vec![0; o.bram.len()]);
+                for (i, v) in o.bram.data().iter().enumerate() {
+                    if *v != 0 {
+                        entry[i] = *v;
+                    }
+                }
+            }
+        }
+        lane_arrays.push(arrays);
+    }
+
+    Ok(CosimRun {
+        cycles,
+        stages: stats,
+        fifo_peaks: cp
+            .channels
+            .iter()
+            .enumerate()
+            .map(|(ci, _)| fifos[ci].iter().map(ChannelFifo::peak).max().unwrap_or(0))
+            .collect(),
+        lane_arrays,
+        mem_writes,
+    })
+}
+
+/// The composed single-kernel golden reference: runs every stage through
+/// the cycle-accurate `run_system` simulation in pipeline order, feeding
+/// each bound input from the producer's finished output array. Returns,
+/// per lane, **all** stage output arrays keyed `stage.array` (the
+/// co-simulation only materializes the external ones).
+///
+/// # Errors
+///
+/// [`StreamError::Sim`] when any stage's system simulation fails.
+pub fn chain_golden(
+    cp: &CompiledPipeline,
+    lane_inputs: &[HashMap<String, Vec<i64>>],
+    scalars: &HashMap<String, i64>,
+) -> Result<Vec<HashMap<String, Vec<i64>>>, StreamError> {
+    let mut out = Vec::with_capacity(lane_inputs.len());
+    for inputs in lane_inputs {
+        let mut produced: HashMap<String, Vec<i64>> = HashMap::new();
+        for (si, stage) in cp.stages.iter().enumerate() {
+            let kernel = &stage.compiled.kernel;
+            let mut arrays: HashMap<String, Vec<i64>> = HashMap::new();
+            for w in &kernel.windows {
+                let chan = cp
+                    .channels
+                    .iter()
+                    .find(|c| c.to_stage == si && c.to_array == w.array);
+                let data = match chan {
+                    Some(c) => {
+                        let key = format!("{}.{}", cp.stages[c.from_stage].name, c.from_array);
+                        produced
+                            .get(&key)
+                            .ok_or_else(|| {
+                                StreamError::Sim(format!("golden chain: `{key}` not produced"))
+                            })?
+                            .clone()
+                    }
+                    None => lookup(inputs, &stage.name, &w.array)
+                        .ok_or_else(|| {
+                            StreamError::Sim(format!(
+                                "missing external input array `{}.{}`",
+                                stage.name, w.array
+                            ))
+                        })?
+                        .clone(),
+                };
+                arrays.insert(w.array.clone(), data);
+            }
+            let mut stage_scalars = HashMap::new();
+            for (name, _) in &kernel.scalar_inputs {
+                let v = *lookup(scalars, &stage.name, name).ok_or_else(|| {
+                    StreamError::Sim(format!("missing scalar input `{}.{name}`", stage.name))
+                })?;
+                stage_scalars.insert(name.clone(), v);
+            }
+            let run = stage
+                .compiled
+                .run_with_bus(&arrays, &stage_scalars, cp.spec.bus_elems.max(1))
+                .map_err(|e| StreamError::Sim(format!("stage `{}`: {e}", stage.name)))?;
+            for o in &kernel.outputs {
+                let size: usize = o.dims.iter().product();
+                let mut data = run.arrays.get(&o.array).cloned().unwrap_or_default();
+                data.resize(size, 0);
+                produced.insert(format!("{}.{}", stage.name, o.array), data);
+            }
+        }
+        out.push(produced);
+    }
+    Ok(out)
+}

@@ -1,0 +1,417 @@
+//! Pipeline top-level VHDL emission.
+//!
+//! Each stage already has a complete single-kernel VHDL text (per-node
+//! entities, `{func}_dp` top, smart-buffer and controller shells). The
+//! pipeline emission concatenates those stage texts — entity names are
+//! prefixed by the kernel function name, so they never collide — and
+//! appends:
+//!
+//! * one behavioral FIFO entity per channel, with the derived depth and
+//!   element width baked in (§4.1's "pre-existing parameterized FSMs"
+//!   style, like the smart-buffer shell);
+//! * a `{name}_pipeline` top entity instantiating every `{func}_dp`
+//!   data path and every FIFO, with channel-fed window taps wired to the
+//!   FIFO read side, producer output scalars to the FIFO write side, and
+//!   unbound ports exported as pipeline-level I/O.
+//!
+//! The result passes the structural `roccc_vhdl::lint` checks: every
+//! instance input is mapped (`V004`), every assignment target is
+//! declared (`V001`) and entity/architecture counts balance (`V005`).
+
+use crate::CompiledPipeline;
+use roccc_cparse::types::IntType;
+use roccc_vhdl::ast::header;
+use roccc_vhdl::{generate_vhdl, Entity, Port, PortDir, Signal, Stmt, VhdlType};
+
+/// Lowercases `s` and replaces everything outside `[a-z0-9]` with `_`
+/// so spec-derived names are legal VHDL identifiers.
+fn sanitize(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        let c = c.to_ascii_lowercase();
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.chars().next().is_none_or(|c| c.is_ascii_digit()) {
+        out.insert(0, 'p');
+    }
+    out
+}
+
+/// Behavioral FIFO shell with the channel's depth and width baked in.
+fn fifo_entity(name: &str, elem: IntType, depth: usize, len: usize, burst: usize) -> Entity {
+    let data = VhdlType::vector(elem.signed, elem.bits);
+    let mut e = Entity::new(name);
+    for p in ["clk", "we", "re"] {
+        e.ports.push(Port {
+            name: p.into(),
+            dir: PortDir::In,
+            ty: VhdlType::StdLogic,
+        });
+    }
+    e.ports.push(Port {
+        name: "din".into(),
+        dir: PortDir::In,
+        ty: data.clone(),
+    });
+    e.ports.push(Port {
+        name: "dout".into(),
+        dir: PortDir::Out,
+        ty: data.clone(),
+    });
+    for p in ["empty", "full"] {
+        e.ports.push(Port {
+            name: p.into(),
+            dir: PortDir::Out,
+            ty: VhdlType::StdLogic,
+        });
+    }
+    e.stmts.push(Stmt::Comment(format!(
+        "behavioral FIFO shell: depth {depth} over a {len}-element stream, \
+         burst {burst}; the level counter nets re-decrements at synthesis"
+    )));
+    e.signals.push(Signal {
+        name: "head".into(),
+        ty: data,
+    });
+    e.signals.push(Signal {
+        name: "level".into(),
+        ty: VhdlType::Unsigned(16),
+    });
+    e.stmts.push(Stmt::Process {
+        label: "store".into(),
+        enable: Some("we".into()),
+        assigns: vec![
+            ("head".into(), "din".into()),
+            ("level".into(), "level + 1".into()),
+        ],
+    });
+    e.stmts.push(Stmt::Assign {
+        target: "dout".into(),
+        expr: "head".into(),
+    });
+    e.stmts.push(Stmt::Assign {
+        target: "empty".into(),
+        expr: "'1' when level = to_unsigned(0, 16) else '0'".into(),
+    });
+    e.stmts.push(Stmt::Assign {
+        target: "full".into(),
+        expr: format!("'1' when level >= to_unsigned({depth}, 16) else '0'"),
+    });
+    e
+}
+
+/// Generates the whole-pipeline VHDL: every stage's single-kernel text,
+/// the per-channel FIFO entities, and the structural top level wiring
+/// them together.
+pub fn generate_pipeline_vhdl(cp: &CompiledPipeline) -> String {
+    let mut out = String::new();
+    for st in &cp.stages {
+        out.push_str(&generate_vhdl(&st.compiled.kernel, &st.compiled.datapath));
+    }
+
+    let pname = sanitize(&cp.spec.name);
+    out.push_str(&header());
+
+    // One FIFO entity per channel, width from the producer's element type.
+    let mut fifo_names = Vec::with_capacity(cp.channels.len());
+    for (i, c) in cp.channels.iter().enumerate() {
+        let elem = cp.stages[c.from_stage]
+            .compiled
+            .kernel
+            .outputs
+            .iter()
+            .find(|o| o.array == c.from_array)
+            .map(|o| o.elem)
+            .unwrap_or(IntType {
+                signed: true,
+                bits: 32,
+            });
+        let name = format!("{pname}_fifo{i}");
+        out.push_str(&fifo_entity(&name, elem, c.depth, c.len, c.burst).render());
+        fifo_names.push(name);
+    }
+
+    out.push_str(&top_level(cp, &pname, &fifo_names).render());
+    out
+}
+
+/// The `{name}_pipeline` structural top.
+fn top_level(cp: &CompiledPipeline, pname: &str, fifo_names: &[String]) -> Entity {
+    let mut e = Entity::new(format!("{pname}_pipeline"));
+    e.ports.push(Port {
+        name: "clk".into(),
+        dir: PortDir::In,
+        ty: VhdlType::StdLogic,
+    });
+    e.ports.push(Port {
+        name: "ivalid".into(),
+        dir: PortDir::In,
+        ty: VhdlType::StdLogic,
+    });
+    e.ports.push(Port {
+        name: "ovalid".into(),
+        dir: PortDir::Out,
+        ty: VhdlType::StdLogic,
+    });
+    e.stmts.push(Stmt::Comment(format!(
+        "process network `{}`: {} stage(s), {} channel(s)",
+        cp.spec.name,
+        cp.stages.len(),
+        cp.channels.len()
+    )));
+
+    // Channel plumbing signals.
+    for (i, c) in cp.channels.iter().enumerate() {
+        let elem = cp.stages[c.from_stage]
+            .compiled
+            .kernel
+            .outputs
+            .iter()
+            .find(|o| o.array == c.from_array)
+            .map(|o| o.elem)
+            .unwrap_or(IntType {
+                signed: true,
+                bits: 32,
+            });
+        let data = VhdlType::vector(elem.signed, elem.bits);
+        e.signals.push(Signal {
+            name: format!("ch{i}_din"),
+            ty: data.clone(),
+        });
+        e.signals.push(Signal {
+            name: format!("ch{i}_dout"),
+            ty: data,
+        });
+        for suffix in ["re", "empty", "full"] {
+            e.signals.push(Signal {
+                name: format!("ch{i}_{suffix}"),
+                ty: VhdlType::StdLogic,
+            });
+        }
+    }
+
+    // Per-stage valid and start signals.
+    for st in &cp.stages {
+        let sn = sanitize(&st.name);
+        e.signals.push(Signal {
+            name: format!("{sn}_ovalid"),
+            ty: VhdlType::StdLogic,
+        });
+        e.signals.push(Signal {
+            name: format!("{sn}_ivalid"),
+            ty: VhdlType::StdLogic,
+        });
+    }
+
+    // Stage instances.
+    for (si, st) in cp.stages.iter().enumerate() {
+        let sn = sanitize(&st.name);
+        let kernel = &st.compiled.kernel;
+        let dp = &st.compiled.datapath;
+
+        // Incoming channels feeding this stage, keyed by consumed array.
+        let incoming: Vec<(usize, &crate::Channel)> = cp
+            .channels
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.to_stage == si)
+            .collect();
+
+        // Stage input valid: external ivalid, or all feed channels non-empty.
+        let iv_expr = if incoming.is_empty() {
+            "ivalid".to_string()
+        } else {
+            let terms: Vec<String> = incoming
+                .iter()
+                .map(|(i, _)| format!("not ch{i}_empty"))
+                .collect();
+            terms.join(" and ")
+        };
+        e.stmts.push(Stmt::Assign {
+            target: format!("{sn}_ivalid"),
+            expr: iv_expr,
+        });
+
+        let mut map: Vec<(String, String)> = vec![
+            ("clk".into(), "clk".into()),
+            ("ivalid".into(), format!("{sn}_ivalid")),
+            ("ovalid".into(), format!("{sn}_ovalid")),
+        ];
+
+        // Every data-path input port: channel-fed window taps read the
+        // channel data bus; everything else becomes pipeline-level I/O.
+        for (n, t) in &dp.inputs {
+            let port = format!("in_{}", n.to_lowercase());
+            let window = kernel
+                .windows
+                .iter()
+                .find(|w| w.reads.iter().any(|r| r.scalar == *n));
+            let actual = match window {
+                Some(w) => match incoming.iter().find(|(_, c)| c.to_array == w.array) {
+                    Some((i, _)) => format!("ch{i}_dout"),
+                    None => external_in(&mut e, &sn, &w.array, w.elem),
+                },
+                None => external_in(&mut e, &sn, n.as_str(), *t),
+            };
+            map.push((port, actual));
+        }
+
+        // Every output port: channel-bound scalars drive the channel data
+        // bus (bursts serialize behaviorally), the rest exports.
+        let mut chan_driven: Vec<usize> = Vec::new();
+        for out in &dp.outputs {
+            let port = format!("out_{}", out.name.to_lowercase());
+            let spec = kernel
+                .outputs
+                .iter()
+                .find(|o| o.writes.iter().any(|w| w.scalar == out.name));
+            let actual = match spec {
+                Some(o) => {
+                    match cp
+                        .channels
+                        .iter()
+                        .enumerate()
+                        .find(|(_, c)| c.from_stage == si && c.from_array == o.array)
+                    {
+                        Some((i, _)) => {
+                            if chan_driven.contains(&i) {
+                                // Later burst elements of the same channel:
+                                // open actual; the behavioral serializer in
+                                // the FIFO shell multiplexes the burst.
+                                "open".to_string()
+                            } else {
+                                chan_driven.push(i);
+                                format!("ch{i}_din")
+                            }
+                        }
+                        None => external_out(&mut e, &sn, out.name.as_str(), out.ty),
+                    }
+                }
+                None => external_out(&mut e, &sn, out.name.as_str(), out.ty),
+            };
+            map.push((port, actual));
+        }
+
+        e.stmts.push(Stmt::Instance {
+            label: format!("u_{sn}"),
+            entity: dp.name.to_lowercase(),
+            map,
+        });
+    }
+
+    // FIFO instances and read strobes.
+    for (i, c) in cp.channels.iter().enumerate() {
+        let prod = sanitize(&cp.stages[c.from_stage].name);
+        e.stmts.push(Stmt::Assign {
+            target: format!("ch{i}_re"),
+            expr: format!("not ch{i}_empty"),
+        });
+        e.stmts.push(Stmt::Instance {
+            label: format!("u_fifo{i}"),
+            entity: fifo_names[i].clone(),
+            map: vec![
+                ("clk".into(), "clk".into()),
+                ("we".into(), format!("{prod}_ovalid")),
+                ("din".into(), format!("ch{i}_din")),
+                ("re".into(), format!("ch{i}_re")),
+                ("dout".into(), format!("ch{i}_dout")),
+                ("empty".into(), format!("ch{i}_empty")),
+                ("full".into(), format!("ch{i}_full")),
+            ],
+        });
+    }
+
+    let last = sanitize(&cp.stages.last().expect("non-empty pipeline").name);
+    e.stmts.push(Stmt::Assign {
+        target: "ovalid".into(),
+        expr: format!("{last}_ovalid"),
+    });
+    e
+}
+
+/// Declares (once) and returns the pipeline-level input port for an
+/// unbound stage input.
+fn external_in(e: &mut Entity, stage: &str, name: &str, ty: IntType) -> String {
+    let port = format!("in_{stage}_{}", sanitize(name));
+    if !e.ports.iter().any(|p| p.name == port) {
+        e.ports.push(Port {
+            name: port.clone(),
+            dir: PortDir::In,
+            ty: VhdlType::vector(ty.signed, ty.bits),
+        });
+    }
+    port
+}
+
+/// Declares (once) and returns the pipeline-level output port for an
+/// unbound stage output.
+fn external_out(e: &mut Entity, stage: &str, name: &str, ty: IntType) -> String {
+    let port = format!("out_{stage}_{}", sanitize(name));
+    if !e.ports.iter().any(|p| p.name == port) {
+        e.ports.push(Port {
+            name: port.clone(),
+            dir: PortDir::Out,
+            ty: VhdlType::vector(ty.signed, ty.bits),
+        });
+    }
+    port
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compile_pipeline, parse_spec};
+    use roccc::CompileOptions;
+
+    const TWO_STAGE: &str = "void scale(int16 A[32], int16 B[32]) { int i;
+        for (i = 0; i < 32; i = i + 1) { B[i] = A[i] * 3; } }
+      void offset(int16 B[32], int16 C[32]) { int i;
+        for (i = 0; i < 32; i = i + 1) { C[i] = B[i] + 100; } }";
+
+    fn pipeline_text() -> String {
+        let spec = parse_spec("name demo\npipeline scale | offset").unwrap();
+        let cp = compile_pipeline(TWO_STAGE, &spec, &CompileOptions::default()).unwrap();
+        generate_pipeline_vhdl(&cp)
+    }
+
+    #[test]
+    fn emits_stage_fifo_and_top_entities() {
+        let text = pipeline_text();
+        assert!(text.contains("entity scale_dp is"), "{text}");
+        assert!(text.contains("entity offset_dp is"));
+        assert!(text.contains("entity demo_fifo0 is"));
+        assert!(text.contains("entity demo_pipeline is"));
+        assert!(text.contains("u_scale: entity work.scale_dp"));
+        assert!(text.contains("u_fifo0: entity work.demo_fifo0"));
+        // The unbound edges surface as pipeline ports.
+        assert!(text.contains("in_scale_a"));
+        assert!(text.contains("out_offset_"));
+    }
+
+    #[test]
+    fn pipeline_text_is_lint_clean() {
+        let text = pipeline_text();
+        let findings = roccc_vhdl::lint::lint(&text);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn channel_feeds_consumer_window_taps() {
+        let text = pipeline_text();
+        // The offset stage's window taps read the channel data bus, not a
+        // pipeline-level port.
+        assert!(text.contains("in_b0 => ch0_dout"), "{text}");
+        assert!(!text.contains("in_offset_b"), "bound input must not export");
+    }
+
+    #[test]
+    fn sanitize_makes_identifiers() {
+        assert_eq!(sanitize("Wavelet Demo"), "wavelet_demo");
+        assert_eq!(sanitize("3stage"), "p3stage");
+        assert_eq!(sanitize("a-b"), "a_b");
+    }
+}

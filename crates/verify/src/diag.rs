@@ -37,6 +37,9 @@ pub enum Phase {
     Netlist,
     /// Structural lint over the generated VHDL text.
     Vhdl,
+    /// Multi-kernel streaming pipeline invariants (port bindings, rate
+    /// balance, FIFO sizing) checked by `verify_pipeline` (`P0xx`).
+    Stream,
 }
 
 impl fmt::Display for Phase {
@@ -46,6 +49,7 @@ impl fmt::Display for Phase {
             Phase::Datapath => write!(f, "datapath"),
             Phase::Netlist => write!(f, "netlist"),
             Phase::Vhdl => write!(f, "vhdl"),
+            Phase::Stream => write!(f, "stream"),
         }
     }
 }

@@ -18,6 +18,8 @@
 //!   bit-width soundness against the narrowing rules (`D0xx`);
 //! * [`verify_netlist`] — drivers, combinational loops, port widths,
 //!   dead cells (`N0xx`);
+//! * [`verify_pipeline`] — multi-kernel streaming pipeline composition:
+//!   port bindings, rate balance, FIFO sizing, deadlock freedom (`P0xx`);
 //! * the VHDL linter in `roccc-vhdl` emits the same [`Diagnostic`] type
 //!   with `V0xx` codes.
 //!
@@ -30,10 +32,15 @@ pub mod datapath;
 pub mod diag;
 pub mod ir;
 pub mod netlist;
+pub mod pipeline;
 pub mod ranges;
 
 pub use datapath::verify_datapath;
 pub use diag::{Diagnostic, Loc, Phase, Severity, VerifyLevel};
 pub use ir::verify_ir;
 pub use netlist::verify_netlist;
+pub use pipeline::{
+    pipeline_code_severity, verify_pipeline, BindView, ChannelView, PipelineView, PortView,
+    StageView,
+};
 pub use ranges::{verify_fresh_ranges, verify_ranges};

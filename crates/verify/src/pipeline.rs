@@ -1,0 +1,484 @@
+//! Process-network (streaming pipeline) verification — the `P0xx` family.
+//!
+//! `roccc-stream` composes compiled kernels into a dataflow pipeline:
+//! stages connected by sized FIFO channels. This module checks the
+//! *composition* invariants that no single-kernel phase can see:
+//!
+//! * every port binding resolves to a real stage port (`P001`);
+//! * producer and consumer move the same number of elements over each
+//!   channel, and the consumer never asks for an address the producer's
+//!   address space cannot cover (`P002`);
+//! * every FIFO is at least as deep as the producer's reorder span plus
+//!   one burst — shallower channels deadlock: the producer blocks on a
+//!   full FIFO whose head element cannot commit until a *later* write
+//!   arrives (`P003`);
+//! * no consumer port is driven by two producers (`P004`);
+//! * statically underivable rates fell back to a whole-array FIFO
+//!   (`P005`, warning);
+//! * the stage graph is acyclic — a Kahn-network cycle with finite FIFOs
+//!   and no initial tokens cannot fire (`P006`);
+//! * a channel narrows the element width producer → consumer (`P007`,
+//!   warning).
+//!
+//! The checks run over a plain-data [`PipelineView`] so this crate stays
+//! independent of `roccc-stream`; the stream crate populates the view
+//! from its compiled pipeline and gates the findings under the usual
+//! [`crate::VerifyLevel`] rules.
+
+use crate::diag::{Diagnostic, Loc, Phase, Severity};
+
+/// One array port of a stage, as the checks need it.
+#[derive(Debug, Clone)]
+pub struct PortView {
+    /// Array (function parameter) name.
+    pub array: String,
+    /// Flat element count of the declared array.
+    pub len: usize,
+    /// Element width in bits.
+    pub elem_bits: u8,
+}
+
+/// A stage's streamable surface: its input windows and output arrays.
+#[derive(Debug, Clone, Default)]
+pub struct StageView {
+    /// Stage name (unique within the pipeline).
+    pub name: String,
+    /// Input window arrays.
+    pub inputs: Vec<PortView>,
+    /// Output arrays.
+    pub outputs: Vec<PortView>,
+}
+
+/// One `producer.array -> consumer.array` binding as written in the
+/// pipeline description (resolved or not).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BindView {
+    /// Producer stage name.
+    pub from_stage: String,
+    /// Producer output array.
+    pub from_array: String,
+    /// Consumer stage name.
+    pub to_stage: String,
+    /// Consumer input array.
+    pub to_array: String,
+}
+
+impl std::fmt::Display for BindView {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}.{} -> {}.{}",
+            self.from_stage, self.from_array, self.to_stage, self.to_array
+        )
+    }
+}
+
+/// A resolved channel with its statically derived rate facts.
+#[derive(Debug, Clone)]
+pub struct ChannelView {
+    /// The binding this channel realizes.
+    pub bind: BindView,
+    /// Flat element count of the producer's output array.
+    pub produced_len: usize,
+    /// Flat element count of the consumer's input array.
+    pub consumed_len: usize,
+    /// Producer element width (bits).
+    pub producer_bits: u8,
+    /// Consumer element width (bits).
+    pub consumer_bits: u8,
+    /// Elements the producer pushes per firing.
+    pub burst: usize,
+    /// Deadlock-free minimum FIFO depth (reorder span + burst).
+    pub min_depth: usize,
+    /// Configured/derived FIFO depth.
+    pub depth: usize,
+    /// Whether the producer's rates were statically derivable.
+    pub static_rates: bool,
+    /// First flat address the consumer's scan reads.
+    pub first_consumed_addr: i64,
+}
+
+/// Everything the `P0xx` checks need to know about one pipeline.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineView {
+    /// Pipeline name (for messages only).
+    pub name: String,
+    /// All stages, in declaration order.
+    pub stages: Vec<StageView>,
+    /// All bindings, explicit and auto-derived, resolved or not.
+    pub binds: Vec<BindView>,
+    /// The channels built from the resolvable bindings.
+    pub channels: Vec<ChannelView>,
+}
+
+fn err(code: &'static str, msg: String) -> Diagnostic {
+    Diagnostic::error(Phase::Stream, code, Loc::None, msg)
+}
+
+fn warn(code: &'static str, msg: String) -> Diagnostic {
+    Diagnostic::warning(Phase::Stream, code, Loc::None, msg)
+}
+
+/// Runs every pipeline-composition check. Returns all findings
+/// (empty = clean); severities follow the registry in the module docs.
+pub fn verify_pipeline(view: &PipelineView) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    // P001 — every bind endpoint names a real stage port.
+    for b in &view.binds {
+        let from = view.stages.iter().find(|s| s.name == b.from_stage);
+        let to = view.stages.iter().find(|s| s.name == b.to_stage);
+        match from {
+            None => out.push(err(
+                "P001-dangling-port",
+                format!(
+                    "bind `{b}`: producer stage `{}` does not exist",
+                    b.from_stage
+                ),
+            )),
+            Some(s) if !s.outputs.iter().any(|p| p.array == b.from_array) => out.push(err(
+                "P001-dangling-port",
+                format!(
+                    "bind `{b}`: stage `{}` has no output array `{}`",
+                    b.from_stage, b.from_array
+                ),
+            )),
+            _ => {}
+        }
+        match to {
+            None => out.push(err(
+                "P001-dangling-port",
+                format!("bind `{b}`: consumer stage `{}` does not exist", b.to_stage),
+            )),
+            Some(s) if !s.inputs.iter().any(|p| p.array == b.to_array) => out.push(err(
+                "P001-dangling-port",
+                format!(
+                    "bind `{b}`: stage `{}` has no input window `{}`",
+                    b.to_stage, b.to_array
+                ),
+            )),
+            _ => {}
+        }
+    }
+
+    // P004 — at most one producer per consumer port.
+    for (i, b) in view.binds.iter().enumerate() {
+        if view.binds[..i]
+            .iter()
+            .any(|p| p.to_stage == b.to_stage && p.to_array == b.to_array)
+        {
+            out.push(err(
+                "P004-duplicate-driver",
+                format!(
+                    "input `{}.{}` is driven by more than one producer (second bind `{b}`)",
+                    b.to_stage, b.to_array
+                ),
+            ));
+        }
+    }
+
+    // Per-channel rate and sizing checks.
+    for c in &view.channels {
+        // P002 — element counts must balance and the consumer's scan must
+        // stay inside the producer's address space.
+        if c.produced_len != c.consumed_len {
+            out.push(err(
+                "P002-rate-mismatch",
+                format!(
+                    "channel `{}`: producer array holds {} elements but consumer \
+                     window scans {} — the stream cannot balance",
+                    c.bind, c.produced_len, c.consumed_len
+                ),
+            ));
+        }
+        if c.first_consumed_addr < 0 {
+            out.push(err(
+                "P002-rate-mismatch",
+                format!(
+                    "channel `{}`: consumer scan starts at negative address {} — \
+                     the stream never produces it",
+                    c.bind, c.first_consumed_addr
+                ),
+            ));
+        }
+        // P003 — depth below the deadlock-free minimum.
+        if c.depth < c.min_depth {
+            out.push(err(
+                "P003-undersized-fifo",
+                format!(
+                    "channel `{}`: FIFO depth {} is below the deadlock-free minimum {} \
+                     (reorder span + one burst of {}) — the producer will block on a \
+                     full FIFO whose head cannot commit",
+                    c.bind, c.depth, c.min_depth, c.burst
+                ),
+            ));
+        }
+        // P005 — conservative fallback in effect.
+        if !c.static_rates {
+            out.push(warn(
+                "P005-nonstatic-rate",
+                format!(
+                    "channel `{}`: produce rate is not statically derivable; \
+                     fell back to a whole-array FIFO of {} elements",
+                    c.bind, c.depth
+                ),
+            ));
+        }
+        // P007 — width truncation across the channel.
+        if c.producer_bits > c.consumer_bits {
+            out.push(warn(
+                "P007-width-truncation",
+                format!(
+                    "channel `{}`: producer elements are {} bits but the consumer \
+                     reads {} bits — high bits are dropped in the stream",
+                    c.bind, c.producer_bits, c.consumer_bits
+                ),
+            ));
+        }
+    }
+
+    // P006 — the stage graph must be a DAG (Kahn network with finite,
+    // initially-empty FIFOs: a cycle can never fire its first token).
+    out.extend(check_acyclic(view));
+
+    out
+}
+
+/// DFS three-color cycle check over the resolved-bind stage graph.
+fn check_acyclic(view: &PipelineView) -> Vec<Diagnostic> {
+    let n = view.stages.len();
+    let index = |name: &str| view.stages.iter().position(|s| s.name == name);
+    let mut edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for b in &view.binds {
+        if let (Some(f), Some(t)) = (index(&b.from_stage), index(&b.to_stage)) {
+            edges[f].push(t);
+        }
+    }
+    // 0 = white, 1 = on stack, 2 = done.
+    let mut color = vec![0u8; n];
+    let mut found = Vec::new();
+    for start in 0..n {
+        if color[start] != 0 {
+            continue;
+        }
+        // Iterative DFS with an explicit stack of (node, next-edge).
+        let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+        color[start] = 1;
+        while let Some(&(node, next)) = stack.last() {
+            if next < edges[node].len() {
+                stack.last_mut().expect("non-empty").1 += 1;
+                let succ = edges[node][next];
+                match color[succ] {
+                    0 => {
+                        color[succ] = 1;
+                        stack.push((succ, 0));
+                    }
+                    1 => {
+                        found.push(err(
+                            "P006-pipeline-cycle",
+                            format!(
+                                "stage graph has a cycle through `{}` and `{}` — a \
+                                 process network with empty finite FIFOs cannot fire",
+                                view.stages[node].name, view.stages[succ].name
+                            ),
+                        ));
+                    }
+                    _ => {}
+                }
+            } else {
+                color[node] = 2;
+                stack.pop();
+            }
+        }
+    }
+    found
+}
+
+/// Severity of a stable `P0xx` code, for callers that gate by code.
+pub fn pipeline_code_severity(code: &str) -> Option<Severity> {
+    match code {
+        "P001-dangling-port"
+        | "P002-rate-mismatch"
+        | "P003-undersized-fifo"
+        | "P004-duplicate-driver"
+        | "P006-pipeline-cycle" => Some(Severity::Error),
+        "P005-nonstatic-rate" | "P007-width-truncation" => Some(Severity::Warning),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stage(name: &str, inputs: &[(&str, usize)], outputs: &[(&str, usize)]) -> StageView {
+        let port = |(a, l): &(&str, usize)| PortView {
+            array: (*a).to_string(),
+            len: *l,
+            elem_bits: 16,
+        };
+        StageView {
+            name: name.to_string(),
+            inputs: inputs.iter().map(port).collect(),
+            outputs: outputs.iter().map(port).collect(),
+        }
+    }
+
+    fn bind(f: &str, fa: &str, t: &str, ta: &str) -> BindView {
+        BindView {
+            from_stage: f.to_string(),
+            from_array: fa.to_string(),
+            to_stage: t.to_string(),
+            to_array: ta.to_string(),
+        }
+    }
+
+    fn chan(b: BindView, depth: usize, min_depth: usize) -> ChannelView {
+        ChannelView {
+            bind: b,
+            produced_len: 64,
+            consumed_len: 64,
+            producer_bits: 16,
+            consumer_bits: 16,
+            burst: 1,
+            min_depth,
+            depth,
+            static_rates: true,
+            first_consumed_addr: 0,
+        }
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn clean_two_stage_pipeline_has_no_findings() {
+        let view = PipelineView {
+            name: "p".into(),
+            stages: vec![
+                stage("a", &[("X", 64)], &[("Y", 64)]),
+                stage("b", &[("Y", 64)], &[("Z", 64)]),
+            ],
+            binds: vec![bind("a", "Y", "b", "Y")],
+            channels: vec![chan(bind("a", "Y", "b", "Y"), 4, 2)],
+        };
+        assert!(verify_pipeline(&view).is_empty());
+    }
+
+    #[test]
+    fn dangling_bind_is_p001() {
+        let view = PipelineView {
+            name: "p".into(),
+            stages: vec![stage("a", &[], &[("Y", 64)])],
+            binds: vec![bind("a", "Y", "ghost", "X"), bind("a", "Q", "a", "Y")],
+            channels: vec![],
+        };
+        let codes = codes(&verify_pipeline(&view));
+        assert!(codes.iter().filter(|c| **c == "P001-dangling-port").count() >= 2);
+    }
+
+    #[test]
+    fn rate_mismatch_is_p002() {
+        let mut c = chan(bind("a", "Y", "b", "Y"), 8, 2);
+        c.consumed_len = 32;
+        let view = PipelineView {
+            name: "p".into(),
+            stages: vec![stage("a", &[], &[("Y", 64)]), stage("b", &[("Y", 32)], &[])],
+            binds: vec![c.bind.clone()],
+            channels: vec![c],
+        };
+        assert!(codes(&verify_pipeline(&view)).contains(&"P002-rate-mismatch"));
+    }
+
+    #[test]
+    fn undersized_fifo_is_p003() {
+        let c = chan(bind("a", "Y", "b", "Y"), 2, 66);
+        let view = PipelineView {
+            name: "p".into(),
+            stages: vec![stage("a", &[], &[("Y", 64)]), stage("b", &[("Y", 64)], &[])],
+            binds: vec![c.bind.clone()],
+            channels: vec![c],
+        };
+        assert!(codes(&verify_pipeline(&view)).contains(&"P003-undersized-fifo"));
+    }
+
+    #[test]
+    fn duplicate_driver_is_p004() {
+        let view = PipelineView {
+            name: "p".into(),
+            stages: vec![
+                stage("a", &[], &[("Y", 64)]),
+                stage("c", &[], &[("Z", 64)]),
+                stage("b", &[("Y", 64)], &[]),
+            ],
+            binds: vec![bind("a", "Y", "b", "Y"), bind("c", "Z", "b", "Y")],
+            channels: vec![],
+        };
+        assert!(codes(&verify_pipeline(&view)).contains(&"P004-duplicate-driver"));
+    }
+
+    #[test]
+    fn nonstatic_rate_is_p005_warning() {
+        let mut c = chan(bind("a", "Y", "b", "Y"), 64, 1);
+        c.static_rates = false;
+        let view = PipelineView {
+            name: "p".into(),
+            stages: vec![stage("a", &[], &[("Y", 64)]), stage("b", &[("Y", 64)], &[])],
+            binds: vec![c.bind.clone()],
+            channels: vec![c],
+        };
+        let diags = verify_pipeline(&view);
+        let d = diags
+            .iter()
+            .find(|d| d.code == "P005-nonstatic-rate")
+            .expect("P005");
+        assert_eq!(d.severity, Severity::Warning);
+    }
+
+    #[test]
+    fn cycle_is_p006() {
+        let view = PipelineView {
+            name: "p".into(),
+            stages: vec![
+                stage("a", &[("Z", 64)], &[("Y", 64)]),
+                stage("b", &[("Y", 64)], &[("Z", 64)]),
+            ],
+            binds: vec![bind("a", "Y", "b", "Y"), bind("b", "Z", "a", "Z")],
+            channels: vec![],
+        };
+        assert!(codes(&verify_pipeline(&view)).contains(&"P006-pipeline-cycle"));
+    }
+
+    #[test]
+    fn width_truncation_is_p007_warning() {
+        let mut c = chan(bind("a", "Y", "b", "Y"), 8, 2);
+        c.producer_bits = 32;
+        c.consumer_bits = 16;
+        let view = PipelineView {
+            name: "p".into(),
+            stages: vec![stage("a", &[], &[("Y", 64)]), stage("b", &[("Y", 64)], &[])],
+            binds: vec![c.bind.clone()],
+            channels: vec![c],
+        };
+        let diags = verify_pipeline(&view);
+        let d = diags
+            .iter()
+            .find(|d| d.code == "P007-width-truncation")
+            .expect("P007");
+        assert_eq!(d.severity, Severity::Warning);
+    }
+
+    #[test]
+    fn code_severities_are_registered() {
+        assert_eq!(
+            pipeline_code_severity("P003-undersized-fifo"),
+            Some(Severity::Error)
+        );
+        assert_eq!(
+            pipeline_code_severity("P005-nonstatic-rate"),
+            Some(Severity::Warning)
+        );
+        assert_eq!(pipeline_code_severity("Z999"), None);
+    }
+}

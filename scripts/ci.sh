@@ -138,6 +138,59 @@ grep -q '"rerun_hit_rate": 1.0000' "${dse_out}" \
   || { echo "bench_dse smoke: memo re-run did not hit" >&2; exit 1; }
 rm -f "${dse_out}"
 
+echo "==> pipeline smoke (streaming process network)"
+# The wavelet | threshold | encode demo: deny-clean compile, bit-exact
+# co-simulation, and the derived-vs-empirical FIFO depth audit.
+cargo run --release --example wavelet_pipeline >/dev/null
+pipe_src="$(mktemp -t pipe_smoke.XXXXXX.c)"
+cat >"${pipe_src}" <<'EOF'
+void scale(int A[32], int B[32]) {
+  for (int i = 0; i < 32; i = i + 1) { B[i] = A[i] * 3; }
+}
+void offset(int B[32], int C[32]) {
+  for (int i = 0; i < 32; i = i + 1) { C[i] = B[i] + 7; }
+}
+EOF
+pipe_spec="$(mktemp -t pipe_smoke.XXXXXX.spec)"
+cat >"${pipe_spec}" <<'EOF'
+name duo
+pipeline scale | offset
+EOF
+# Deny-clean compile + bit-exact co-simulation through the CLI.
+./target/release/roccc "${pipe_src}" --pipeline "${pipe_spec}" --deny-warnings \
+  --emit cosim | grep -q 'bit-exact vs chained single-kernel golden: yes' \
+  || { echo "pipeline smoke: cosim not bit-exact" >&2; exit 1; }
+# The generated pipeline VHDL must be lint-clean under --deny-warnings.
+./target/release/roccc "${pipe_src}" --pipeline "${pipe_spec}" --deny-warnings \
+  --emit vhdl | grep -q 'entity duo_pipeline is' \
+  || { echo "pipeline smoke: no top-level pipeline entity" >&2; exit 1; }
+# A deliberately deadlocking topology (FIFO below the deadlock-free
+# minimum) must be rejected statically with the stable P-code.
+bad_spec="$(mktemp -t pipe_smoke_bad.XXXXXX.spec)"
+bad_log="$(mktemp -t pipe_smoke_bad.XXXXXX.log)"
+cat >"${bad_spec}" <<'EOF'
+pipeline scale | offset
+fifo offset.B depth=0
+EOF
+if ./target/release/roccc "${pipe_src}" --pipeline "${bad_spec}" --verify \
+    >/dev/null 2>"${bad_log}"; then
+  echo "pipeline smoke: undersized FIFO was not rejected" >&2
+  exit 1
+fi
+grep -q 'P003-undersized-fifo' "${bad_log}" \
+  || { echo "pipeline smoke: rejection lacks the P003 code" >&2; exit 1; }
+rm -f "${pipe_src}" "${pipe_spec}" "${bad_spec}" "${bad_log}"
+
+echo "==> bench_stream smoke (quick pipeline)"
+stream_out="$(mktemp -t bench_stream_smoke.XXXXXX.json)"
+cargo run --release -p roccc-bench --bin bench_stream -- \
+  --quick --out "${stream_out}" >/dev/null
+grep -q '"benchmark": "stream-pipeline"' "${stream_out}" \
+  || { echo "bench_stream smoke: bad JSON" >&2; exit 1; }
+grep -q '"overlap_speedup"' "${stream_out}" \
+  || { echo "bench_stream smoke: missing overlap_speedup" >&2; exit 1; }
+rm -f "${stream_out}"
+
 echo "==> batched-sim differential smoke"
 cargo test --release -q --test batched_sim
 

@@ -30,6 +30,12 @@
 //!                          exceeds the budget (the paper's cut)
 //!   --beam <n>             fully score at most n candidates
 //!
+//! Streaming pipelines (compile several kernels from the same source
+//! into a process network; `--emit` becomes `stats` (default), `vhdl`,
+//! or `cosim`, which co-simulates the network on synthesized inputs and
+//! checks it bit-exact against chained single-kernel runs):
+//!   --pipeline <file>      pipeline description (stages, binds, fifos)
+//!
 //! Client mode (talk to a running `roccc-serve` daemon instead of
 //! compiling locally; `table-row` is additionally accepted for --emit):
 //!   --connect <host:port>  send the compile to the server
@@ -87,8 +93,16 @@ design-space exploration (--emit becomes table (default) | json):
   --beam <n>             fully score at most the n most promising
                          estimates (omit for exhaustive search)
 
+streaming pipelines (--emit becomes stats (default) | vhdl | cosim):
+  --pipeline <file>      compile the multi-kernel pipeline described in
+                         <file> (stages are C functions in <input.c>);
+                         `cosim` co-simulates the process network on
+                         synthesized inputs and checks it bit-exact
+                         against chained single-kernel runs (local only)
+
 client mode (requires a running roccc-serve daemon; adds `table-row`
-to the accepted --emit values; --explore works over --connect too):
+to the accepted --emit values; --explore and --pipeline work over
+--connect too):
   --connect <host:port>  send the compile to the server
   --metrics              (with --connect) print the server metrics
   --shutdown             (with --connect) stop the server
@@ -97,6 +111,7 @@ to the accepted --emit values; --explore works over --connect too):
 struct Args {
     input: Option<String>,
     function: Option<String>,
+    pipeline: Option<String>,
     opts: CompileOptions,
     budget: Option<u64>,
     emit: Option<String>,
@@ -128,6 +143,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = std::env::args().skip(1);
     let mut input = None;
     let mut function = None;
+    let mut pipeline = None;
     let mut opts = CompileOptions::default();
     let mut budget = None;
     let mut emit = None;
@@ -146,6 +162,7 @@ fn parse_args() -> Result<Args, String> {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--function" | "-f" => function = Some(args.next().ok_or("--function needs a name")?),
+            "--pipeline" => pipeline = Some(args.next().ok_or("--pipeline needs a file")?),
             "--period" => {
                 opts.target_period_ns = args
                     .next()
@@ -237,6 +254,7 @@ fn parse_args() -> Result<Args, String> {
         return Ok(Args {
             input,
             function,
+            pipeline,
             opts,
             budget,
             emit,
@@ -261,16 +279,20 @@ fn parse_args() -> Result<Args, String> {
             "--explore and --budget are mutually exclusive (use --budget-slices)".to_string(),
         );
     }
+    if pipeline.is_some() && (explore || budget.is_some()) {
+        return Err("--pipeline does not combine with --explore or --budget".to_string());
+    }
     let control = metrics || shutdown;
     if !control && input.is_none() {
         return Err("missing input file (try --help)".to_string());
     }
-    if !control && function.is_none() {
+    if !control && function.is_none() && pipeline.is_none() {
         return Err("missing --function (try --help)".to_string());
     }
     Ok(Args {
         input,
         function,
+        pipeline,
         opts,
         budget,
         emit,
@@ -453,9 +475,131 @@ fn run_explore(args: &Args, source: &str, function: &str) -> Result<(), String> 
     Ok(())
 }
 
+/// Deterministic input synthesis for `--pipeline --emit cosim`: every
+/// external (non-channel-fed) input array gets reproducible
+/// pseudo-random words in [-100, 100], every scalar live-in gets 1 (a
+/// safe divisor). One xorshift stream, fixed seed — two runs of the
+/// same pipeline see identical data.
+fn synth_pipeline_inputs(
+    cp: &roccc_stream::CompiledPipeline,
+) -> (
+    std::collections::HashMap<String, Vec<i64>>,
+    std::collections::HashMap<String, i64>,
+) {
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state % 201) as i64 - 100
+    };
+    let mut arrays = std::collections::HashMap::new();
+    let mut scalars = std::collections::HashMap::new();
+    for (si, st) in cp.stages.iter().enumerate() {
+        for c in &st.rates.consumes {
+            let channel_fed = cp
+                .channels
+                .iter()
+                .any(|ch| ch.to_stage == si && ch.to_array == c.array);
+            if !channel_fed {
+                arrays.insert(
+                    format!("{}.{}", st.name, c.array),
+                    (0..c.len).map(|_| next()).collect(),
+                );
+            }
+        }
+        for (name, _) in &st.compiled.kernel.scalar_inputs {
+            scalars.insert(format!("{}.{name}", st.name), 1);
+        }
+    }
+    (arrays, scalars)
+}
+
+/// Local `--pipeline` mode: compile the process network and emit stats,
+/// VHDL, or a co-simulation report checked against chained
+/// single-kernel golden runs.
+fn run_pipeline(args: &Args, source: &str, spec_path: &str) -> Result<(), String> {
+    let emit = effective_emit(args);
+    if !matches!(emit.as_str(), "stats" | "vhdl" | "cosim") {
+        return Err(format!(
+            "unknown --emit `{emit}` for --pipeline (stats|vhdl|cosim)"
+        ));
+    }
+    let spec_text =
+        std::fs::read_to_string(spec_path).map_err(|e| format!("cannot read {spec_path}: {e}"))?;
+    let spec = roccc_stream::parse_spec(&spec_text).map_err(|e| e.to_string())?;
+    let cp =
+        roccc_stream::compile_pipeline(source, &spec, &args.opts).map_err(|e| e.to_string())?;
+    // Non-fatal composition findings (warn level) go to stderr.
+    for d in &cp.diagnostics {
+        eprintln!("{d}");
+    }
+    match emit.as_str() {
+        "vhdl" => {
+            let text = roccc_stream::generate_pipeline_vhdl(&cp);
+            let findings = roccc_vhdl::lint::lint(&text);
+            for d in &findings {
+                eprintln!("{d}");
+            }
+            if args.opts.verify == VerifyLevel::Deny && !findings.is_empty() {
+                return Err(format!(
+                    "--deny-warnings set and the VHDL lint reported {} finding(s)",
+                    findings.len()
+                ));
+            }
+            deliver(&args.output, &text)
+        }
+        "cosim" => {
+            let (arrays, scalars) = synth_pipeline_inputs(&cp);
+            let lanes = [arrays];
+            let run = roccc_stream::run_cosim(&cp, &lanes, &scalars).map_err(|e| e.to_string())?;
+            let golden =
+                roccc_stream::chain_golden(&cp, &lanes, &scalars).map_err(|e| e.to_string())?;
+            for (key, data) in &run.lane_arrays[0] {
+                if golden[0].get(key) != Some(data) {
+                    return Err(format!(
+                        "co-simulation diverged from the chained single-kernel golden \
+                         on output `{key}`"
+                    ));
+                }
+            }
+            let mut s = String::new();
+            s.push_str(&format!(
+                "pipeline `{}`: {} cycles, {:.4} outputs/cycle, {} output words\n",
+                cp.spec.name,
+                run.cycles,
+                run.throughput(),
+                run.mem_writes
+            ));
+            s.push_str(&format!(
+                "  {:<12} {:>8} {:>8} {:>8}\n",
+                "stage", "fired", "stalls", "starves"
+            ));
+            for st in &run.stages {
+                s.push_str(&format!(
+                    "  {:<12} {:>8} {:>8} {:>8}\n",
+                    st.name, st.fired, st.stall_cycles, st.starve_cycles
+                ));
+            }
+            for (c, peak) in cp.channels.iter().zip(&run.fifo_peaks) {
+                s.push_str(&format!(
+                    "  fifo {}.{} -> {}.{}: peak {peak}/{}\n",
+                    cp.stages[c.from_stage].name,
+                    c.from_array,
+                    cp.stages[c.to_stage].name,
+                    c.to_array,
+                    c.depth
+                ));
+            }
+            s.push_str("  bit-exact vs chained single-kernel golden: yes\n");
+            deliver(&args.output, &s)
+        }
+        _ => deliver(&args.output, &roccc_stream::stats_report(&cp)),
+    }
+}
+
 /// Client mode: ship the request to a `roccc-serve` daemon.
 fn run_client(args: &Args, addr: &str) -> Result<(), String> {
-    let io_timeout = Some(Duration::from_secs(120));
     let req = if args.metrics {
         Request::Metrics
     } else if args.shutdown {
@@ -472,6 +616,28 @@ fn run_client(args: &Args, addr: &str) -> Result<(), String> {
                 "--emit timings is local-only; served compiles report per-phase \
                  timings in the `--emit stats` artifact"
                     .to_string(),
+            );
+        }
+        if let Some(spec_path) = &args.pipeline {
+            let emit = effective_emit(args);
+            if emit == "cosim" {
+                return Err(
+                    "--emit cosim is local-only (the wire protocol carries no lane \
+                     input data); ask the server for stats or vhdl"
+                        .to_string(),
+                );
+            }
+            let pipeline = std::fs::read_to_string(spec_path)
+                .map_err(|e| format!("cannot read {spec_path}: {e}"))?;
+            return finish_client_roundtrip(
+                args,
+                addr,
+                &Request::Pipeline {
+                    source,
+                    pipeline,
+                    opts: args.opts.clone(),
+                    emit,
+                },
             );
         }
         let function = args
@@ -499,7 +665,13 @@ fn run_client(args: &Args, addr: &str) -> Result<(), String> {
             }
         }
     };
-    match proto::roundtrip(addr, &req, io_timeout).map_err(|e| e.to_string())? {
+    finish_client_roundtrip(args, addr, &req)
+}
+
+/// Ships `req` to the daemon and delivers the reply.
+fn finish_client_roundtrip(args: &Args, addr: &str, req: &Request) -> Result<(), String> {
+    let io_timeout = Some(Duration::from_secs(120));
+    match proto::roundtrip(addr, req, io_timeout).map_err(|e| e.to_string())? {
         Response::Ok { payload, cached } => {
             if cached && !args.metrics && !args.shutdown {
                 eprintln!("(served from cache)");
@@ -537,10 +709,6 @@ fn main() -> ExitCode {
     }
 
     let input = args.input.as_deref().expect("parse_args checked input");
-    let function = args
-        .function
-        .as_deref()
-        .expect("parse_args checked --function");
     let source = match std::fs::read_to_string(input) {
         Ok(s) => s,
         Err(e) => {
@@ -548,6 +716,21 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+
+    if let Some(spec_path) = args.pipeline.clone() {
+        return match run_pipeline(&args, &source, &spec_path) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("{e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let function = args
+        .function
+        .as_deref()
+        .expect("parse_args checked --function");
 
     if args.explore {
         return match run_explore(&args, &source, function) {

@@ -15,6 +15,7 @@ pub use roccc_hlir as hlir;
 pub use roccc_ipcores as ipcores;
 pub use roccc_netlist as netlist;
 pub use roccc_serve as serve;
+pub use roccc_stream as stream;
 pub use roccc_suifvm as suifvm;
 pub use roccc_synth as synth;
 pub use roccc_testutil as testrand;

@@ -343,6 +343,93 @@ fn compiler_panic_is_isolated() {
     handle.shutdown();
 }
 
+/// The `pipeline` protocol verb: artifacts match a direct in-process
+/// `compile_pipeline` rendering byte for byte, a repeated request hits
+/// the dedicated pipeline cache, and bad emits / bad specs are rejected
+/// without compiling.
+#[test]
+fn pipeline_verb_compiles_and_caches() {
+    let source = "void scale(int A[16], int B[16]) {\n\
+                  \x20 for (int i = 0; i < 16; i = i + 1) { B[i] = A[i] * 3; }\n\
+                  }\n\
+                  void offset(int B[16], int C[16]) {\n\
+                  \x20 for (int i = 0; i < 16; i = i + 1) { C[i] = B[i] + 7; }\n\
+                  }\n";
+    let spec_text = "name duo\npipeline scale | offset\n";
+    let opts = CompileOptions::default();
+
+    let spec = roccc_suite::stream::parse_spec(spec_text).expect("spec parses");
+    let direct = roccc_suite::stream::compile_pipeline(source, &spec, &opts)
+        .expect("pipeline compiles directly");
+    let direct_stats = roccc_suite::stream::stats_report(&direct);
+    let direct_vhdl = roccc_suite::stream::generate_pipeline_vhdl(&direct);
+
+    let handle = start(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    let addr = handle.local_addr();
+
+    let req = |emit: &str| Request::Pipeline {
+        source: source.to_string(),
+        pipeline: spec_text.to_string(),
+        opts: opts.clone(),
+        emit: emit.to_string(),
+    };
+
+    let (stats, cached) = expect_ok(roundtrip(addr, &req("stats"), IO_TIMEOUT).unwrap());
+    assert!(!cached, "first pipeline request is a cold compile");
+    assert_eq!(stats, direct_stats.clone().into_bytes());
+
+    // A different emit of the same topology is served from the pipeline
+    // cache: both artifacts were rendered when the compile landed.
+    let (vhdl, cached) = expect_ok(roundtrip(addr, &req("vhdl"), IO_TIMEOUT).unwrap());
+    assert!(cached, "same topology, different emit: cache hit");
+    assert_eq!(vhdl, direct_vhdl.into_bytes());
+
+    let m = handle.metrics();
+    assert_eq!(m.pipeline_requests.get(), 2);
+    assert_eq!(m.pipeline_cache_hits.get(), 1);
+
+    // A FIFO override changes the topology hash, so it must recompile
+    // rather than alias the cached entry.
+    let resp = roundtrip(
+        addr,
+        &Request::Pipeline {
+            source: source.to_string(),
+            pipeline: format!("{spec_text}fifo offset.B depth=64\n"),
+            opts: opts.clone(),
+            emit: "stats".to_string(),
+        },
+        IO_TIMEOUT,
+    )
+    .unwrap();
+    let (overridden, cached) = expect_ok(resp);
+    assert!(!cached, "a FIFO override is a distinct cache key");
+    assert!(
+        String::from_utf8(overridden).unwrap().contains("depth 64"),
+        "override visible in the stats artifact"
+    );
+
+    // Bad emit and unparseable spec are rejected without compiling.
+    match roundtrip(addr, &req("dot"), IO_TIMEOUT).unwrap() {
+        Response::Err(msg) => assert!(msg.contains("stats|vhdl"), "{msg}"),
+        other => panic!("expected err, got {other:?}"),
+    }
+    let bad_spec = Request::Pipeline {
+        source: source.to_string(),
+        pipeline: "stage ghost unroll=2\n".to_string(),
+        opts: opts.clone(),
+        emit: "stats".to_string(),
+    };
+    match roundtrip(addr, &bad_spec, IO_TIMEOUT).unwrap() {
+        Response::Err(msg) => assert!(msg.contains("pipeline spec"), "{msg}"),
+        other => panic!("expected err, got {other:?}"),
+    }
+    handle.shutdown();
+}
+
 /// The `explore` protocol verb: a sweep returns the stable JSON artifact
 /// with a non-empty frontier, the explore counters account every
 /// candidate, and a repeat of the same sweep is served from the daemon's
