@@ -1,0 +1,121 @@
+//! Initiation-interval bench: MinII lower bounds vs. body latency on
+//! every Table 1 kernel.
+//!
+//! ```text
+//! cargo run --release -p roccc-bench --bin bench_ii -- [--out PATH]
+//! ```
+//!
+//! For each row the kernel is compiled and its dependence/recurrence
+//! analysis is read back: the recurrence-constrained MinII (`RecMII`),
+//! the resource-constrained MinII (`ResMII`), their maximum (`MinII`),
+//! and the pipeline body latency in stages. A kernel whose MinII is
+//! below its body latency has modulo-scheduling headroom — overlapped
+//! iterations could start every MinII cycles instead of waiting out the
+//! full pipeline. The table is written to `BENCH_ii.json` so the bound
+//! is tracked PR over PR.
+
+use roccc::compile;
+use roccc_ipcores::benchmarks;
+use std::fmt::Write as _;
+
+fn parse_out() -> String {
+    let mut out = "BENCH_ii.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out = args.next().expect("--out needs a path"),
+            "--help" | "-h" => {
+                eprintln!("usage: bench_ii [--out PATH]");
+                std::process::exit(0);
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    out
+}
+
+struct Row {
+    name: &'static str,
+    rec_mii: u64,
+    res_mii: u64,
+    min_ii: u64,
+    body_latency: u32,
+    carried_edges: usize,
+    recurrences: usize,
+}
+
+fn main() {
+    let out = parse_out();
+
+    let mut rows = Vec::new();
+    for b in benchmarks() {
+        let c = compile(&b.source, b.func, &b.opts).expect("benchmark compiles");
+        let d = &c.deps;
+        println!(
+            "{:16} MinII {:2} (rec {:2}, res {:2})   body latency {:2}   {} carried edge(s), {} recurrence(s)",
+            b.name,
+            d.min_ii,
+            d.rec_mii,
+            d.res_mii,
+            d.body_latency,
+            d.edges.iter().filter(|e| e.carried).count(),
+            d.recurrences.len()
+        );
+        rows.push(Row {
+            name: b.name,
+            rec_mii: d.rec_mii,
+            res_mii: d.res_mii,
+            min_ii: d.min_ii,
+            body_latency: d.body_latency,
+            carried_edges: d.edges.iter().filter(|e| e.carried).count(),
+            recurrences: d.recurrences.len(),
+        });
+    }
+
+    // The bench JSON schema is bespoke to this harness, like
+    // BENCH_width.json: hand-written, deterministic field order.
+    let mut s = String::new();
+    s.push_str("{\n  \"benchmark\": \"min-ii\",\n  \"unit\": \"cycles\",\n  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"kernel\": \"{}\", \"rec_mii\": {}, \"res_mii\": {}, \"min_ii\": {}, \
+             \"body_latency\": {}, \"headroom\": {}, \"carried_edges\": {}, \"recurrences\": {}}}",
+            r.name,
+            r.rec_mii,
+            r.res_mii,
+            r.min_ii,
+            r.body_latency,
+            u64::from(r.body_latency).saturating_sub(r.min_ii),
+            r.carried_edges,
+            r.recurrences
+        );
+        s.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    std::fs::write(&out, &s).expect("write bench json");
+
+    // The paper's three headline kernels must show pipelining headroom:
+    // the dependence bound is strictly below the body latency.
+    for name in ["fir", "dct", "wavelet"] {
+        let r = rows
+            .iter()
+            .find(|r| r.name == name)
+            .unwrap_or_else(|| panic!("Table 1 kernel `{name}` missing"));
+        assert!(
+            r.min_ii < u64::from(r.body_latency),
+            "{name}: MinII {} must be below body latency {}",
+            r.min_ii,
+            r.body_latency
+        );
+    }
+
+    let headroom = rows
+        .iter()
+        .filter(|r| r.min_ii < u64::from(r.body_latency))
+        .count();
+    println!(
+        "\n{headroom}/{} kernels have MinII below body latency; wrote {out}",
+        rows.len()
+    );
+}

@@ -42,4 +42,6 @@ pub use build::{build_datapath, build_datapath_ranged};
 pub use eval::DpMachine;
 pub use graph::{Datapath, DpNode, DpOp, NodeId, NodeKind, OpId, OutputPort, Value};
 pub use narrow::{narrow_widths, register_bits, width_bits_saved};
-pub use pipeline::{pipeline_datapath, DefaultDelayModel, DelayModel, PipelineReport};
+pub use pipeline::{
+    pipeline_datapath, DefaultDelayModel, DelayModel, PipelineReport, ResourceBudget,
+};

@@ -36,6 +36,21 @@ pub trait DelayModel {
         }
         (digits as f64).log2().ceil().max(1.0) * self.delay_ns(Opcode::Add, width, false)
     }
+
+    /// Device resource budget backing the ResMII bound of the dependence
+    /// analysis. The default is unconstrained (multipliers built from
+    /// logic scale with area, not with a fixed block count).
+    fn resource_budget(&self) -> ResourceBudget {
+        ResourceBudget { mult_blocks: None }
+    }
+}
+
+/// Hard per-device resource limits a modulo scheduler must ration per
+/// initiation interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResourceBudget {
+    /// Dedicated block multipliers available, `None` = unconstrained.
+    pub mult_blocks: Option<u64>,
 }
 
 /// Nonzero digits in the canonical signed-digit (NAF) recoding of `c`.

@@ -57,8 +57,8 @@ fn candidate_json(r: &CandidateReport) -> String {
         Some(m) => {
             let _ = write!(
                 s,
-                ",\"metrics\":{{\"est_slices\":{},\"est_cycles\":{}",
-                m.est_slices, m.est_cycles
+                ",\"metrics\":{{\"est_slices\":{},\"est_cycles\":{},\"min_ii\":{}",
+                m.est_slices, m.est_cycles, m.min_ii
             );
             if matches!(r.status, Status::Scored | Status::MemoHit) {
                 let _ = write!(

@@ -57,6 +57,9 @@ pub struct Metrics {
     pub est_slices: u64,
     /// Cheap cycle estimate: loop iterations + pipeline depth.
     pub est_cycles: u64,
+    /// MinII lower bound from the dependence/recurrence analysis
+    /// (available at estimate time, like the other `est_` fields).
+    pub min_ii: u64,
     /// Mapped 4-input LUTs.
     pub luts: u64,
     /// Mapped flip-flops.
@@ -311,6 +314,7 @@ enum Estimated {
         compiled: Box<Compiled>,
         est_slices: u64,
         est_cycles: u64,
+        min_ii: u64,
         diagnostics: Vec<String>,
     },
     /// Full metrics straight from the memo.
@@ -397,6 +401,7 @@ pub fn explore(
             est_slices,
             est_cycles,
             diagnostics,
+            ..
         } = &estimates[i]
         else {
             unreachable!("to_score holds only Fresh estimates");
@@ -480,12 +485,14 @@ pub fn explore(
                 Estimated::Fresh {
                     est_slices,
                     est_cycles,
+                    min_ii,
                     diagnostics,
                     ..
                 } => {
                     let estimate_only = Metrics {
                         est_slices: *est_slices,
                         est_cycles: *est_cycles,
+                        min_ii: *min_ii,
                         luts: 0,
                         ffs: 0,
                         slices: 0,
@@ -609,9 +616,10 @@ fn estimate_one(
             // the claim.
             drop(flight);
             Estimated::Fresh {
-                compiled: Box::new(compiled),
                 est_slices: est.slices,
                 est_cycles,
+                min_ii: compiled.deps.min_ii,
+                compiled: Box::new(compiled),
                 diagnostics,
             }
         }
@@ -664,6 +672,7 @@ fn score_one(
         Metrics {
             est_slices,
             est_cycles,
+            min_ii: compiled.deps.min_ii,
             luts: full.luts,
             ffs: full.ffs,
             slices: full.slices,

@@ -95,6 +95,7 @@ mod tests {
             metrics: Some(Metrics {
                 est_slices: slices,
                 est_cycles: cycles,
+                min_ii: 1,
                 luts: 0,
                 ffs: 0,
                 slices,

@@ -318,6 +318,34 @@ fn extract_loop_kernel(
                 format!("array `{}` is both read and written in the loop", o.array),
             ));
         }
+        // Distinct per-iteration writes become parallel write lanes merged
+        // order-insensitively by the system generator; any pair that can
+        // target the same element would silently lose the later value.
+        if let Some((i, j, dist)) = crate::deps::overlapping_writes(&o.writes, &dims) {
+            let d: Vec<String> = dist.iter().map(|x| x.to_string()).collect();
+            return Err(err(
+                loop_stmt.span,
+                format!(
+                    "L012-overlapping-writes: output array `{}` writes `[{}]` and `[{}]` \
+                     can touch the same element (iteration distance ({})); the parallel \
+                     write lanes cannot preserve program order between them",
+                    o.array,
+                    o.writes[i]
+                        .index
+                        .iter()
+                        .map(|a| a.to_string())
+                        .collect::<Vec<_>>()
+                        .join("]["),
+                    o.writes[j]
+                        .index
+                        .iter()
+                        .map(|a| a.to_string())
+                        .collect::<Vec<_>>()
+                        .join("]["),
+                    d.join(", "),
+                ),
+            ));
+        }
     }
 
     // -- feedback detection ---------------------------------------------------

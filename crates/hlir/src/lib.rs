@@ -32,6 +32,7 @@
 
 #![warn(missing_docs)]
 
+pub mod deps;
 pub mod extract;
 pub mod fold;
 pub mod fusion;

@@ -32,6 +32,28 @@ pub fn stripmine_unroll_function(f: &Function, strip: u64) -> Function {
     }
 }
 
+/// [`stripmine_unroll_function`] behind the loop-carried dependence gate:
+/// refuses (diagnostic `L011-stripmine-carried-dep`) when `crate::deps`
+/// proves an innermost-loop carried dependence at distance below the
+/// strip width — the flattened strip would compute dependent iterations
+/// as one parallel body.
+pub fn stripmine_unroll_function_checked(
+    f: &Function,
+    strip: u64,
+) -> roccc_cparse::error::CResult<Function> {
+    if let Some(dep) = crate::deps::find_blocking_dep(f, strip, true) {
+        return Err(roccc_cparse::error::CError::new(
+            roccc_cparse::error::Stage::Sema,
+            dep.span,
+            format!(
+                "L011-stripmine-carried-dep: cannot strip-mine by {strip}: {}",
+                dep.describe()
+            ),
+        ));
+    }
+    Ok(stripmine_unroll_function(f, strip))
+}
+
 fn smu_block(b: &Block, strip: u64) -> Block {
     Block {
         stmts: b.stmts.iter().map(|s| smu_stmt(s, strip)).collect(),

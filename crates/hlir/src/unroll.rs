@@ -32,6 +32,28 @@ pub fn partially_unroll_function(f: &Function, factor: u64) -> Function {
     }
 }
 
+/// [`partially_unroll_function`] behind the loop-carried dependence gate:
+/// refuses (diagnostic `L010-unroll-carried-dep`) when `crate::deps`
+/// proves a carried dependence at distance below the factor, because the
+/// duplicated bodies would then touch the same array element inside one
+/// parallel iteration of the generated hardware.
+pub fn partially_unroll_function_checked(
+    f: &Function,
+    factor: u64,
+) -> roccc_cparse::error::CResult<Function> {
+    if let Some(dep) = crate::deps::find_blocking_dep(f, factor, false) {
+        return Err(roccc_cparse::error::CError::new(
+            roccc_cparse::error::Stage::Sema,
+            dep.span,
+            format!(
+                "L010-unroll-carried-dep: cannot unroll by {factor}: {}",
+                dep.describe()
+            ),
+        ));
+    }
+    Ok(partially_unroll_function(f, factor))
+}
+
 fn unroll_block(b: &Block, factor: Option<u64>) -> Block {
     let mut stmts = Vec::new();
     for s in &b.stmts {

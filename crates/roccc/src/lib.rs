@@ -216,6 +216,9 @@ pub struct Compiled {
     /// Per-register value ranges computed by the forward analysis
     /// (`Some` iff the compile ran with [`CompileOptions::range_narrow`]).
     pub ranges: Option<roccc_suifvm::RangeMap>,
+    /// Dependence graph, recurrences, and MinII lower bounds (always
+    /// computed; `body_latency` holds the pipelined stage count).
+    pub deps: roccc_suifvm::DepGraph,
     /// Non-fatal verifier findings collected during compilation (empty
     /// when [`CompileOptions::verify`] is [`VerifyLevel::Off`]).
     pub diagnostics: Vec<Diagnostic>,
@@ -323,6 +326,154 @@ impl Compiled {
         );
         s
     }
+
+    /// Human-readable dependence graph + MinII table (the `--emit deps`
+    /// payload): accesses, surviving dependence edges, recurrences with
+    /// their latency, and the RecMII/ResMII/MinII summary against the
+    /// body latency the pipeline achieved.
+    pub fn deps_report(&self) -> String {
+        use std::fmt::Write as _;
+        let d = &self.deps;
+        let mut s = String::new();
+        let _ = writeln!(s, "dependence graph for `{}`:", self.kernel.name);
+        let _ = writeln!(s, "  dims ({}):", d.dims.len());
+        for dim in &d.dims {
+            let _ = writeln!(
+                s,
+                "    {} = {}..{} step {} (trip {})",
+                dim.var, dim.start, dim.bound, dim.step, dim.trip
+            );
+        }
+        let _ = writeln!(s, "  accesses ({}):", d.accesses.len());
+        for (i, a) in d.accesses.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "    a{i} {} {}[{}]",
+                if a.write { "write" } else { "read " },
+                a.array,
+                a.index.join("][")
+            );
+        }
+        let _ = writeln!(s, "  edges ({}):", d.edges.len());
+        for e in &d.edges {
+            let dist: Vec<String> = e.dist.iter().map(|x| x.to_string()).collect();
+            let _ = writeln!(
+                s,
+                "    a{} -> a{} {} dist ({}){}",
+                e.src,
+                e.dst,
+                e.kind,
+                dist.join(", "),
+                if e.carried { " carried" } else { "" }
+            );
+        }
+        let _ = writeln!(s, "  recurrences ({}):", d.recurrences.len());
+        for r in &d.recurrences {
+            let _ = writeln!(
+                s,
+                "    {}: {} ops, {:.3} ns, {} cycle(s) / distance {} -> MII {}",
+                r.name, r.ops, r.latency_ns, r.latency_cycles, r.distance, r.mii
+            );
+        }
+        let _ = writeln!(
+            s,
+            "  mult blocks: {} used / {}",
+            d.mult_blocks_used,
+            match d.mult_blocks_avail {
+                Some(a) => a.to_string(),
+                None => "unlimited".to_string(),
+            }
+        );
+        let _ = writeln!(
+            s,
+            "  min II: {} (rec {}, res {}), body latency {} cycle(s)",
+            d.min_ii, d.rec_mii, d.res_mii, d.body_latency
+        );
+        if let Some(h) = d.headroom() {
+            let _ = writeln!(s, "  modulo-scheduling headroom: {h} cycle(s)");
+        }
+        s
+    }
+
+    /// Deterministic JSON rendering of the dependence graph
+    /// (`--emit deps-json`, schema `roccc-deps-v1`).
+    pub fn deps_json(&self) -> String {
+        use std::fmt::Write as _;
+        let d = &self.deps;
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"schema\":\"roccc-deps-v1\",\"function\":{:?},\"dims\":[",
+            self.kernel.name
+        );
+        for (i, dim) in d.dims.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"var\":{:?},\"start\":{},\"step\":{},\"trip\":{}}}",
+                dim.var, dim.start, dim.step, dim.trip
+            );
+        }
+        s.push_str("],\"accesses\":[");
+        for (i, a) in d.accesses.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"array\":{:?},\"write\":{},\"index\":{:?}}}",
+                a.array,
+                a.write,
+                a.index.join("][")
+            );
+        }
+        s.push_str("],\"edges\":[");
+        for (i, e) in d.edges.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let dist: Vec<String> = e.dist.iter().map(|x| x.to_string()).collect();
+            let _ = write!(
+                s,
+                "{{\"src\":{},\"dst\":{},\"kind\":\"{}\",\"dist\":{:?},\"carried\":{}}}",
+                e.src,
+                e.dst,
+                e.kind,
+                dist.join(","),
+                e.carried
+            );
+        }
+        s.push_str("],\"recurrences\":[");
+        for (i, r) in d.recurrences.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"name\":{:?},\"ops\":{},\"latency_ns\":{:.3},\"latency_cycles\":{},\
+                 \"distance\":{},\"mii\":{}}}",
+                r.name, r.ops, r.latency_ns, r.latency_cycles, r.distance, r.mii
+            );
+        }
+        let _ = write!(
+            s,
+            "],\"unknown_accesses\":{},\"mult_blocks_used\":{},\"mult_blocks_avail\":{},\
+             \"rec_mii\":{},\"res_mii\":{},\"min_ii\":{},\"body_latency\":{}}}",
+            d.unknown_accesses,
+            d.mult_blocks_used,
+            match d.mult_blocks_avail {
+                Some(a) => a.to_string(),
+                None => "null".to_string(),
+            },
+            d.rec_mii,
+            d.res_mii,
+            d.min_ii,
+            d.body_latency
+        );
+        s
+    }
 }
 
 /// Errors from any stage of the pipeline.
@@ -427,7 +578,7 @@ pub fn compile_with_model_timed(
 
     // Loop-level transformations requested by the options.
     let t0 = Instant::now();
-    program = transform_program(&program, func, opts);
+    program = transform_program(&program, func, opts)?;
 
     // Scalar replacement + feedback detection.
     let kernel = extract_kernel(&program, func)?;
@@ -464,17 +615,7 @@ pub fn compile_with_model_timed(
     // describe the code that actually lowers.
     let mut ranges = None;
     if opts.range_narrow {
-        let input_ranges: Vec<Option<(i64, i64)>> = ir
-            .inputs
-            .iter()
-            .map(|(name, _)| {
-                kernel.dims.iter().find(|d| d.var == *name).and_then(|d| {
-                    let trip = i64::try_from(d.trip).ok()?.checked_sub(1)?;
-                    let last = d.step.checked_mul(trip)?.checked_add(d.start)?;
-                    Some((d.start.min(last), d.start.max(last)))
-                })
-            })
-            .collect();
+        let input_ranges = roccc_suifvm::input_seed_ranges(&kernel.dims, &ir);
         let mut map = roccc_suifvm::analyze_with_inputs(&ir, &input_ranges);
         if roccc_suifvm::fold_constant_ranges(&mut ir, &map) {
             if opts.optimize {
@@ -492,6 +633,22 @@ pub fn compile_with_model_timed(
         }
         ranges = Some(map);
     }
+
+    // Dependence graph + MinII lower bounds (the modulo-scheduling
+    // artifact): memory edges from the kernel's affine accesses,
+    // recurrences from the LPR→SNX feedback cycles, resource pressure
+    // from the delay model's device budget.
+    let budget = model.resource_budget();
+    let mut deps = roccc_suifvm::analyze_deps(
+        &kernel,
+        &ir,
+        opts.target_period_ns,
+        &|op, w| model.delay_ns(op, w, false),
+        &roccc_suifvm::Resources {
+            mult_blocks_avail: budget.mult_blocks,
+            ..roccc_suifvm::Resources::unlimited()
+        },
+    );
     timings.suifvm += t0.elapsed();
 
     // Data path.
@@ -500,6 +657,16 @@ pub fn compile_with_model_timed(
     pipeline_datapath(&mut datapath, opts.target_period_ns, model);
     if opts.narrow {
         narrow_widths(&mut datapath);
+    }
+    // The pipeline depth is the initiation interval the current hardware
+    // achieves for loop-carried bodies — the MinII comparison baseline.
+    deps.body_latency = datapath.num_stages;
+    if opts.verify != VerifyLevel::Off {
+        gate_findings(
+            opts.verify,
+            roccc_verify::verify_deps(&deps, &kernel, &ir),
+            &mut diagnostics,
+        )?;
     }
     datapath.verify().map_err(CompileError::Backend)?;
     if opts.verify != VerifyLevel::Off {
@@ -531,6 +698,7 @@ pub fn compile_with_model_timed(
         netlist,
         program,
         ranges,
+        deps,
         diagnostics,
     })
 }
@@ -569,16 +737,25 @@ pub fn verify_compiled(c: &Compiled) -> Vec<Diagnostic> {
     if let Some(map) = &c.ranges {
         v.extend(roccc_verify::verify_ranges(&c.ir, map));
     }
+    v.extend(roccc_verify::verify_deps(&c.deps, &c.kernel, &c.ir));
     v.extend(roccc_verify::verify_datapath(&c.datapath));
     v.extend(roccc_verify::verify_netlist(&c.netlist));
     v
 }
 
 /// Applies the option-selected loop transformations to `func` only.
-fn transform_program(program: &Program, func: &str, opts: &CompileOptions) -> Program {
-    let map_fn = |f: &Function| -> Function {
+/// Body-duplicating transforms run behind the `hlir::deps` legality gate
+/// and refuse (`L010`/`L011` diagnostics) when a loop-carried dependence
+/// at distance below the factor would make the duplicated bodies touch
+/// the same array element within one parallel iteration.
+fn transform_program(
+    program: &Program,
+    func: &str,
+    opts: &CompileOptions,
+) -> Result<Program, CompileError> {
+    let map_fn = |f: &Function| -> Result<Function, CompileError> {
         if f.name != func {
-            return f.clone();
+            return Ok(f.clone());
         }
         let mut f = f.clone();
         if opts.fuse {
@@ -586,33 +763,33 @@ fn transform_program(program: &Program, func: &str, opts: &CompileOptions) -> Pr
         }
         if let Some(w) = opts.stripmine {
             if w >= 2 {
-                f = roccc_hlir::stripmine::stripmine_unroll_function(&f, w);
+                f = roccc_hlir::stripmine::stripmine_unroll_function_checked(&f, w)?;
                 f = roccc_hlir::fold::fold_function(&f);
             }
         }
         match opts.unroll {
             UnrollStrategy::Keep => {}
             UnrollStrategy::Full => {
+                // Full unrolling preserves sequential straight-line
+                // semantics, so it needs no dependence gate.
                 f = roccc_hlir::unroll::fully_unroll_function(&f);
                 f = roccc_hlir::fold::fold_function(&f);
             }
             UnrollStrategy::Partial(k) => {
-                f = roccc_hlir::unroll::partially_unroll_function(&f, k);
+                f = roccc_hlir::unroll::partially_unroll_function_checked(&f, k)?;
                 f = roccc_hlir::fold::fold_function(&f);
             }
         }
-        f
+        Ok(f)
     };
-    Program {
-        items: program
-            .items
-            .iter()
-            .map(|i| match i {
-                Item::Function(f) => Item::Function(map_fn(f)),
-                g => g.clone(),
-            })
-            .collect(),
+    let mut items = Vec::with_capacity(program.items.len());
+    for i in &program.items {
+        items.push(match i {
+            Item::Function(f) => Item::Function(map_fn(f)?),
+            g => g.clone(),
+        });
     }
+    Ok(Program { items })
 }
 
 /// Profiles a program by running `driver` in the golden-model interpreter
@@ -713,7 +890,7 @@ pub use roccc_cparse::{interp::Interpreter, CResult};
 pub use roccc_datapath::graph::NodeKind;
 pub use roccc_datapath::width_bits_saved;
 pub use roccc_netlist::{CompiledSim, NetlistSim};
-pub use roccc_suifvm::{RangeMap, ValueRange};
+pub use roccc_suifvm::{DepGraph, RangeMap, Recurrence, ValueRange};
 pub use roccc_verify::{Diagnostic, Loc, Phase, Severity, VerifyLevel};
 
 #[cfg(test)]

@@ -129,6 +129,12 @@ pub struct Metrics {
     /// Operator bits shaved by width narrowing, summed over all actual
     /// compiles (`roccc_datapath::width_bits_saved` per cache miss).
     pub width_bits_saved: Counter,
+    /// Loop-carried dependence edges found, summed over actual compiles.
+    pub deps_carried_edges: Counter,
+    /// Feedback recurrences (LPR→SNX cycles) found across compiles.
+    pub deps_recurrences: Counter,
+    /// Sum of MinII lower bounds across actual compiles.
+    pub deps_min_ii: Counter,
     /// Streaming-pipeline compile requests served.
     pub pipeline_requests: Counter,
     /// Pipeline requests answered from the pipeline cache.
@@ -205,6 +211,21 @@ impl Metrics {
                 "roccc_width_bits_saved_total",
                 "Operator bits saved by width narrowing across compiles",
                 &self.width_bits_saved,
+            ),
+            (
+                "roccc_deps_carried_edges_total",
+                "Loop-carried dependence edges across compiles",
+                &self.deps_carried_edges,
+            ),
+            (
+                "roccc_deps_recurrences_total",
+                "Feedback recurrences across compiles",
+                &self.deps_recurrences,
+            ),
+            (
+                "roccc_deps_min_ii_total",
+                "Sum of MinII lower bounds across compiles",
+                &self.deps_min_ii,
             ),
             (
                 "roccc_pipeline_requests_total",

@@ -462,6 +462,8 @@ fn render_artifact(entry: &CacheEntry, emit: &str) -> Result<Vec<u8>, String> {
         .into_bytes()),
         "stats" => Ok(render_stats(entry).into_bytes()),
         "ranges" => Ok(entry.compiled.range_report().into_bytes()),
+        "deps" => Ok(entry.compiled.deps_report().into_bytes()),
+        "deps-json" => Ok(entry.compiled.deps_json().into_bytes()),
         "table-row" => {
             let model = roccc_synth::VirtexII::default();
             let r = roccc_synth::map_netlist(&entry.compiled.netlist, &model);
@@ -472,7 +474,7 @@ fn render_artifact(entry: &CacheEntry, emit: &str) -> Result<Vec<u8>, String> {
             .into_bytes())
         }
         other => Err(format!(
-            "unknown emit `{other}` (stats|vhdl|dot|ir|c|ranges|table-row)"
+            "unknown emit `{other}` (stats|vhdl|dot|ir|c|ranges|deps|deps-json|table-row)"
         )),
     }
 }
@@ -495,6 +497,10 @@ fn render_stats(entry: &CacheEntry) -> String {
     s.push_str(&format!(
         "outputs per cycle: {}\n",
         hw.datapath.throughput_per_cycle()
+    ));
+    s.push_str(&format!(
+        "min II           : {} (rec {}, res {}), body latency {} cycle(s)\n",
+        hw.deps.min_ii, hw.deps.rec_mii, hw.deps.res_mii, hw.deps.body_latency
     ));
     s.push_str(&format!(
         "estimate (fast)  : {} LUT, {} FF, {} slices\n",
@@ -547,10 +553,10 @@ fn handle_compile(
     // a compile.
     if !matches!(
         emit,
-        "stats" | "vhdl" | "dot" | "ir" | "c" | "ranges" | "table-row"
+        "stats" | "vhdl" | "dot" | "ir" | "c" | "ranges" | "deps" | "deps-json" | "table-row"
     ) {
         return Response::Err(format!(
-            "unknown emit `{emit}` (stats|vhdl|dot|ir|c|ranges|table-row)"
+            "unknown emit `{emit}` (stats|vhdl|dot|ir|c|ranges|deps|deps-json|table-row)"
         ));
     }
 
@@ -843,6 +849,16 @@ fn spawn_compile(
                         .metrics
                         .width_bits_saved
                         .add(roccc::width_bits_saved(&entry.compiled.datapath));
+                    let deps = &entry.compiled.deps;
+                    shared
+                        .metrics
+                        .deps_carried_edges
+                        .add(deps.edges.iter().filter(|e| e.carried).count() as u64);
+                    shared
+                        .metrics
+                        .deps_recurrences
+                        .add(deps.recurrences.len() as u64);
+                    shared.metrics.deps_min_ii.add(deps.min_ii);
                     let entry = Arc::new(entry);
                     shared.cache.insert(key, Arc::clone(&entry));
                     shared.clear_inflight(key);

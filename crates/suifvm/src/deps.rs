@@ -1,0 +1,576 @@
+//! Dependence graph and minimum-initiation-interval (MinII) analysis.
+//!
+//! Combines three static facts into the artifact a modulo scheduler needs
+//! (ROADMAP item 1, after Desai's inner-loop optimization framework):
+//!
+//! * **memory dependence edges** between the extracted kernel's window
+//!   reads and output writes, from the affine ZIV/SIV-GCD/Banerjee tests
+//!   in `roccc_hlir::deps`;
+//! * **recurrences** — the LPR→SNX feedback cycles of the SSA body (this
+//!   IR's form of the classical φ-cycle: the CFG is acyclic, so every
+//!   loop-carried scalar flows through a feedback slot register), each
+//!   with the combinational latency of its cycle and its iteration
+//!   distance (always 1: the value crosses exactly one iteration);
+//! * **resource pressure** — block-multiplier demand vs. the synthesis
+//!   model's device budget.
+//!
+//! `RecMII = max ⌈latency_cycles / distance⌉` over recurrences,
+//! `ResMII = ⌈mult_blocks_used / mult_blocks_available⌉`, and
+//! `MinII = max(RecMII, ResMII, 1)` — a lower bound on how many cycles
+//! must separate iteration launches, against the current initiation
+//! interval of one iteration per `body_latency` cycles.
+
+use crate::ir::{FunctionIr, Opcode, VReg};
+use roccc_hlir::deps::{dep_test, is_carried, DepKind, DimDist};
+use roccc_hlir::kernel::{Kernel, LoopDim};
+use std::collections::HashSet;
+
+/// One array access of the dependence graph (kernel windows + outputs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphAccess {
+    /// Array name.
+    pub array: String,
+    /// Whether the access stores.
+    pub write: bool,
+    /// Rendered affine subscripts, one per array dimension.
+    pub index: Vec<String>,
+}
+
+/// A dependence edge between two accesses (indices into
+/// [`DepGraph::accesses`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DepEdge {
+    /// Source access (earlier in the read-then-write iteration order).
+    pub src: usize,
+    /// Destination access.
+    pub dst: usize,
+    /// Dependence kind.
+    pub kind: DepKind,
+    /// Per-loop-dimension iteration distance.
+    pub dist: Vec<DimDist>,
+    /// Whether any dimension lets the edge cross an iteration boundary.
+    pub carried: bool,
+}
+
+/// One feedback recurrence (LPR→SNX cycle) with its MinII contribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recurrence {
+    /// Feedback slot index.
+    pub slot: usize,
+    /// Loop-carried variable name.
+    pub name: String,
+    /// Number of SSA operations on the cycle.
+    pub ops: u32,
+    /// Combinational latency of the cycle's critical path.
+    pub latency_ns: f64,
+    /// Latency in clock cycles at the target period (at least 1).
+    pub latency_cycles: u64,
+    /// Iteration distance the value crosses (always 1 for LPR→SNX).
+    pub distance: u64,
+    /// `⌈latency_cycles / distance⌉`.
+    pub mii: u64,
+}
+
+/// Resource facts feeding the ResMII bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Resources {
+    /// Device block-multiplier budget; `None` = multipliers are built
+    /// from logic and impose no II bound.
+    pub mult_blocks_avail: Option<u64>,
+    /// Native block geometry (input widths) used to count demand.
+    pub mult_block_bits: (u8, u8),
+}
+
+impl Resources {
+    /// No resource constraint at all.
+    pub fn unlimited() -> Self {
+        Resources {
+            mult_blocks_avail: None,
+            mult_block_bits: (18, 18),
+        }
+    }
+}
+
+impl Default for Resources {
+    fn default() -> Self {
+        Self::unlimited()
+    }
+}
+
+/// The dependence-and-recurrence artifact with its MinII summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DepGraph {
+    /// Loop dimensions of the analyzed kernel (empty for straight-line
+    /// kernels).
+    pub dims: Vec<LoopDim>,
+    /// All window reads and output writes, reads first.
+    pub accesses: Vec<GraphAccess>,
+    /// Dependence edges that could not be refuted.
+    pub edges: Vec<DepEdge>,
+    /// Feedback recurrences.
+    pub recurrences: Vec<Recurrence>,
+    /// Number of accesses whose subscripts were not analyzable (0 for
+    /// extracted kernels: extraction already requires affine subscripts).
+    pub unknown_accesses: u32,
+    /// Block multipliers the body demands.
+    pub mult_blocks_used: u64,
+    /// Device block-multiplier budget (`None` = unconstrained).
+    pub mult_blocks_avail: Option<u64>,
+    /// Recurrence-constrained MinII.
+    pub rec_mii: u64,
+    /// Resource-constrained MinII.
+    pub res_mii: u64,
+    /// `max(rec_mii, res_mii, 1)`.
+    pub min_ii: u64,
+    /// Pipeline depth of the compiled body in cycles — the initiation
+    /// interval the current (non-modulo-scheduled) hardware achieves.
+    /// Filled in by the driver after pipelining; 0 = not yet known.
+    pub body_latency: u32,
+}
+
+impl DepGraph {
+    /// Cycles of headroom between the current initiation interval and
+    /// the lower bound (`None` until `body_latency` is known).
+    pub fn headroom(&self) -> Option<u64> {
+        (self.body_latency > 0).then(|| u64::from(self.body_latency).saturating_sub(self.min_ii))
+    }
+}
+
+/// `ResMII = ⌈used / available⌉` (at least 1; unconstrained when the
+/// device has no block multipliers to ration).
+pub fn res_mii(used: u64, avail: Option<u64>) -> u64 {
+    match avail {
+        Some(a) if used > 0 => used.div_ceil(a.max(1)).max(1),
+        _ => 1,
+    }
+}
+
+/// Builds the dependence graph and MinII summary for one compiled kernel.
+///
+/// `delay` maps an opcode at a width to its combinational delay in ns
+/// (the synthesis model's `DelayModel::delay_ns` with `const_shift`
+/// false); `period_ns` is the target clock period.
+pub fn analyze_deps(
+    kernel: &Kernel,
+    ir: &FunctionIr,
+    period_ns: f64,
+    delay: &dyn Fn(Opcode, u8) -> f64,
+    resources: &Resources,
+) -> DepGraph {
+    let dims = kernel.dims.clone();
+    let (accesses, edges) = memory_edges(kernel);
+
+    // -- recurrences ----------------------------------------------------------
+    let recurrences = find_recurrences(ir, period_ns, delay);
+    let rec_mii = recurrences.iter().map(|r| r.mii).max().unwrap_or(1).max(1);
+
+    // -- resources ------------------------------------------------------------
+    let mult_blocks_used = count_block_mults(ir, resources.mult_block_bits);
+    let res = res_mii(mult_blocks_used, resources.mult_blocks_avail);
+
+    DepGraph {
+        dims,
+        accesses,
+        edges,
+        recurrences,
+        unknown_accesses: 0,
+        mult_blocks_used,
+        mult_blocks_avail: resources.mult_blocks_avail,
+        rec_mii,
+        res_mii: res,
+        min_ii: rec_mii.max(res).max(1),
+        body_latency: 0,
+    }
+}
+
+/// Builds the access list and the surviving dependence edges of one
+/// kernel's windows and outputs. Windows are read at the top of an
+/// iteration, outputs written at the bottom, so listing reads first
+/// preserves program order. `roccc-verify` recomputes this to cross-check
+/// a [`DepGraph`] artifact.
+pub fn memory_edges(kernel: &Kernel) -> (Vec<GraphAccess>, Vec<DepEdge>) {
+    let dims = &kernel.dims;
+    let mut accesses = Vec::new();
+    let mut raw_index = Vec::new();
+    for w in &kernel.windows {
+        for r in &w.reads {
+            accesses.push(GraphAccess {
+                array: w.array.clone(),
+                write: false,
+                index: r.index.iter().map(|a| a.to_string()).collect(),
+            });
+            raw_index.push((w.array.clone(), false, r.index.clone()));
+        }
+    }
+    for o in &kernel.outputs {
+        for wr in &o.writes {
+            accesses.push(GraphAccess {
+                array: o.array.clone(),
+                write: true,
+                index: wr.index.iter().map(|a| a.to_string()).collect(),
+            });
+            raw_index.push((o.array.clone(), true, wr.index.clone()));
+        }
+    }
+    let mut edges = Vec::new();
+    for i in 0..raw_index.len() {
+        for j in (i + 1)..raw_index.len() {
+            let (aa, aw, ai) = &raw_index[i];
+            let (ba, bw, bi) = &raw_index[j];
+            if aa != ba || !(*aw || *bw) {
+                continue;
+            }
+            if let Some(dist) = dep_test(ai, bi, dims, &[]) {
+                let carried = is_carried(&dist);
+                edges.push(DepEdge {
+                    src: i,
+                    dst: j,
+                    kind: match (*aw, *bw) {
+                        (true, true) => DepKind::Output,
+                        (false, true) => DepKind::Anti,
+                        _ => DepKind::Flow,
+                    },
+                    dist,
+                    carried,
+                });
+            }
+        }
+    }
+    (accesses, edges)
+}
+
+/// Detects the LPR→SNX cycle of every feedback slot and measures its
+/// critical-path latency through the SSA body. `roccc-verify` re-runs
+/// this with a zero-delay model to re-check which slots carry cycles.
+pub fn find_recurrences(
+    ir: &FunctionIr,
+    period_ns: f64,
+    delay: &dyn Fn(Opcode, u8) -> f64,
+) -> Vec<Recurrence> {
+    let period = if period_ns > 0.0 { period_ns } else { 1.0 };
+    let rpo = ir.reverse_postorder();
+    let mut out = Vec::new();
+    for (slot, fb) in ir.feedback.iter().enumerate() {
+        let imm = slot as i64;
+        // Seeds: registers loaded from the slot; sink: the value stored
+        // back into it.
+        let mut seeds: HashSet<VReg> = HashSet::new();
+        let mut sink: Option<VReg> = None;
+        for bid in &rpo {
+            let b = &ir.blocks[bid.0 as usize];
+            for ins in &b.instrs {
+                match ins.op {
+                    Opcode::Lpr if ins.imm == imm => {
+                        if let Some(d) = ins.dst {
+                            seeds.insert(d);
+                        }
+                    }
+                    Opcode::Snx if ins.imm == imm => sink = ins.srcs.as_slice().first().copied(),
+                    _ => {}
+                }
+            }
+        }
+        let Some(sink) = sink else { continue };
+        if seeds.is_empty() {
+            continue;
+        }
+
+        // Forward reachability from the loads (one RPO pass suffices: the
+        // CFG is acyclic and defs dominate uses).
+        let mut fwd: HashSet<VReg> = seeds.clone();
+        for bid in &rpo {
+            let b = &ir.blocks[bid.0 as usize];
+            for p in &b.phis {
+                if p.args.iter().any(|(_, r)| fwd.contains(r)) {
+                    fwd.insert(p.dst);
+                }
+            }
+            for ins in &b.instrs {
+                if let Some(d) = ins.dst {
+                    if ins.srcs.as_slice().iter().any(|r| fwd.contains(r)) {
+                        fwd.insert(d);
+                    }
+                }
+            }
+        }
+        if !fwd.contains(&sink) {
+            continue; // the next value does not depend on the previous one
+        }
+
+        // Backward reachability from the store's source.
+        let mut bwd: HashSet<VReg> = HashSet::new();
+        bwd.insert(sink);
+        for bid in rpo.iter().rev() {
+            let b = &ir.blocks[bid.0 as usize];
+            for ins in b.instrs.iter().rev() {
+                if let Some(d) = ins.dst {
+                    if bwd.contains(&d) {
+                        bwd.extend(ins.srcs.as_slice().iter().copied());
+                    }
+                }
+            }
+            for p in b.phis.iter().rev() {
+                if bwd.contains(&p.dst) {
+                    bwd.extend(p.args.iter().map(|(_, r)| *r));
+                }
+            }
+        }
+
+        // Critical path through the cycle ops (φ nodes become muxes in
+        // the datapath, so they cost a mux delay).
+        let cycle: HashSet<VReg> = fwd.intersection(&bwd).copied().collect();
+        let mut arrival: std::collections::HashMap<VReg, f64> = std::collections::HashMap::new();
+        for s in &seeds {
+            if cycle.contains(s) {
+                arrival.insert(*s, 0.0);
+            }
+        }
+        let mut ops = 0u32;
+        for bid in &rpo {
+            let b = &ir.blocks[bid.0 as usize];
+            for p in &b.phis {
+                if cycle.contains(&p.dst) && !arrival.contains_key(&p.dst) {
+                    let t = p
+                        .args
+                        .iter()
+                        .filter_map(|(_, r)| arrival.get(r))
+                        .fold(0.0f64, |a, &b| a.max(b));
+                    arrival.insert(p.dst, t + delay(Opcode::Mux, p.ty.bits));
+                    ops += 1;
+                }
+            }
+            for ins in &b.instrs {
+                let Some(d) = ins.dst else { continue };
+                if cycle.contains(&d) && !arrival.contains_key(&d) {
+                    let t = ins
+                        .srcs
+                        .as_slice()
+                        .iter()
+                        .filter_map(|r| arrival.get(r))
+                        .fold(0.0f64, |a, &b| a.max(b));
+                    arrival.insert(d, t + delay(ins.op, ins.ty.bits));
+                    ops += 1;
+                }
+            }
+        }
+        let latency_ns = arrival.get(&sink).copied().unwrap_or(0.0);
+        let latency_cycles = ((latency_ns / period) - 1e-9).ceil().max(1.0) as u64;
+        out.push(Recurrence {
+            slot,
+            name: fb.name.as_str().to_string(),
+            ops,
+            latency_ns,
+            latency_cycles,
+            distance: 1,
+            mii: latency_cycles,
+        });
+    }
+    out
+}
+
+/// Counts the device block multipliers the body demands: every `MUL`
+/// whose operands are both non-constant tiles into
+/// `⌈w₀/bits₀⌉ × ⌈w₁/bits₁⌉` blocks (constant multiplies become
+/// shift-add networks in logic).
+pub fn count_block_mults(ir: &FunctionIr, block_bits: (u8, u8)) -> u64 {
+    let mut const_def = vec![false; ir.vreg_types.len()];
+    for b in &ir.blocks {
+        for ins in &b.instrs {
+            if ins.op == Opcode::Ldc {
+                if let Some(d) = ins.dst {
+                    const_def[d.0 as usize] = true;
+                }
+            }
+        }
+    }
+    let tile = |w: u8, b: u8| -> u64 { u64::from(w).div_ceil(u64::from(b.max(1))) };
+    let mut used = 0u64;
+    for b in &ir.blocks {
+        for ins in &b.instrs {
+            if ins.op != Opcode::Mul {
+                continue;
+            }
+            let s = ins.srcs.as_slice();
+            if s.len() == 2 && !const_def[s[0].0 as usize] && !const_def[s[1].0 as usize] {
+                used += tile(ir.ty(s[0]).bits, block_bits.0) * tile(ir.ty(s[1]).bits, block_bits.1);
+            }
+        }
+    }
+    used
+}
+
+/// Derives per-input value ranges from the kernel's loop bounds: a loop
+/// index input `i` spans `[start, start + step·(trip−1)]`. Inputs that
+/// are not loop indices stay unconstrained. This is what lets
+/// `range::analyze_with_inputs` run on the Table 1 kernels without
+/// hand-passed bounds.
+pub fn input_seed_ranges(dims: &[LoopDim], ir: &FunctionIr) -> Vec<Option<(i64, i64)>> {
+    ir.inputs
+        .iter()
+        .map(|(name, _)| {
+            dims.iter().find(|d| d.var == name.as_str()).and_then(|d| {
+                let trip = i64::try_from(d.trip).ok()?.checked_sub(1)?;
+                let last = d.step.checked_mul(trip)?.checked_add(d.start)?;
+                Some((d.start.min(last), d.start.max(last)))
+            })
+        })
+        .collect()
+}
+
+/// [`crate::range::analyze_with_inputs`] seeded from loop bounds via
+/// [`input_seed_ranges`].
+pub fn analyze_seeded(ir: &FunctionIr, dims: &[LoopDim]) -> crate::range::RangeMap {
+    crate::range::analyze_with_inputs(ir, &input_seed_ranges(dims, ir))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_function;
+    use crate::opt::optimize;
+    use crate::ssa::to_ssa;
+    use roccc_cparse::parser::parse;
+    use roccc_hlir::extract::extract_kernel;
+
+    fn kernel_ir(src: &str, name: &str) -> (Kernel, FunctionIr) {
+        use roccc_cparse::ast::{Item, Program};
+        let prog = parse(src).unwrap();
+        let kernel = extract_kernel(&prog, name).unwrap();
+        let dp_program = Program {
+            items: vec![Item::Function(kernel.dp_func.clone())],
+        };
+        let mut ir = lower_function(&dp_program, &kernel.dp_func, &kernel.feedback).unwrap();
+        to_ssa(&mut ir);
+        optimize(&mut ir);
+        (kernel, ir)
+    }
+
+    fn flat_delay(_op: Opcode, _w: u8) -> f64 {
+        1.0
+    }
+
+    #[test]
+    fn res_mii_math() {
+        assert_eq!(res_mii(0, Some(4)), 1);
+        assert_eq!(res_mii(4, Some(4)), 1);
+        assert_eq!(res_mii(5, Some(4)), 2);
+        assert_eq!(res_mii(56, Some(56)), 1);
+        assert_eq!(res_mii(100, None), 1);
+        assert_eq!(res_mii(3, Some(1)), 3);
+    }
+
+    #[test]
+    fn accumulator_recurrence_detected() {
+        let (kernel, ir) = kernel_ir(
+            "void acc(int A[64], int* sum) { int i; int s = 0;
+               for (i = 0; i < 64; i++) { s = s + A[i]; } *sum = s; }",
+            "acc",
+        );
+        let g = analyze_deps(&kernel, &ir, 10.0, &flat_delay, &Resources::unlimited());
+        assert_eq!(g.recurrences.len(), 1, "one feedback cycle: {g:?}");
+        let r = &g.recurrences[0];
+        assert_eq!(r.name, "s");
+        assert_eq!(r.distance, 1);
+        assert!(r.latency_ns >= 1.0, "cycle has at least the add: {r:?}");
+        assert_eq!(g.min_ii, 1, "1 ns path at a 10 ns clock");
+        // The same cycle at a clock shorter than its path stretches MinII.
+        let slow = |_: Opcode, _: u8| 7.0;
+        let g2 = analyze_deps(&kernel, &ir, 2.0, &slow, &Resources::unlimited());
+        assert!(
+            g2.rec_mii >= 4,
+            "7 ns path at 2 ns clock: {:?}",
+            g2.recurrences
+        );
+        assert_eq!(g2.min_ii, g2.rec_mii);
+    }
+
+    #[test]
+    fn pure_window_kernel_has_no_recurrence_and_no_carried_edges() {
+        let (kernel, ir) = kernel_ir(
+            "void fir(int A[21], int C[17]) { int i;
+               for (i = 0; i < 17; i = i + 1) {
+                 C[i] = 3*A[i] + 5*A[i+1] + 7*A[i+2]; } }",
+            "fir",
+        );
+        let g = analyze_deps(&kernel, &ir, 5.0, &flat_delay, &Resources::unlimited());
+        assert!(g.recurrences.is_empty());
+        assert!(g.edges.iter().all(|e| !e.carried), "edges: {:?}", g.edges);
+        assert_eq!(g.min_ii, 1);
+        assert_eq!(g.accesses.len(), 4, "3 reads + 1 write");
+    }
+
+    #[test]
+    fn block_mult_counting_and_res_mii() {
+        let (kernel, ir) = kernel_ir(
+            "void m(int A[8], int B[8], int C[8]) { int i;
+               for (i = 0; i < 8; i++) { C[i] = A[i] * B[i]; } }",
+            "m",
+        );
+        let used = count_block_mults(&ir, (18, 18));
+        assert!(used >= 1, "one variable multiply");
+        let g = analyze_deps(
+            &kernel,
+            &ir,
+            5.0,
+            &flat_delay,
+            &Resources {
+                mult_blocks_avail: Some(1),
+                mult_block_bits: (18, 18),
+            },
+        );
+        assert_eq!(g.mult_blocks_used, used);
+        assert!(g.res_mii >= 1);
+        // Constant multiplies never count.
+        let (_, cir) = kernel_ir(
+            "void c(int A[8], int C[8]) { int i;
+               for (i = 0; i < 8; i++) { C[i] = A[i] * 5; } }",
+            "c",
+        );
+        assert_eq!(count_block_mults(&cir, (18, 18)), 0);
+    }
+
+    #[test]
+    fn input_seed_ranges_cover_loop_indices() {
+        use roccc_cparse::types::IntType;
+        // A port named after a dimension gets the dimension's value span;
+        // other ports stay unconstrained.
+        let mut ir = FunctionIr::new("k");
+        ir.inputs.push(("i".into(), IntType::int()));
+        ir.inputs.push(("x".into(), IntType::int()));
+        let dims = vec![LoopDim {
+            var: "i".into(),
+            start: 0,
+            bound: 17,
+            step: 1,
+            trip: 17,
+        }];
+        assert_eq!(input_seed_ranges(&dims, &ir), vec![Some((0, 16)), None]);
+        // Downward-counting dims normalize lo/hi; overflow stays None.
+        let dims2 = vec![LoopDim {
+            var: "i".into(),
+            start: 10,
+            bound: 26,
+            step: 2,
+            trip: 8,
+        }];
+        assert_eq!(input_seed_ranges(&dims2, &ir), vec![Some((10, 24)), None]);
+        // Seeded analysis on a real kernel matches hand-passed bounds.
+        let (kernel, kir) = kernel_ir(
+            "void fir(int A[21], int C[17]) { int i;
+               for (i = 0; i < 17; i = i + 1) {
+                 C[i] = A[i] + A[i+1]; } }",
+            "fir",
+        );
+        let rm = analyze_seeded(&kir, &kernel.dims);
+        let hand = crate::range::analyze_with_inputs(&kir, &input_seed_ranges(&kernel.dims, &kir));
+        let sum_bits = |m: &crate::range::RangeMap| -> u32 {
+            kir.blocks
+                .iter()
+                .flat_map(|b| &b.instrs)
+                .filter_map(|i| i.dst)
+                .map(|d| m.get(d).map_or(64, |r| u32::from(r.bits(true))))
+                .sum()
+        };
+        assert_eq!(sum_bits(&rm), sum_bits(&hand));
+    }
+}

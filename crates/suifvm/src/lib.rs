@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod dataflow;
+pub mod deps;
 pub mod dom;
 pub mod interp;
 pub mod ir;
@@ -38,6 +39,7 @@ pub mod opt;
 pub mod range;
 pub mod ssa;
 
+pub use deps::{analyze_deps, input_seed_ranges, res_mii, DepGraph, Recurrence, Resources};
 pub use interp::IrMachine;
 pub use ir::{Block, BlockId, FunctionIr, Instr, Opcode, Phi, Terminator, VReg};
 pub use lower::lower_function;

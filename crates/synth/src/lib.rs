@@ -20,4 +20,4 @@ pub mod model;
 
 pub use fast::{estimate_error_pct, fast_estimate};
 pub use map::{map_netlist, ResourceReport};
-pub use model::{MultiplierStyle, VirtexII};
+pub use model::{MultiplierStyle, VirtexII, XC2V2000_MULT_BLOCKS};

@@ -9,8 +9,11 @@
 //! numbers — what matters for reproduction is that compiler output and
 //! baselines are scored by the *same* model.
 
-use roccc_datapath::pipeline::DelayModel;
+use roccc_datapath::pipeline::{DelayModel, ResourceBudget};
 use roccc_suifvm::ir::Opcode;
+
+/// Dedicated MULT18x18 blocks on the paper's xc2v2000 target device.
+pub const XC2V2000_MULT_BLOCKS: u64 = 56;
 
 /// Whether multiplications map to LUT fabric or embedded MULT18x18 blocks
 /// (the paper sets "multiplier style = LUT" for the FIR/DCT comparison).
@@ -176,6 +179,17 @@ impl DelayModel for VirtexII {
             Opcode::Lut => 1.4 + net, // distributed RAM / BRAM access
             Opcode::Mov | Opcode::Cvt => 0.0,
             Opcode::Lpr | Opcode::Arg | Opcode::Ldc | Opcode::Snx => 0.0,
+        }
+    }
+
+    fn resource_budget(&self) -> ResourceBudget {
+        ResourceBudget {
+            // Only the dedicated MULT18x18 blocks are a rationed resource;
+            // fabric multipliers trade area instead.
+            mult_blocks: match self.mult_style {
+                MultiplierStyle::Block => Some(XC2V2000_MULT_BLOCKS),
+                MultiplierStyle::Lut => None,
+            },
         }
     }
 }

@@ -30,13 +30,27 @@ const UN_OPS: &[&str] = &["-", "~"];
 impl Expr {
     /// Renders the expression as C source.
     pub fn to_c(&self) -> String {
+        self.to_c_with(&["a", "b", "c"])
+    }
+
+    /// Renders the expression with custom source text for the three
+    /// input slots — the loop generator substitutes window reads like
+    /// `A[i + 1]` for the scalar names.
+    pub fn to_c_with(&self, vars: &[&str; 3]) -> String {
         match self {
-            Expr::Var(i) => ["a", "b", "c"][*i].to_string(),
+            Expr::Var(i) => vars[*i].to_string(),
             Expr::Lit(v) => format!("({v})"),
-            Expr::Un(op, e) => format!("({op}({}))", e.to_c()),
-            Expr::Bin(op, l, r) => format!("({} {op} {})", l.to_c(), r.to_c()),
-            Expr::ShiftK(op, e, k) => format!("({} {op} {k})", e.to_c()),
-            Expr::Tern(c, a, b) => format!("({} ? {} : {})", c.to_c(), a.to_c(), b.to_c()),
+            Expr::Un(op, e) => format!("({op}({}))", e.to_c_with(vars)),
+            Expr::Bin(op, l, r) => {
+                format!("({} {op} {})", l.to_c_with(vars), r.to_c_with(vars))
+            }
+            Expr::ShiftK(op, e, k) => format!("({} {op} {k})", e.to_c_with(vars)),
+            Expr::Tern(c, a, b) => format!(
+                "({} ? {} : {})",
+                c.to_c_with(vars),
+                a.to_c_with(vars),
+                b.to_c_with(vars)
+            ),
         }
     }
 }
@@ -80,6 +94,100 @@ pub fn gen_kernel_source(rng: &mut XorShift64, depth: u32) -> String {
         "void k(int a, int b, int c, int* o) {{ *o = {}; }}",
         gen_expr(rng, depth).to_c()
     )
+}
+
+fn has_var(e: &Expr) -> bool {
+    match e {
+        Expr::Var(_) => true,
+        Expr::Lit(_) => false,
+        Expr::Un(_, e) | Expr::ShiftK(_, e, _) => has_var(e),
+        Expr::Bin(_, l, r) => has_var(l) || has_var(r),
+        Expr::Tern(c, a, b) => has_var(c) || has_var(a) || has_var(b),
+    }
+}
+
+/// A generated single-loop stencil kernel `void k(int A[..], int B[..])`
+/// with a seeded write-lane layout, for the dependence-gate differential
+/// suite.
+#[derive(Debug, Clone)]
+pub struct LoopKernel {
+    /// Full C source.
+    pub source: String,
+    /// Loop step (equals the number of legal write lanes).
+    pub step: u64,
+    /// Trip count (number of loop iterations).
+    pub trip: u64,
+    /// Offsets written into `B` each iteration, relative to `i`.
+    pub write_offsets: Vec<u64>,
+    /// Planted carried output-dependence distance in iterations.
+    /// `None` means the lanes write disjoint residues (legal to extract,
+    /// like the paper's dct lanes); `Some(d)` means the last write lane
+    /// collides with lane 0 exactly `d` iterations later — the compiler
+    /// must refuse the loop.
+    pub planted_distance: Option<u64>,
+    /// Length of the input array `A`.
+    pub a_len: usize,
+    /// Length of the output array `B`.
+    pub b_len: usize,
+}
+
+/// Samples a stencil loop with `lanes` writes per iteration over the
+/// window `A[i] .. A[i + 2]`. With `planted = None` the writes land on
+/// distinct residues modulo the step (one lane per residue — legal).
+/// With `planted = Some(d)` an extra write at offset `d * step` is
+/// appended: it collides with lane 0 of the iteration `d` steps later,
+/// a carried output dependence at distance `d` that extraction must
+/// refuse (the parallel write lanes cannot preserve program order).
+pub fn gen_loop_kernel(
+    rng: &mut XorShift64,
+    depth: u32,
+    lanes: u64,
+    planted: Option<u64>,
+) -> LoopKernel {
+    let step = lanes.max(1);
+    let trip = 16u64;
+    let bound = trip * step;
+
+    let mut write_offsets: Vec<u64> = (0..step).collect();
+    if let Some(d) = planted {
+        write_offsets.push(d.max(1) * step);
+    }
+    let max_off = *write_offsets.iter().max().unwrap();
+    let a_len = (bound + 4) as usize;
+    // Size the output to the written footprint exactly, like the paper
+    // kernels (the last iteration starts at `bound - step`).
+    let b_len = (bound - step + max_off + 1) as usize;
+
+    let mut body = String::new();
+    for off in &write_offsets {
+        let vars_ref = ["A[i]", "A[i + 1]", "A[i + 2]"];
+        let idx = if *off == 0 {
+            "i".to_string()
+        } else {
+            format!("i + {off}")
+        };
+        // Every lane must read the window at least once: a constant-only
+        // lane gives the loop nothing to stream, so the system simulation
+        // would never fire an iteration.
+        let mut e = gen_expr(rng, depth);
+        if !has_var(&e) {
+            e = Expr::Bin("+", Box::new(Expr::Var(rng.gen_index(3))), Box::new(e));
+        }
+        body.push_str(&format!("    B[{idx}] = {};\n", e.to_c_with(&vars_ref)));
+    }
+    let source = format!(
+        "void k(int A[{a_len}], int B[{b_len}]) {{ int i;\n  \
+         for (i = 0; i < {bound}; i = i + {step}) {{\n{body}  }}\n}}"
+    );
+    LoopKernel {
+        source,
+        step,
+        trip,
+        write_offsets,
+        planted_distance: planted,
+        a_len,
+        b_len,
+    }
 }
 
 #[cfg(test)]

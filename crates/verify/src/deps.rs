@@ -1,0 +1,229 @@
+//! Dependence-graph and MinII verification (`L0xx`).
+//!
+//! Re-checks a `suifvm::deps::DepGraph` artifact from independent
+//! evidence: the kernel description it was derived from and the SSA IR
+//! whose feedback cycles it summarizes. Like every family in this crate,
+//! the checks trust nothing the producing pass computed — edges are
+//! recomputed from the affine subscripts, recurrence slots from LPR→SNX
+//! reachability, and the MinII arithmetic from its definition.
+//!
+//! * `L001-malformed-graph` — structural integrity: edge endpoints in
+//!   range, distance-vector lengths matching the dimension count,
+//!   recurrence slots naming real feedback variables, sane distances;
+//! * `L002-edge-mismatch` — the access list and surviving edges must
+//!   match a recomputation from the kernel's windows and outputs;
+//! * `L003-missing-recurrence` — a feedback slot whose next value
+//!   depends on its previous value must appear as a recurrence (and only
+//!   cyclic slots may);
+//! * `L004-mii-inconsistent` — `RecMII = max ⌈latency/distance⌉`,
+//!   `ResMII = ⌈used/available⌉`, `MinII = max(RecMII, ResMII, 1)`;
+//! * `L005-overlapping-writes` — transform-legality re-check: no two
+//!   distinct per-iteration writes of one output array may be able to
+//!   touch the same element (the parallel write lanes cannot order
+//!   them).
+
+use crate::diag::{Diagnostic, Loc, Phase};
+use roccc_hlir::deps::overlapping_writes;
+use roccc_hlir::Kernel;
+use roccc_suifvm::deps::{find_recurrences, memory_edges, res_mii, DepGraph};
+use roccc_suifvm::ir::{FunctionIr, Opcode};
+
+fn err(code: &'static str, message: impl Into<String>) -> Diagnostic {
+    Diagnostic::error(Phase::Deps, code, Loc::None, message)
+}
+
+/// Runs every `L0xx` check over a dependence-graph artifact.
+pub fn verify_deps(graph: &DepGraph, kernel: &Kernel, ir: &FunctionIr) -> Vec<Diagnostic> {
+    let mut v = Vec::new();
+
+    // -- L001: structural integrity ------------------------------------------
+    let n = graph.accesses.len();
+    let ndims = graph.dims.len();
+    for (i, e) in graph.edges.iter().enumerate() {
+        if e.src >= n || e.dst >= n {
+            v.push(err(
+                "L001-malformed-graph",
+                format!(
+                    "edge {i} endpoints a{} -> a{} out of range ({n} accesses)",
+                    e.src, e.dst
+                ),
+            ));
+        }
+        if e.dist.len() != ndims {
+            v.push(err(
+                "L001-malformed-graph",
+                format!(
+                    "edge {i} has {} distance entries for {ndims} loop dims",
+                    e.dist.len()
+                ),
+            ));
+        }
+    }
+    for r in &graph.recurrences {
+        if r.slot >= kernel.feedback.len() {
+            v.push(err(
+                "L001-malformed-graph",
+                format!(
+                    "recurrence `{}` names feedback slot {} of {}",
+                    r.name,
+                    r.slot,
+                    kernel.feedback.len()
+                ),
+            ));
+        } else if kernel.feedback[r.slot].name != r.name {
+            v.push(err(
+                "L001-malformed-graph",
+                format!(
+                    "recurrence slot {} is `{}` but the graph calls it `{}`",
+                    r.slot, kernel.feedback[r.slot].name, r.name
+                ),
+            ));
+        }
+        if r.distance == 0 || r.latency_cycles == 0 {
+            v.push(err(
+                "L001-malformed-graph",
+                format!(
+                    "recurrence `{}` has distance {} / latency {} cycles (both must be >= 1)",
+                    r.name, r.distance, r.latency_cycles
+                ),
+            ));
+        }
+    }
+    if graph.min_ii == 0 {
+        v.push(err("L001-malformed-graph", "min_ii must be at least 1"));
+    }
+
+    // -- L002: edges must match a recomputation ------------------------------
+    let (want_acc, want_edges) = memory_edges(kernel);
+    if graph.accesses.len() != want_acc.len()
+        || graph
+            .accesses
+            .iter()
+            .zip(&want_acc)
+            .any(|(a, b)| a.array != b.array || a.write != b.write || a.index != b.index)
+    {
+        v.push(err(
+            "L002-edge-mismatch",
+            format!(
+                "access list disagrees with the kernel: artifact has {}, recomputation {}",
+                graph.accesses.len(),
+                want_acc.len()
+            ),
+        ));
+    } else if graph.edges.len() != want_edges.len()
+        || graph.edges.iter().zip(&want_edges).any(|(a, b)| {
+            a.src != b.src
+                || a.dst != b.dst
+                || a.kind != b.kind
+                || a.dist != b.dist
+                || a.carried != b.carried
+        })
+    {
+        v.push(err(
+            "L002-edge-mismatch",
+            format!(
+                "dependence edges disagree with recomputation from the kernel \
+                 (artifact {}, recomputed {})",
+                graph.edges.len(),
+                want_edges.len()
+            ),
+        ));
+    }
+
+    // -- L003: recurrence completeness ---------------------------------------
+    let zero = |_: Opcode, _: u8| 0.0;
+    let cyclic: Vec<usize> = find_recurrences(ir, 1.0, &zero)
+        .iter()
+        .map(|r| r.slot)
+        .collect();
+    let listed: Vec<usize> = graph.recurrences.iter().map(|r| r.slot).collect();
+    for s in &cyclic {
+        if !listed.contains(s) {
+            let name = ir
+                .feedback
+                .get(*s)
+                .map(|f| f.name.as_str().to_string())
+                .unwrap_or_default();
+            v.push(err(
+                "L003-missing-recurrence",
+                format!(
+                    "feedback slot {s} (`{name}`) carries an LPR->SNX cycle \
+                     but the graph lists no recurrence for it"
+                ),
+            ));
+        }
+    }
+    for s in &listed {
+        if !cyclic.contains(s) {
+            v.push(err(
+                "L003-missing-recurrence",
+                format!("graph lists a recurrence for slot {s}, which has no LPR->SNX cycle"),
+            ));
+        }
+    }
+
+    // -- L004: MinII arithmetic ----------------------------------------------
+    for r in &graph.recurrences {
+        let want = r.latency_cycles.div_ceil(r.distance.max(1)).max(1);
+        if r.mii != want {
+            v.push(err(
+                "L004-mii-inconsistent",
+                format!(
+                    "recurrence `{}`: MII {} but ceil({}/{}) = {want}",
+                    r.name, r.mii, r.latency_cycles, r.distance
+                ),
+            ));
+        }
+    }
+    let want_rec = graph
+        .recurrences
+        .iter()
+        .map(|r| r.mii)
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    if graph.rec_mii != want_rec {
+        v.push(err(
+            "L004-mii-inconsistent",
+            format!("rec_mii {} but recurrences imply {want_rec}", graph.rec_mii),
+        ));
+    }
+    let want_res = res_mii(graph.mult_blocks_used, graph.mult_blocks_avail);
+    if graph.res_mii != want_res {
+        v.push(err(
+            "L004-mii-inconsistent",
+            format!(
+                "res_mii {} but {} blocks over {:?} imply {want_res}",
+                graph.res_mii, graph.mult_blocks_used, graph.mult_blocks_avail
+            ),
+        ));
+    }
+    let want_min = graph.rec_mii.max(graph.res_mii).max(1);
+    if graph.min_ii != want_min {
+        v.push(err(
+            "L004-mii-inconsistent",
+            format!(
+                "min_ii {} but max(rec {}, res {}, 1) = {want_min}",
+                graph.min_ii, graph.rec_mii, graph.res_mii
+            ),
+        ));
+    }
+
+    // -- L005: transform-legality re-check -----------------------------------
+    for o in &kernel.outputs {
+        if let Some((i, j, dist)) = overlapping_writes(&o.writes, &kernel.dims) {
+            let d: Vec<String> = dist.iter().map(|x| x.to_string()).collect();
+            v.push(err(
+                "L005-overlapping-writes",
+                format!(
+                    "output array `{}` writes {i} and {j} can touch the same element \
+                     (distance ({})); write lanes cannot preserve program order",
+                    o.array,
+                    d.join(", ")
+                ),
+            ));
+        }
+    }
+
+    v
+}

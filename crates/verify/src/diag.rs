@@ -40,6 +40,9 @@ pub enum Phase {
     /// Multi-kernel streaming pipeline invariants (port bindings, rate
     /// balance, FIFO sizing) checked by `verify_pipeline` (`P0xx`).
     Stream,
+    /// Dependence-graph / MinII invariants and transform legality
+    /// re-checks from `verify_deps` (`L0xx`).
+    Deps,
 }
 
 impl fmt::Display for Phase {
@@ -50,6 +53,7 @@ impl fmt::Display for Phase {
             Phase::Netlist => write!(f, "netlist"),
             Phase::Vhdl => write!(f, "vhdl"),
             Phase::Stream => write!(f, "stream"),
+            Phase::Deps => write!(f, "deps"),
         }
     }
 }

@@ -20,6 +20,9 @@
 //!   dead cells (`N0xx`);
 //! * [`verify_pipeline`] — multi-kernel streaming pipeline composition:
 //!   port bindings, rate balance, FIFO sizing, deadlock freedom (`P0xx`);
+//! * [`verify_deps`] — dependence-graph well-formedness, recurrence
+//!   completeness, MinII arithmetic, and transform-legality re-checks
+//!   (`L0xx`);
 //! * the VHDL linter in `roccc-vhdl` emits the same [`Diagnostic`] type
 //!   with `V0xx` codes.
 //!
@@ -29,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod datapath;
+pub mod deps;
 pub mod diag;
 pub mod ir;
 pub mod netlist;
@@ -36,6 +40,7 @@ pub mod pipeline;
 pub mod ranges;
 
 pub use datapath::verify_datapath;
+pub use deps::verify_deps;
 pub use diag::{Diagnostic, Loc, Phase, Severity, VerifyLevel};
 pub use ir::verify_ir;
 pub use netlist::verify_netlist;

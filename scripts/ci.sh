@@ -70,6 +70,53 @@ grep -q '"benchmark": "width-narrowing"' "${width_out}" \
   || { echo "bench_width smoke: bad JSON" >&2; exit 1; }
 rm -f "${width_out}"
 
+echo "==> deps smoke (MinII artifacts, L-code gating, bench_ii)"
+# Every paper kernel's dependence report must render deny-clean with a
+# MinII line, through the real CLI.
+deps_src="$(mktemp -t deps_smoke.XXXXXX.c)"
+cat >"${deps_src}" <<'EOF'
+void fir(int16 A[36], int16 Y[32]) {
+  int i;
+  for (i = 0; i < 32; i = i + 1) {
+    Y[i] = 3*A[i] + 5*A[i+1] + 7*A[i+2] + 5*A[i+3] + 3*A[i+4];
+  }
+}
+EOF
+./target/release/roccc "${deps_src}" --function fir --deny-warnings \
+  --emit deps | grep -q 'min II:' \
+  || { echo "deps smoke: --emit deps lacks the MinII line" >&2; exit 1; }
+./target/release/roccc "${deps_src}" --function fir --deny-warnings \
+  --emit deps-json | grep -q '"schema":"roccc-deps-v1"' \
+  || { echo "deps smoke: bad deps JSON schema" >&2; exit 1; }
+# A planted overlapping-write collision must be refused with the stable
+# L-code, never compiled.
+bad_deps_src="$(mktemp -t deps_smoke_bad.XXXXXX.c)"
+bad_deps_log="$(mktemp -t deps_smoke_bad.XXXXXX.log)"
+cat >"${bad_deps_src}" <<'EOF'
+void k(int A[20], int B[20]) {
+  int i;
+  for (i = 0; i < 16; i = i + 1) {
+    B[i] = A[i] * 3;
+    B[i + 1] = A[i] - 7;
+  }
+}
+EOF
+if ./target/release/roccc "${bad_deps_src}" --function k --emit stats \
+    >/dev/null 2>"${bad_deps_log}"; then
+  echo "deps smoke: overlapping write lanes were not rejected" >&2
+  exit 1
+fi
+grep -q 'L012-overlapping-writes' "${bad_deps_log}" \
+  || { echo "deps smoke: rejection lacks the L012 code" >&2; exit 1; }
+rm -f "${deps_src}" "${bad_deps_src}" "${bad_deps_log}"
+ii_out="$(mktemp -t bench_ii_smoke.XXXXXX.json)"
+cargo run --release -p roccc-bench --bin bench_ii -- --out "${ii_out}" >/dev/null
+grep -q '"benchmark": "min-ii"' "${ii_out}" \
+  || { echo "bench_ii smoke: bad JSON" >&2; exit 1; }
+grep -q '"min_ii"' "${ii_out}" \
+  || { echo "bench_ii smoke: missing min_ii field" >&2; exit 1; }
+rm -f "${ii_out}"
+
 echo "==> roccc-serve smoke (daemon + client + metrics + shutdown)"
 serve_log="$(mktemp -t roccc_serve_smoke.XXXXXX.log)"
 ./target/release/roccc-serve --port 0 >"${serve_log}" 2>&1 &

@@ -13,7 +13,7 @@
 //!   --no-narrow          skip bit-width narrowing
 //!   --range-narrow       value-range analysis drives extra narrowing
 //!   --budget <slices>    pick the unroll factor by area budget
-//!   --emit <what>        vhdl | dot | stats | ir | c | ranges | timings
+//!   --emit <what>        vhdl | dot | stats | ir | c | ranges | deps | deps-json | timings
 //!                        (default stats)
 //!   -o <file>            write output to a file instead of stdout
 //!   --verify             run the phase-indexed static verifier (warn)
@@ -70,7 +70,7 @@ options:
   --range-narrow         run the forward value-range analysis and let
                          proven intervals narrow widths further
   --budget <slices>      pick the unroll factor by area budget
-  --emit <what>          vhdl | dot | stats | ir | c | ranges | timings
+  --emit <what>          vhdl | dot | stats | ir | c | ranges | deps | deps-json | timings
                          (default stats; `timings` prints the per-phase
                          compile wall-clock breakdown)
   -o <file>              write output to a file instead of stdout
@@ -196,7 +196,7 @@ fn parse_args() -> Result<Args, String> {
             "--emit" => {
                 emit = Some(
                     args.next()
-                        .ok_or("--emit needs vhdl|dot|stats|ir|c|ranges|timings")?,
+                        .ok_or("--emit needs vhdl|dot|stats|ir|c|ranges|deps|deps-json|timings")?,
                 )
             }
             "-o" => output = Some(args.next().ok_or("-o needs a path")?),
@@ -330,6 +330,8 @@ fn render(hw: &Compiled, emit: &str, factor: Option<u64>) -> Result<String, Stri
             hw.kernel.dp_func.to_c()
         )),
         "ranges" => Ok(hw.range_report()),
+        "deps" => Ok(hw.deps_report()),
+        "deps-json" => Ok(hw.deps_json()),
         "stats" => {
             let model = VirtexII::default();
             let full = map_netlist(&hw.netlist, &model);
@@ -385,7 +387,7 @@ fn render(hw: &Compiled, emit: &str, factor: Option<u64>) -> Result<String, Stri
             Ok(s)
         }
         other => Err(format!(
-            "unknown --emit `{other}` (vhdl|dot|stats|ir|c|ranges|timings)"
+            "unknown --emit `{other}` (vhdl|dot|stats|ir|c|ranges|deps|deps-json|timings)"
         )),
     }
 }

@@ -144,6 +144,26 @@ fn cached_artifacts_match_direct_renderings() {
         .unwrap(),
     );
     assert_eq!(ir, direct.ir.dump().into_bytes());
+
+    let (deps, _) = expect_ok(
+        roundtrip(
+            addr,
+            &compile_req(&b.source, b.func, &b.opts, "deps"),
+            IO_TIMEOUT,
+        )
+        .unwrap(),
+    );
+    assert_eq!(deps, direct.deps_report().into_bytes());
+
+    let (deps_json, _) = expect_ok(
+        roundtrip(
+            addr,
+            &compile_req(&b.source, b.func, &b.opts, "deps-json"),
+            IO_TIMEOUT,
+        )
+        .unwrap(),
+    );
+    assert_eq!(deps_json, direct.deps_json().into_bytes());
     handle.shutdown();
 }
 

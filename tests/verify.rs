@@ -14,14 +14,18 @@
 //! fires `D005-feedback-stage-split`.
 
 use roccc_suite::datapath::{DpMachine, OpId, Value};
+use roccc_suite::hlir::deps::{DepKind, DimDist};
 use roccc_suite::ipcores::table::benchmarks;
 use roccc_suite::netlist::cells::{Cell, CellKind};
 use roccc_suite::roccc::{compile, compile_with_model, CompileOptions, VerifyLevel};
+use roccc_suite::suifvm::deps::DepEdge;
 use roccc_suite::suifvm::ir::{BlockId, Opcode, Terminator, VReg};
 use roccc_suite::synth::VirtexII;
 use roccc_suite::testrand::exprgen::gen_kernel_source;
 use roccc_suite::testrand::XorShift64;
-use roccc_suite::verify::{verify_datapath, verify_ir, verify_netlist, Diagnostic, Severity};
+use roccc_suite::verify::{
+    verify_datapath, verify_deps, verify_ir, verify_netlist, Diagnostic, Severity,
+};
 
 fn deny(period_ns: f64) -> CompileOptions {
     CompileOptions {
@@ -348,4 +352,169 @@ fn feedback_paths_land_in_single_stage() {
         .expect("an LPR op");
     dp.ops[lpr].stage = (dp.ops[lpr].stage + 1) % dp.num_stages;
     assert!(has(&verify_datapath(&dp), "D005-feedback-stage-split"));
+}
+
+// ---------------------------------------------------------------------
+// Negative fixtures: dependence graph / MinII (L0xx)
+// ---------------------------------------------------------------------
+
+/// A compiled kernel whose graph has memory edges (fir reads a window
+/// and writes two output arrays).
+fn fir_compiled() -> roccc_suite::roccc::Compiled {
+    let b = benchmarks()
+        .into_iter()
+        .find(|b| b.name == "fir")
+        .expect("fir benchmark exists");
+    compile(&b.source, b.func, &b.opts).expect("fir compiles")
+}
+
+/// A compiled kernel whose graph has a recurrence (the accumulator).
+fn acc_compiled() -> roccc_suite::roccc::Compiled {
+    let b = benchmarks()
+        .into_iter()
+        .find(|b| b.name == "mul_acc")
+        .expect("accumulator benchmark exists");
+    compile(&b.source, b.func, &b.opts).expect("accumulator compiles")
+}
+
+/// Every paper kernel's dependence graph re-verifies clean.
+#[test]
+fn paper_kernel_dep_graphs_verify_clean() {
+    for b in benchmarks() {
+        let hw = compile(&b.source, b.func, &b.opts).unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        let findings = verify_deps(&hw.deps, &hw.kernel, &hw.ir);
+        assert!(findings.is_empty(), "{}: {findings:?}", b.name);
+    }
+}
+
+#[test]
+fn corrupt_deps_bad_edge_endpoint_fires_l001() {
+    let mut hw = fir_compiled();
+    hw.deps.edges.push(DepEdge {
+        src: 999,
+        dst: 0,
+        kind: DepKind::Flow,
+        dist: vec![DimDist::Eq(0); hw.deps.dims.len()],
+        carried: false,
+    });
+    assert!(has(
+        &verify_deps(&hw.deps, &hw.kernel, &hw.ir),
+        "L001-malformed-graph"
+    ));
+}
+
+#[test]
+fn corrupt_deps_wrong_dist_rank_fires_l001() {
+    let mut hw = fir_compiled();
+    assert!(hw.deps.accesses.len() >= 2, "fir has several accesses");
+    // Valid endpoints, but one distance entry too many for the dims.
+    hw.deps.edges.push(DepEdge {
+        src: 0,
+        dst: 1,
+        kind: DepKind::Flow,
+        dist: vec![DimDist::Eq(0); hw.deps.dims.len() + 1],
+        carried: false,
+    });
+    assert!(has(
+        &verify_deps(&hw.deps, &hw.kernel, &hw.ir),
+        "L001-malformed-graph"
+    ));
+}
+
+#[test]
+fn corrupt_deps_zero_distance_recurrence_fires_l001() {
+    let mut hw = acc_compiled();
+    assert!(
+        !hw.deps.recurrences.is_empty(),
+        "accumulator has a recurrence"
+    );
+    hw.deps.recurrences[0].distance = 0;
+    assert!(has(
+        &verify_deps(&hw.deps, &hw.kernel, &hw.ir),
+        "L001-malformed-graph"
+    ));
+}
+
+#[test]
+fn corrupt_deps_phantom_edge_fires_l002() {
+    // A compiled kernel's surviving edge list is empty (every pair the
+    // extractor accepts is proven independent) — a structurally
+    // well-formed phantom edge must still fail the recomputation.
+    let mut hw = fir_compiled();
+    assert!(hw.deps.accesses.len() >= 2, "fir has several accesses");
+    hw.deps.edges.push(DepEdge {
+        src: 0,
+        dst: 1,
+        kind: DepKind::Flow,
+        dist: vec![DimDist::Eq(0); hw.deps.dims.len()],
+        carried: false,
+    });
+    let findings = verify_deps(&hw.deps, &hw.kernel, &hw.ir);
+    assert!(has(&findings, "L002-edge-mismatch"), "{findings:?}");
+    assert!(!has(&findings, "L001-malformed-graph"), "{findings:?}");
+}
+
+#[test]
+fn corrupt_deps_flipped_access_fires_l002() {
+    let mut hw = fir_compiled();
+    assert!(!hw.deps.accesses.is_empty(), "fir has accesses");
+    hw.deps.accesses[0].write = !hw.deps.accesses[0].write;
+    assert!(has(
+        &verify_deps(&hw.deps, &hw.kernel, &hw.ir),
+        "L002-edge-mismatch"
+    ));
+}
+
+#[test]
+fn corrupt_deps_dropped_recurrence_fires_l003() {
+    let mut hw = acc_compiled();
+    assert!(
+        !hw.deps.recurrences.is_empty(),
+        "accumulator has a recurrence"
+    );
+    hw.deps.recurrences.clear();
+    let findings = verify_deps(&hw.deps, &hw.kernel, &hw.ir);
+    assert!(has(&findings, "L003-missing-recurrence"), "{findings:?}");
+}
+
+#[test]
+fn corrupt_deps_phantom_recurrence_fires_l003() {
+    // fir has feedback-free hardware: any listed recurrence is phantom.
+    let mut hw = fir_compiled();
+    let mut acc = acc_compiled();
+    assert!(!acc.deps.recurrences.is_empty());
+    hw.deps.recurrences.push(acc.deps.recurrences.remove(0));
+    let findings = verify_deps(&hw.deps, &hw.kernel, &hw.ir);
+    assert!(has(&findings, "L003-missing-recurrence"), "{findings:?}");
+}
+
+#[test]
+fn corrupt_deps_wrong_min_ii_fires_l004() {
+    let mut hw = fir_compiled();
+    hw.deps.min_ii += 3;
+    assert!(has(
+        &verify_deps(&hw.deps, &hw.kernel, &hw.ir),
+        "L004-mii-inconsistent"
+    ));
+}
+
+#[test]
+fn corrupt_deps_wrong_recurrence_mii_fires_l004() {
+    let mut hw = acc_compiled();
+    assert!(!hw.deps.recurrences.is_empty());
+    hw.deps.recurrences[0].mii += 1;
+    let findings = verify_deps(&hw.deps, &hw.kernel, &hw.ir);
+    assert!(has(&findings, "L004-mii-inconsistent"), "{findings:?}");
+}
+
+#[test]
+fn corrupt_kernel_duplicate_write_fires_l005() {
+    let mut hw = fir_compiled();
+    let dup = hw.kernel.outputs[0].writes[0].clone();
+    hw.kernel.outputs[0].writes.push(dup);
+    // Two writes with identical subscripts collide at distance 0.
+    assert!(has(
+        &verify_deps(&hw.deps, &hw.kernel, &hw.ir),
+        "L005-overlapping-writes"
+    ));
 }
