@@ -58,6 +58,7 @@ pub fn build_datapath_ranged(
         luts: ir.luts.clone(),
         feedback: Vec::new(),
         num_stages: 1,
+        ii: 1,
         target_period_ns: 0.0,
         achieved_period_ns: 0.0,
     };

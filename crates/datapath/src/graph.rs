@@ -140,6 +140,10 @@ pub struct Datapath {
     /// Number of pipeline stages (1 = purely combinational between input
     /// and output registers).
     pub num_stages: u32,
+    /// Initiation interval: a new iteration may launch every `ii` cycles.
+    /// Latch pipelining always achieves 1; a modulo schedule sharing
+    /// block multipliers across congruence classes may raise it.
+    pub ii: u32,
     /// Target clock period the pipeliner aimed for, in nanoseconds.
     pub target_period_ns: f64,
     /// Achieved critical-path delay of the slowest stage, in nanoseconds.
@@ -352,6 +356,7 @@ mod tests {
             luts: vec![],
             feedback: vec![],
             num_stages: 1,
+            ii: 1,
             target_period_ns: 10.0,
             achieved_period_ns: 2.5,
         }

@@ -43,5 +43,6 @@ pub use eval::DpMachine;
 pub use graph::{Datapath, DpNode, DpOp, NodeId, NodeKind, OpId, OutputPort, Value};
 pub use narrow::{narrow_widths, register_bits, width_bits_saved};
 pub use pipeline::{
-    pipeline_datapath, DefaultDelayModel, DelayModel, PipelineReport, ResourceBudget,
+    apply_modulo_schedule, feedback_cycle_ops, pipeline_datapath, recompute_achieved_period,
+    DefaultDelayModel, DelayModel, PipelineReport, ResourceBudget,
 };

@@ -161,43 +161,7 @@ pub fn pipeline_datapath(
     // Feedback constraint: all ops on LPR→SNX paths share one stage.
     let mut feedback_constrained = false;
     for slot in 0..dp.feedback.len() {
-        let lprs: Vec<usize> = dp
-            .ops
-            .iter()
-            .enumerate()
-            .filter(|(_, o)| o.op == Opcode::Lpr && o.imm == slot as i64)
-            .map(|(i, _)| i)
-            .collect();
-        let snx_val = dp.feedback[slot].1;
-        let Value::Op(snx_op) = snx_val else { continue };
-
-        // Forward reachability from the LPRs.
-        let mut fwd = HashSet::new();
-        for &l in &lprs {
-            fwd.insert(l);
-        }
-        for i in 0..n {
-            let reaches = dp.ops[i]
-                .srcs
-                .iter()
-                .any(|s| matches!(s, Value::Op(o) if fwd.contains(&(o.0 as usize))));
-            if reaches {
-                fwd.insert(i);
-            }
-        }
-        // Backward reachability from the SNX source.
-        let mut bwd = HashSet::new();
-        bwd.insert(snx_op.0 as usize);
-        for i in (0..n).rev() {
-            if bwd.contains(&i) {
-                for s in &dp.ops[i].srcs {
-                    if let Value::Op(o) = s {
-                        bwd.insert(o.0 as usize);
-                    }
-                }
-            }
-        }
-        let cycle: Vec<usize> = fwd.intersection(&bwd).copied().collect();
+        let cycle = feedback_cycle_ops(dp, slot);
         if cycle.is_empty() {
             continue;
         }
@@ -230,6 +194,74 @@ pub fn pipeline_datapath(
     }
 
     // Recompute arrivals and the achieved period.
+    let achieved = recompute_achieved_period(dp, model);
+
+    dp.num_stages = dp.ops.iter().map(|o| o.stage).max().unwrap_or(0) + 1;
+    dp.achieved_period_ns = achieved;
+    PipelineReport {
+        stages: dp.num_stages,
+        achieved_period_ns: achieved,
+        feedback_constrained,
+    }
+}
+
+/// Indices of every op on an `LPR → … → SNX` path of feedback slot
+/// `slot` — the recurrence cycle a modulo scheduler must never stretch
+/// (moving any of these ops would widen the feedback span and break the
+/// single-latch rule the netlist relies on).
+pub fn feedback_cycle_ops(dp: &Datapath, slot: usize) -> Vec<usize> {
+    let n = dp.ops.len();
+    let lprs: Vec<usize> = dp
+        .ops
+        .iter()
+        .enumerate()
+        .filter(|(_, o)| o.op == Opcode::Lpr && o.imm == slot as i64)
+        .map(|(i, _)| i)
+        .collect();
+    let Some((_, snx_val)) = dp.feedback.get(slot) else {
+        return Vec::new();
+    };
+    let Value::Op(snx_op) = *snx_val else {
+        return Vec::new();
+    };
+
+    // Forward reachability from the LPRs.
+    let mut fwd = HashSet::new();
+    for &l in &lprs {
+        fwd.insert(l);
+    }
+    for i in 0..n {
+        let reaches = dp.ops[i]
+            .srcs
+            .iter()
+            .any(|s| matches!(s, Value::Op(o) if fwd.contains(&(o.0 as usize))));
+        if reaches {
+            fwd.insert(i);
+        }
+    }
+    // Backward reachability from the SNX source.
+    let mut bwd = HashSet::new();
+    bwd.insert(snx_op.0 as usize);
+    for i in (0..n).rev() {
+        if bwd.contains(&i) {
+            for s in &dp.ops[i].srcs {
+                if let Value::Op(o) = s {
+                    bwd.insert(o.0 as usize);
+                }
+            }
+        }
+    }
+    let mut cycle: Vec<usize> = fwd.intersection(&bwd).copied().collect();
+    cycle.sort_unstable();
+    cycle
+}
+
+/// Critical combinational delay of the slowest stage under the current
+/// stage assignment (same-stage chaining included).
+pub fn recompute_achieved_period(dp: &Datapath, model: &dyn DelayModel) -> f64 {
+    let n = dp.ops.len();
+    let shared_cmp = shared_compare_set(dp);
+    let mut arrival = vec![0.0f64; n];
     let mut achieved = 0.0f64;
     for i in 0..n {
         let op = dp.ops[i];
@@ -250,14 +282,55 @@ pub fn pipeline_datapath(
         arrival[i] = ready + d;
         achieved = achieved.max(arrival[i]);
     }
+    achieved
+}
 
-    dp.num_stages = dp.ops.iter().map(|o| o.stage).max().unwrap_or(0) + 1;
-    dp.achieved_period_ns = achieved;
-    PipelineReport {
-        stages: dp.num_stages,
-        achieved_period_ns: achieved,
-        feedback_constrained,
+/// Installs a modulo schedule onto an already latch-pipelined data path:
+/// every op moves to its scheduled slot (slots only ever grow past the
+/// latch assignment, so monotonicity and chaining stay legal — moving an
+/// op later just inserts balancing registers), the initiation interval is
+/// recorded, and the achieved period is recomputed under the new stage
+/// assignment.
+///
+/// # Errors
+///
+/// Rejects slot vectors of the wrong length, slots that would invert an
+/// operand edge, or a zero `ii`.
+pub fn apply_modulo_schedule(
+    dp: &mut Datapath,
+    slots: &[u32],
+    ii: u32,
+    model: &dyn DelayModel,
+) -> Result<(), String> {
+    if slots.len() != dp.ops.len() {
+        return Err(format!(
+            "schedule has {} slots for {} ops",
+            slots.len(),
+            dp.ops.len()
+        ));
     }
+    if ii == 0 {
+        return Err("initiation interval must be at least 1".to_string());
+    }
+    for (i, op) in dp.ops.iter().enumerate() {
+        for s in &op.srcs {
+            if let Value::Op(o) = s {
+                if slots[o.0 as usize] > slots[i] {
+                    return Err(format!(
+                        "schedule inverts edge op{} -> op{i}: slot {} after {}",
+                        o.0, slots[o.0 as usize], slots[i]
+                    ));
+                }
+            }
+        }
+    }
+    for (i, &slot) in slots.iter().enumerate() {
+        dp.ops[i].stage = slot;
+    }
+    dp.num_stages = dp.ops.iter().map(|o| o.stage).max().unwrap_or(0) + 1;
+    dp.ii = ii;
+    dp.achieved_period_ns = recompute_achieved_period(dp, model);
+    Ok(())
 }
 
 /// Delay of op `i`, resolving whether a shift amount is constant.

@@ -57,8 +57,8 @@ fn candidate_json(r: &CandidateReport) -> String {
         Some(m) => {
             let _ = write!(
                 s,
-                ",\"metrics\":{{\"est_slices\":{},\"est_cycles\":{},\"min_ii\":{}",
-                m.est_slices, m.est_cycles, m.min_ii
+                ",\"metrics\":{{\"est_slices\":{},\"est_cycles\":{},\"min_ii\":{},\"achieved_ii\":{}",
+                m.est_slices, m.est_cycles, m.min_ii, m.achieved_ii
             );
             if matches!(r.status, Status::Scored | Status::MemoHit) {
                 let _ = write!(
@@ -138,7 +138,7 @@ pub fn render_json(result: &ExploreResult) -> String {
         };
         let _ = writeln!(
             s,
-            "    {{\"id\":{},\"unroll\":{},\"strip\":{},\"scalar_opt\":{},\"slices\":{},\"cycles\":{},\"clock_ns\":{:.3},\"fmax_mhz\":{:.1}}}{}",
+            "    {{\"id\":{},\"unroll\":{},\"strip\":{},\"scalar_opt\":{},\"slices\":{},\"cycles\":{},\"clock_ns\":{:.3},\"fmax_mhz\":{:.1},\"ii\":{}}}{}",
             r.candidate.id,
             r.candidate.unroll,
             r.candidate.strip,
@@ -147,6 +147,7 @@ pub fn render_json(result: &ExploreResult) -> String {
             m.cycles,
             m.clock_ns,
             m.fmax_mhz,
+            m.achieved_ii,
             comma
         );
     }
@@ -166,8 +167,8 @@ pub fn render_table(result: &ExploreResult) -> String {
     );
     let _ = writeln!(
         s,
-        "{:>2} {:<14} {:>9} {:>9} {:>7} {:>8} {:>8} {:>9}  notes",
-        "", "config", "est.slice", "slices", "cycles", "clock ns", "Fmax MHz", "status"
+        "{:>2} {:<14} {:>9} {:>9} {:>7} {:>3} {:>8} {:>8} {:>9}  notes",
+        "", "config", "est.slice", "slices", "cycles", "ii", "clock ns", "Fmax MHz", "status"
     );
     for (i, r) in result.reports.iter().enumerate() {
         let star = if result.frontier.contains(&i) {
@@ -175,11 +176,12 @@ pub fn render_table(result: &ExploreResult) -> String {
         } else {
             " "
         };
-        let (est, slices, cycles, clock, fmax) = match &r.metrics {
+        let (est, slices, cycles, ii, clock, fmax) = match &r.metrics {
             Some(m) if matches!(r.status, Status::Scored | Status::MemoHit) => (
                 m.est_slices.to_string(),
                 m.slices.to_string(),
                 m.cycles.to_string(),
+                m.achieved_ii.to_string(),
                 format!("{:.2}", m.clock_ns),
                 format!("{:.0}", m.fmax_mhz),
             ),
@@ -189,8 +191,10 @@ pub fn render_table(result: &ExploreResult) -> String {
                 "-".to_string(),
                 "-".to_string(),
                 "-".to_string(),
+                "-".to_string(),
             ),
             None => (
+                "-".to_string(),
                 "-".to_string(),
                 "-".to_string(),
                 "-".to_string(),
@@ -210,7 +214,7 @@ pub fn render_table(result: &ExploreResult) -> String {
         }
         let _ = writeln!(
             s,
-            "{star:>2} {:<14} {est:>9} {slices:>9} {cycles:>7} {clock:>8} {fmax:>8} {:>9}  {notes}",
+            "{star:>2} {:<14} {est:>9} {slices:>9} {cycles:>7} {ii:>3} {clock:>8} {fmax:>8} {:>9}  {notes}",
             r.candidate.label(),
             r.status.as_str(),
         );

@@ -60,6 +60,10 @@ pub struct Metrics {
     /// MinII lower bound from the dependence/recurrence analysis
     /// (available at estimate time, like the other `est_` fields).
     pub min_ii: u64,
+    /// Achieved initiation interval of the compiled data path: 1 for
+    /// the plain latch pipeline, >1 only under a modulo schedule that
+    /// shares multiplier blocks (the fourth frontier axis).
+    pub achieved_ii: u64,
     /// Mapped 4-input LUTs.
     pub luts: u64,
     /// Mapped flip-flops.
@@ -315,6 +319,7 @@ enum Estimated {
         est_slices: u64,
         est_cycles: u64,
         min_ii: u64,
+        achieved_ii: u64,
         diagnostics: Vec<String>,
     },
     /// Full metrics straight from the memo.
@@ -486,6 +491,7 @@ pub fn explore(
                     est_slices,
                     est_cycles,
                     min_ii,
+                    achieved_ii,
                     diagnostics,
                     ..
                 } => {
@@ -493,6 +499,7 @@ pub fn explore(
                         est_slices: *est_slices,
                         est_cycles: *est_cycles,
                         min_ii: *min_ii,
+                        achieved_ii: *achieved_ii,
                         luts: 0,
                         ffs: 0,
                         slices: 0,
@@ -619,6 +626,7 @@ fn estimate_one(
                 est_slices: est.slices,
                 est_cycles,
                 min_ii: compiled.deps.min_ii,
+                achieved_ii: u64::from(compiled.datapath.ii.max(1)),
                 compiled: Box::new(compiled),
                 diagnostics,
             }
@@ -673,6 +681,7 @@ fn score_one(
             est_slices,
             est_cycles,
             min_ii: compiled.deps.min_ii,
+            achieved_ii: u64::from(compiled.datapath.ii.max(1)),
             luts: full.luts,
             ffs: full.ffs,
             slices: full.slices,

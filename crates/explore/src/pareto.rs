@@ -1,15 +1,15 @@
-//! Pareto frontier over (area, latency, clock).
+//! Pareto frontier over (area, latency, clock, II).
 //!
 //! A candidate is on the frontier when no other fully-scored candidate
 //! is at least as good on every axis and strictly better on one:
-//! mapped slices (area), simulated cycles (latency), and achievable
-//! clock period in ns (clock) are all minimized. Pruned candidates are
-//! excluded — their mapped/simulated numbers were never produced — as
-//! are skipped ones.
+//! mapped slices (area), simulated cycles (latency), achievable clock
+//! period in ns (clock), and the achieved initiation interval (II) are
+//! all minimized. Pruned candidates are excluded — their
+//! mapped/simulated numbers were never produced — as are skipped ones.
 
 use crate::engine::{CandidateReport, Metrics, Status};
 
-/// The three minimized objectives of one candidate.
+/// The four minimized objectives of one candidate.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Point {
     /// Mapped occupied slices.
@@ -18,6 +18,8 @@ pub struct Point {
     pub cycles: u64,
     /// Achievable clock period, ns.
     pub clock_ns: f64,
+    /// Achieved initiation interval (1 = a new window every cycle).
+    pub ii: u64,
 }
 
 impl Point {
@@ -27,6 +29,7 @@ impl Point {
             slices: m.slices,
             cycles: m.cycles,
             clock_ns: m.clock_ns,
+            ii: m.achieved_ii,
         }
     }
 
@@ -35,10 +38,12 @@ impl Point {
     pub fn dominates(&self, other: &Point) -> bool {
         let no_worse = self.slices <= other.slices
             && self.cycles <= other.cycles
-            && self.clock_ns <= other.clock_ns;
+            && self.clock_ns <= other.clock_ns
+            && self.ii <= other.ii;
         let better = self.slices < other.slices
             || self.cycles < other.cycles
-            || self.clock_ns < other.clock_ns;
+            || self.clock_ns < other.clock_ns
+            || self.ii < other.ii;
         no_worse && better
     }
 }
@@ -83,6 +88,17 @@ mod tests {
         cycles: u64,
         clock_ns: f64,
     ) -> CandidateReport {
+        report_ii(id, status, slices, cycles, clock_ns, 1)
+    }
+
+    fn report_ii(
+        id: usize,
+        status: Status,
+        slices: u64,
+        cycles: u64,
+        clock_ns: f64,
+        achieved_ii: u64,
+    ) -> CandidateReport {
         CandidateReport {
             candidate: Candidate {
                 id,
@@ -96,6 +112,7 @@ mod tests {
                 est_slices: slices,
                 est_cycles: cycles,
                 min_ii: 1,
+                achieved_ii,
                 luts: 0,
                 ffs: 0,
                 slices,
@@ -120,6 +137,22 @@ mod tests {
             report(3, Status::Scored, 100, 50, 6.0), // dominates 0 on clock: on, 0 off
         ];
         assert_eq!(frontier(&reports), vec![3, 1]);
+    }
+
+    #[test]
+    fn ii_is_a_real_fourth_axis() {
+        // Equal on slices/cycles/clock: the lower achieved II dominates.
+        let reports = vec![
+            report_ii(0, Status::Scored, 100, 50, 7.0, 2),
+            report_ii(1, Status::Scored, 100, 50, 7.0, 1),
+        ];
+        assert_eq!(frontier(&reports), vec![1]);
+        // A worse-area candidate survives by trading area for II.
+        let reports = vec![
+            report_ii(0, Status::Scored, 100, 50, 7.0, 2),
+            report_ii(1, Status::Scored, 140, 50, 7.0, 1),
+        ];
+        assert_eq!(frontier(&reports), vec![0, 1]);
     }
 
     #[test]

@@ -90,6 +90,11 @@ pub struct Netlist {
     pub roms: Vec<LutTable>,
     /// Pipeline depth in clock cycles from input to output port.
     pub latency: u32,
+    /// Initiation interval: valid iterations may only be presented on
+    /// cycles that are multiples of `ii` (1 = every cycle, the latch
+    /// pipeline; >1 = a modulo schedule sharing multiplier blocks across
+    /// congruence classes). Simulators reject misaligned launches.
+    pub ii: u32,
     /// Nets that are feedback registers, with their slot names.
     pub feedback_regs: Vec<(Symbol, CellId)>,
     /// Wrap-free proven value ranges, parallel to `cells`: `ranges[i]` is
@@ -101,9 +106,17 @@ pub struct Netlist {
 }
 
 impl Netlist {
-    /// Creates an empty netlist.
+    /// Creates an empty netlist (initiation interval 1).
     pub fn new() -> Self {
-        Self::default()
+        Netlist {
+            ii: 1,
+            ..Self::default()
+        }
+    }
+
+    /// The effective initiation interval (treats an unset 0 as 1).
+    pub fn effective_ii(&self) -> u64 {
+        u64::from(self.ii.max(1))
     }
 
     /// Adds a cell, returning its id.

@@ -20,6 +20,7 @@ pub fn netlist_from_datapath(dp: &Datapath) -> Netlist {
     nl.inputs = dp.inputs.clone();
     nl.roms = dp.luts.clone();
     nl.latency = dp.num_stages;
+    nl.ii = dp.ii.max(1);
 
     // Input port cells.
     let input_cells: Vec<CellId> = dp

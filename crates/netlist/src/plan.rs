@@ -203,6 +203,9 @@ pub struct SimPlan {
     feedback: Vec<(Symbol, u32)>,
     /// Pipeline depth (occupancy length).
     latency: u32,
+    /// Initiation interval: valid iterations may only be presented on
+    /// cycles that are multiples of `ii` (see [`Netlist::ii`]).
+    ii: u64,
     /// Input port count and wraps.
     input_wraps: Vec<Wrap>,
 }
@@ -391,6 +394,7 @@ impl SimPlan {
             outputs,
             feedback,
             latency: nl.latency.max(1),
+            ii: nl.effective_ii(),
             input_wraps,
         })
     }
@@ -409,6 +413,12 @@ impl SimPlan {
     /// Pipeline latency in cycles.
     pub fn latency(&self) -> u32 {
         self.latency
+    }
+
+    /// Initiation interval: valid iterations may only launch on cycles
+    /// that are multiples of `ii` (1 for latch pipelines).
+    pub fn ii(&self) -> u64 {
+        self.ii
     }
 
     /// Number of input ports.
@@ -482,7 +492,8 @@ impl SimPlan {
         let full = iters / lanes;
         let rem = iters % lanes;
         let tiles = full + usize::from(rem > 0);
-        let total = tiles + self.latency as usize + 2;
+        let ii = self.ii as usize;
+        let total = tiles * ii + self.latency as usize + 2;
 
         let out_start = out_flat.len();
         out_flat.resize(out_start + iters * n_out, 0);
@@ -502,13 +513,17 @@ impl SimPlan {
 
         let mut drained = 0usize;
         for t in 0..total {
-            if t < full {
-                let rb = t * lanes * n_in;
-                sim.step_lanes(&flat_args[rb..rb + lanes * n_in], &all_valid)?;
-            } else if t == full && rem > 0 {
-                sim.step_lanes(&edge_rows, &edge_valid)?;
-            } else {
-                sim.step_lanes(&zero_rows, &none_valid)?;
+            // Tiles launch every `ii` cycles; off-phase cycles are bubbles.
+            let tile = if t % ii == 0 { Some(t / ii) } else { None };
+            match tile {
+                Some(k) if k < full => {
+                    let rb = k * lanes * n_in;
+                    sim.step_lanes(&flat_args[rb..rb + lanes * n_in], &all_valid)?;
+                }
+                Some(k) if k == full && rem > 0 => {
+                    sim.step_lanes(&edge_rows, &edge_valid)?;
+                }
+                _ => sim.step_lanes(&zero_rows, &none_valid)?,
             }
             // Tiles exit in entry order; lane 0 is valid in every real
             // tile (full tiles entirely, the partial tile by `rem >= 1`).
@@ -714,6 +729,13 @@ impl<'p> CompiledSim<'p> {
     /// Panics if `args` does not match the input-port arity.
     pub fn step(&mut self, args: &[i64], valid: bool) -> Result<bool, SimError> {
         assert_eq!(args.len(), self.plan.input_wraps.len(), "input arity");
+        if valid && self.plan.ii > 1 && !self.cycles.is_multiple_of(self.plan.ii) {
+            return Err(SimError(format!(
+                "valid iteration presented at cycle {} of a schedule with II {}; \
+                 launches must land on multiples of the initiation interval",
+                self.cycles, self.plan.ii
+            )));
+        }
         self.cycles += 1;
 
         // Advance occupancy in place: stage 0 holds the new iteration.
@@ -815,10 +837,14 @@ impl<'p> CompiledSim<'p> {
         let n_out = self.plan.outputs.len();
         let mut out = Vec::with_capacity(iterations.len());
         let zeros = std::mem::take(&mut self.zero_args);
-        let total = iterations.len() as u64 + self.plan.latency as u64 + 2;
+        let ii = self.plan.ii;
+        let total = iterations.len() as u64 * ii + self.plan.latency as u64 + 2;
         let mut run = || -> Result<(), SimError> {
             for t in 0..total {
-                let (args, valid) = match iterations.get(t as usize) {
+                let iter = (t % ii == 0)
+                    .then(|| iterations.get((t / ii) as usize))
+                    .flatten();
+                let (args, valid) = match iter {
                     Some(a) => (a.as_slice(), true),
                     None => (zeros.as_slice(), false),
                 };
@@ -861,12 +887,13 @@ impl<'p> CompiledSim<'p> {
         out_flat.reserve(iters * n_out);
         let mut rows = 0usize;
         let zeros = std::mem::take(&mut self.zero_args);
-        let total = iters as u64 + self.plan.latency as u64 + 2;
+        let ii = self.plan.ii;
+        let total = iters as u64 * ii + self.plan.latency as u64 + 2;
         let mut run = || -> Result<(), SimError> {
             for t in 0..total {
-                let valid = (t as usize) < iters;
+                let valid = t % ii == 0 && ((t / ii) as usize) < iters;
                 let args: &[i64] = if valid {
-                    let base = t as usize * n_in;
+                    let base = (t / ii) as usize * n_in;
                     &flat_args[base..base + n_in]
                 } else {
                     &zeros
@@ -1068,6 +1095,14 @@ impl<'p> BatchedSim<'p> {
         lanes: usize,
     ) -> Result<(), SimError> {
         debug_assert_eq!(lanes, self.lanes);
+        let ii = self.plan.ii;
+        if ii > 1 && !self.cycles.is_multiple_of(ii) && valid.iter().any(|&v| v) {
+            return Err(SimError(format!(
+                "valid iteration presented at cycle {} of a schedule with II {ii}; \
+                 launches must land on multiples of the initiation interval",
+                self.cycles
+            )));
+        }
         self.cycles += 1;
 
         // Advance occupancy: stage-major, so shifting all lanes of all

@@ -89,6 +89,14 @@ impl<'n> NetlistSim<'n> {
     /// *during valid cycles* (invalid cycles force benign operands).
     pub fn step(&mut self, args: &[i64], valid: bool) -> Result<CycleResult, SimError> {
         assert_eq!(args.len(), self.nl.inputs.len(), "input arity");
+        let ii = self.nl.effective_ii();
+        if valid && ii > 1 && !self.cycles.is_multiple_of(ii) {
+            return Err(SimError(format!(
+                "valid iteration presented at cycle {} of a schedule with II {ii}; \
+                 launches must land on multiples of the initiation interval",
+                self.cycles
+            )));
+        }
         self.cycles += 1;
 
         // Stage occupancy for THIS cycle: stage 0 holds the new iteration.
@@ -206,16 +214,22 @@ impl<'n> NetlistSim<'n> {
         Ok(CycleResult { outputs, out_valid })
     }
 
-    /// Convenience: streams `iterations` through the pipeline back-to-back
-    /// and returns only the valid outputs, in order.
+    /// Convenience: streams `iterations` through the pipeline as densely
+    /// as the initiation interval allows (back-to-back at II 1, every
+    /// `ii` cycles otherwise) and returns only the valid outputs, in
+    /// order.
     pub fn run_stream(&mut self, iterations: &[Vec<i64>]) -> Result<Vec<Vec<i64>>, SimError> {
         let mut out = Vec::with_capacity(iterations.len());
         let zeros = vec![0i64; self.nl.inputs.len()];
-        let total = iterations.len() as u64 + self.nl.latency as u64 + 2;
+        let ii = self.nl.effective_ii();
+        let total = iterations.len() as u64 * ii + self.nl.latency as u64 + 2;
         for t in 0..total {
             // Reuse the single zero buffer for bubble cycles instead of
             // cloning argument vectors on every iteration.
-            let (args, valid) = match iterations.get(t as usize) {
+            let iter = (t % ii == 0)
+                .then(|| iterations.get((t / ii) as usize))
+                .flatten();
+            let (args, valid) = match iter {
                 Some(a) => (a.as_slice(), true),
                 None => (zeros.as_slice(), false),
             };

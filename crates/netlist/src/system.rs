@@ -218,7 +218,8 @@ pub fn run_system_with_options(
     // Single argument buffer reused every cycle (zeroed, then window
     // values written in for firing cycles).
     let mut args_buf = vec![0i64; netlist.inputs.len()];
-    let safety = 16 * total_iters + 4096;
+    let ii = plan.ii();
+    let safety = 16 * total_iters * ii + 4096;
     let mut drain = 0u32;
     let drain_needed = netlist.latency + 2;
 
@@ -252,9 +253,13 @@ pub fn run_system_with_options(
             }
         }
 
-        // 2. Fire when every lane has a window.
-        let all_ready =
-            fired < total_iters && !lanes.is_empty() && lanes.iter().all(|l| l.staged.is_some());
+        // 2. Fire when every lane has a window and the cycle lands on the
+        //    schedule's initiation interval (the sim has stepped
+        //    `cycles - 1` times at this point).
+        let all_ready = fired < total_iters
+            && !lanes.is_empty()
+            && lanes.iter().all(|l| l.staged.is_some())
+            && (cycles - 1).is_multiple_of(ii);
         args_buf.fill(0);
         let valid = if all_ready {
             for lane in &mut lanes {

@@ -89,6 +89,12 @@ pub struct CompileOptions {
     pub range_narrow: bool,
     /// Apply loop fusion before extraction.
     pub fuse: bool,
+    /// Modulo-schedule the pipelined loop body: `None` (default) keeps
+    /// plain latch pipelining; `Some(0)` schedules at MinII ("auto");
+    /// `Some(n)` starts the scheduler at initiation interval `n`. When
+    /// the scheduler cannot beat the body latency it falls back to latch
+    /// pipelining and records the reason in [`Compiled::schedule`].
+    pub pipeline_ii: Option<u64>,
     /// How strictly the phase-indexed static verifier (`roccc-verify`)
     /// gates the pipeline. Defaults to [`VerifyLevel::Warn`] in debug
     /// builds (tests get the verifier for free) and [`VerifyLevel::Off`]
@@ -106,6 +112,7 @@ impl Default for CompileOptions {
             narrow: true,
             range_narrow: false,
             fuse: false,
+            pipeline_ii: None,
             verify: VerifyLevel::default(),
         }
     }
@@ -148,6 +155,15 @@ impl CompileOptions {
             VerifyLevel::Warn => 1,
             VerifyLevel::Deny => 2,
         });
+        // Modulo scheduling changes the emitted hardware (op slots, II),
+        // so the schedule request is part of the cache key.
+        match self.pipeline_ii {
+            None => v.push(0),
+            Some(t) => {
+                v.push(1);
+                v.extend_from_slice(&t.to_le_bytes());
+            }
+        }
         v
     }
 }
@@ -219,6 +235,11 @@ pub struct Compiled {
     /// Dependence graph, recurrences, and MinII lower bounds (always
     /// computed; `body_latency` holds the pipelined stage count).
     pub deps: roccc_suifvm::DepGraph,
+    /// Modulo-schedule artifact (`Some` iff the compile ran with
+    /// [`CompileOptions::pipeline_ii`]). When the schedule is not a
+    /// fallback, its slots are already applied to [`Compiled::datapath`]
+    /// and the netlist launches at its initiation interval.
+    pub schedule: Option<Schedule>,
     /// Non-fatal verifier findings collected during compilation (empty
     /// when [`CompileOptions::verify`] is [`VerifyLevel::Off`]).
     pub diagnostics: Vec<Diagnostic>,
@@ -393,6 +414,22 @@ impl Compiled {
             let _ = writeln!(s, "  modulo-scheduling headroom: {h} cycle(s)");
         }
         s
+    }
+
+    /// Human-readable modulo-schedule report (the `--emit schedule`
+    /// payload): achieved II against the MinII bounds, kernel stage
+    /// count, prologue/epilogue, MRT peak, and the slot assignment.
+    pub fn schedule_report(&self) -> String {
+        match &self.schedule {
+            Some(s) => s.report(&self.kernel.name),
+            None => "no schedule (compile with pipeline_ii)\n".to_string(),
+        }
+    }
+
+    /// Deterministic JSON rendering of the modulo schedule (schema
+    /// `roccc-schedule-v1`); `None` when the compile did not schedule.
+    pub fn schedule_json(&self) -> Option<String> {
+        self.schedule.as_ref().map(|s| s.to_json(&self.kernel.name))
     }
 
     /// Deterministic JSON rendering of the dependence graph
@@ -668,6 +705,25 @@ pub fn compile_with_model_timed(
             &mut diagnostics,
         )?;
     }
+    // Modulo scheduling: slot assignment under the modulo reservation
+    // table, applied to the data path unless the scheduler fell back to
+    // latch pipelining (no overlap benefit / infeasible budget).
+    let mut schedule = None;
+    if let Some(target) = opts.pipeline_ii {
+        let s = roccc_schedule::modulo_schedule(&datapath, &deps, target, model);
+        if s.fallback.is_none() {
+            roccc_datapath::apply_modulo_schedule(&mut datapath, &s.slots, s.ii as u32, model)
+                .map_err(CompileError::Backend)?;
+        }
+        if opts.verify != VerifyLevel::Off {
+            gate_findings(
+                opts.verify,
+                roccc_verify::verify_schedule(&s, &datapath, &deps),
+                &mut diagnostics,
+            )?;
+        }
+        schedule = Some(s);
+    }
     datapath.verify().map_err(CompileError::Backend)?;
     if opts.verify != VerifyLevel::Off {
         gate_findings(
@@ -699,6 +755,7 @@ pub fn compile_with_model_timed(
         program,
         ranges,
         deps,
+        schedule,
         diagnostics,
     })
 }
@@ -738,6 +795,9 @@ pub fn verify_compiled(c: &Compiled) -> Vec<Diagnostic> {
         v.extend(roccc_verify::verify_ranges(&c.ir, map));
     }
     v.extend(roccc_verify::verify_deps(&c.deps, &c.kernel, &c.ir));
+    if let Some(s) = &c.schedule {
+        v.extend(roccc_verify::verify_schedule(s, &c.datapath, &c.deps));
+    }
     v.extend(roccc_verify::verify_datapath(&c.datapath));
     v.extend(roccc_verify::verify_netlist(&c.netlist));
     v
@@ -890,6 +950,7 @@ pub use roccc_cparse::{interp::Interpreter, CResult};
 pub use roccc_datapath::graph::NodeKind;
 pub use roccc_datapath::width_bits_saved;
 pub use roccc_netlist::{CompiledSim, NetlistSim};
+pub use roccc_schedule::Schedule;
 pub use roccc_suifvm::{DepGraph, RangeMap, Recurrence, ValueRange};
 pub use roccc_verify::{Diagnostic, Loc, Phase, Severity, VerifyLevel};
 

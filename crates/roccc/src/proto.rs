@@ -308,6 +308,13 @@ fn write_opts<W: Write>(w: &mut W, opts: &CompileOptions) -> io::Result<()> {
     if opts.range_narrow {
         writeln!(w, "range-narrow")?;
     }
+    if let Some(target) = opts.pipeline_ii {
+        if target == 0 {
+            writeln!(w, "pipeline-ii auto")?;
+        } else {
+            writeln!(w, "pipeline-ii {target}")?;
+        }
+    }
     // Only written when explicit, so a request serialized by a
     // debug client parses back identically in a release server
     // (the default level is profile-dependent).
@@ -348,6 +355,15 @@ fn apply_opt_field(opts: &mut CompileOptions, key: &str, value: &str) -> Result<
         "no-narrow" => opts.narrow = false,
         "fuse" => opts.fuse = true,
         "range-narrow" => opts.range_narrow = true,
+        "pipeline-ii" => {
+            opts.pipeline_ii = Some(if value == "auto" {
+                0
+            } else {
+                value
+                    .parse()
+                    .map_err(|_| malformed(format!("bad pipeline-ii `{value}`")))?
+            });
+        }
         "verify" => {
             opts.verify = value
                 .parse()
@@ -654,6 +670,7 @@ mod tests {
                 narrow: false,
                 range_narrow: true,
                 fuse: true,
+                pipeline_ii: Some(0),
                 verify: VerifyLevel::Deny,
             },
             emit: "vhdl".to_string(),

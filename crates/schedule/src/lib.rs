@@ -1,0 +1,478 @@
+//! # roccc-schedule — iterative modulo scheduling
+//!
+//! Turns the MinII lower bounds of the dependence analysis
+//! (`roccc_suifvm::DepGraph`) into an actual schedule: every data-path op
+//! gets a slot, iteration launches are spaced `ii` cycles apart, and
+//! block-multiplier demand is rationed per modulo reservation table (MRT)
+//! congruence class — two variable multiplies whose slots are congruent
+//! mod `ii` execute in the same cycle of every initiation window and must
+//! both fit the device budget.
+//!
+//! The scheduler is seeded with the latch-pipeline stage assignment
+//! (which already launches one iteration per cycle structurally) and only
+//! ever moves ops *later*:
+//!
+//! * moving an op later adds balancing registers — chaining and stage
+//!   monotonicity stay legal by construction;
+//! * ops on a recurrence cycle (`LPR → … → SNX`) are pinned — the
+//!   feedback span stays 0, so the single-latch rule holds and the
+//!   recurrence slack constraint `t(SNX) − t(LPR) ≤ d·II − 1` is
+//!   satisfied trivially;
+//! * when an MRT row overflows the multiplier-block budget, a movable
+//!   multiply in that row is pushed one slot later and its dependents
+//!   follow (monotone repair); if a bounded repair budget runs out the
+//!   candidate `ii` is infeasible and the next one is tried.
+//!
+//! When the candidate `ii` reaches the body latency there is no overlap
+//! benefit and the scheduler falls back to plain latch pipelining — which
+//! structurally launches one iteration per cycle (II = 1) but does not
+//! enforce the multiplier-block budget — recording the reason in the
+//! artifact. A fallback schedule therefore always has `ii = 1` and slots
+//! equal to the latch stage assignment.
+
+#![warn(missing_docs)]
+
+use roccc_datapath::{feedback_cycle_ops, Datapath, DelayModel, Value};
+use roccc_suifvm::ir::Opcode;
+use roccc_suifvm::DepGraph;
+
+/// A modulo schedule over one data path: the artifact the `M0xx` verifier
+/// family re-derives legality from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    /// Achieved initiation interval: a new iteration launches every `ii`
+    /// cycles.
+    pub ii: u64,
+    /// The MinII lower bound the scheduler worked against.
+    pub min_ii: u64,
+    /// Recurrence-constrained component of `min_ii`.
+    pub rec_mii: u64,
+    /// Resource-constrained component of `min_ii`.
+    pub res_mii: u64,
+    /// Latch-pipeline stage count before scheduling (the unscheduled
+    /// initiation interval of one window per `body_latency` cycles when
+    /// the pipeline cannot overlap).
+    pub body_latency: u32,
+    /// Scheduled slot per data-path op (same order as `Datapath::ops`).
+    pub slots: Vec<u32>,
+    /// Schedule length: `max(slots) + 1`.
+    pub len: u32,
+    /// Kernel stage count: `⌈len / ii⌉` — the number of iterations in
+    /// flight in the steady state.
+    pub stage_count: u32,
+    /// Fill cycles before the first steady-state window:
+    /// `(stage_count − 1) · ii`.
+    pub prologue_cycles: u64,
+    /// Drain cycles after the last launch: `(stage_count − 1) · ii`.
+    pub epilogue_cycles: u64,
+    /// Peak block-multiplier demand over the MRT congruence classes.
+    pub mrt_peak: u64,
+    /// Device block-multiplier budget (`None` = unconstrained).
+    pub mult_blocks_avail: Option<u64>,
+    /// `Some(reason)` when the scheduler fell back to latch pipelining:
+    /// slots equal the latch stage assignment, `ii` is 1 (the latch
+    /// pipeline's structural initiation interval), and the multiplier
+    /// budget is priced as unshared rather than enforced.
+    pub fallback: Option<String>,
+}
+
+impl Schedule {
+    /// Steady-state windows launched per cycle: `1 / ii`.
+    pub fn throughput_windows_per_cycle(&self) -> f64 {
+        if self.ii == 0 {
+            return 0.0;
+        }
+        1.0 / self.ii as f64
+    }
+
+    /// Human-readable report (the `--emit schedule` payload).
+    pub fn report(&self, name: &str) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(s, "modulo schedule for `{name}`:");
+        let _ = writeln!(
+            s,
+            "  achieved II      : {} (min {}, rec {}, res {})",
+            self.ii, self.min_ii, self.rec_mii, self.res_mii
+        );
+        let _ = writeln!(
+            s,
+            "  body latency     : {} cycle(s), schedule length {}",
+            self.body_latency, self.len
+        );
+        let _ = writeln!(
+            s,
+            "  kernel stages    : {} (prologue {} cycle(s), epilogue {})",
+            self.stage_count, self.prologue_cycles, self.epilogue_cycles
+        );
+        let _ = writeln!(
+            s,
+            "  MRT peak         : {} block mult tile(s) / {}",
+            self.mrt_peak,
+            match self.mult_blocks_avail {
+                Some(a) => a.to_string(),
+                None => "unlimited".to_string(),
+            }
+        );
+        let _ = writeln!(
+            s,
+            "  throughput       : {:.4} window(s)/cycle",
+            self.throughput_windows_per_cycle()
+        );
+        match &self.fallback {
+            Some(r) => {
+                let _ = writeln!(s, "  mode             : latch-pipeline fallback ({r})");
+            }
+            None => {
+                let _ = writeln!(s, "  mode             : modulo-scheduled");
+            }
+        }
+        let _ = writeln!(s, "  slots            : {:?}", self.slots);
+        s
+    }
+
+    /// Deterministic JSON rendering (schema `roccc-schedule-v1`).
+    pub fn to_json(&self, name: &str) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"schema\":\"roccc-schedule-v1\",\"function\":{name:?},\"ii\":{},\
+             \"min_ii\":{},\"rec_mii\":{},\"res_mii\":{},\"body_latency\":{},\
+             \"len\":{},\"stage_count\":{},\"prologue_cycles\":{},\
+             \"epilogue_cycles\":{},\"mrt_peak\":{},\"mult_blocks_avail\":{},\
+             \"fallback\":{},\"slots\":[",
+            self.ii,
+            self.min_ii,
+            self.rec_mii,
+            self.res_mii,
+            self.body_latency,
+            self.len,
+            self.stage_count,
+            self.prologue_cycles,
+            self.epilogue_cycles,
+            self.mrt_peak,
+            match self.mult_blocks_avail {
+                Some(a) => a.to_string(),
+                None => "null".to_string(),
+            },
+            match &self.fallback {
+                Some(r) => format!("{r:?}"),
+                None => "null".to_string(),
+            },
+        );
+        for (i, slot) in self.slots.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{slot}");
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+/// Block-multiplier tiles a variable multiply occupies (18×18 native
+/// geometry): `⌈w0/18⌉ · ⌈w1/18⌉`. Constant multiplies lower to shift-add
+/// logic and occupy none.
+pub fn mult_tiles(dp: &Datapath, i: usize) -> u64 {
+    let op = &dp.ops[i];
+    if op.op != Opcode::Mul || op.srcs.iter().any(|s| matches!(s, Value::Const(_))) {
+        return 0;
+    }
+    let tile = |w: u8| -> u64 { (w.max(1) as u64).div_ceil(18) };
+    let w0 = op.srcs.first().map(|s| dp.width_of(*s)).unwrap_or(1);
+    let w1 = op.srcs.get(1).map(|s| dp.width_of(*s)).unwrap_or(1);
+    tile(w0) * tile(w1)
+}
+
+/// Per-congruence-class block-multiplier demand of a slot assignment.
+pub fn mrt_rows(dp: &Datapath, slots: &[u32], ii: u64) -> Vec<u64> {
+    let mut rows = vec![0u64; ii.max(1) as usize];
+    for i in 0..dp.ops.len() {
+        let t = mult_tiles(dp, i);
+        if t > 0 {
+            rows[(slots[i] as u64 % ii.max(1)) as usize] += t;
+        }
+    }
+    rows
+}
+
+/// Runs the iterative modulo scheduler over an already latch-pipelined
+/// data path.
+///
+/// `target_ii` is the requested initiation interval: `0` means "auto"
+/// (schedule at MinII); any other value is a floor the scheduler starts
+/// from (it still escalates past an infeasible request).
+pub fn modulo_schedule(
+    dp: &Datapath,
+    deps: &DepGraph,
+    target_ii: u64,
+    model: &dyn DelayModel,
+) -> Schedule {
+    let base: Vec<u32> = dp.ops.iter().map(|o| o.stage).collect();
+    let body_latency = dp.num_stages;
+    let budget = model.resource_budget().mult_blocks;
+
+    // Ops pinned to their latch stage: everything on a recurrence cycle.
+    let mut pinned = vec![false; dp.ops.len()];
+    for slot in 0..dp.feedback.len() {
+        for i in feedback_cycle_ops(dp, slot) {
+            pinned[i] = true;
+        }
+    }
+
+    let rec_mii = deps.rec_mii.max(1);
+    let total_tiles: u64 = (0..dp.ops.len()).map(|i| mult_tiles(dp, i)).sum();
+    let res_mii = match budget {
+        Some(a) if a > 0 => total_tiles.div_ceil(a).max(1),
+        _ => 1,
+    };
+    let min_ii = rec_mii.max(res_mii);
+    let start_ii = min_ii.max(if target_ii == 0 { 1 } else { target_ii });
+
+    let finish = |slots: Vec<u32>, ii: u64, fallback: Option<String>| -> Schedule {
+        let len = slots.iter().copied().max().unwrap_or(0) + 1;
+        let stage_count = (len as u64).div_ceil(ii.max(1)) as u32;
+        let fill = (stage_count as u64 - 1) * ii;
+        let mrt_peak = mrt_rows(dp, &slots, ii).into_iter().max().unwrap_or(0);
+        Schedule {
+            ii,
+            min_ii,
+            rec_mii,
+            res_mii,
+            body_latency,
+            slots,
+            len,
+            stage_count,
+            prologue_cycles: fill,
+            epilogue_cycles: fill,
+            mrt_peak,
+            mult_blocks_avail: budget,
+            fallback,
+        }
+    };
+
+    // No overlap benefit when launches would be as far apart as the whole
+    // body: fall back to the latch pipeline, which launches every cycle.
+    if start_ii >= body_latency as u64 {
+        return finish(
+            base,
+            1,
+            Some(format!(
+                "II {start_ii} >= body latency {body_latency}: no overlap benefit"
+            )),
+        );
+    }
+
+    for ii in start_ii..body_latency as u64 {
+        if let Some(slots) = try_schedule_at(dp, &base, &pinned, ii, budget) {
+            // Repair may have stretched the schedule past the point of
+            // overlap benefit.
+            let len = slots.iter().copied().max().unwrap_or(0) + 1;
+            if ii >= len as u64 {
+                break;
+            }
+            return finish(slots, ii, None);
+        }
+    }
+
+    finish(
+        base,
+        1,
+        Some(format!(
+            "no feasible II below body latency {body_latency} under the multiplier budget"
+        )),
+    )
+}
+
+/// Attempts a slot assignment at a fixed `ii`: seeds from the latch
+/// stages and repairs MRT overflows by pushing movable multiplies later
+/// (propagating monotonically to dependents). Returns `None` when the
+/// bounded repair budget runs out or an overfull row has no movable op.
+fn try_schedule_at(
+    dp: &Datapath,
+    base: &[u32],
+    pinned: &[bool],
+    ii: u64,
+    budget: Option<u64>,
+) -> Option<Vec<u32>> {
+    let mut slots = base.to_vec();
+    let Some(avail) = budget else {
+        // Unconstrained multipliers: the latch assignment is the schedule.
+        return Some(slots);
+    };
+    let n = dp.ops.len();
+    let mut repairs = 0usize;
+    let repair_budget = 64 * n.max(1);
+
+    loop {
+        let rows = mrt_rows(dp, &slots, ii);
+        let Some(row) = rows.iter().position(|&r| r > avail) else {
+            return Some(slots);
+        };
+        // Pick the latest movable multiply in the overfull row — pushing
+        // it forward drags the fewest dependents along.
+        let candidate = (0..n)
+            .filter(|&i| {
+                !pinned[i] && mult_tiles(dp, i) > 0 && (slots[i] as u64 % ii) == row as u64
+            })
+            .max_by_key(|&i| slots[i])?;
+
+        // Push it one slot later and propagate monotonicity. A pinned op
+        // forced to move makes this candidate (and, as repairs exhaust,
+        // this ii) infeasible.
+        let mut next = slots.clone();
+        next[candidate] += 1;
+        let mut legal = true;
+        for i in 0..n {
+            let mut min_slot = next[i];
+            for s in &dp.ops[i].srcs {
+                if let Value::Op(o) = s {
+                    min_slot = min_slot.max(next[o.0 as usize]);
+                }
+            }
+            if min_slot != next[i] {
+                if pinned[i] {
+                    legal = false;
+                    break;
+                }
+                next[i] = min_slot;
+            }
+        }
+        if !legal {
+            return None;
+        }
+        slots = next;
+        repairs += 1;
+        if repairs > repair_budget {
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roccc_datapath::{
+        build_datapath, narrow_widths, pipeline_datapath, DefaultDelayModel, ResourceBudget,
+    };
+    use roccc_suifvm::{lower_function, optimize, to_ssa};
+
+    /// DefaultDelayModel with a hard multiplier-block budget.
+    struct Budgeted(u64);
+    impl DelayModel for Budgeted {
+        fn delay_ns(&self, op: Opcode, width: u8, const_shift: bool) -> f64 {
+            DefaultDelayModel.delay_ns(op, width, const_shift)
+        }
+        fn resource_budget(&self) -> ResourceBudget {
+            ResourceBudget {
+                mult_blocks: Some(self.0),
+            }
+        }
+    }
+
+    fn dp_of(src: &str, func: &str, period: f64) -> Datapath {
+        let prog = roccc_cparse_parse(src);
+        let f = prog.function(func).unwrap();
+        let mut ir = lower_function(&prog, f, &[]).unwrap();
+        to_ssa(&mut ir);
+        optimize(&mut ir);
+        let mut dp = build_datapath(&ir).unwrap();
+        pipeline_datapath(&mut dp, period, &DefaultDelayModel);
+        narrow_widths(&mut dp);
+        dp
+    }
+
+    fn roccc_cparse_parse(src: &str) -> roccc_cparse::ast::Program {
+        let prog = roccc_cparse::parser::parse(src).unwrap();
+        roccc_cparse::sema::check(&prog).unwrap();
+        prog
+    }
+
+    fn deps_for(dp: &Datapath) -> DepGraph {
+        // A minimal DepGraph: the scheduler only reads rec_mii.
+        DepGraph {
+            dims: vec![],
+            accesses: vec![],
+            edges: vec![],
+            recurrences: vec![],
+            unknown_accesses: 0,
+            mult_blocks_used: 0,
+            mult_blocks_avail: None,
+            rec_mii: 1,
+            res_mii: 1,
+            min_ii: 1,
+            body_latency: dp.num_stages,
+        }
+    }
+
+    const TWO_MULTS: &str = "void f(int16 a, int16 b, int16 c, int16 d, int* o) {
+       *o = a * b + c * d + a; }";
+
+    #[test]
+    fn unconstrained_schedule_reproduces_latch_stages() {
+        let dp = dp_of(TWO_MULTS, "f", 5.0);
+        assert!(dp.num_stages > 1, "premise: pipelined body");
+        let deps = deps_for(&dp);
+        let s = modulo_schedule(&dp, &deps, 0, &DefaultDelayModel);
+        assert_eq!(s.fallback, None);
+        assert_eq!(s.ii, 1);
+        let base: Vec<u32> = dp.ops.iter().map(|o| o.stage).collect();
+        assert_eq!(s.slots, base);
+        assert_eq!(s.len, dp.num_stages);
+    }
+
+    #[test]
+    fn one_block_budget_spreads_multiplies_across_rows() {
+        let dp = dp_of(TWO_MULTS, "f", 5.0);
+        let deps = deps_for(&dp);
+        let model = Budgeted(1);
+        let s = modulo_schedule(&dp, &deps, 0, &model);
+        // Two 16-bit variable multiplies: one tile each, budget 1 → II 2.
+        assert_eq!(s.res_mii, 2);
+        if s.fallback.is_none() {
+            assert_eq!(s.ii, 2);
+            assert!(s.mrt_peak <= 1, "{s:?}");
+            // Slots never shrink below the latch stages.
+            for (slot, op) in s.slots.iter().zip(&dp.ops) {
+                assert!(*slot >= op.stage);
+            }
+        } else {
+            // Fallback is only legal when II 2 reaches the body latency.
+            assert!(dp.num_stages as u64 <= 2, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn combinational_body_falls_back() {
+        let dp = dp_of("void g(int a, int* o) { *o = a + 1; }", "g", 1000.0);
+        assert_eq!(dp.num_stages, 1);
+        let deps = deps_for(&dp);
+        let s = modulo_schedule(&dp, &deps, 0, &DefaultDelayModel);
+        assert!(s.fallback.is_some());
+        assert_eq!(s.ii, 1);
+    }
+
+    #[test]
+    fn explicit_target_at_body_latency_falls_back() {
+        let dp = dp_of(TWO_MULTS, "f", 5.0);
+        let deps = deps_for(&dp);
+        let s = modulo_schedule(&dp, &deps, dp.num_stages as u64 + 3, &DefaultDelayModel);
+        assert!(s.fallback.is_some());
+        // Fallback re-emits the latch pipeline, which launches every cycle.
+        assert_eq!(s.ii, 1);
+        let base: Vec<u32> = dp.ops.iter().map(|o| o.stage).collect();
+        assert_eq!(s.slots, base);
+    }
+
+    #[test]
+    fn schedule_json_is_deterministic() {
+        let dp = dp_of(TWO_MULTS, "f", 5.0);
+        let deps = deps_for(&dp);
+        let a = modulo_schedule(&dp, &deps, 0, &DefaultDelayModel).to_json("f");
+        let b = modulo_schedule(&dp, &deps, 0, &DefaultDelayModel).to_json("f");
+        assert_eq!(a, b);
+        assert!(a.starts_with("{\"schema\":\"roccc-schedule-v1\""), "{a}");
+    }
+}

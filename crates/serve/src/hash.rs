@@ -42,6 +42,7 @@ mod tests {
             range_narrow: false,
             fuse: false,
             verify: roccc::VerifyLevel::default(),
+            pipeline_ii: None,
         };
         assert_eq!(a, cache_key(src, "f", &opts));
     }
@@ -90,6 +91,14 @@ mod tests {
             },
             CompileOptions {
                 verify: roccc::VerifyLevel::Deny,
+                ..base.clone()
+            },
+            CompileOptions {
+                pipeline_ii: Some(0),
+                ..base.clone()
+            },
+            CompileOptions {
+                pipeline_ii: Some(2),
                 ..base.clone()
             },
         ] {

@@ -135,6 +135,12 @@ pub struct Metrics {
     pub deps_recurrences: Counter,
     /// Sum of MinII lower bounds across actual compiles.
     pub deps_min_ii: Counter,
+    /// Sum of achieved initiation intervals across modulo-scheduled
+    /// compiles (compiles requesting `pipeline_ii`).
+    pub schedule_ii: Counter,
+    /// Modulo-schedule requests that fell back to the plain latch
+    /// pipeline (no feasible II below the body latency).
+    pub schedule_fallback: Counter,
     /// Streaming-pipeline compile requests served.
     pub pipeline_requests: Counter,
     /// Pipeline requests answered from the pipeline cache.
@@ -226,6 +232,16 @@ impl Metrics {
                 "roccc_deps_min_ii_total",
                 "Sum of MinII lower bounds across compiles",
                 &self.deps_min_ii,
+            ),
+            (
+                "roccc_schedule_ii_total",
+                "Sum of achieved initiation intervals across scheduled compiles",
+                &self.schedule_ii,
+            ),
+            (
+                "roccc_schedule_fallback_total",
+                "Modulo-schedule requests that fell back to the latch pipeline",
+                &self.schedule_fallback,
             ),
             (
                 "roccc_pipeline_requests_total",

@@ -464,6 +464,12 @@ fn render_artifact(entry: &CacheEntry, emit: &str) -> Result<Vec<u8>, String> {
         "ranges" => Ok(entry.compiled.range_report().into_bytes()),
         "deps" => Ok(entry.compiled.deps_report().into_bytes()),
         "deps-json" => Ok(entry.compiled.deps_json().into_bytes()),
+        "schedule" => Ok(entry.compiled.schedule_report().into_bytes()),
+        "schedule-json" => entry
+            .compiled
+            .schedule_json()
+            .map(String::into_bytes)
+            .ok_or_else(|| "no schedule artifact (compile with pipeline-ii)".to_string()),
         "table-row" => {
             let model = roccc_synth::VirtexII::default();
             let r = roccc_synth::map_netlist(&entry.compiled.netlist, &model);
@@ -474,7 +480,8 @@ fn render_artifact(entry: &CacheEntry, emit: &str) -> Result<Vec<u8>, String> {
             .into_bytes())
         }
         other => Err(format!(
-            "unknown emit `{other}` (stats|vhdl|dot|ir|c|ranges|deps|deps-json|table-row)"
+            "unknown emit `{other}` (stats|vhdl|dot|ir|c|ranges|deps|deps-json|\
+             schedule|schedule-json|table-row)"
         )),
     }
 }
@@ -502,6 +509,17 @@ fn render_stats(entry: &CacheEntry) -> String {
         "min II           : {} (rec {}, res {}), body latency {} cycle(s)\n",
         hw.deps.min_ii, hw.deps.rec_mii, hw.deps.res_mii, hw.deps.body_latency
     ));
+    if let Some(sched) = &hw.schedule {
+        s.push_str(&format!(
+            "achieved II      : {} ({})\n",
+            sched.ii,
+            if sched.fallback.is_some() {
+                "latch-pipeline fallback"
+            } else {
+                "modulo-scheduled"
+            }
+        ));
+    }
     s.push_str(&format!(
         "estimate (fast)  : {} LUT, {} FF, {} slices\n",
         fast.luts, fast.ffs, fast.slices
@@ -553,10 +571,21 @@ fn handle_compile(
     // a compile.
     if !matches!(
         emit,
-        "stats" | "vhdl" | "dot" | "ir" | "c" | "ranges" | "deps" | "deps-json" | "table-row"
+        "stats"
+            | "vhdl"
+            | "dot"
+            | "ir"
+            | "c"
+            | "ranges"
+            | "deps"
+            | "deps-json"
+            | "schedule"
+            | "schedule-json"
+            | "table-row"
     ) {
         return Response::Err(format!(
-            "unknown emit `{emit}` (stats|vhdl|dot|ir|c|ranges|deps|deps-json|table-row)"
+            "unknown emit `{emit}` (stats|vhdl|dot|ir|c|ranges|deps|deps-json|\
+             schedule|schedule-json|table-row)"
         ));
     }
 
@@ -859,6 +888,12 @@ fn spawn_compile(
                         .deps_recurrences
                         .add(deps.recurrences.len() as u64);
                     shared.metrics.deps_min_ii.add(deps.min_ii);
+                    if let Some(sched) = &entry.compiled.schedule {
+                        shared.metrics.schedule_ii.add(sched.ii);
+                        if sched.fallback.is_some() {
+                            shared.metrics.schedule_fallback.inc();
+                        }
+                    }
                     let entry = Arc::new(entry);
                     shared.cache.insert(key, Arc::clone(&entry));
                     shared.clear_inflight(key);

@@ -20,7 +20,9 @@ use roccc_suifvm::ir::Opcode;
 /// stage-crossing count, timing from the pipeliner's achieved period.
 pub fn fast_estimate(dp: &Datapath, model: &VirtexII) -> ResourceReport {
     let mut luts = 0u64;
-    let mut mult_blocks = 0u64;
+    // `(stage, block tiles)` per variable multiplier: summed at II = 1,
+    // peak MRT row under a modulo schedule (mirrors the full mapper).
+    let mut mult_tiles: Vec<(u32, u64)> = Vec::new();
     let shared_cmp = roccc_datapath::pipeline::shared_compare_set(dp);
     for (idx, op) in dp.ops.iter().enumerate() {
         if shared_cmp.contains(&idx) {
@@ -37,16 +39,27 @@ pub fn fast_estimate(dp: &Datapath, model: &VirtexII) -> ResourceReport {
         }
         luts += model.op_luts(op.op, op.hw_bits, &src_widths, const_opnd);
         if op.op == Opcode::Mul && const_opnd.is_none() {
-            mult_blocks += model.mult_blocks(
+            let tiles = model.mult_blocks(
                 src_widths.first().copied().unwrap_or(op.hw_bits),
                 src_widths.get(1).copied().unwrap_or(op.hw_bits),
             );
+            mult_tiles.push((op.stage, tiles));
         }
         if op.op == Opcode::Lut {
             let rom = &dp.luts[op.imm as usize];
             luts += model.rom_luts(rom.data.len(), rom.elem.bits);
         }
     }
+    let ii = u64::from(dp.ii.max(1));
+    let mult_blocks = if ii > 1 {
+        let mut rows = vec![0u64; ii as usize];
+        for (stage, tiles) in &mult_tiles {
+            rows[*stage as usize % ii as usize] += tiles;
+        }
+        rows.into_iter().max().unwrap_or(0)
+    } else {
+        mult_tiles.iter().map(|(_, t)| t).sum()
+    };
     let ffs = register_bits(dp);
     let critical = dp.achieved_period_ns;
     let fmax = if critical > 0.0 {

@@ -89,7 +89,10 @@ fn is_disjoint_or(nl: &Netlist, srcs: &[roccc_netlist::cells::CellId]) -> bool {
 pub fn map_netlist(nl: &Netlist, model: &VirtexII) -> ResourceReport {
     let mut luts = 0u64;
     let mut ffs = 0u64;
-    let mut mult_blocks = 0u64;
+    // Variable multipliers as `(cell index, block tiles)`: at II = 1 the
+    // demand is their sum; a modulo schedule time-shares blocks across
+    // stage congruence classes, so demand becomes the peak MRT row.
+    let mut mult_tiles: Vec<(usize, u64)> = Vec::new();
 
     // Constant-operand discovery for cost modelling.
     let const_of = |id: roccc_netlist::cells::CellId| -> Option<i64> {
@@ -147,10 +150,11 @@ pub fn map_netlist(nl: &Netlist, model: &VirtexII) -> ResourceReport {
                     luts += model.op_luts(*op, cell.width, &src_widths, const_opnd);
                 }
                 if *op == Opcode::Mul && const_opnd.is_none() {
-                    mult_blocks += model.mult_blocks(
+                    let tiles = model.mult_blocks(
                         src_widths.first().copied().unwrap_or(cell.width),
                         src_widths.get(1).copied().unwrap_or(cell.width),
                     );
+                    mult_tiles.push((i, tiles));
                 }
                 if *op == Opcode::Lut {
                     let rom = &nl.roms[*imm as usize];
@@ -183,6 +187,18 @@ pub fn map_netlist(nl: &Netlist, model: &VirtexII) -> ResourceReport {
             }
         }
     }
+
+    let ii = nl.effective_ii();
+    let mult_blocks = if ii > 1 {
+        let stages = roccc_netlist::cell_stages(nl);
+        let mut rows = vec![0u64; ii as usize];
+        for (i, tiles) in &mult_tiles {
+            rows[stages[*i] as usize % ii as usize] += tiles;
+        }
+        rows.into_iter().max().unwrap_or(0)
+    } else {
+        mult_tiles.iter().map(|(_, t)| t).sum()
+    };
 
     let slices = model.slices(luts, ffs);
     let fmax = if critical > 0.0 {

@@ -190,9 +190,82 @@ pub fn gen_loop_kernel(
     }
 }
 
+/// A generated streaming loop kernel whose output depends on a value
+/// carried `distance` iterations back, for the modulo-scheduling
+/// differential suite.
+#[derive(Debug, Clone)]
+pub struct RecurrenceKernel {
+    /// Full C source.
+    pub source: String,
+    /// Iterations the carried value crosses before it is consumed.
+    pub distance: u64,
+    /// Trip count.
+    pub trip: u64,
+    /// Length of the input array `A`.
+    pub a_len: usize,
+    /// Length of the output array `B`.
+    pub b_len: usize,
+}
+
+/// Samples a loop kernel with a planted LPR→SNX recurrence of the given
+/// iteration distance: `distance` rotating feedback scalars compose a
+/// chain of distance-1 feedback pairs, so the value folded into the
+/// accumulator this iteration re-enters the data path exactly
+/// `distance` iterations later. The per-iteration update mixes a random
+/// expression over the window `A[i] .. A[i + 2]` into the oldest state.
+pub fn gen_recurrence_kernel(rng: &mut XorShift64, depth: u32, distance: u64) -> RecurrenceKernel {
+    let d = distance.max(1);
+    let trip = 16u64;
+    let a_len = (trip + 4) as usize;
+    let b_len = trip as usize;
+
+    let mut e = gen_expr(rng, depth);
+    if !has_var(&e) {
+        e = Expr::Bin("+", Box::new(Expr::Var(rng.gen_index(3))), Box::new(e));
+    }
+    let window = ["A[i]", "A[i + 1]", "A[i + 2]"];
+
+    let mut decls = String::new();
+    for j in 0..d {
+        decls.push_str(&format!("  int s{j} = 0;\n"));
+    }
+    let mut body = String::new();
+    body.push_str(&format!(
+        "    t = (s{} + {});\n",
+        d - 1,
+        e.to_c_with(&window)
+    ));
+    for j in (1..d).rev() {
+        body.push_str(&format!("    s{j} = s{};\n", j - 1));
+    }
+    body.push_str("    s0 = t;\n    B[i] = t;\n");
+    let source = format!(
+        "void k(int A[{a_len}], int B[{b_len}]) {{\n{decls}  int i;\n  \
+         for (i = 0; i < {trip}; i = i + 1) {{\n    int t;\n{body}  }}\n}}\n"
+    );
+    RecurrenceKernel {
+        source,
+        distance: d,
+        trip,
+        a_len,
+        b_len,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn recurrence_kernels_parse_at_every_distance() {
+        let mut rng = XorShift64::new(909);
+        for d in 1..=4 {
+            let k = gen_recurrence_kernel(&mut rng, 2, d);
+            assert_eq!(k.distance, d);
+            roccc_cparse::frontend(&k.source)
+                .unwrap_or_else(|e| panic!("distance-{d} kernel must parse: {e}\n{}", k.source));
+        }
+    }
 
     #[test]
     fn generated_source_is_parseable_c() {

@@ -43,6 +43,10 @@ pub enum Phase {
     /// Dependence-graph / MinII invariants and transform legality
     /// re-checks from `verify_deps` (`L0xx`).
     Deps,
+    /// Modulo-schedule legality re-derived from the schedule artifact by
+    /// `verify_schedule` (`M0xx`): MRT resource conflicts, recurrence
+    /// slack, achieved-vs-minimum II, prologue/epilogue coverage.
+    Schedule,
 }
 
 impl fmt::Display for Phase {
@@ -54,6 +58,7 @@ impl fmt::Display for Phase {
             Phase::Vhdl => write!(f, "vhdl"),
             Phase::Stream => write!(f, "stream"),
             Phase::Deps => write!(f, "deps"),
+            Phase::Schedule => write!(f, "schedule"),
         }
     }
 }

@@ -23,6 +23,9 @@
 //! * [`verify_deps`] — dependence-graph well-formedness, recurrence
 //!   completeness, MinII arithmetic, and transform-legality re-checks
 //!   (`L0xx`);
+//! * [`verify_schedule`] — modulo-schedule legality re-derived from the
+//!   schedule artifact: MRT resource conflicts, recurrence slack,
+//!   achieved II vs MinII, prologue/epilogue coverage (`M0xx`);
 //! * the VHDL linter in `roccc-vhdl` emits the same [`Diagnostic`] type
 //!   with `V0xx` codes.
 //!
@@ -38,6 +41,7 @@ pub mod ir;
 pub mod netlist;
 pub mod pipeline;
 pub mod ranges;
+pub mod schedule;
 
 pub use datapath::verify_datapath;
 pub use deps::verify_deps;
@@ -49,3 +53,4 @@ pub use pipeline::{
     StageView,
 };
 pub use ranges::{verify_fresh_ranges, verify_ranges};
+pub use schedule::verify_schedule;

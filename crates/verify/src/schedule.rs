@@ -1,0 +1,423 @@
+//! Modulo-schedule verification (`M0xx`).
+//!
+//! Re-derives the legality of a [`Schedule`] artifact from independent
+//! evidence: the data path it schedules and the dependence graph whose
+//! MinII bounds it worked against. Nothing the scheduler computed is
+//! trusted — the modulo reservation table is rebuilt from the slot
+//! assignment, recurrence slack from the LPR/SNX slots, and the II
+//! arithmetic from its definitions.
+//!
+//! * `M001-malformed-schedule` — structural integrity: one slot per
+//!   data-path op, a positive II, a length matching the latest slot,
+//!   slots agreeing with the (rescheduled) op stages, no dependence edge
+//!   scheduled backwards, and the data path stamped with the same II;
+//! * `M002-modulo-resource-conflict` — the MRT rebuilt from the slots
+//!   must match the recorded peak, and (for a real modulo schedule) no
+//!   congruence row may demand more block-multiplier tiles than the
+//!   device budget;
+//! * `M003-recurrence-slack` — every recurrence must close within its
+//!   window: `t(SNX) − t(LPR) ≤ distance · II − 1`;
+//! * `M004-ii-below-min` — `RecMII`/`ResMII` recomputed from the
+//!   recurrence list and the data path's multiplier tiles must match the
+//!   artifact, and a non-fallback schedule may not claim an II below
+//!   their maximum;
+//! * `M005-prologue-epilogue` — stage count and fill/drain cycles must
+//!   cover the schedule length: `stage_count = ⌈len/II⌉`, prologue =
+//!   epilogue = `(stage_count − 1) · II`, and `stage_count · II ≥ len`.
+
+use crate::diag::{Diagnostic, Loc, Phase};
+use roccc_datapath::graph::{Datapath, Value};
+use roccc_schedule::{mrt_rows, mult_tiles, Schedule};
+use roccc_suifvm::deps::DepGraph;
+use roccc_suifvm::ir::Opcode;
+
+fn err(code: &'static str, loc: Loc, message: impl Into<String>) -> Diagnostic {
+    Diagnostic::error(Phase::Schedule, code, loc, message)
+}
+
+/// Runs every `M0xx` check over a modulo-schedule artifact.
+pub fn verify_schedule(s: &Schedule, dp: &Datapath, deps: &DepGraph) -> Vec<Diagnostic> {
+    let mut v = Vec::new();
+
+    // -- M001: structural integrity ------------------------------------------
+    if s.ii == 0 {
+        v.push(err(
+            "M001-malformed-schedule",
+            Loc::None,
+            "initiation interval must be at least 1",
+        ));
+    }
+    if s.slots.len() != dp.ops.len() {
+        v.push(err(
+            "M001-malformed-schedule",
+            Loc::None,
+            format!("{} slots for {} data-path ops", s.slots.len(), dp.ops.len()),
+        ));
+        // Every later check indexes slots by op: bail out.
+        return v;
+    }
+    let want_len = s.slots.iter().copied().max().unwrap_or(0) + 1;
+    if s.len != want_len {
+        v.push(err(
+            "M001-malformed-schedule",
+            Loc::None,
+            format!(
+                "schedule length {} but the latest slot implies {want_len}",
+                s.len
+            ),
+        ));
+    }
+    for (i, op) in dp.ops.iter().enumerate() {
+        if s.slots[i] != op.stage {
+            v.push(err(
+                "M001-malformed-schedule",
+                Loc::Op(i as u32),
+                format!(
+                    "op {i} scheduled at slot {} but the data path stages it at {}",
+                    s.slots[i], op.stage
+                ),
+            ));
+        }
+        for src in &op.srcs {
+            if let Value::Op(o) = src {
+                if s.slots[o.0 as usize] > s.slots[i] {
+                    v.push(err(
+                        "M001-malformed-schedule",
+                        Loc::Op(i as u32),
+                        format!(
+                            "op {i} at slot {} consumes op {} scheduled later at slot {}",
+                            s.slots[i], o.0, s.slots[o.0 as usize]
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    if u64::from(dp.ii.max(1)) != s.ii.max(1) {
+        v.push(err(
+            "M001-malformed-schedule",
+            Loc::None,
+            format!(
+                "data path is stamped with II {} but the schedule claims {}",
+                dp.ii, s.ii
+            ),
+        ));
+    }
+
+    let ii = s.ii.max(1);
+
+    // -- M002: modulo reservation table --------------------------------------
+    let rows = mrt_rows(dp, &s.slots, ii);
+    let peak = rows.iter().copied().max().unwrap_or(0);
+    if peak != s.mrt_peak {
+        v.push(err(
+            "M002-modulo-resource-conflict",
+            Loc::None,
+            format!(
+                "recorded MRT peak {} but the slot assignment implies {peak}",
+                s.mrt_peak
+            ),
+        ));
+    }
+    if s.fallback.is_none() {
+        if let Some(avail) = s.mult_blocks_avail {
+            for (row, demand) in rows.iter().enumerate() {
+                if *demand > avail {
+                    v.push(err(
+                        "M002-modulo-resource-conflict",
+                        Loc::None,
+                        format!(
+                            "MRT row {row} (slots ≡ {row} mod {ii}) demands {demand} \
+                             block-multiplier tile(s) but only {avail} available"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    // -- M003: recurrence slack ----------------------------------------------
+    for r in &deps.recurrences {
+        let Some((_, snx_v)) = dp.feedback.get(r.slot) else {
+            v.push(err(
+                "M003-recurrence-slack",
+                Loc::None,
+                format!(
+                    "recurrence `{}` names feedback slot {} of {}",
+                    r.name,
+                    r.slot,
+                    dp.feedback.len()
+                ),
+            ));
+            continue;
+        };
+        let Value::Op(snx_op) = *snx_v else {
+            continue; // Constant/input next-value: no cycle to close.
+        };
+        let t_lpr = dp
+            .ops
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.op == Opcode::Lpr && o.imm == r.slot as i64)
+            .map(|(i, _)| s.slots[i])
+            .min();
+        let Some(t_lpr) = t_lpr else { continue };
+        let t_snx = s.slots[snx_op.0 as usize];
+        let slack = u64::from(t_snx.saturating_sub(t_lpr));
+        let limit = r.distance.max(1) * ii - 1;
+        if slack > limit {
+            v.push(err(
+                "M003-recurrence-slack",
+                Loc::Op(snx_op.0),
+                format!(
+                    "recurrence `{}` spans {slack} slot(s) from LPR to SNX but \
+                     distance {} at II {ii} allows at most {limit}",
+                    r.name, r.distance
+                ),
+            ));
+        }
+    }
+
+    // -- M004: II arithmetic --------------------------------------------------
+    let want_rec = deps
+        .recurrences
+        .iter()
+        .map(|r| r.mii)
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    if s.rec_mii != want_rec {
+        v.push(err(
+            "M004-ii-below-min",
+            Loc::None,
+            format!(
+                "rec_mii {} but the recurrence list implies {want_rec}",
+                s.rec_mii
+            ),
+        ));
+    }
+    let total_tiles: u64 = (0..dp.ops.len()).map(|i| mult_tiles(dp, i)).sum();
+    let want_res = match s.mult_blocks_avail {
+        Some(a) if a > 0 => total_tiles.div_ceil(a).max(1),
+        _ => 1,
+    };
+    if s.res_mii != want_res {
+        v.push(err(
+            "M004-ii-below-min",
+            Loc::None,
+            format!(
+                "res_mii {} but {total_tiles} tile(s) over {:?} imply {want_res}",
+                s.res_mii, s.mult_blocks_avail
+            ),
+        ));
+    }
+    let want_min = want_rec.max(want_res);
+    if s.min_ii != want_min {
+        v.push(err(
+            "M004-ii-below-min",
+            Loc::None,
+            format!(
+                "min_ii {} but max(rec {want_rec}, res {want_res}) = {want_min}",
+                s.min_ii
+            ),
+        ));
+    }
+    // A fallback schedule re-emits the latch pipeline (II 1, budget priced
+    // as unshared), so only real modulo schedules must clear the bound.
+    if s.fallback.is_none() && ii < want_min {
+        v.push(err(
+            "M004-ii-below-min",
+            Loc::None,
+            format!("achieved II {ii} is below MinII {want_min}"),
+        ));
+    }
+
+    // -- M005: prologue/epilogue coverage -------------------------------------
+    let want_stages = u64::from(s.len).div_ceil(ii) as u32;
+    if s.stage_count != want_stages {
+        v.push(err(
+            "M005-prologue-epilogue",
+            Loc::None,
+            format!(
+                "stage count {} but ⌈{}/{}⌉ = {want_stages}",
+                s.stage_count, s.len, ii
+            ),
+        ));
+    }
+    let want_fill = (u64::from(want_stages.max(1)) - 1) * ii;
+    if s.prologue_cycles != want_fill || s.epilogue_cycles != want_fill {
+        v.push(err(
+            "M005-prologue-epilogue",
+            Loc::None,
+            format!(
+                "prologue {} / epilogue {} cycle(s) but {} stage(s) at II {ii} fill in {want_fill}",
+                s.prologue_cycles, s.epilogue_cycles, want_stages
+            ),
+        ));
+    }
+    if u64::from(s.stage_count) * ii < u64::from(s.len) {
+        v.push(err(
+            "M005-prologue-epilogue",
+            Loc::None,
+            format!(
+                "{} stage(s) at II {ii} cover {} slot(s), short of the schedule length {}",
+                s.stage_count,
+                u64::from(s.stage_count) * ii,
+                s.len
+            ),
+        ));
+    }
+
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roccc_datapath::{build_datapath, narrow_widths, pipeline_datapath, DefaultDelayModel};
+    use roccc_schedule::modulo_schedule;
+    use roccc_suifvm::{lower_function, optimize, to_ssa};
+
+    fn dp_of(src: &str, func: &str, period: f64) -> Datapath {
+        let prog = roccc_cparse::parser::parse(src).unwrap();
+        roccc_cparse::sema::check(&prog).unwrap();
+        let f = prog.function(func).unwrap();
+        let mut ir = lower_function(&prog, f, &[]).unwrap();
+        to_ssa(&mut ir);
+        optimize(&mut ir);
+        let mut dp = build_datapath(&ir).unwrap();
+        pipeline_datapath(&mut dp, period, &DefaultDelayModel);
+        narrow_widths(&mut dp);
+        dp
+    }
+
+    fn deps_of(dp: &Datapath) -> DepGraph {
+        DepGraph {
+            dims: vec![],
+            accesses: vec![],
+            edges: vec![],
+            recurrences: vec![],
+            unknown_accesses: 0,
+            mult_blocks_used: 0,
+            mult_blocks_avail: None,
+            rec_mii: 1,
+            res_mii: 1,
+            min_ii: 1,
+            body_latency: dp.num_stages,
+        }
+    }
+
+    fn fixture() -> (Schedule, Datapath, DepGraph) {
+        let dp = dp_of(
+            "void f(int16 a, int16 b, int16 c, int16 d, int* o) {
+               *o = a * b + c * d + a; }",
+            "f",
+            5.0,
+        );
+        let deps = deps_of(&dp);
+        let s = modulo_schedule(&dp, &deps, 0, &DefaultDelayModel);
+        (s, dp, deps)
+    }
+
+    fn codes(v: &[Diagnostic]) -> Vec<&'static str> {
+        v.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn clean_schedule_has_no_findings() {
+        let (s, dp, deps) = fixture();
+        assert!(verify_schedule(&s, &dp, &deps).is_empty());
+    }
+
+    #[test]
+    fn m001_flags_slot_arity_and_inversion() {
+        let (mut s, dp, deps) = fixture();
+        s.slots.pop();
+        assert!(codes(&verify_schedule(&s, &dp, &deps)).contains(&"M001-malformed-schedule"));
+
+        let (mut s, dp, deps) = fixture();
+        // Move the last op before its sources: an inversion (and a stage
+        // disagreement with the data path).
+        *s.slots.last_mut().unwrap() = 0;
+        let found = codes(&verify_schedule(&s, &dp, &deps));
+        assert!(found.contains(&"M001-malformed-schedule"), "{found:?}");
+    }
+
+    #[test]
+    fn m002_flags_mrt_peak_lie() {
+        let (mut s, dp, deps) = fixture();
+        s.mrt_peak += 1;
+        let found = codes(&verify_schedule(&s, &dp, &deps));
+        assert!(
+            found.contains(&"M002-modulo-resource-conflict"),
+            "{found:?}"
+        );
+    }
+
+    #[test]
+    fn m003_flags_excess_recurrence_slack() {
+        // An accumulator kernel with a genuine LPR→SNX recurrence.
+        let prog = roccc_cparse::parser::parse(
+            "void acc(int t0, int* t1) {
+               int s; int c = ROCCC_load_prev(s) + t0;
+               ROCCC_store2next(s, c);
+               *t1 = c; }",
+        )
+        .unwrap();
+        roccc_cparse::sema::check(&prog).unwrap();
+        let f = prog.function("acc").unwrap();
+        let fb = vec![roccc_hlir::kernel::FeedbackVar {
+            name: "s".into(),
+            ty: roccc_cparse::types::IntType::int(),
+            init: 0,
+        }];
+        let mut ir = lower_function(&prog, f, &fb).unwrap();
+        to_ssa(&mut ir);
+        optimize(&mut ir);
+        let mut dp = build_datapath(&ir).unwrap();
+        pipeline_datapath(&mut dp, 100.0, &DefaultDelayModel);
+        narrow_widths(&mut dp);
+        let mut deps = deps_of(&dp);
+        deps.recurrences.push(roccc_suifvm::deps::Recurrence {
+            slot: 0,
+            name: "s".into(),
+            ops: 2,
+            latency_ns: 1.0,
+            latency_cycles: 1,
+            distance: 1,
+            mii: 1,
+        });
+        let mut s = modulo_schedule(&dp, &deps, 0, &DefaultDelayModel);
+        assert!(verify_schedule(&s, &dp, &deps).is_empty());
+        // Corrupt: stretch the SNX op's slot past the window.
+        let Value::Op(snx) = dp.feedback[0].1 else {
+            panic!("SNX closes on an op");
+        };
+        s.slots[snx.0 as usize] += 3;
+        s.len += 3;
+        let found = codes(&verify_schedule(&s, &dp, &deps));
+        assert!(found.contains(&"M003-recurrence-slack"), "{found:?}");
+    }
+
+    #[test]
+    fn m004_flags_ii_below_min() {
+        let (mut s, mut dp, deps) = fixture();
+        // Claim a budget that makes MinII 2 while still claiming II 1.
+        s.mult_blocks_avail = Some(1);
+        s.res_mii = 2;
+        s.min_ii = 2;
+        dp.ii = 1;
+        let found = codes(&verify_schedule(&s, &dp, &deps));
+        assert!(found.contains(&"M004-ii-below-min"), "{found:?}");
+    }
+
+    #[test]
+    fn m005_flags_uncovered_schedule() {
+        let (mut s, dp, deps) = fixture();
+        s.stage_count = 0;
+        s.prologue_cycles = 0;
+        s.epilogue_cycles = 0;
+        let found = codes(&verify_schedule(&s, &dp, &deps));
+        assert!(found.contains(&"M005-prologue-epilogue"), "{found:?}");
+    }
+}

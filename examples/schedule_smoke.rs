@@ -1,0 +1,62 @@
+//! Schedule smoke: compiles fir with modulo scheduling requested and
+//! checks the scheduler commits II == MinII == 1 under `deny`, then (in
+//! `corrupt` mode) tampers with the schedule artifact and exits nonzero
+//! only if the `M0xx` verifier family catches the corruption.
+//! `scripts/ci.sh` runs both modes as the scheduling gate.
+//!
+//! ```sh
+//! cargo run --example schedule_smoke            # positive gate, exit 0
+//! cargo run --example schedule_smoke corrupt    # negative gate, exit 1
+//! ```
+
+use roccc_suite::ipcores::kernels;
+use roccc_suite::roccc::{compile, CompileOptions, VerifyLevel};
+use roccc_suite::verify::verify_schedule;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let corrupt = std::env::args().nth(1).as_deref() == Some("corrupt");
+
+    let opts = CompileOptions {
+        pipeline_ii: Some(0),
+        verify: VerifyLevel::Deny,
+        ..CompileOptions::default()
+    };
+    let hw = match compile(&kernels::fir_source(), "fir", &opts) {
+        Ok(hw) => hw,
+        Err(e) => {
+            eprintln!("schedule smoke: fir failed to compile under deny: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let sched = hw.schedule.clone().expect("pipeline_ii requested");
+
+    if !corrupt {
+        if sched.ii != 1 || sched.min_ii != 1 || sched.fallback.is_some() {
+            eprintln!("schedule smoke: fir did not achieve II == MinII == 1: {sched:?}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "schedule smoke: fir achieved II {} (MinII {}), {} slot(s), clean under deny",
+            sched.ii,
+            sched.min_ii,
+            sched.slots.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    // Corrupt-fixture negative: desynchronize one slot from the staged
+    // data path. The M-family must catch it from the artifacts alone;
+    // exit nonzero (with the code on stderr) only when it does.
+    let mut bad = sched;
+    bad.slots[0] += 1;
+    let findings = verify_schedule(&bad, &hw.datapath, &hw.deps);
+    if findings.is_empty() {
+        eprintln!("schedule smoke: corrupted schedule passed the verifier");
+        return ExitCode::SUCCESS;
+    }
+    for d in &findings {
+        eprintln!("schedule smoke: {d}");
+    }
+    ExitCode::FAILURE
+}

@@ -13,8 +13,10 @@
 //!   --no-narrow          skip bit-width narrowing
 //!   --range-narrow       value-range analysis drives extra narrowing
 //!   --budget <slices>    pick the unroll factor by area budget
-//!   --emit <what>        vhdl | dot | stats | ir | c | ranges | deps | deps-json | timings
-//!                        (default stats)
+//!   --pipeline-ii <auto|n>  modulo-schedule the loop body at initiation
+//!                        interval n (auto = the MinII lower bound)
+//!   --emit <what>        vhdl | dot | stats | ir | c | ranges | deps | deps-json |
+//!                        schedule | schedule-json | timings (default stats)
 //!   -o <file>            write output to a file instead of stdout
 //!   --verify             run the phase-indexed static verifier (warn)
 //!   --deny-warnings      verifier + lint findings of any severity fail
@@ -70,7 +72,13 @@ options:
   --range-narrow         run the forward value-range analysis and let
                          proven intervals narrow widths further
   --budget <slices>      pick the unroll factor by area budget
-  --emit <what>          vhdl | dot | stats | ir | c | ranges | deps | deps-json | timings
+  --pipeline-ii <auto|n> modulo-schedule the loop body under the modulo
+                         reservation table at initiation interval n;
+                         `auto` searches upward from the MinII lower
+                         bound (max of the recurrence and resource
+                         bounds). Implied by --emit schedule.
+  --emit <what>          vhdl | dot | stats | ir | c | ranges | deps | deps-json |
+                         schedule | schedule-json | timings
                          (default stats; `timings` prints the per-phase
                          compile wall-clock breakdown)
   -o <file>              write output to a file instead of stdout
@@ -193,11 +201,24 @@ fn parse_args() -> Result<Args, String> {
                         .map_err(|_| "--budget expects a number")?,
                 )
             }
+            "--pipeline-ii" => {
+                let v = args
+                    .next()
+                    .ok_or("--pipeline-ii needs `auto` or a number")?;
+                opts.pipeline_ii = if v == "auto" {
+                    Some(0)
+                } else {
+                    Some(
+                        v.parse()
+                            .map_err(|_| "--pipeline-ii expects a number or `auto`")?,
+                    )
+                };
+            }
             "--emit" => {
-                emit = Some(
-                    args.next()
-                        .ok_or("--emit needs vhdl|dot|stats|ir|c|ranges|deps|deps-json|timings")?,
-                )
+                emit = Some(args.next().ok_or(
+                    "--emit needs vhdl|dot|stats|ir|c|ranges|deps|deps-json|\
+                     schedule|schedule-json|timings",
+                )?)
             }
             "-o" => output = Some(args.next().ok_or("-o needs a path")?),
             "--stripmine" => {
@@ -248,6 +269,12 @@ fn parse_args() -> Result<Args, String> {
             other if input.is_none() && !other.starts_with('-') => input = Some(other.to_string()),
             other => return Err(format!("unknown argument `{other}` (try --help)")),
         }
+    }
+    // Asking for the schedule artifact without an explicit target means
+    // "schedule at auto/MinII": the artifact only exists when a modulo
+    // schedule was actually requested.
+    if matches!(emit.as_deref(), Some("schedule" | "schedule-json")) && opts.pipeline_ii.is_none() {
+        opts.pipeline_ii = Some(0);
     }
     if help {
         // Skip the required-argument checks: `roccc --help` alone is valid.
@@ -332,6 +359,10 @@ fn render(hw: &Compiled, emit: &str, factor: Option<u64>) -> Result<String, Stri
         "ranges" => Ok(hw.range_report()),
         "deps" => Ok(hw.deps_report()),
         "deps-json" => Ok(hw.deps_json()),
+        "schedule" => Ok(hw.schedule_report()),
+        "schedule-json" => hw
+            .schedule_json()
+            .ok_or_else(|| "no schedule artifact (compile with --pipeline-ii)".to_string()),
         "stats" => {
             let model = VirtexII::default();
             let full = map_netlist(&hw.netlist, &model);
@@ -376,6 +407,12 @@ fn render(hw: &Compiled, emit: &str, factor: Option<u64>) -> Result<String, Stri
                 "outputs per cycle: {}\n",
                 hw.datapath.throughput_per_cycle()
             ));
+            if let Some(sched) = &hw.schedule {
+                s.push_str(&format!(
+                    "initiation intvl : achieved {} (MinII {}, body latency {})\n",
+                    sched.ii, sched.min_ii, sched.body_latency
+                ));
+            }
             s.push_str(&format!(
                 "estimate (fast)  : {} LUT, {} FF, {} slices\n",
                 fast.luts, fast.ffs, fast.slices
@@ -387,7 +424,8 @@ fn render(hw: &Compiled, emit: &str, factor: Option<u64>) -> Result<String, Stri
             Ok(s)
         }
         other => Err(format!(
-            "unknown --emit `{other}` (vhdl|dot|stats|ir|c|ranges|deps|deps-json|timings)"
+            "unknown --emit `{other}` (vhdl|dot|stats|ir|c|ranges|deps|deps-json|\
+             schedule|schedule-json|timings)"
         )),
     }
 }

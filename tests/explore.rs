@@ -216,6 +216,57 @@ fn failures_skip_report_instead_of_aborting() {
     );
 }
 
+/// With modulo scheduling requested in the base options, the sweep
+/// carries the achieved initiation interval as a fourth frontier axis:
+/// the JSON artifact reports it (byte-deterministically), every scored
+/// fir candidate achieves II 1 under the default unlimited-LUT
+/// multiplier style, and the frontier stays mutually non-dominating on
+/// all four axes.
+#[test]
+fn achieved_ii_is_a_frontier_axis() {
+    let (source, function) = fir();
+    let space = Space::new(&[1, 2], &[0, 2], false);
+    let base = CompileOptions {
+        pipeline_ii: Some(0),
+        ..CompileOptions::default()
+    };
+    let cfg = ExploreConfig::default();
+    let result = explore(&source, function, &base, &space, &cfg, &Memo::new());
+    assert!(!result.frontier.is_empty());
+    for r in &result.reports {
+        if matches!(r.status, Status::Scored | Status::MemoHit) {
+            let m = r.metrics.expect("scored candidates carry metrics");
+            assert_eq!(
+                m.achieved_ii, 1,
+                "fir schedules at II 1 (candidate {})",
+                r.candidate.id
+            );
+            assert!(m.achieved_ii >= m.min_ii);
+        }
+    }
+    for &i in &result.frontier {
+        for &j in &result.frontier {
+            if i != j {
+                let pi = Point::of(result.reports[i].metrics.as_ref().unwrap());
+                let pj = Point::of(result.reports[j].metrics.as_ref().unwrap());
+                assert!(!pi.dominates(&pj), "frontier point {i} dominates {j}");
+            }
+        }
+    }
+    let a = render_json(&result);
+    let b = render_json(&explore(
+        &source,
+        function,
+        &base,
+        &space,
+        &cfg,
+        &Memo::new(),
+    ));
+    assert_eq!(a, b, "scheduled sweeps stay byte-deterministic");
+    assert!(a.contains("\"achieved_ii\":1"), "artifact reports the axis");
+    assert!(a.contains("\"ii\":1"), "frontier rows report the axis");
+}
+
 /// Every Table-1 kernel must produce a non-empty frontier over a small
 /// unroll sweep, and the frontier must contain no dominated points.
 #[test]
