@@ -60,6 +60,12 @@ fn candidate_json(r: &CandidateReport) -> String {
                 ",\"metrics\":{{\"est_slices\":{},\"est_cycles\":{},\"min_ii\":{},\"achieved_ii\":{}",
                 m.est_slices, m.est_cycles, m.min_ii, m.achieved_ii
             );
+            match m.proof {
+                Some(v) => {
+                    let _ = write!(s, ",\"proof\":\"{v}\"");
+                }
+                None => s.push_str(",\"proof\":null"),
+            }
             if matches!(r.status, Status::Scored | Status::MemoHit) {
                 let _ = write!(
                     s,
@@ -205,6 +211,12 @@ pub fn render_table(result: &ExploreResult) -> String {
         let mut notes = String::new();
         if let Some(e) = &r.error {
             notes.push_str(&e.replace('\n', " "));
+        }
+        if let Some(v) = r.metrics.as_ref().and_then(|m| m.proof) {
+            if !notes.is_empty() {
+                notes.push_str("; ");
+            }
+            let _ = write!(notes, "proof {v}");
         }
         if !r.diagnostics.is_empty() {
             if !notes.is_empty() {

@@ -82,6 +82,9 @@ pub struct Metrics {
     pub outputs: u64,
     /// Loop iterations of the transformed kernel (0 = straight-line).
     pub iterations: u64,
+    /// Translation-validation verdict ("equal" | "refuted" | "unknown")
+    /// when the sweep's base options requested `prove`; `None` otherwise.
+    pub proof: Option<&'static str>,
 }
 
 /// What happened to a candidate during the sweep.
@@ -320,6 +323,7 @@ enum Estimated {
         est_cycles: u64,
         min_ii: u64,
         achieved_ii: u64,
+        proof: Option<&'static str>,
         diagnostics: Vec<String>,
     },
     /// Full metrics straight from the memo.
@@ -492,6 +496,7 @@ pub fn explore(
                     est_cycles,
                     min_ii,
                     achieved_ii,
+                    proof,
                     diagnostics,
                     ..
                 } => {
@@ -509,6 +514,7 @@ pub fn explore(
                         cycles: 0,
                         outputs: 0,
                         iterations: 0,
+                        proof: *proof,
                     };
                     if budget_cut[i] {
                         stats.pruned_budget += 1;
@@ -627,6 +633,7 @@ fn estimate_one(
                 est_cycles,
                 min_ii: compiled.deps.min_ii,
                 achieved_ii: u64::from(compiled.datapath.ii.max(1)),
+                proof: proof_verdict(&compiled),
                 compiled: Box::new(compiled),
                 diagnostics,
             }
@@ -691,9 +698,20 @@ fn score_one(
             cycles,
             outputs,
             iterations,
+            proof: proof_verdict(compiled),
         },
         diagnostics,
     )
+}
+
+/// The candidate's translation-validation verdict as a stable artifact
+/// string, when the sweep compiled with `prove`.
+fn proof_verdict(compiled: &Compiled) -> Option<&'static str> {
+    compiled.certificate.as_ref().map(|c| match c.verdict {
+        roccc::Verdict::Equal => "equal",
+        roccc::Verdict::Refuted => "refuted",
+        roccc::Verdict::Unknown => "unknown",
+    })
 }
 
 /// Deterministic input synthesis: every input window array gets a fixed

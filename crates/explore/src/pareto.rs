@@ -122,6 +122,7 @@ mod tests {
                 cycles,
                 outputs: 1,
                 iterations: 1,
+                proof: None,
             }),
             diagnostics: Vec::new(),
             error: None,

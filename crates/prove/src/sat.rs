@@ -1,0 +1,477 @@
+//! In-tree CDCL SAT solver (std-only).
+//!
+//! Classic architecture: two-watched-literal propagation, first-UIP
+//! conflict analysis with clause learning, activity-driven branching
+//! (lazy-heap VSIDS), phase saving, geometric restarts, and a hard
+//! conflict budget that yields an honest [`SolveResult::Unknown`].
+//!
+//! Literals use DIMACS convention: variable `v >= 1`, literal `v` or `-v`.
+//! Clauses are only added before `solve` is called.
+
+/// Outcome of a [`Solver::solve`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveResult {
+    /// A satisfying assignment was found (read it via [`Solver::value`]).
+    Sat,
+    /// The clause set is unsatisfiable.
+    Unsat,
+    /// The conflict budget ran out before a verdict.
+    Unknown,
+}
+
+/// Search statistics, reported in certificates.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SatStats {
+    /// Conflicts encountered.
+    pub conflicts: u64,
+    /// Branching decisions.
+    pub decisions: u64,
+    /// Literals propagated.
+    pub propagations: u64,
+    /// Clauses learned.
+    pub learned: u64,
+}
+
+const NO_REASON: u32 = u32::MAX;
+
+/// A CDCL solver instance.
+pub struct Solver {
+    nvars: usize,
+    clauses: Vec<Vec<i32>>,
+    /// Watch lists indexed by literal code (`2v` for `v`, `2v+1` for `-v`).
+    watches: Vec<Vec<u32>>,
+    /// Per-variable assignment: 0 unset, 1 true, -1 false.
+    assign: Vec<i8>,
+    level: Vec<u32>,
+    reason: Vec<u32>,
+    trail: Vec<i32>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    heap: std::collections::BinaryHeap<(u64, u32)>,
+    phase: Vec<bool>,
+    ok: bool,
+    /// Search statistics for the last `solve`.
+    pub stats: SatStats,
+}
+
+fn lidx(l: i32) -> usize {
+    debug_assert!(l != 0);
+    (l.unsigned_abs() as usize) * 2 + (l < 0) as usize
+}
+
+fn var(l: i32) -> usize {
+    l.unsigned_abs() as usize
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        Solver {
+            nvars: 0,
+            clauses: Vec::new(),
+            watches: vec![Vec::new(); 2],
+            assign: vec![0],
+            level: vec![0],
+            reason: vec![NO_REASON],
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: vec![0.0],
+            var_inc: 1.0,
+            heap: std::collections::BinaryHeap::new(),
+            phase: vec![false],
+            ok: true,
+            stats: SatStats::default(),
+        }
+    }
+
+    /// Allocates a fresh variable, returning its (positive) literal.
+    pub fn new_var(&mut self) -> i32 {
+        self.nvars += 1;
+        self.assign.push(0);
+        self.level.push(0);
+        self.reason.push(NO_REASON);
+        self.activity.push(0.0);
+        self.phase.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.heap.push((0, self.nvars as u32));
+        self.nvars as i32
+    }
+
+    /// Number of allocated variables.
+    pub fn num_vars(&self) -> usize {
+        self.nvars
+    }
+
+    /// Number of clauses (original + learned).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    fn lit_value(&self, l: i32) -> i8 {
+        let a = self.assign[var(l)];
+        if l < 0 {
+            -a
+        } else {
+            a
+        }
+    }
+
+    /// Adds a clause; call only before `solve`. Tautologies are dropped,
+    /// level-0-false literals removed, duplicates deduped.
+    pub fn add_clause(&mut self, lits: &[i32]) {
+        if !self.ok {
+            return;
+        }
+        let mut c: Vec<i32> = Vec::with_capacity(lits.len());
+        for &l in lits {
+            debug_assert!(var(l) <= self.nvars, "clause uses unallocated var");
+            if self.lit_value(l) == 1 {
+                return; // satisfied at level 0
+            }
+            if self.lit_value(l) == -1 {
+                continue; // false at level 0
+            }
+            if c.contains(&-l) {
+                return; // tautology
+            }
+            if !c.contains(&l) {
+                c.push(l);
+            }
+        }
+        match c.len() {
+            0 => self.ok = false,
+            1 => {
+                self.enqueue(c[0], NO_REASON);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                }
+            }
+            _ => {
+                let cr = self.clauses.len() as u32;
+                self.watches[lidx(c[0])].push(cr);
+                self.watches[lidx(c[1])].push(cr);
+                self.clauses.push(c);
+            }
+        }
+    }
+
+    fn enqueue(&mut self, l: i32, from: u32) {
+        debug_assert_eq!(self.lit_value(l), 0);
+        let v = var(l);
+        self.assign[v] = if l > 0 { 1 } else { -1 };
+        self.level[v] = self.trail_lim.len() as u32;
+        self.reason[v] = from;
+        self.trail.push(l);
+    }
+
+    /// Unit propagation; returns the conflicting clause index on conflict.
+    fn propagate(&mut self) -> Option<u32> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let fl = -p; // literal now false
+            let mut ws = std::mem::take(&mut self.watches[lidx(fl)]);
+            let mut i = 0;
+            while i < ws.len() {
+                let cr = ws[i];
+                let w0 = {
+                    let c = &mut self.clauses[cr as usize];
+                    if c[0] == fl {
+                        c.swap(0, 1);
+                    }
+                    debug_assert_eq!(c[1], fl);
+                    c[0]
+                };
+                if self.lit_value(w0) == 1 {
+                    i += 1;
+                    continue;
+                }
+                // Look for a replacement watch.
+                let mut moved = false;
+                {
+                    let c = &mut self.clauses[cr as usize];
+                    for k in 2..c.len() {
+                        if self.assign[var(c[k])] == 0
+                            || (c[k] > 0) == (self.assign[var(c[k])] == 1)
+                        {
+                            c.swap(1, k);
+                            moved = true;
+                            break;
+                        }
+                    }
+                }
+                if moved {
+                    let nw = self.clauses[cr as usize][1];
+                    self.watches[lidx(nw)].push(cr);
+                    ws.swap_remove(i);
+                    continue;
+                }
+                if self.lit_value(w0) == -1 {
+                    // Conflict: restore the remaining watches and bail.
+                    self.watches[lidx(fl)] = ws;
+                    self.qhead = self.trail.len();
+                    return Some(cr);
+                }
+                self.enqueue(w0, cr);
+                i += 1;
+            }
+            self.watches[lidx(fl)] = ws;
+        }
+        None
+    }
+
+    fn bump(&mut self, v: usize) {
+        self.activity[v] += self.var_inc;
+        if self.activity[v] > 1e100 {
+            for a in self.activity.iter_mut() {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+            let snapshot: Vec<(u64, u32)> = (1..=self.nvars)
+                .map(|u| (self.activity[u].to_bits(), u as u32))
+                .collect();
+            self.heap = snapshot.into_iter().collect();
+        } else {
+            self.heap.push((self.activity[v].to_bits(), v as u32));
+        }
+    }
+
+    /// First-UIP conflict analysis: returns the learned clause (asserting
+    /// literal first) and the backjump level.
+    fn analyze(&mut self, mut confl: u32) -> (Vec<i32>, u32) {
+        let cur = self.trail_lim.len() as u32;
+        let mut seen = vec![false; self.nvars + 1];
+        let mut learnt: Vec<i32> = vec![0];
+        let mut counter = 0usize;
+        let mut idx = self.trail.len();
+        let mut p: i32 = 0;
+        loop {
+            let start = if p == 0 { 0 } else { 1 };
+            let lits = self.clauses[confl as usize].clone();
+            for &q in &lits[start..] {
+                let v = var(q);
+                if !seen[v] && self.level[v] > 0 {
+                    seen[v] = true;
+                    self.bump(v);
+                    if self.level[v] == cur {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            loop {
+                idx -= 1;
+                p = self.trail[idx];
+                if seen[var(p)] {
+                    break;
+                }
+            }
+            seen[var(p)] = false;
+            counter -= 1;
+            if counter == 0 {
+                break;
+            }
+            confl = self.reason[var(p)];
+            debug_assert_ne!(confl, NO_REASON);
+        }
+        learnt[0] = -p;
+        let bj = learnt[1..]
+            .iter()
+            .map(|&q| self.level[var(q)])
+            .max()
+            .unwrap_or(0);
+        // Put a max-level literal in the second watch slot.
+        if learnt.len() > 1 {
+            let k = learnt[1..]
+                .iter()
+                .position(|&q| self.level[var(q)] == bj)
+                .unwrap()
+                + 1;
+            learnt.swap(1, k);
+        }
+        (learnt, bj)
+    }
+
+    fn cancel_until(&mut self, lvl: u32) {
+        while self.trail_lim.len() as u32 > lvl {
+            let lim = self.trail_lim.pop().unwrap();
+            while self.trail.len() > lim {
+                let l = self.trail.pop().unwrap();
+                let v = var(l);
+                self.phase[v] = l > 0;
+                self.assign[v] = 0;
+                self.reason[v] = NO_REASON;
+                self.heap.push((self.activity[v].to_bits(), v as u32));
+            }
+        }
+        self.qhead = self.trail.len();
+    }
+
+    fn decide(&mut self) -> bool {
+        while let Some((_, v)) = self.heap.pop() {
+            let v = v as usize;
+            if self.assign[v] == 0 {
+                self.trail_lim.push(self.trail.len());
+                let l = if self.phase[v] { v as i32 } else { -(v as i32) };
+                self.enqueue(l, NO_REASON);
+                self.stats.decisions += 1;
+                return true;
+            }
+        }
+        // Lazy heap may miss vars never bumped: linear fallback.
+        for v in 1..=self.nvars {
+            if self.assign[v] == 0 {
+                self.trail_lim.push(self.trail.len());
+                let l = if self.phase[v] { v as i32 } else { -(v as i32) };
+                self.enqueue(l, NO_REASON);
+                self.stats.decisions += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Runs the search with a conflict budget.
+    pub fn solve(&mut self, conflict_budget: u64) -> SolveResult {
+        self.stats = SatStats::default();
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
+        if self.propagate().is_some() {
+            self.ok = false;
+            return SolveResult::Unsat;
+        }
+        let mut restart_at: u64 = 128;
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                if self.trail_lim.is_empty() {
+                    self.ok = false;
+                    return SolveResult::Unsat;
+                }
+                if self.stats.conflicts >= conflict_budget {
+                    self.cancel_until(0);
+                    return SolveResult::Unknown;
+                }
+                let (learnt, bj) = self.analyze(confl);
+                self.cancel_until(bj);
+                self.stats.learned += 1;
+                if learnt.len() == 1 {
+                    self.enqueue(learnt[0], NO_REASON);
+                } else {
+                    let cr = self.clauses.len() as u32;
+                    self.watches[lidx(learnt[0])].push(cr);
+                    self.watches[lidx(learnt[1])].push(cr);
+                    let l0 = learnt[0];
+                    self.clauses.push(learnt);
+                    self.enqueue(l0, cr);
+                }
+                self.var_inc *= 1.0 / 0.95;
+            } else if self.stats.conflicts >= restart_at {
+                restart_at = restart_at * 3 / 2 + 64;
+                self.cancel_until(0);
+            } else if !self.decide() {
+                return SolveResult::Sat;
+            }
+        }
+    }
+
+    /// Model value of `lit` after a `Sat` result (unassigned → false).
+    pub fn value(&self, l: i32) -> bool {
+        self.lit_value(l) == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_sat_and_unsat() {
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[a, b]);
+        s.add_clause(&[-a, b]);
+        assert_eq!(s.solve(1000), SolveResult::Sat);
+        assert!(s.value(b));
+
+        let mut u = Solver::new();
+        let x = u.new_var();
+        u.add_clause(&[x]);
+        u.add_clause(&[-x]);
+        assert_eq!(u.solve(1000), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_is_unsat() {
+        // p[i][j]: pigeon i sits in hole j.
+        let mut s = Solver::new();
+        let mut p = [[0i32; 2]; 3];
+        for row in p.iter_mut() {
+            for v in row.iter_mut() {
+                *v = s.new_var();
+            }
+        }
+        for row in &p {
+            s.add_clause(&[row[0], row[1]]);
+        }
+        for i in 0..3 {
+            for k in (i + 1)..3 {
+                for (a, b) in p[i].iter().zip(&p[k]) {
+                    s.add_clause(&[-a, -b]);
+                }
+            }
+        }
+        assert_eq!(s.solve(100_000), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn chain_implication_propagates() {
+        let mut s = Solver::new();
+        let vars: Vec<i32> = (0..32).map(|_| s.new_var()).collect();
+        for w in vars.windows(2) {
+            s.add_clause(&[-w[0], w[1]]);
+        }
+        s.add_clause(&[vars[0]]);
+        assert_eq!(s.solve(1000), SolveResult::Sat);
+        assert!(s.value(vars[31]));
+    }
+
+    #[test]
+    fn budget_yields_unknown_on_hard_instance() {
+        // Pigeonhole 7 into 6 with a 10-conflict budget must time out.
+        let n = 7;
+        let m = 6;
+        let mut s = Solver::new();
+        let mut p = vec![vec![0i32; m]; n];
+        for row in p.iter_mut() {
+            for v in row.iter_mut() {
+                *v = s.new_var();
+            }
+        }
+        for row in &p {
+            s.add_clause(&row.clone());
+        }
+        for i in 0..n {
+            for k in (i + 1)..n {
+                for (a, b) in p[i].iter().zip(&p[k]) {
+                    s.add_clause(&[-a, -b]);
+                }
+            }
+        }
+        assert_eq!(s.solve(10), SolveResult::Unknown);
+    }
+}

@@ -100,6 +100,18 @@ pub struct CompileOptions {
     /// builds (tests get the verifier for free) and [`VerifyLevel::Off`]
     /// in release builds.
     pub verify: VerifyLevel,
+    /// Run the per-compile translation validator (`roccc-prove`): a
+    /// symbolic equivalence check of the emitted netlist against the
+    /// optimized SSA IR, producing a [`Compiled::certificate`]. Its
+    /// findings surface through the `E0xx` diagnostic family and are
+    /// gated at least at [`VerifyLevel::Warn`] even when
+    /// [`CompileOptions::verify`] is `Off`.
+    pub prove: bool,
+    /// Restrict verifier findings to the listed diagnostic families
+    /// (comma-separated code letters, e.g. `"S,D,W,E"`). `None` keeps
+    /// every family. Orthogonal to [`CompileOptions::verify`], which
+    /// decides how the surviving findings gate the compile.
+    pub verify_families: Option<String>,
 }
 
 impl Default for CompileOptions {
@@ -114,6 +126,8 @@ impl Default for CompileOptions {
             fuse: false,
             pipeline_ii: None,
             verify: VerifyLevel::default(),
+            prove: false,
+            verify_families: None,
         }
     }
 }
@@ -164,7 +178,34 @@ impl CompileOptions {
                 v.extend_from_slice(&t.to_le_bytes());
             }
         }
+        // The prove flag and family filter don't change the hardware, but
+        // they change the artifact set (certificate, findings) the serve
+        // cache stores, so they must not alias.
+        v.push(u8::from(self.prove));
+        match &self.verify_families {
+            None => v.push(0),
+            Some(fam) => {
+                v.push(1);
+                let b = fam.as_bytes();
+                v.extend_from_slice(&(b.len() as u64).to_le_bytes());
+                v.extend_from_slice(b);
+            }
+        }
         v
+    }
+
+    /// True when diagnostic family `family` (a code letter such as `'S'`
+    /// or `'E'`) passes the [`CompileOptions::verify_families`] filter.
+    pub fn family_enabled(&self, family: char) -> bool {
+        match &self.verify_families {
+            None => true,
+            Some(list) => list.split(',').any(|f| {
+                f.trim()
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.eq_ignore_ascii_case(&family))
+            }),
+        }
     }
 }
 
@@ -243,6 +284,10 @@ pub struct Compiled {
     /// Non-fatal verifier findings collected during compilation (empty
     /// when [`CompileOptions::verify`] is [`VerifyLevel::Off`]).
     pub diagnostics: Vec<Diagnostic>,
+    /// Translation-validation certificate (`Some` iff the compile ran
+    /// with [`CompileOptions::prove`] and the `E` family enabled): the
+    /// per-obligation equivalence audit of netlist vs. IR.
+    pub certificate: Option<roccc_prove::Certificate>,
 }
 
 impl Compiled {
@@ -430,6 +475,21 @@ impl Compiled {
     /// `roccc-schedule-v1`); `None` when the compile did not schedule.
     pub fn schedule_json(&self) -> Option<String> {
         self.schedule.as_ref().map(|s| s.to_json(&self.kernel.name))
+    }
+
+    /// Human-readable translation-validation report (the `--emit prove`
+    /// payload): verdict, per-obligation discharge trail, counterexample.
+    pub fn prove_report(&self) -> String {
+        match &self.certificate {
+            Some(c) => roccc_prove::certificate_report(c),
+            None => "no certificate (compile with prove)\n".to_string(),
+        }
+    }
+
+    /// Deterministic JSON rendering of the certificate (schema
+    /// `roccc-prove-v1`); `None` when the compile did not prove.
+    pub fn prove_json(&self) -> Option<String> {
+        self.certificate.as_ref().map(roccc_prove::certificate_json)
     }
 
     /// Deterministic JSON rendering of the dependence graph
@@ -643,7 +703,11 @@ pub fn compile_with_model_timed(
     roccc_suifvm::verify_ssa(&ir).map_err(CompileError::Backend)?;
     let mut diagnostics = Vec::new();
     if opts.verify != VerifyLevel::Off {
-        gate_findings(opts.verify, roccc_verify::verify_ir(&ir), &mut diagnostics)?;
+        gate_findings(
+            opts.verify,
+            filter_families(opts, roccc_verify::verify_ir(&ir)),
+            &mut diagnostics,
+        )?;
     }
 
     // Value-range analysis: seed input ports that carry counted-loop
@@ -664,7 +728,7 @@ pub fn compile_with_model_timed(
         if opts.verify != VerifyLevel::Off {
             gate_findings(
                 opts.verify,
-                roccc_verify::verify_ranges(&ir, &map),
+                filter_families(opts, roccc_verify::verify_ranges(&ir, &map)),
                 &mut diagnostics,
             )?;
         }
@@ -701,7 +765,7 @@ pub fn compile_with_model_timed(
     if opts.verify != VerifyLevel::Off {
         gate_findings(
             opts.verify,
-            roccc_verify::verify_deps(&deps, &kernel, &ir),
+            filter_families(opts, roccc_verify::verify_deps(&deps, &kernel, &ir)),
             &mut diagnostics,
         )?;
     }
@@ -718,7 +782,7 @@ pub fn compile_with_model_timed(
         if opts.verify != VerifyLevel::Off {
             gate_findings(
                 opts.verify,
-                roccc_verify::verify_schedule(&s, &datapath, &deps),
+                filter_families(opts, roccc_verify::verify_schedule(&s, &datapath, &deps)),
                 &mut diagnostics,
             )?;
         }
@@ -728,7 +792,7 @@ pub fn compile_with_model_timed(
     if opts.verify != VerifyLevel::Off {
         gate_findings(
             opts.verify,
-            roccc_verify::verify_datapath(&datapath),
+            filter_families(opts, roccc_verify::verify_datapath(&datapath)),
             &mut diagnostics,
         )?;
     }
@@ -741,9 +805,26 @@ pub fn compile_with_model_timed(
     if opts.verify != VerifyLevel::Off {
         gate_findings(
             opts.verify,
-            roccc_verify::verify_netlist(&netlist),
+            filter_families(opts, roccc_verify::verify_netlist(&netlist)),
             &mut diagnostics,
         )?;
+    }
+
+    // Translation validation: certify the netlist against the optimized
+    // IR. Findings gate at least at `Warn` — asking for a proof and then
+    // ignoring a refutation would be worse than not proving at all.
+    // Charged to the netlist phase slot (it certifies that artifact).
+    let mut certificate = None;
+    if opts.prove && opts.family_enabled('E') {
+        let cert = roccc_prove::prove(&ir, &netlist, func, &roccc_prove::ProveOptions::default());
+        let findings = roccc_prove::verify_certificate_diags(&cert, &ir, &netlist);
+        certificate = Some(cert);
+        let level = if opts.verify == VerifyLevel::Off {
+            VerifyLevel::Warn
+        } else {
+            opts.verify
+        };
+        gate_findings(level, filter_families(opts, findings), &mut diagnostics)?;
     }
     timings.netlist += t0.elapsed();
 
@@ -757,7 +838,20 @@ pub fn compile_with_model_timed(
         deps,
         schedule,
         diagnostics,
+        certificate,
     })
+}
+
+/// Drops findings whose diagnostic family is excluded by
+/// [`CompileOptions::verify_families`].
+fn filter_families(opts: &CompileOptions, findings: Vec<Diagnostic>) -> Vec<Diagnostic> {
+    if opts.verify_families.is_none() {
+        return findings;
+    }
+    findings
+        .into_iter()
+        .filter(|d| d.code.chars().next().is_none_or(|c| opts.family_enabled(c)))
+        .collect()
 }
 
 /// Applies a [`VerifyLevel`] to one phase's findings: fatal findings
@@ -800,6 +894,11 @@ pub fn verify_compiled(c: &Compiled) -> Vec<Diagnostic> {
     }
     v.extend(roccc_verify::verify_datapath(&c.datapath));
     v.extend(roccc_verify::verify_netlist(&c.netlist));
+    if let Some(cert) = &c.certificate {
+        v.extend(roccc_prove::verify_certificate_diags(
+            cert, &c.ir, &c.netlist,
+        ));
+    }
     v
 }
 
@@ -950,6 +1049,10 @@ pub use roccc_cparse::{interp::Interpreter, CResult};
 pub use roccc_datapath::graph::NodeKind;
 pub use roccc_datapath::width_bits_saved;
 pub use roccc_netlist::{CompiledSim, NetlistSim};
+pub use roccc_prove::{
+    certificate_json, certificate_report, check_certificate, prove, Certificate, Counterexample,
+    ObKind, ObStatus, Obligation, ProveOptions, Verdict,
+};
 pub use roccc_schedule::Schedule;
 pub use roccc_suifvm::{DepGraph, RangeMap, Recurrence, ValueRange};
 pub use roccc_verify::{Diagnostic, Loc, Phase, Severity, VerifyLevel};
@@ -1127,6 +1230,50 @@ mod tests {
         let run = loose.compiled.run(&arrays, &HashMap::new()).unwrap();
         let expect: Vec<i64> = a.iter().map(|x| x * 11 + 3).collect();
         assert_eq!(run.arrays["B"], expect);
+    }
+
+    #[test]
+    fn prove_certifies_fir_equal() {
+        let hw = compile(
+            FIR,
+            "fir",
+            &CompileOptions {
+                prove: true,
+                ..CompileOptions::default()
+            },
+        )
+        .unwrap();
+        let cert = hw
+            .certificate
+            .as_ref()
+            .expect("prove produces a certificate");
+        assert_eq!(cert.verdict, Verdict::Equal, "{}", hw.prove_report());
+        assert!(cert
+            .obligations
+            .iter()
+            .all(|o| o.status != ObStatus::Unknown));
+        // The structural E-family re-check accepts the certificate.
+        assert!(roccc_prove::verify_certificate_diags(cert, &hw.ir, &hw.netlist).is_empty());
+        let json = hw.prove_json().unwrap();
+        assert!(json.contains("\"schema\": \"roccc-prove-v1\""));
+    }
+
+    #[test]
+    fn verify_families_filters_and_keys_cache() {
+        let all = CompileOptions::default();
+        let some = CompileOptions {
+            verify_families: Some("S,D".into()),
+            ..CompileOptions::default()
+        };
+        assert!(some.family_enabled('S') && some.family_enabled('d'));
+        assert!(!some.family_enabled('E') && !some.family_enabled('N'));
+        assert!(all.family_enabled('E'));
+        assert_ne!(all.canonical_bytes(), some.canonical_bytes());
+        let proved = CompileOptions {
+            prove: true,
+            ..CompileOptions::default()
+        };
+        assert_ne!(all.canonical_bytes(), proved.canonical_bytes());
     }
 
     #[test]

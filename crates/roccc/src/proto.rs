@@ -321,6 +321,12 @@ fn write_opts<W: Write>(w: &mut W, opts: &CompileOptions) -> io::Result<()> {
     if opts.verify != VerifyLevel::default() {
         writeln!(w, "verify {}", opts.verify)?;
     }
+    if opts.prove {
+        writeln!(w, "prove")?;
+    }
+    if let Some(fam) = &opts.verify_families {
+        writeln!(w, "verify-families {}", escape(fam))?;
+    }
     Ok(())
 }
 
@@ -369,6 +375,8 @@ fn apply_opt_field(opts: &mut CompileOptions, key: &str, value: &str) -> Result<
                 .parse()
                 .map_err(|_| malformed(format!("bad verify level `{value}`")))?;
         }
+        "prove" => opts.prove = true,
+        "verify-families" => opts.verify_families = Some(unescape(value)?),
         _ => return Ok(false),
     }
     Ok(true)
@@ -672,6 +680,8 @@ mod tests {
                 fuse: true,
                 pipeline_ii: Some(0),
                 verify: VerifyLevel::Deny,
+                prove: true,
+                verify_families: Some("S,D,E".to_string()),
             },
             emit: "vhdl".to_string(),
         };

@@ -43,6 +43,8 @@ mod tests {
             fuse: false,
             verify: roccc::VerifyLevel::default(),
             pipeline_ii: None,
+            prove: false,
+            verify_families: None,
         };
         assert_eq!(a, cache_key(src, "f", &opts));
     }
@@ -99,6 +101,14 @@ mod tests {
             },
             CompileOptions {
                 pipeline_ii: Some(2),
+                ..base.clone()
+            },
+            CompileOptions {
+                prove: true,
+                ..base.clone()
+            },
+            CompileOptions {
+                verify_families: Some("S,D,E".into()),
                 ..base.clone()
             },
         ] {

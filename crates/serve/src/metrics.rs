@@ -141,6 +141,15 @@ pub struct Metrics {
     /// Modulo-schedule requests that fell back to the plain latch
     /// pipeline (no feasible II below the body latency).
     pub schedule_fallback: Counter,
+    /// Compiles whose translation-validation certificate proved the
+    /// netlist equal to the IR (verdict `equal`).
+    pub prove_proved: Counter,
+    /// Compiles whose certificate refuted equivalence with a replayed
+    /// counterexample (verdict `refuted`).
+    pub prove_refuted: Counter,
+    /// Compiles whose certificate left residual unknown obligations
+    /// (verdict `unknown`).
+    pub prove_unknown: Counter,
     /// Streaming-pipeline compile requests served.
     pub pipeline_requests: Counter,
     /// Pipeline requests answered from the pipeline cache.
@@ -242,6 +251,21 @@ impl Metrics {
                 "roccc_schedule_fallback_total",
                 "Modulo-schedule requests that fell back to the latch pipeline",
                 &self.schedule_fallback,
+            ),
+            (
+                "roccc_prove_proved_total",
+                "Compiles whose translation-validation certificate proved equal",
+                &self.prove_proved,
+            ),
+            (
+                "roccc_prove_refuted_total",
+                "Compiles whose certificate refuted equivalence",
+                &self.prove_refuted,
+            ),
+            (
+                "roccc_prove_unknown_total",
+                "Compiles whose certificate left unknown obligations",
+                &self.prove_unknown,
             ),
             (
                 "roccc_pipeline_requests_total",

@@ -470,6 +470,12 @@ fn render_artifact(entry: &CacheEntry, emit: &str) -> Result<Vec<u8>, String> {
             .schedule_json()
             .map(String::into_bytes)
             .ok_or_else(|| "no schedule artifact (compile with pipeline-ii)".to_string()),
+        "prove" => Ok(entry.compiled.prove_report().into_bytes()),
+        "prove-json" => entry
+            .compiled
+            .prove_json()
+            .map(String::into_bytes)
+            .ok_or_else(|| "no proof certificate (compile with prove)".to_string()),
         "table-row" => {
             let model = roccc_synth::VirtexII::default();
             let r = roccc_synth::map_netlist(&entry.compiled.netlist, &model);
@@ -581,11 +587,13 @@ fn handle_compile(
             | "deps-json"
             | "schedule"
             | "schedule-json"
+            | "prove"
+            | "prove-json"
             | "table-row"
     ) {
         return Response::Err(format!(
             "unknown emit `{emit}` (stats|vhdl|dot|ir|c|ranges|deps|deps-json|\
-             schedule|schedule-json|table-row)"
+             schedule|schedule-json|prove|prove-json|table-row)"
         ));
     }
 
@@ -892,6 +900,13 @@ fn spawn_compile(
                         shared.metrics.schedule_ii.add(sched.ii);
                         if sched.fallback.is_some() {
                             shared.metrics.schedule_fallback.inc();
+                        }
+                    }
+                    if let Some(cert) = &entry.compiled.certificate {
+                        match cert.verdict {
+                            roccc::Verdict::Equal => shared.metrics.prove_proved.inc(),
+                            roccc::Verdict::Refuted => shared.metrics.prove_refuted.inc(),
+                            roccc::Verdict::Unknown => shared.metrics.prove_unknown.inc(),
                         }
                     }
                     let entry = Arc::new(entry);

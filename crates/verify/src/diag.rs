@@ -47,6 +47,11 @@ pub enum Phase {
     /// `verify_schedule` (`M0xx`): MRT resource conflicts, recurrence
     /// slack, achieved-vs-minimum II, prologue/epilogue coverage.
     Schedule,
+    /// Translation-validation certificates from `roccc-prove`, re-checked
+    /// structurally by `verify_certificate` (`E0xx`): refuted output
+    /// equivalence, valid-grid divergence, unproven obligations, and
+    /// malformed certificates.
+    Prove,
 }
 
 impl fmt::Display for Phase {
@@ -59,6 +64,7 @@ impl fmt::Display for Phase {
             Phase::Stream => write!(f, "stream"),
             Phase::Deps => write!(f, "deps"),
             Phase::Schedule => write!(f, "schedule"),
+            Phase::Prove => write!(f, "prove"),
         }
     }
 }

@@ -26,6 +26,10 @@
 //! * [`verify_schedule`] — modulo-schedule legality re-derived from the
 //!   schedule artifact: MRT resource conflicts, recurrence slack,
 //!   achieved II vs MinII, prologue/epilogue coverage (`M0xx`);
+//! * [`verify_certificate`] — structural re-check of `roccc-prove`
+//!   translation-validation certificates: refuted output equivalence,
+//!   valid-grid divergence, unproven obligations, malformed
+//!   certificates (`E0xx`);
 //! * the VHDL linter in `roccc-vhdl` emits the same [`Diagnostic`] type
 //!   with `V0xx` codes.
 //!
@@ -40,6 +44,7 @@ pub mod diag;
 pub mod ir;
 pub mod netlist;
 pub mod pipeline;
+pub mod prove;
 pub mod ranges;
 pub mod schedule;
 
@@ -51,6 +56,10 @@ pub use netlist::verify_netlist;
 pub use pipeline::{
     pipeline_code_severity, verify_pipeline, BindView, ChannelView, PipelineView, PortView,
     StageView,
+};
+pub use prove::{
+    prove_code_severity, verify_certificate, CertificateView, CounterexampleView, ObligationView,
+    PROVE_SCHEMA,
 };
 pub use ranges::{verify_fresh_ranges, verify_ranges};
 pub use schedule::verify_schedule;

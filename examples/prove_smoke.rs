@@ -1,0 +1,76 @@
+//! Prove smoke: compiles dct with translation validation requested and
+//! checks the prover certifies EQUAL under `deny` with no residual
+//! Unknown, then (in `corrupt` mode) tampers with the certificate and
+//! exits nonzero only if the `E0xx` verifier family catches the
+//! corruption. `scripts/ci.sh` runs both modes as the equivalence gate.
+//!
+//! ```sh
+//! cargo run --example prove_smoke            # positive gate, exit 0
+//! cargo run --example prove_smoke corrupt    # negative gate, exit 1
+//! ```
+
+use roccc_suite::ipcores::kernels;
+use roccc_suite::prove::{verify_certificate_diags, ObStatus, Verdict};
+use roccc_suite::roccc::{compile, CompileOptions, VerifyLevel};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let corrupt = std::env::args().nth(1).as_deref() == Some("corrupt");
+
+    let opts = CompileOptions {
+        prove: true,
+        verify: VerifyLevel::Deny,
+        ..CompileOptions::default()
+    };
+    let hw = match compile(&kernels::dct_source(), "dct", &opts) {
+        Ok(hw) => hw,
+        Err(e) => {
+            eprintln!("prove smoke: dct failed to compile under deny: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cert = hw.certificate.clone().expect("prove requested");
+
+    if !corrupt {
+        if cert.verdict != Verdict::Equal {
+            eprintln!("prove smoke: dct did not certify EQUAL: {:?}", cert.verdict);
+            return ExitCode::FAILURE;
+        }
+        if cert
+            .obligations
+            .iter()
+            .any(|o| o.status == ObStatus::Unknown)
+        {
+            eprintln!("prove smoke: dct certificate carries Unknown obligations");
+            return ExitCode::FAILURE;
+        }
+        let json = hw.prove_json().expect("certificate renders");
+        if !json.contains("\"schema\": \"roccc-prove-v1\"") {
+            eprintln!("prove smoke: certificate JSON lacks the schema tag");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "prove smoke: dct certified EQUAL ({} obligations, {} rewrite steps), clean under deny",
+            cert.obligations.len(),
+            cert.rewrite_steps
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    // Corrupt-fixture negative: claim EQUAL while an obligation admits it
+    // was never discharged. The E-family must catch the inconsistency from
+    // the artifact alone; exit nonzero (with the code on stderr) only when
+    // it does.
+    let mut bad = cert;
+    bad.obligations[0].status = ObStatus::Unknown;
+    bad.obligations[0].detail = "tampered by prove_smoke".into();
+    let findings = verify_certificate_diags(&bad, &hw.ir, &hw.netlist);
+    if !findings.iter().any(|d| d.code.starts_with("E004")) {
+        eprintln!("prove smoke: corrupted certificate passed the verifier: {findings:?}");
+        return ExitCode::SUCCESS;
+    }
+    for d in &findings {
+        eprintln!("prove smoke: {d}");
+    }
+    ExitCode::FAILURE
+}

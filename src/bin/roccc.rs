@@ -16,10 +16,15 @@
 //!   --pipeline-ii <auto|n>  modulo-schedule the loop body at initiation
 //!                        interval n (auto = the MinII lower bound)
 //!   --emit <what>        vhdl | dot | stats | ir | c | ranges | deps | deps-json |
-//!                        schedule | schedule-json | timings (default stats)
+//!                        schedule | schedule-json | prove | prove-json | timings
+//!                        (default stats)
 //!   -o <file>            write output to a file instead of stdout
 //!   --verify             run the phase-indexed static verifier (warn)
 //!   --deny-warnings      verifier + lint findings of any severity fail
+//!   --prove              translation-validate the netlist against the IR
+//!                        (symbolic equivalence certificate; E-codes)
+//!   --verify-families <csv>  only report diagnostic families in the CSV
+//!                        list (letters from S,D,N,W,L,M,P,V,E)
 //!
 //! Design-space exploration (sweeps unroll × strip-mine × scalar-opt
 //! configurations and reports the Pareto frontier; `--emit` becomes
@@ -78,7 +83,8 @@ options:
                          bound (max of the recurrence and resource
                          bounds). Implied by --emit schedule.
   --emit <what>          vhdl | dot | stats | ir | c | ranges | deps | deps-json |
-                         schedule | schedule-json | timings
+                         schedule | schedule-json | prove | prove-json |
+                         timings
                          (default stats; `timings` prints the per-phase
                          compile wall-clock breakdown)
   -o <file>              write output to a file instead of stdout
@@ -86,6 +92,17 @@ options:
                          fail the compile, warnings print to stderr
   --deny-warnings        like --verify, but any finding (verifier or
                          VHDL lint) fails the compile
+  --prove                translation-validate the compiled netlist
+                         against the SSA IR: a symbolic evaluator walks
+                         one steady-state window of each and a rewriter
+                         (SAT fallback) discharges the equivalence
+                         obligations; refutations surface as E001/E002
+                         with a replayed counterexample, residual
+                         unknowns as E003 warnings. Implied by
+                         --emit prove / prove-json.
+  --verify-families <csv> only report diagnostic families in the CSV
+                         list (letters from S,D,N,W,L,M,P,V,E);
+                         findings from other families are dropped
   --help, -h             print this help
 
 design-space exploration (--emit becomes table (default) | json):
@@ -217,7 +234,7 @@ fn parse_args() -> Result<Args, String> {
             "--emit" => {
                 emit = Some(args.next().ok_or(
                     "--emit needs vhdl|dot|stats|ir|c|ranges|deps|deps-json|\
-                     schedule|schedule-json|timings",
+                     schedule|schedule-json|prove|prove-json|timings",
                 )?)
             }
             "-o" => output = Some(args.next().ok_or("-o needs a path")?),
@@ -265,6 +282,25 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--deny-warnings" => opts.verify = VerifyLevel::Deny,
+            "--prove" => opts.prove = true,
+            "--verify-families" => {
+                let v = args.next().ok_or("--verify-families needs a CSV list")?;
+                for fam in v.split(',') {
+                    let fam = fam.trim();
+                    let ok = fam.len() == 1
+                        && fam
+                            .chars()
+                            .next()
+                            .is_some_and(|c| "SDNWLMPVE".contains(c.to_ascii_uppercase()));
+                    if !ok {
+                        return Err(format!(
+                            "--verify-families expects comma-separated family letters \
+                             from S,D,N,W,L,M,P,V,E, got `{fam}`"
+                        ));
+                    }
+                }
+                opts.verify_families = Some(v);
+            }
             "--help" | "-h" => help = true,
             other if input.is_none() && !other.starts_with('-') => input = Some(other.to_string()),
             other => return Err(format!("unknown argument `{other}` (try --help)")),
@@ -275,6 +311,10 @@ fn parse_args() -> Result<Args, String> {
     // schedule was actually requested.
     if matches!(emit.as_deref(), Some("schedule" | "schedule-json")) && opts.pipeline_ii.is_none() {
         opts.pipeline_ii = Some(0);
+    }
+    // Asking for the proof artifact means "run the prover".
+    if matches!(emit.as_deref(), Some("prove" | "prove-json")) {
+        opts.prove = true;
     }
     if help {
         // Skip the required-argument checks: `roccc --help` alone is valid.
@@ -363,6 +403,10 @@ fn render(hw: &Compiled, emit: &str, factor: Option<u64>) -> Result<String, Stri
         "schedule-json" => hw
             .schedule_json()
             .ok_or_else(|| "no schedule artifact (compile with --pipeline-ii)".to_string()),
+        "prove" => Ok(hw.prove_report()),
+        "prove-json" => hw
+            .prove_json()
+            .ok_or_else(|| "no proof certificate (compile with --prove)".to_string()),
         "stats" => {
             let model = VirtexII::default();
             let full = map_netlist(&hw.netlist, &model);
@@ -425,7 +469,7 @@ fn render(hw: &Compiled, emit: &str, factor: Option<u64>) -> Result<String, Stri
         }
         other => Err(format!(
             "unknown --emit `{other}` (vhdl|dot|stats|ir|c|ranges|deps|deps-json|\
-             schedule|schedule-json|timings)"
+             schedule|schedule-json|prove|prove-json|timings)"
         )),
     }
 }

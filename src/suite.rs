@@ -14,6 +14,7 @@ pub use roccc_explore as explore;
 pub use roccc_hlir as hlir;
 pub use roccc_ipcores as ipcores;
 pub use roccc_netlist as netlist;
+pub use roccc_prove as prove;
 pub use roccc_schedule as schedule;
 pub use roccc_serve as serve;
 pub use roccc_stream as stream;
