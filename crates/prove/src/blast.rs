@@ -350,7 +350,10 @@ impl<'a> Blaster<'a> {
                     .copied()
                     .collect();
                 let core = match vars.len() {
-                    0 => self.const_bits(consts.iter().product::<i64>()),
+                    0 => {
+                        let p = consts.iter().fold(1i64, |a, &b| a.wrapping_mul(b));
+                        self.const_bits(p)
+                    }
                     1 => self.blast(vars[0]),
                     _ => self.fresh_vec(64, false), // uninterpreted product
                 };

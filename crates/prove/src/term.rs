@@ -670,10 +670,13 @@ impl TermStore {
             return *v;
         }
         let r = self.interval_inner(t);
-        // Anything outside a generous window is treated as unknown so the
-        // i128 arithmetic below can never overflow.
-        const LIM: i128 = (i64::MAX as i128) * 4;
-        let r = r.filter(|&(lo, hi)| lo >= -LIM && hi <= LIM && lo <= hi);
+        // Every term denotes wrap64(mathematical value), while Add/Mul
+        // intervals bound the *mathematical* value. Only an interval that
+        // fits i64 certifies no 64-bit wrap occurred — anything wider must
+        // be discarded, or downstream rules (Shr-by-constant, And/Or
+        // non-negativity, the guarded-mux clamp, wrap elision) would apply
+        // math-value bounds to a possibly-wrapped word.
+        let r = r.filter(|&(lo, hi)| lo >= i64::MIN as i128 && hi <= i64::MAX as i128 && lo <= hi);
         self.intervals.insert(t, r);
         r
     }
@@ -1098,6 +1101,33 @@ mod tests {
         assert_eq!(w40, w32); // an i32 value always fits 40 bits
         let w16 = s.wrap(IntType::signed(16), w32);
         assert_ne!(w16, w32);
+    }
+
+    #[test]
+    fn mulhi_wrap_is_not_elided() {
+        // Regression: interval(u32*u32) bounds the *mathematical* product
+        // [0, (2^32-1)^2], which exceeds i64 — the term's actual word is
+        // the wrapped product and may be negative. The interval must be
+        // discarded, so the 33-bit wrap after `>> 32` (the mulhi idiom's
+        // width change) survives in the symbolic model.
+        let mut s = store();
+        let a = s.var(0, 0);
+        let b = s.var(1, 0);
+        let x = s.wrap(IntType::unsigned(32), a);
+        let y = s.wrap(IntType::unsigned(32), b);
+        let m = s.mul(vec![x, y]);
+        assert_eq!(s.interval(m), None);
+        let k = s.cst(32);
+        let sh = s.shr(m, k);
+        assert_eq!(s.interval(sh), None);
+        let w = s.wrap(IntType::unsigned(33), sh);
+        assert_ne!(w, sh);
+        // At a = b = 2^32 - 1 the wrapped product is negative: the shift
+        // yields -2 and the retained u33 wrap restores 8589934590.
+        let v = u32::MAX as i64;
+        let mut cache = HashMap::new();
+        assert_eq!(s.eval(sh, &[v, v], &[], &mut cache), -2);
+        assert_eq!(s.eval(w, &[v, v], &[], &mut cache), 8589934590);
     }
 
     #[test]
